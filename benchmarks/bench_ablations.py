@@ -1,0 +1,64 @@
+"""Ablation benches — the design choices DESIGN.md calls out.
+
+A1: UPGRADE-LMK's superfluous-entry cleanup (on/off).
+A2: batch reconfiguration vs sequential replay.
+A3: landmark selection policies' effect on build cost.
+"""
+
+import pytest
+
+from repro.core import DynamicHCL, build_hcl, select_landmarks, upgrade_landmark
+from repro.core.batch import batch_reconfigure
+from repro.workloads import make_dataset, mixed_update_sequence
+
+
+@pytest.fixture(scope="module")
+def ablation_instance():
+    graph = make_dataset("U-BAR", scale=0.15, seed=1)
+    landmarks = select_landmarks(graph, 40, seed=1)
+    index = build_hcl(graph, landmarks)
+    return graph, landmarks, index
+
+
+@pytest.mark.parametrize("cleanup", [True, False], ids=["cleanup-on", "cleanup-off"])
+def test_a1_upgrade_cleanup(benchmark, ablation_instance, cleanup):
+    graph, landmarks, index = ablation_instance
+    lmk_set = set(landmarks)
+    newcomer = next(v for v in range(graph.n) if v not in lmk_set)
+
+    def setup():
+        return (index.copy(), newcomer), {"remove_superfluous": cleanup}
+
+    benchmark.pedantic(upgrade_landmark, setup=setup, rounds=10)
+
+
+@pytest.mark.parametrize("mode", ["sequential", "batch"])
+def test_a2_batch_vs_sequential(benchmark, ablation_instance, mode):
+    graph, landmarks, _ = ablation_instance
+    updates = mixed_update_sequence(graph.n, landmarks, sigma=20, seed=4)
+    adds = [u.vertex for u in updates if u.kind == "add"]
+    removes = [u.vertex for u in updates if u.kind == "remove"]
+
+    if mode == "sequential":
+
+        def run():
+            dyn = DynamicHCL.build(graph, landmarks)
+            dyn.apply_sequence(updates)
+            return dyn.index
+
+    else:
+
+        def run():
+            index = build_hcl(graph, landmarks)
+            batch_reconfigure(index, add=adds, remove=removes)
+            return index
+
+    benchmark.pedantic(run, rounds=3)
+
+
+@pytest.mark.parametrize("policy", ["degree", "betweenness", "random"])
+def test_a3_selection_policy_build(benchmark, policy):
+    graph = make_dataset("NW", scale=0.3, seed=1)
+    landmarks = select_landmarks(graph, 30, policy=policy, seed=1)
+    index = benchmark(build_hcl, graph, landmarks)
+    assert index.highway.size == 30

@@ -1,0 +1,37 @@
+"""CSR snapshot benches: flat-array sweeps vs adjacency-list sweeps."""
+
+import pytest
+
+from repro.core import build_hcl, select_landmarks
+from repro.graphs import dijkstra_distances
+from repro.graphs.csr import CSRGraph, csr_dijkstra
+from repro.workloads import make_dataset
+
+
+@pytest.fixture(scope="module")
+def csr_instance():
+    graph = make_dataset("USA", scale=0.5, seed=1)
+    return graph, CSRGraph(graph)
+
+
+def test_adjacency_dijkstra(benchmark, csr_instance):
+    graph, _ = csr_instance
+    benchmark(dijkstra_distances, graph, 0)
+
+
+def test_csr_dijkstra(benchmark, csr_instance):
+    _, csr = csr_instance
+    benchmark(csr_dijkstra, csr, 0)
+
+
+def test_csr_snapshot_cost(benchmark, csr_instance):
+    graph, _ = csr_instance
+    csr = benchmark(CSRGraph, graph)
+    assert csr.n == graph.n
+
+
+def test_buildhcl_on_csr(benchmark, csr_instance):
+    graph, csr = csr_instance
+    landmarks = select_landmarks(graph, 20, seed=1)
+    index = benchmark.pedantic(build_hcl, args=(csr, landmarks), rounds=3)
+    assert index.highway.size == 20

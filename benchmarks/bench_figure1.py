@@ -1,0 +1,43 @@
+"""Figure 1 bench — the worked example's update operations.
+
+Figure 1 is illustrative rather than evaluative, but benchmarking its two
+reconfigurations keeps the smallest end of the update-cost spectrum under
+regression watch (both must be microsecond-scale).
+"""
+
+from repro.core import build_hcl, downgrade_landmark, upgrade_landmark
+from repro.workloads import FIGURE1_INITIAL_LANDMARKS, figure1_graph
+
+
+def test_figure1_upgrade(benchmark):
+    graph = figure1_graph()
+
+    def setup():
+        return (build_hcl(graph, FIGURE1_INITIAL_LANDMARKS), 3), {}
+
+    benchmark.pedantic(upgrade_landmark, setup=setup, rounds=50)
+
+
+def test_figure1_downgrade(benchmark):
+    graph = figure1_graph()
+
+    def setup():
+        index = build_hcl(graph, FIGURE1_INITIAL_LANDMARKS)
+        upgrade_landmark(index, 3)
+        return (index, 7), {}
+
+    benchmark.pedantic(downgrade_landmark, setup=setup, rounds=50)
+
+
+def test_figure1_full_scenario(benchmark):
+    """Build + upgrade(3) + downgrade(7), end to end."""
+    graph = figure1_graph()
+
+    def scenario():
+        index = build_hcl(graph, FIGURE1_INITIAL_LANDMARKS)
+        upgrade_landmark(index, 3)
+        downgrade_landmark(index, 7)
+        return index
+
+    index = benchmark(scenario)
+    assert index.landmarks == {3, 5}

@@ -1,0 +1,58 @@
+"""Figure 2 bench — cumulative-cost scaling over the road-graph family.
+
+The figure's claim: both engines scale roughly linearly in graph size with
+DYN-HCL's constants at least an order of magnitude lower.  Each benchmark
+here is one point of the DYN-HCL series (build + σ updates + queries) at a
+small scale; the CH-GSP series point rides along for the smallest graph.
+The full series is `python -m repro.experiments figure2`.
+"""
+
+import pytest
+
+from repro.baselines import CHGSP
+from repro.core import DynamicHCL, select_landmarks
+from repro.workloads import make_dataset, mixed_update_sequence, random_query_pairs
+
+SCALES = {"LUX": 0.25, "NW": 0.25, "ITA": 0.25}
+
+
+def dyn_hcl_point(graph, landmarks, updates, pairs):
+    dyn = DynamicHCL.build(graph, landmarks)
+    dyn.apply_sequence(updates)
+    q = dyn.index.query
+    for s, t in pairs:
+        q(s, t)
+    return dyn
+
+
+@pytest.mark.parametrize("name", sorted(SCALES))
+def test_dynhcl_cumulative_point(benchmark, name):
+    graph = make_dataset(name, scale=SCALES[name], seed=1)
+    landmarks = select_landmarks(graph, 30, seed=1)
+    updates = mixed_update_sequence(graph.n, landmarks, seed=2)
+    pairs = random_query_pairs(graph.n, 300, seed=3)
+    dyn = benchmark.pedantic(
+        dyn_hcl_point, args=(graph, landmarks, updates, pairs), rounds=3
+    )
+    assert dyn.index.highway.size == len(landmarks)
+
+
+def test_chgsp_cumulative_point(benchmark):
+    graph = make_dataset("LUX", scale=0.25, seed=1)
+    landmarks = select_landmarks(graph, 30, seed=1)
+    updates = mixed_update_sequence(graph.n, landmarks, seed=2)
+    pairs = random_query_pairs(graph.n, 300, seed=3)
+
+    def chgsp_point():
+        engine = CHGSP(graph, landmarks)
+        for u in updates:
+            if u.kind == "add":
+                engine.add_landmark(u.vertex)
+            else:
+                engine.remove_landmark(u.vertex)
+        q = engine.landmark_constrained_distance
+        for s, t in pairs:
+            q(s, t)
+        return engine
+
+    benchmark.pedantic(chgsp_point, rounds=3)

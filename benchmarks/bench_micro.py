@@ -1,0 +1,112 @@
+"""Micro-benchmarks for the hot kernels underneath every experiment."""
+
+import pytest
+
+from repro.baselines import build_contraction_hierarchy, ch_distance
+from repro.core.paths import landmark_constrained_path, shortest_path
+from repro.graphs import (
+    bounded_bidirectional_distance,
+    dijkstra_distances,
+    flagged_single_source,
+)
+from repro.workloads import random_query_pairs
+
+
+def test_dijkstra_sweep(benchmark, bench_instance):
+    _, graph, _, _ = bench_instance
+    dist = benchmark(dijkstra_distances, graph, 0)
+    assert dist[0] == 0.0
+
+
+def test_flagged_sweep(benchmark, bench_instance):
+    """The BUILDHCL kernel: Dijkstra + landmark-avoidance flags."""
+    _, graph, landmarks, _ = bench_instance
+    blocked = set(landmarks[1:])
+    dist, clear = benchmark(flagged_single_source, graph, landmarks[0], blocked)
+    assert clear[landmarks[0]]
+
+
+def test_hcl_query(benchmark, bench_instance):
+    _, graph, _, index = bench_instance
+    pairs = random_query_pairs(graph.n, 500, seed=9)
+
+    def run():
+        q = index.query
+        return [q(s, t) for s, t in pairs]
+
+    benchmark(run)
+
+
+def test_exact_distance_query(benchmark, bench_instance):
+    """QUERY upper bound + bounded bidirectional refinement."""
+    _, graph, _, index = bench_instance
+    pairs = random_query_pairs(graph.n, 100, seed=10)
+
+    def run():
+        d = index.distance
+        return [d(s, t) for s, t in pairs]
+
+    benchmark(run)
+
+
+def test_bounded_bidirectional(benchmark, bench_instance):
+    _, graph, landmarks, index = bench_instance
+    s, t = 1, graph.n - 2
+    ub = index.query(s, t)
+    benchmark(bounded_bidirectional_distance, graph, s, t, ub, set(landmarks))
+
+
+def test_path_reporting(benchmark, bench_instance):
+    _, graph, _, index = bench_instance
+    pairs = [
+        (s, t)
+        for s, t in random_query_pairs(graph.n, 50, seed=11)
+        if index.query(s, t) != float("inf")
+    ]
+
+    def run():
+        return [landmark_constrained_path(index, s, t) for s, t in pairs[:20]]
+
+    benchmark(run)
+
+
+def test_exact_path(benchmark, bench_instance):
+    _, graph, _, index = bench_instance
+    pairs = random_query_pairs(graph.n, 20, seed=12)
+
+    def run():
+        out = []
+        for s, t in pairs:
+            try:
+                out.append(shortest_path(index, s, t))
+            except Exception:
+                pass
+        return out
+
+    benchmark(run)
+
+
+@pytest.fixture(scope="module")
+def road_ch():
+    from repro.workloads import make_dataset
+
+    graph = make_dataset("LUX", scale=0.4, seed=1)
+    return graph, build_contraction_hierarchy(graph)
+
+
+def test_ch_construction(benchmark):
+    from repro.workloads import make_dataset
+
+    graph = make_dataset("LUX", scale=0.25, seed=1)
+    ch = benchmark(build_contraction_hierarchy, graph)
+    assert ch.n == graph.n
+
+
+def test_ch_point_to_point(benchmark, road_ch):
+    graph, ch = road_ch
+    pairs = random_query_pairs(graph.n, 100, seed=13)
+
+    def run():
+        return [ch_distance(ch, s, t) for s, t in pairs]
+
+    benchmark(run)

@@ -1,0 +1,68 @@
+"""PLL vs HCL — the space/time trade-off HCL was designed around.
+
+Farhan et al. motivate HCL as a 2-hop-cover (PLL) customization with far
+smaller labels at slightly higher query cost.  These benches reproduce
+that trade-off in miniature: PLL's pure label-join queries against HCL's
+bound-plus-refinement queries, next to their construction costs; label
+sizes are asserted, not timed.
+"""
+
+import pytest
+
+from repro.baselines.pll import PrunedLandmarkLabeling
+from repro.core import build_hcl, select_landmarks
+from repro.workloads import make_dataset, random_query_pairs
+
+
+@pytest.fixture(scope="module")
+def instance():
+    graph = make_dataset("LUX", scale=0.35, seed=1)
+    landmarks = select_landmarks(graph, 30, seed=1)
+    hcl = build_hcl(graph, landmarks)
+    pll = PrunedLandmarkLabeling(graph)
+    pairs = random_query_pairs(graph.n, 200, seed=4)
+    return graph, hcl, pll, pairs
+
+
+def test_pll_construction(benchmark):
+    graph = make_dataset("LUX", scale=0.2, seed=1)
+    pll = benchmark.pedantic(PrunedLandmarkLabeling, args=(graph,), rounds=3)
+    assert pll.total_entries() > 0
+
+
+def test_hcl_construction(benchmark):
+    graph = make_dataset("LUX", scale=0.2, seed=1)
+    landmarks = select_landmarks(graph, 30, seed=1)
+    benchmark.pedantic(build_hcl, args=(graph, landmarks), rounds=3)
+
+
+def test_pll_exact_queries(benchmark, instance):
+    _, _, pll, pairs = instance
+
+    def run():
+        d = pll.distance
+        return [d(s, t) for s, t in pairs]
+
+    benchmark(run)
+
+
+def test_hcl_exact_queries(benchmark, instance):
+    _, hcl, _, pairs = instance
+
+    def run():
+        d = hcl.distance
+        return [d(s, t) for s, t in pairs]
+
+    benchmark(run)
+
+
+def test_space_tradeoff(instance):
+    """HCL labels must be substantially smaller than PLL's."""
+    _, hcl, pll, _ = instance
+    assert hcl.labeling.total_entries() < pll.total_entries()
+
+
+def test_query_agreement(instance):
+    _, hcl, pll, pairs = instance
+    for s, t in pairs[:50]:
+        assert hcl.distance(s, t) == pll.distance(s, t)

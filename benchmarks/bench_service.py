@@ -1,0 +1,89 @@
+"""Benches for the operational layer: persistence and query caching."""
+
+import io
+
+import pytest
+
+from repro.core import DynamicHCL, build_hcl, select_landmarks
+from repro.core.cache import CachedQueryEngine
+from repro.core.serialization import (
+    load_index_binary,
+    load_index_json,
+    save_index_binary,
+    save_index_json,
+)
+from repro.workloads import make_dataset, random_query_pairs
+
+
+@pytest.fixture(scope="module")
+def persisted_instance():
+    graph = make_dataset("NW", scale=0.4, seed=1)
+    landmarks = select_landmarks(graph, 40, seed=1)
+    index = build_hcl(graph, landmarks)
+    binary = io.BytesIO()
+    save_index_binary(index, binary)
+    return graph, index, binary.getvalue()
+
+
+def test_save_binary(benchmark, persisted_instance):
+    _, index, _ = persisted_instance
+
+    def run():
+        buf = io.BytesIO()
+        save_index_binary(index, buf)
+        return buf
+
+    benchmark(run)
+
+
+def test_load_binary(benchmark, persisted_instance):
+    graph, index, blob = persisted_instance
+
+    def run():
+        return load_index_binary(graph, io.BytesIO(blob))
+
+    loaded = benchmark(run)
+    assert loaded.structurally_equal(index)
+
+
+def test_save_load_json(benchmark, persisted_instance):
+    graph, index, _ = persisted_instance
+
+    def run():
+        buf = io.StringIO()
+        save_index_json(index, buf)
+        buf.seek(0)
+        return load_index_json(graph, buf)
+
+    loaded = benchmark(run)
+    assert loaded.structurally_equal(index)
+
+
+def test_load_beats_rebuild(persisted_instance):
+    """The reason persistence exists: loading must crush BUILDHCL."""
+    import time
+
+    graph, index, blob = persisted_instance
+    start = time.perf_counter()
+    load_index_binary(graph, io.BytesIO(blob))
+    t_load = time.perf_counter() - start
+    start = time.perf_counter()
+    build_hcl(graph, sorted(index.landmarks))
+    t_build = time.perf_counter() - start
+    assert t_load < t_build
+
+
+@pytest.mark.parametrize("cached", [False, True], ids=["uncached", "cached"])
+def test_query_cache_effect(benchmark, cached):
+    graph = make_dataset("LUX", scale=0.3, seed=1)
+    landmarks = select_landmarks(graph, 30, seed=1)
+    dyn = DynamicHCL.build(graph, landmarks)
+    # A skewed workload: 50 hot pairs queried over and over.
+    pairs = random_query_pairs(graph.n, 50, seed=5) * 10
+    engine = CachedQueryEngine(dyn) if cached else dyn
+
+    def run():
+        q = engine.query
+        return [q(s, t) for s, t in pairs]
+
+    benchmark(run)

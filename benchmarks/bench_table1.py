@@ -1,0 +1,17 @@
+"""Table 1 bench — dataset stand-in generation throughput.
+
+Regenerating Table 1 is `python -m repro.experiments table1`; this bench
+tracks the cost of materializing representative stand-ins from each
+topology class so generator regressions are caught.
+"""
+
+import pytest
+
+from repro.workloads import make_dataset
+
+
+@pytest.mark.parametrize("name", ["ERD", "LUX", "CAI", "YAH", "U-BAR"])
+def test_dataset_generation(benchmark, name):
+    graph = benchmark(make_dataset, name, 0.2, 1)
+    assert graph.n > 0
+    assert graph.m > 0

@@ -1,0 +1,61 @@
+"""Table 2 bench — UPGRADE/DOWNGRADE-LMK vs full BUILDHCL.
+
+The paper's headline comparison (goal G1): per-update dynamic maintenance
+must beat full recomputation by orders of magnitude.  The three benchmarks
+here measure the exact quantities of Table 2 (``T_BUILD`` and the two
+halves of ``T_FDYN``) on a road and a power-law instance; the full sweep is
+`python -m repro.experiments table2`.
+"""
+
+from repro.core import build_hcl, downgrade_landmark, upgrade_landmark
+
+
+def test_buildhcl_from_scratch(benchmark, bench_instance):
+    """T_BUILD: the full-recomputation baseline."""
+    _, graph, landmarks, _ = bench_instance
+    index = benchmark(build_hcl, graph, landmarks)
+    assert index.highway.size == len(landmarks)
+
+
+def test_upgrade_lmk(benchmark, bench_instance):
+    """T_FDYN, insertion half: promote a fresh vertex."""
+    _, graph, landmarks, index = bench_instance
+    lmk_set = set(landmarks)
+    newcomer = next(v for v in range(graph.n) if v not in lmk_set)
+
+    def setup():
+        return (index.copy(), newcomer), {}
+
+    benchmark.pedantic(upgrade_landmark, setup=setup, rounds=15)
+
+
+def test_downgrade_lmk(benchmark, bench_instance):
+    """T_FDYN, deletion half: demote an existing landmark."""
+    _, _, landmarks, index = bench_instance
+    victim = landmarks[len(landmarks) // 2]
+
+    def setup():
+        return (index.copy(), victim), {}
+
+    benchmark.pedantic(downgrade_landmark, setup=setup, rounds=15)
+
+
+def test_speedup_shape(bench_instance):
+    """Not a timing bench: asserts the paper's qualitative claim locally —
+    one dynamic update must be much cheaper than one rebuild."""
+    import time
+
+    _, graph, landmarks, index = bench_instance
+    lmk_set = set(landmarks)
+    newcomer = next(v for v in range(graph.n) if v not in lmk_set)
+
+    clone = index.copy()
+    start = time.perf_counter()
+    upgrade_landmark(clone, newcomer)
+    t_update = time.perf_counter() - start
+
+    start = time.perf_counter()
+    build_hcl(graph, landmarks + [newcomer])
+    t_build = time.perf_counter() - start
+
+    assert t_build > 2 * t_update, (t_build, t_update)

@@ -1,0 +1,85 @@
+"""Table 3 bench — landmark-constrained queries: DYN-HCL vs CH-GSP.
+
+Measures the per-query cost of the two engines of goal (G2) on the same
+instance and landmark set: the HCL ``QUERY`` (a label join against ``δ_H``)
+versus the CH-GSP bucket-join query.  The cumulative/amortized sweep is
+`python -m repro.experiments table3`.
+"""
+
+import random
+
+import pytest
+
+from repro.baselines import CHGSP
+from repro.baselines.naive import multi_dijkstra_landmark_constrained
+from repro.workloads import make_dataset, random_query_pairs
+from repro.core import build_hcl, select_landmarks
+
+
+@pytest.fixture(scope="module")
+def g2_instance():
+    graph = make_dataset("LUX", scale=0.5, seed=1)
+    landmarks = select_landmarks(graph, 40, seed=1)
+    index = build_hcl(graph, landmarks)
+    engine = CHGSP(graph, landmarks)
+    pairs = random_query_pairs(graph.n, 200, seed=2)
+    return graph, landmarks, index, engine, pairs
+
+
+def test_hcl_query_batch(benchmark, g2_instance):
+    _, _, index, _, pairs = g2_instance
+
+    def run():
+        q = index.query
+        return [q(s, t) for s, t in pairs]
+
+    results = benchmark(run)
+    assert len(results) == len(pairs)
+
+
+def test_chgsp_query_batch(benchmark, g2_instance):
+    _, _, _, engine, pairs = g2_instance
+
+    def run():
+        q = engine.landmark_constrained_distance
+        return [q(s, t) for s, t in pairs]
+
+    results = benchmark(run)
+    assert len(results) == len(pairs)
+
+
+def test_multi_dijkstra_query_batch(benchmark, g2_instance):
+    """The no-preprocessing baseline (much slower; 20 queries only)."""
+    graph, landmarks, _, _, pairs = g2_instance
+
+    def run():
+        return [
+            multi_dijkstra_landmark_constrained(graph, landmarks, s, t)
+            for s, t in pairs[:20]
+        ]
+
+    benchmark(run)
+
+
+def test_chgsp_landmark_update(benchmark, g2_instance):
+    """CH-GSP's landmark maintenance: one upward search per insertion."""
+    graph, landmarks, _, engine, _ = g2_instance
+    rng = random.Random(3)
+    lmk_set = set(landmarks)
+    fresh = [v for v in range(graph.n) if v not in lmk_set]
+
+    def round():
+        v = rng.choice(fresh)
+        if v in engine.landmarks:
+            engine.remove_landmark(v)
+        else:
+            engine.add_landmark(v)
+
+    benchmark(round)
+
+
+def test_engines_agree(g2_instance):
+    """Correctness cross-check riding along with the benchmarks."""
+    _, _, index, engine, pairs = g2_instance
+    for s, t in pairs[:50]:
+        assert index.query(s, t) == engine.landmark_constrained_distance(s, t)

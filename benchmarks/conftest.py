@@ -1,0 +1,29 @@
+"""Shared fixtures for the benchmark suite.
+
+Benchmark instances are smaller than the experiment-harness defaults so
+that ``pytest benchmarks/ --benchmark-only`` completes in minutes; the
+full paper-shaped sweeps live in ``python -m repro.experiments``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import build_hcl, select_landmarks
+from repro.workloads import make_dataset
+
+#: (dataset, scale, |R|) per benchmark class: one road, one power-law.
+BENCH_CONFIGS = {
+    "road": ("LUX", 0.5, 40),
+    "powerlaw": ("U-BAR", 0.15, 40),
+}
+
+
+@pytest.fixture(scope="session", params=sorted(BENCH_CONFIGS))
+def bench_instance(request):
+    """A prepared (name, graph, landmarks, index) tuple, session-cached."""
+    name, scale, k = BENCH_CONFIGS[request.param]
+    graph = make_dataset(name, scale=scale, seed=1)
+    landmarks = select_landmarks(graph, k, seed=1)
+    index = build_hcl(graph, landmarks)
+    return request.param, graph, landmarks, index

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Shortest beer paths with opening and closing stores.
+
+The paper's motivating application (§1): route planning where every trip
+must pass a point of interest — a gas station, a package-inspection depot,
+a bar.  Beer vertices map to HCL landmarks, so store churn maps to
+``UPGRADE-LMK`` / ``DOWNGRADE-LMK``, and a beer-distance query is a pure
+index lookup with no graph traversal.
+
+The script simulates a day in a delivery fleet's life on a city-scale road
+network: queries keep flowing while stores open in the morning, a few close
+for lunch, and the index follows along in milliseconds.
+
+Run:  python examples/beer_route_planning.py
+"""
+
+import random
+import time
+
+from repro.beer import BeerDistanceIndex, BeerGraph, beer_distance_baseline
+from repro.core.paths import landmark_constrained_path
+from repro.graphs import assign_uniform_integer_weights, road_grid
+
+
+def main() -> None:
+    rng = random.Random(2024)
+
+    # A city: 50x40 road grid with travel times 1..10 minutes per segment.
+    city = assign_uniform_integer_weights(
+        road_grid(50, 40, seed=3), low=1, high=10, seed=3
+    )
+    print(f"city road network: {city.n} intersections, {city.m} road segments")
+
+    # Morning: 15 coffee stops are open.
+    stores = rng.sample(range(city.n), 15)
+    oracle = BeerDistanceIndex(BeerGraph(city, beer_vertices=stores))
+    print(f"{len(stores)} stores open; index ready")
+
+    def plan(courier: int, customer: int) -> None:
+        start = time.perf_counter()
+        detour = oracle.beer_distance(courier, customer)
+        micros = (time.perf_counter() - start) * 1e6
+        direct = oracle.distance(courier, customer)
+        print(
+            f"  courier {courier:4d} -> customer {customer:4d}: "
+            f"direct {direct:5.0f} min, via store {detour:5.0f} min "
+            f"(+{detour - direct:.0f})  [{micros:.0f} µs]"
+        )
+
+    print("\nmorning deliveries (coffee pickup required):")
+    jobs = [(rng.randrange(city.n), rng.randrange(city.n)) for _ in range(5)]
+    for courier, customer in jobs:
+        plan(courier, customer)
+
+    # A new store opens downtown.
+    new_store = next(
+        v for v in range(city.n) if not oracle.beer_graph.is_beer_vertex(v)
+    )
+    start = time.perf_counter()
+    oracle.open_beer_vertex(new_store)  # UPGRADE-LMK under the hood
+    print(
+        f"\nstore opens at intersection {new_store} "
+        f"(index updated in {(time.perf_counter() - start) * 1000:.1f} ms)"
+    )
+    for courier, customer in jobs[:2]:
+        plan(courier, customer)
+
+    # Two stores close for lunch.
+    closing = stores[:2]
+    start = time.perf_counter()
+    for store in closing:
+        oracle.close_beer_vertex(store)  # DOWNGRADE-LMK under the hood
+    print(
+        f"\nstores {closing} close for lunch "
+        f"(index updated in {(time.perf_counter() - start) * 1000:.1f} ms)"
+    )
+    for courier, customer in jobs[:2]:
+        plan(courier, customer)
+
+    # Route reporting: the actual street-level path through the best store.
+    courier, customer = jobs[0]
+    route = landmark_constrained_path(oracle.dynamic_index.index, courier, customer)
+    open_stores = oracle.beer_graph.beer_vertices
+    stop = next(v for v in route if v in open_stores)
+    print(
+        f"\nfull route for courier {courier}: {len(route)} intersections, "
+        f"coffee stop at {stop}"
+    )
+    print(f"  route head: {route[:8]} ...")
+
+    # Sanity: the indexed answer equals the textbook two-tree baseline.
+    want = beer_distance_baseline(oracle.beer_graph, courier, customer)
+    got = oracle.beer_distance(courier, customer)
+    assert got == want, (got, want)
+    print("indexed beer distance matches the baseline ✓")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy-compatible build entry point.
+
+Metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` works on environments without the ``wheel`` package
+(pip falls back to the classic ``setup.py develop`` editable path).
+"""
+
+from setuptools import setup
+
+setup()

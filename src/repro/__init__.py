@@ -1,0 +1,74 @@
+"""``repro`` — DYN-HCL: fast landmark reconfiguration for Highway Cover indexes.
+
+Pure-Python reproduction of *Fast Landmark Reconfiguration for Highway Cover
+Indexes* (EDBT 2026): the static HCL framework, the dynamic landmark-update
+algorithms ``UPGRADE-LMK`` / ``DOWNGRADE-LMK``, the CH-GSP competitor, the
+shortest-beer-path application, and the full experiment harness.
+
+Quickstart
+----------
+>>> from repro import Graph, DynamicHCL
+>>> g = Graph(5)
+>>> for u, v in [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]:
+...     g.add_edge(u, v, 1.0)
+>>> dyn = DynamicHCL.build(g, [0])
+>>> _ = dyn.add_landmark(2)      # UPGRADE-LMK
+>>> dyn.query(1, 3)              # landmark-constrained distance
+2.0
+>>> dyn.distance(1, 3)           # exact distance
+2.0
+"""
+
+from .core import (
+    DowngradeStats,
+    DynamicHCL,
+    HCLIndex,
+    Highway,
+    IndexStats,
+    Labeling,
+    LandmarkUpdate,
+    UpgradeStats,
+    build_hcl,
+    downgrade_landmark,
+    select_landmarks,
+    upgrade_landmark,
+)
+from .errors import (
+    CoverPropertyError,
+    DatasetError,
+    GraphError,
+    IndexStateError,
+    LandmarkError,
+    ParseError,
+    ReproError,
+)
+from .graphs import DiGraph, Graph
+from .service import HCLService
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "Graph",
+    "DiGraph",
+    "Highway",
+    "Labeling",
+    "HCLIndex",
+    "IndexStats",
+    "build_hcl",
+    "upgrade_landmark",
+    "UpgradeStats",
+    "downgrade_landmark",
+    "DowngradeStats",
+    "DynamicHCL",
+    "LandmarkUpdate",
+    "select_landmarks",
+    "HCLService",
+    "ReproError",
+    "GraphError",
+    "IndexStateError",
+    "LandmarkError",
+    "CoverPropertyError",
+    "DatasetError",
+    "ParseError",
+]

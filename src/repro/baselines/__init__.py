@@ -1,0 +1,15 @@
+"""Competitor methods: Contraction-Hierarchy GSP and naive baselines."""
+
+from .ch import CHGSP, ContractionHierarchy, build_contraction_hierarchy, ch_distance
+from .naive import DistanceMatrixOracle, multi_dijkstra_landmark_constrained
+from .pll import PrunedLandmarkLabeling
+
+__all__ = [
+    "CHGSP",
+    "ContractionHierarchy",
+    "build_contraction_hierarchy",
+    "ch_distance",
+    "DistanceMatrixOracle",
+    "multi_dijkstra_landmark_constrained",
+    "PrunedLandmarkLabeling",
+]

@@ -1,0 +1,14 @@
+"""Contraction Hierarchies and the CH-GSP competitor."""
+
+from .contract import ContractionHierarchy, build_contraction_hierarchy
+from .gsp import CHGSP
+from .query import ch_distance, join_search_spaces, upward_search_space
+
+__all__ = [
+    "ContractionHierarchy",
+    "build_contraction_hierarchy",
+    "ch_distance",
+    "upward_search_space",
+    "join_search_spaces",
+    "CHGSP",
+]

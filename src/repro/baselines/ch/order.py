@@ -1,0 +1,40 @@
+"""Node-ordering heuristics for Contraction Hierarchies.
+
+The contraction order drives CH quality.  We implement the standard lazy
+priority scheme of Geisberger et al.: a node's priority combines its *edge
+difference* (shortcuts a contraction would add minus edges it removes) with
+the number of already-contracted neighbors (spatial-diffusion term).
+Priorities are re-evaluated lazily — a node popped from the queue is
+re-scored and contracted only if it is still minimal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["NodePriority", "priority_score"]
+
+
+@dataclass(frozen=True)
+class NodePriority:
+    """Components of a node's contraction priority."""
+
+    edge_difference: int
+    contracted_neighbors: int
+    level: int
+
+    @property
+    def score(self) -> float:
+        """Weighted combination; lower contracts earlier."""
+        return (
+            4.0 * self.edge_difference
+            + 2.0 * self.contracted_neighbors
+            + 1.0 * self.level
+        )
+
+
+def priority_score(
+    shortcuts_needed: int, degree: int, contracted_neighbors: int, level: int
+) -> float:
+    """Score from raw counters (avoids allocating :class:`NodePriority`)."""
+    return 4.0 * (shortcuts_needed - degree) + 2.0 * contracted_neighbors + 1.0 * level

@@ -1,0 +1,77 @@
+"""Naive baselines for landmark-constrained distances.
+
+The paper (§4, G2) notes these were evaluated in prior work [13] and found
+significantly slower/less scalable than HCL; they are provided here both
+for validation (they are trivially correct) and so the benchmark harness
+can exhibit the same ordering.
+
+* :func:`multi_dijkstra_landmark_constrained` — two single-source searches
+  per query, no preprocessing at all.
+* :class:`DistanceMatrixOracle` — precomputes a full landmark-to-all
+  distance matrix; O(|R|) queries but O(|R| (m + n log n)) rebuild cost on
+  *every* landmark change, the worst possible dynamic behaviour.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+from ..errors import LandmarkError, VertexError
+from ..graphs.graph import Graph
+from ..graphs.traversal import single_source_distances
+
+INF = math.inf
+
+__all__ = ["multi_dijkstra_landmark_constrained", "DistanceMatrixOracle"]
+
+
+def multi_dijkstra_landmark_constrained(
+    graph: Graph, landmarks: Iterable[int], s: int, t: int
+) -> float:
+    """``min_r d(s, r) + d(r, t)`` from two fresh single-source searches."""
+    lmks = list(landmarks)
+    if not lmks:
+        return INF
+    dist_s = single_source_distances(graph, s)
+    dist_t = single_source_distances(graph, t)
+    return min(dist_s[r] + dist_t[r] for r in lmks)
+
+
+class DistanceMatrixOracle:
+    """Full landmark distance matrix; fast queries, pathological updates."""
+
+    def __init__(self, graph: Graph, landmarks: Iterable[int] = ()):
+        self.graph = graph
+        self._rows: dict[int, list[float]] = {}
+        for r in landmarks:
+            self.add_landmark(r)
+
+    @property
+    def landmarks(self) -> set[int]:
+        """Current landmark set."""
+        return set(self._rows)
+
+    def add_landmark(self, r: int) -> None:
+        """One full single-source search to materialize the new row."""
+        if not 0 <= r < self.graph.n:
+            raise VertexError(f"landmark {r} out of range [0, {self.graph.n})")
+        if r in self._rows:
+            raise LandmarkError(f"vertex {r} is already a landmark")
+        self._rows[r] = single_source_distances(self.graph, r)
+
+    def remove_landmark(self, r: int) -> None:
+        """Drop the row of ``r``."""
+        if r not in self._rows:
+            raise LandmarkError(f"vertex {r} is not a landmark")
+        del self._rows[r]
+
+    def landmark_constrained_distance(self, s: int, t: int) -> float:
+        """``min_r row_r[s] + row_r[t]`` — O(|R|) per query."""
+        if not self._rows:
+            return INF
+        return min(row[s] + row[t] for row in self._rows.values())
+
+    def memory_entries(self) -> int:
+        """Stored distance cells (|R| * n): the oracle's space cost."""
+        return len(self._rows) * self.graph.n

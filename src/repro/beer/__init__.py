@@ -1,0 +1,13 @@
+"""Shortest-beer-path application layer (beer vertices = landmarks)."""
+
+from .beergraph import BeerGraph
+from .directed import DirectedBeerDistanceIndex, directed_beer_distance_baseline
+from .queries import BeerDistanceIndex, beer_distance_baseline
+
+__all__ = [
+    "BeerGraph",
+    "BeerDistanceIndex",
+    "beer_distance_baseline",
+    "DirectedBeerDistanceIndex",
+    "directed_beer_distance_baseline",
+]

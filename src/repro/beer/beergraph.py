@@ -1,0 +1,59 @@
+"""Beer graphs: weighted graphs with a distinguished beer-vertex set.
+
+A *beer path* between ``s`` and ``t`` visits at least one beer vertex; the
+*beer distance* is the weight of the cheapest such path (Bacic et al.,
+ISAAC 2021).  Coudert et al. (ATMOS 2024) showed beer distances are exactly
+the landmark-constrained distances of an HCL index whose landmark set is
+the beer-vertex set — which is the application motivating the paper's
+dynamic landmark algorithms: beer vertices (shops, gas stations, routers)
+come and go, and the index must follow.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..errors import LandmarkError, VertexError
+from ..graphs.graph import Graph
+
+__all__ = ["BeerGraph"]
+
+
+class BeerGraph:
+    """A graph plus a mutable set of beer vertices.
+
+    The class is a thin, validated container; query machinery lives in
+    :mod:`repro.beer.queries`.
+    """
+
+    def __init__(self, graph: Graph, beer_vertices: Iterable[int] = ()):
+        self.graph = graph
+        self._beer: set[int] = set()
+        for b in beer_vertices:
+            self.open_beer_vertex(b)
+
+    @property
+    def beer_vertices(self) -> set[int]:
+        """Current beer vertices (fresh set)."""
+        return set(self._beer)
+
+    def is_beer_vertex(self, v: int) -> bool:
+        """Whether ``v`` currently offers beer."""
+        return v in self._beer
+
+    def open_beer_vertex(self, v: int) -> None:
+        """Mark ``v`` as a beer vertex (e.g. a store opens)."""
+        if not 0 <= v < self.graph.n:
+            raise VertexError(f"vertex {v} out of range [0, {self.graph.n})")
+        if v in self._beer:
+            raise LandmarkError(f"vertex {v} is already a beer vertex")
+        self._beer.add(v)
+
+    def close_beer_vertex(self, v: int) -> None:
+        """Unmark ``v`` (e.g. a store closes or a router goes offline)."""
+        if v not in self._beer:
+            raise LandmarkError(f"vertex {v} is not a beer vertex")
+        self._beer.discard(v)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BeerGraph(n={self.graph.n}, beer={len(self._beer)})"

@@ -1,0 +1,112 @@
+"""Beer-distance queries: HCL-indexed (fast) and baseline (reference).
+
+:class:`BeerDistanceIndex` is the paper's flagship application wired
+end-to-end: it maintains an HCL index with the beer vertices as landmarks,
+answers beer-distance queries as plain ``QUERY`` lookups (no graph
+traversal), and tracks beer-vertex openings/closings with ``UPGRADE-LMK`` /
+``DOWNGRADE-LMK`` instead of rebuilding.
+
+:func:`beer_distance_baseline` is the textbook two-tree algorithm of Bacic
+et al. used as ground truth in tests.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..core.dynhcl import DynamicHCL
+from ..graphs.traversal import single_source_distances
+from .beergraph import BeerGraph
+
+INF = math.inf
+
+__all__ = ["BeerDistanceIndex", "beer_distance_baseline"]
+
+
+def beer_distance_baseline(bg: BeerGraph, s: int, t: int) -> float:
+    """Reference beer distance: ``min_b d(s, b) + d(b, t)`` by two searches.
+
+    Exploits the decomposition property: every shortest beer path is a
+    shortest ``s -> b`` path followed by a shortest ``b -> t`` path.
+    """
+    beer = bg.beer_vertices
+    if not beer:
+        return INF
+    dist_s = single_source_distances(bg.graph, s)
+    dist_t = single_source_distances(bg.graph, t)
+    return min(dist_s[b] + dist_t[b] for b in beer)
+
+
+class BeerDistanceIndex:
+    """Dynamic beer-distance oracle backed by DYN-HCL.
+
+    Examples
+    --------
+    >>> from repro.graphs import Graph
+    >>> from repro.beer import BeerGraph
+    >>> g = Graph(5)
+    >>> for u, v in [(0, 1), (1, 2), (2, 3), (3, 4)]:
+    ...     g.add_edge(u, v, 1.0)
+    >>> oracle = BeerDistanceIndex(BeerGraph(g, beer_vertices=[2]))
+    >>> oracle.beer_distance(0, 4)       # 0-1-2-3-4 passes the bar at 2
+    4.0
+    >>> oracle.open_beer_vertex(0)
+    >>> oracle.beer_distance(0, 4)       # now the bar at 0 works too
+    4.0
+    """
+
+    def __init__(self, beer_graph: BeerGraph):
+        self.beer_graph = beer_graph
+        self._dyn = DynamicHCL.build(
+            beer_graph.graph, sorted(beer_graph.beer_vertices)
+        )
+
+    @property
+    def dynamic_index(self) -> DynamicHCL:
+        """The underlying :class:`DynamicHCL` (for stats/inspection)."""
+        return self._dyn
+
+    # ------------------------------------------------------------------
+    # Beer-vertex dynamics -> landmark dynamics
+    # ------------------------------------------------------------------
+    def open_beer_vertex(self, v: int) -> None:
+        """A new beer vertex appears: UPGRADE-LMK keeps the index current."""
+        self.beer_graph.open_beer_vertex(v)
+        self._dyn.add_landmark(v)
+
+    def close_beer_vertex(self, v: int) -> None:
+        """A beer vertex disappears: DOWNGRADE-LMK keeps the index current."""
+        self.beer_graph.close_beer_vertex(v)
+        self._dyn.remove_landmark(v)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def beer_distance(self, s: int, t: int) -> float:
+        """Beer distance — a pure index lookup, no graph traversal.
+
+        Endpoints that are themselves beer vertices trivially satisfy the
+        beer constraint, so the answer degenerates to the exact distance.
+        """
+        bg = self.beer_graph
+        if bg.is_beer_vertex(s) or bg.is_beer_vertex(t):
+            return self._dyn.distance(s, t)
+        return self._dyn.query(s, t)
+
+    def distance(self, s: int, t: int) -> float:
+        """Plain exact distance (no beer constraint)."""
+        return self._dyn.distance(s, t)
+
+    def beer_path(self, s: int, t: int) -> list[int]:
+        """A shortest beer path as a vertex sequence.
+
+        For beer endpoints this is a plain shortest path (the endpoint
+        satisfies the constraint); otherwise it is the landmark-constrained
+        path realizing :meth:`beer_distance`.
+        """
+        from ..core.paths import landmark_constrained_path, shortest_path
+
+        bg = self.beer_graph
+        if bg.is_beer_vertex(s) or bg.is_beer_vertex(t):
+            return shortest_path(self._dyn.index, s, t)
+        return landmark_constrained_path(self._dyn.index, s, t)

@@ -1,0 +1,110 @@
+"""HCL core: the paper's contribution plus the static HCL substrate."""
+
+from .batch import BatchResult, batch_reconfigure
+from .cache import CachedQueryEngine, CacheStats
+from .build import build_hcl
+from .directed import (
+    DirectedDynamicHCL,
+    DirectedHCLIndex,
+    build_directed_hcl,
+    downgrade_landmark_directed,
+    upgrade_landmark_directed,
+)
+from .downgrade import DowngradeStats, downgrade_landmark
+from .dynhcl import DynamicHCL, LandmarkUpdate, UpdateRecord
+from .highway import Highway
+from .index import HCLIndex, IndexStats
+from .invariants import (
+    assert_canonical,
+    canonical_index,
+    check_cover_property,
+    check_highway_exact,
+    check_minimality,
+)
+from .labeling import Labeling
+from .metrics import (
+    IndexQualityReport,
+    coverage_histogram,
+    landmark_coverage_counts,
+    quality_report,
+    uncovered_vertices,
+)
+from .multicategory import MultiCategoryHCL
+from .paths import (
+    highway_path,
+    label_path,
+    landmark_constrained_path,
+    shortest_path,
+)
+from .serialization import (
+    load_index_binary,
+    load_index_json,
+    save_index_binary,
+    save_index_json,
+)
+from .selection import (
+    select_by_approx_betweenness,
+    select_by_degree,
+    select_landmarks,
+    select_random,
+)
+from .topology import (
+    FullyDynamicHCL,
+    TopologyStats,
+    delete_edge,
+    insert_edge,
+    set_edge_weight,
+)
+from .upgrade import UpgradeStats, upgrade_landmark
+
+__all__ = [
+    "Highway",
+    "Labeling",
+    "HCLIndex",
+    "IndexStats",
+    "build_hcl",
+    "upgrade_landmark",
+    "UpgradeStats",
+    "downgrade_landmark",
+    "DowngradeStats",
+    "DynamicHCL",
+    "LandmarkUpdate",
+    "UpdateRecord",
+    "select_by_degree",
+    "select_by_approx_betweenness",
+    "select_random",
+    "select_landmarks",
+    "assert_canonical",
+    "canonical_index",
+    "check_cover_property",
+    "check_highway_exact",
+    "check_minimality",
+    "batch_reconfigure",
+    "BatchResult",
+    "CachedQueryEngine",
+    "CacheStats",
+    "save_index_json",
+    "load_index_json",
+    "save_index_binary",
+    "load_index_binary",
+    "IndexQualityReport",
+    "coverage_histogram",
+    "landmark_coverage_counts",
+    "quality_report",
+    "uncovered_vertices",
+    "MultiCategoryHCL",
+    "DirectedHCLIndex",
+    "DirectedDynamicHCL",
+    "build_directed_hcl",
+    "upgrade_landmark_directed",
+    "downgrade_landmark_directed",
+    "label_path",
+    "highway_path",
+    "landmark_constrained_path",
+    "shortest_path",
+    "FullyDynamicHCL",
+    "TopologyStats",
+    "insert_edge",
+    "delete_edge",
+    "set_edge_weight",
+]

@@ -1,0 +1,114 @@
+"""Workload-driven landmark advice (beyond the paper: a library feature).
+
+The paper motivates landmark reconfiguration with *evolving query
+patterns* (§1) but leaves the policy of **which** vertex to promote or
+demote to the operator.  This module closes that loop: given a sample of
+recent queries, it scores reconfiguration candidates so that
+``UPGRADE-LMK`` / ``DOWNGRADE-LMK`` can be pointed at the most valuable
+vertices.
+
+* :func:`suggest_addition` ranks non-landmarks by how often they lie on
+  shortest paths of the sampled queries (computed from a handful of
+  shortest-path trees) — promoting such a vertex tightens the
+  landmark-constrained upper bound exactly where queries concentrate.
+* :func:`suggest_removal` ranks current landmarks by how rarely they are
+  the argmin of the sampled ``QUERY`` evaluations — demoting an unused
+  landmark shrinks labels with minimal loss.
+
+Both are heuristics; they never affect correctness (any landmark set is
+valid), only index economy.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Sequence
+
+from ..errors import LandmarkError
+from ..graphs.traversal import single_source_with_parents
+from .index import HCLIndex
+
+__all__ = ["suggest_addition", "suggest_removal", "score_landmark_usage"]
+
+
+def suggest_addition(
+    index: HCLIndex,
+    queries: Sequence[tuple[int, int]],
+    top: int = 5,
+    max_trees: int = 24,
+) -> list[tuple[int, int]]:
+    """Rank non-landmark vertices by on-shortest-path frequency.
+
+    Grows one shortest-path tree per distinct query source (capped at
+    ``max_trees``) and counts, for every vertex, how many sampled targets
+    route through it.  Returns up to ``top`` ``(vertex, score)`` pairs in
+    decreasing score order.
+    """
+    if not queries:
+        raise LandmarkError("cannot advise on an empty query sample")
+    graph = index.graph
+    landmarks = index.highway.landmarks
+    score: Counter[int] = Counter()
+
+    by_source: dict[int, list[int]] = {}
+    for s, t in queries:
+        by_source.setdefault(s, []).append(t)
+    sources = list(by_source)[:max_trees]
+
+    for s in sources:
+        _, parent = single_source_with_parents(graph, s)
+        for t in by_source[s]:
+            v = t
+            while v != -1 and v != s:
+                if v not in landmarks:
+                    score[v] += 1
+                v = parent[v]
+    ranked = [
+        (v, c) for v, c in score.most_common() if not index.is_landmark(v)
+    ]
+    return ranked[:top]
+
+
+def score_landmark_usage(
+    index: HCLIndex, queries: Sequence[tuple[int, int]]
+) -> dict[int, int]:
+    """How often each landmark participates in a ``QUERY`` optimum.
+
+    Replays the sampled queries through the index and credits the
+    landmark pair achieving the minimum (both members).  Landmarks that
+    never appear get an explicit zero.
+    """
+    usage: dict[int, int] = {r: 0 for r in index.highway.landmarks}
+    labeling = index.labeling
+    row = index.highway.row
+    for s, t in queries:
+        ls = labeling.label(s)
+        lt = labeling.label(t)
+        best = float("inf")
+        best_pair = None
+        for ri, di in ls.items():
+            hrow = row(ri)
+            for rj, dj in lt.items():
+                d = di + hrow.get(rj, float("inf")) + dj
+                if d < best:
+                    best = d
+                    best_pair = (ri, rj)
+        if best_pair is not None:
+            usage[best_pair[0]] += 1
+            if best_pair[1] != best_pair[0]:
+                usage[best_pair[1]] += 1
+    return usage
+
+
+def suggest_removal(
+    index: HCLIndex, queries: Sequence[tuple[int, int]], top: int = 5
+) -> list[tuple[int, int]]:
+    """Rank landmarks by (low) usage: the cheapest candidates to demote.
+
+    Returns up to ``top`` ``(landmark, usage)`` pairs, least-used first.
+    """
+    if not index.highway.size:
+        raise LandmarkError("the index has no landmarks to remove")
+    usage = score_landmark_usage(index, queries)
+    ranked = sorted(usage.items(), key=lambda item: (item[1], item[0]))
+    return ranked[:top]

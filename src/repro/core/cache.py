@@ -1,0 +1,107 @@
+"""Version-invalidated query caching on top of DYN-HCL.
+
+Query workloads in the paper's scenarios (Table 3 issues thousands of
+queries per landmark update) are highly repetitive; a database deployment
+would memoize.  The subtlety is *invalidation*: any landmark update can
+change any landmark-constrained distance.  :class:`CachedQueryEngine`
+handles this with a version counter — the wrapped :class:`DynamicHCL`'s
+update log length — so a reconfiguration transparently flushes the cache
+without hooks into the update algorithms.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from .dynhcl import DynamicHCL
+
+__all__ = ["CachedQueryEngine", "CacheStats"]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters of a :class:`CachedQueryEngine`."""
+
+    hits: int = 0
+    misses: int = 0
+    invalidations: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class CachedQueryEngine:
+    """LRU-memoized ``QUERY``/``distance`` over a dynamic HCL index.
+
+    Examples
+    --------
+    >>> from repro.graphs import Graph
+    >>> from repro.core import DynamicHCL
+    >>> g = Graph(4)
+    >>> for u, v in [(0, 1), (1, 2), (2, 3)]:
+    ...     g.add_edge(u, v, 1.0)
+    >>> engine = CachedQueryEngine(DynamicHCL.build(g, [1]))
+    >>> engine.query(0, 3)
+    3.0
+    >>> engine.query(0, 3)          # served from cache
+    3.0
+    >>> engine.stats.hits, engine.stats.misses
+    (1, 1)
+    """
+
+    def __init__(self, dyn: DynamicHCL, capacity: int = 65536):
+        if capacity <= 0:
+            raise ValueError(f"cache capacity must be positive, got {capacity}")
+        self.dyn = dyn
+        self.capacity = capacity
+        self.stats = CacheStats()
+        self._version = dyn.log.count
+        self._query_cache: OrderedDict[tuple[int, int], float] = OrderedDict()
+        self._distance_cache: OrderedDict[tuple[int, int], float] = OrderedDict()
+
+    def _check_version(self) -> None:
+        current = self.dyn.log.count
+        if current != self._version:
+            self._query_cache.clear()
+            self._distance_cache.clear()
+            self._version = current
+            self.stats.invalidations += 1
+
+    def _lookup(self, cache: OrderedDict, key, compute) -> float:
+        self._check_version()
+        value = cache.get(key)
+        if value is not None:
+            cache.move_to_end(key)
+            self.stats.hits += 1
+            return value
+        value = compute(*key)
+        cache[key] = value
+        if len(cache) > self.capacity:
+            cache.popitem(last=False)
+        self.stats.misses += 1
+        return value
+
+    def query(self, s: int, t: int) -> float:
+        """Memoized landmark-constrained distance (symmetric key)."""
+        key = (s, t) if s <= t else (t, s)
+        return self._lookup(self._query_cache, key, self.dyn.query)
+
+    def distance(self, s: int, t: int) -> float:
+        """Memoized exact distance (symmetric key)."""
+        key = (s, t) if s <= t else (t, s)
+        return self._lookup(self._distance_cache, key, self.dyn.distance)
+
+    # Update operations pass straight through; the version bump does the rest.
+    def add_landmark(self, v: int):
+        """Promote ``v``; cached answers are invalidated lazily."""
+        return self.dyn.add_landmark(v)
+
+    def remove_landmark(self, v: int):
+        """Demote ``v``; cached answers are invalidated lazily."""
+        return self.dyn.remove_landmark(v)
+
+    def __len__(self) -> int:
+        return len(self._query_cache) + len(self._distance_cache)

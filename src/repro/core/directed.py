@@ -1,0 +1,684 @@
+"""Directed HCL (paper future-work item i).
+
+The paper notes (§2, §5) that all its methods adapt to digraphs by keeping
+outgoing and incoming information separately.  This module implements that
+adaptation end to end:
+
+* a directed highway ``δ_H : R × R -> R+`` of *ordered*-pair distances;
+* two label families: ``L_out(v)`` holds ``(r, d(r -> v))`` entries (some
+  shortest ``r -> v`` path has no internal landmark) and ``L_in(v)`` holds
+  ``(r, d(v -> r))`` entries (same, for ``v -> r`` paths);
+* ``QUERY(s, t) = min d(s -> r_i) + δ_H(r_i -> r_j) + d(r_j -> t)`` over
+  ``(r_i, ·) ∈ L_in(s)`` and ``(r_j, ·) ∈ L_out(t)``;
+* directed ``BUILDHCL`` (one forward + one backward flagged sweep per
+  landmark) and directed ``UPGRADE-LMK`` / ``DOWNGRADE-LMK`` that run the
+  undirected algorithms' logic once per direction.
+
+Canonical semantics carry over verbatim, so the test suite again validates
+the dynamic algorithms by structural equality with directed rebuilds.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from collections import deque
+from typing import Callable
+
+from ..errors import LandmarkError, VertexError
+from ..graphs.digraph import DiGraph
+from ..graphs.traversal import flagged_single_source
+
+INF = math.inf
+
+__all__ = [
+    "DirectedHCLIndex",
+    "build_directed_hcl",
+    "upgrade_landmark_directed",
+    "downgrade_landmark_directed",
+    "insert_arc_directed",
+    "delete_arc_directed",
+]
+
+
+class _DirectionView:
+    """Adapter presenting one orientation of a digraph as a plain graph."""
+
+    __slots__ = ("_adj", "n", "unweighted")
+
+    def __init__(self, digraph: DiGraph, forward: bool):
+        self._adj = digraph.out_neighbors if forward else digraph.in_neighbors
+        self.n = digraph.n
+        self.unweighted = digraph.unweighted
+
+    def neighbors(self, u: int) -> list[tuple[int, float]]:
+        return self._adj(u)
+
+
+class DirectedHCLIndex:
+    """HCL index over a digraph: directed highway + in/out labels."""
+
+    __slots__ = ("graph", "_h", "_out", "_in")
+
+    def __init__(self, graph: DiGraph):
+        self.graph = graph
+        self._h: dict[int, dict[int, float]] = {}
+        self._out: list[dict[int, float]] = [{} for _ in range(graph.n)]
+        self._in: list[dict[int, float]] = [{} for _ in range(graph.n)]
+
+    # ------------------------------------------------------------------
+    # Structure access
+    # ------------------------------------------------------------------
+    @property
+    def landmarks(self) -> set[int]:
+        """Current landmark set."""
+        return set(self._h)
+
+    def is_landmark(self, v: int) -> bool:
+        """Whether ``v`` is a landmark."""
+        return v in self._h
+
+    def highway_distance(self, a: int, b: int) -> float:
+        """``δ_H(a -> b)`` for landmarks ``a``, ``b``."""
+        try:
+            return self._h[a][b]
+        except KeyError:
+            raise LandmarkError(f"({a}, {b}) not a landmark pair") from None
+
+    def label_out(self, v: int) -> dict[int, float]:
+        """``L_out(v)``: landmark-to-``v`` entries (read-only view)."""
+        return self._out[v]
+
+    def label_in(self, v: int) -> dict[int, float]:
+        """``L_in(v)``: ``v``-to-landmark entries (read-only view)."""
+        return self._in[v]
+
+    def total_entries(self) -> int:
+        """Label entries across both families."""
+        return sum(len(d) for d in self._out) + sum(len(d) for d in self._in)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def query(self, s: int, t: int) -> float:
+        """Landmark-constrained distance ``s -> t``."""
+        ls = self._in[s]
+        lt = self._out[t]
+        if not ls or not lt:
+            return INF
+        h = self._h
+        best = INF
+        for ri, di in ls.items():
+            hrow = h[ri]
+            for rj, dj in lt.items():
+                d = di + hrow.get(rj, INF) + dj
+                if d < best:
+                    best = d
+        return best
+
+    def query_to_landmark(self, u: int, r: int) -> float:
+        """``QUERY(u, r)`` for landmark ``r``: one scan of ``L_in(u)``."""
+        h = self._h
+        best = INF
+        for ri, di in self._in[u].items():
+            d = di + h[ri].get(r, INF)
+            if d < best:
+                best = d
+        return best
+
+    def query_from_landmark(self, r: int, u: int) -> float:
+        """``QUERY(r, u)`` for landmark ``r``: one scan of ``L_out(u)``."""
+        hrow = self._h[r]
+        best = INF
+        for rj, dj in self._out[u].items():
+            d = hrow.get(rj, INF) + dj
+            if d < best:
+                best = d
+        return best
+
+    def query_below_out(self, r: int, u: int, bound: float) -> bool:
+        """Early-exit test ``QUERY(r, u) < bound`` over ``L_out(u)``."""
+        hrow = self._h[r]
+        for rj, dj in self._out[u].items():
+            if hrow.get(rj, INF) + dj < bound:
+                return True
+        return False
+
+    def query_below_in(self, u: int, r: int, bound: float) -> bool:
+        """Early-exit test ``QUERY(u, r) < bound`` over ``L_in(u)``."""
+        h = self._h
+        for ri, di in self._in[u].items():
+            if di + h[ri].get(r, INF) < bound:
+                return True
+        return False
+
+    def distance(self, s: int, t: int) -> float:
+        """Exact ``s -> t`` distance (bound + bounded bidirectional)."""
+        if s == t:
+            return 0.0
+        if s in self._h:
+            return self.query_from_landmark(s, t)
+        if t in self._h:
+            return self.query_to_landmark(s, t)
+        ub = self.query(s, t)
+        return _bounded_bidirectional_directed(self.graph, s, t, ub, self._h)
+
+    def structurally_equal(self, other: "DirectedHCLIndex") -> bool:
+        """Exact equality of highway and both label families."""
+        return (
+            self._h == other._h
+            and self._out == other._out
+            and self._in == other._in
+        )
+
+
+def _bounded_bidirectional_directed(
+    g: DiGraph, s: int, t: int, upper_bound: float, excluded: dict | set
+) -> float:
+    """Directed analogue of the bounded bidirectional refinement search."""
+    if s in excluded or t in excluded:
+        return upper_bound
+    dist_f = {s: 0.0}
+    dist_b = {t: 0.0}
+    heap_f: list[tuple[float, int]] = [(0.0, s)]
+    heap_b: list[tuple[float, int]] = [(0.0, t)]
+    best = upper_bound
+    while heap_f and heap_b:
+        if heap_f[0][0] + heap_b[0][0] >= best:
+            break
+        if heap_f[0][0] <= heap_b[0][0]:
+            heap, dist, other, adj = heap_f, dist_f, dist_b, g.out_neighbors
+        else:
+            heap, dist, other, adj = heap_b, dist_b, dist_f, g.in_neighbors
+        d, u = heapq.heappop(heap)
+        if d > dist.get(u, INF) or d >= best:
+            continue
+        for v, w in adj(u):
+            if v in excluded:
+                continue
+            nd = d + w
+            if nd < dist.get(v, INF):
+                dist[v] = nd
+                heapq.heappush(heap, (nd, v))
+            dv_other = other.get(v)
+            if dv_other is not None and dist[v] + dv_other < best:
+                best = dist[v] + dv_other
+    return best
+
+
+# ----------------------------------------------------------------------
+# Static build
+# ----------------------------------------------------------------------
+def build_directed_hcl(graph: DiGraph, landmarks) -> DirectedHCLIndex:
+    """Directed ``BUILDHCL``: two flagged sweeps per landmark."""
+    lmk_list: list[int] = []
+    seen: set[int] = set()
+    for r in landmarks:
+        if not 0 <= r < graph.n:
+            raise VertexError(f"landmark {r} out of range [0, {graph.n})")
+        if r in seen:
+            raise LandmarkError(f"duplicate landmark {r}")
+        seen.add(r)
+        lmk_list.append(r)
+
+    index = DirectedHCLIndex(graph)
+    for r in lmk_list:
+        index._h[r] = {}
+    fwd = _DirectionView(graph, forward=True)
+    bwd = _DirectionView(graph, forward=False)
+    lmk_set = set(lmk_list)
+    for r in lmk_list:
+        blocked = lmk_set - {r}
+        dist_f, clear_f = flagged_single_source(fwd, r, blocked)
+        dist_b, clear_b = flagged_single_source(bwd, r, blocked)
+        row = index._h[r]
+        for r2 in lmk_list:
+            row[r2] = dist_f[r2]  # d(r -> r2); backward pass fills the rest
+        for v in range(graph.n):
+            if v in lmk_set:
+                continue
+            if clear_f[v]:
+                index._out[v][r] = dist_f[v]
+            if clear_b[v]:
+                index._in[v][r] = dist_b[v]
+        index._out[r][r] = 0.0
+        index._in[r][r] = 0.0
+    return index
+
+
+# ----------------------------------------------------------------------
+# Dynamic: UPGRADE-LMK, directed
+# ----------------------------------------------------------------------
+def _upgrade_sweep(
+    index: DirectedHCLIndex,
+    r: int,
+    forward: bool,
+) -> tuple[set[int], dict[int, list[int]]]:
+    """One orientation of the directed upgrade search (Algorithm 1 logic).
+
+    ``forward=True`` extends ``L_out`` with paths *from* ``r`` (sweeping
+    out-arcs); ``forward=False`` extends ``L_in`` with paths *to* ``r``
+    (sweeping in-arcs).  Returns the landmarks the sweep reached and, per
+    previously-covering landmark, the vertices it relabelled.
+
+    Unlike the undirected algorithm, the cleanup phase is *not* run here:
+    in a digraph the landmark set certifying that an ``L_out`` entry
+    ``(r', ·)`` became superfluous is the one reached by the *backward*
+    sweep (the ``r' -> r`` prefix), and symmetrically for ``L_in`` — the
+    caller crosses the two sweeps' results.
+    """
+    graph = index.graph
+    labels = index._out if forward else index._in
+    sweep_adj = graph.out_neighbors if forward else graph.in_neighbors
+    prune_below: Callable[[int, float], bool] = (
+        (lambda u, bound: index.query_below_out(r, u, bound))
+        if forward
+        else (lambda u, bound: index.query_below_in(u, r, bound))
+    )
+    landmark_set = index.landmarks
+
+    labels[r].clear()
+    reached_lan: set[int] = set()
+    reached_ver: dict[int, list[int]] = {}
+    dist = [INF] * graph.n
+    dist[r] = 0.0
+    # Cleanup candidate filter (see the undirected module): entry (r2, d2)
+    # can only become superfluous if every shortest path crosses r, i.e.
+    # d2 == d(r2 -> r) + delta for L_out, d2 == delta + d(r -> r2) for L_in.
+    h = index._h
+    row_r = h[r]
+
+    if graph.unweighted:
+        frontier: deque[int] | list = deque([r])
+        pop = frontier.popleft
+    else:
+        frontier = [(0.0, r)]
+
+    while frontier:
+        if graph.unweighted:
+            u = pop()
+            delta = dist[u]
+        else:
+            delta, u = heapq.heappop(frontier)
+            if delta > dist[u]:
+                continue
+        if u != r:
+            if u in landmark_set:
+                reached_lan.add(u)
+                continue
+            if prune_below(u, delta):
+                continue
+        if forward:
+            for r2, d2 in labels[u].items():
+                if d2 == h[r2].get(r, INF) + delta:
+                    reached_ver.setdefault(r2, []).append(u)
+        else:
+            for r2, d2 in labels[u].items():
+                if d2 == delta + row_r.get(r2, INF):
+                    reached_ver.setdefault(r2, []).append(u)
+        labels[u][r] = delta
+        for v, w in sweep_adj(u):
+            nd = delta + w
+            if nd < dist[v]:
+                dist[v] = nd
+                if graph.unweighted:
+                    frontier.append(v)
+                else:
+                    heapq.heappush(frontier, (nd, v))
+
+    return reached_lan, reached_ver
+
+
+def _upgrade_cleanup(
+    index: DirectedHCLIndex,
+    reached_lan: set[int],
+    reached_ver: dict[int, list[int]],
+    forward: bool,
+) -> None:
+    """Superfluous-entry removal (Algorithm 1 lines 27-34), one label side.
+
+    ``forward=True`` cleans ``L_out`` entries, certifying survival through
+    in-neighbors (a shortest-path predecessor); ``forward=False`` cleans
+    ``L_in`` through out-neighbors.
+    """
+    graph = index.graph
+    labels = index._out if forward else index._in
+    certify_adj = graph.in_neighbors if forward else graph.out_neighbors
+    for r2 in reached_lan:
+        candidates = reached_ver.get(r2)
+        if not candidates:
+            continue
+        ordered = sorted((labels[x][r2], x) for x in candidates if r2 in labels[x])
+        for rho, u in ordered:
+            keep = False
+            for w, weight in certify_adj(u):
+                dw = labels[w].get(r2)
+                if dw is not None and dw + weight == rho:
+                    keep = True
+                    break
+            if not keep:
+                del labels[u][r2]
+
+
+def upgrade_landmark_directed(index: DirectedHCLIndex, r: int) -> None:
+    """Directed ``UPGRADE-LMK``: promote ``r`` in a directed index."""
+    graph = index.graph
+    if not 0 <= r < graph.n:
+        raise VertexError(f"vertex {r} out of range [0, {graph.n})")
+    if r in index._h:
+        raise LandmarkError(f"vertex {r} is already a landmark")
+
+    old_landmarks = index.landmarks
+    to_lmk = dict(index._in[r])  # (ri, d(r -> ri)) for ri covering r forward
+    from_lmk = dict(index._out[r])  # (ri, d(ri -> r))
+    h = index._h
+    row_r: dict[int, float] = {r: 0.0}
+    h[r] = row_r
+    # d(r -> r2): direct when recorded, else through a first landmark.
+    for r2 in old_landmarks:
+        best = to_lmk.get(r2, INF)
+        for rh, d_to in to_lmk.items():
+            d = d_to + h[rh].get(r2, INF)
+            if d < best:
+                best = d
+        row_r[r2] = best
+    # d(r2 -> r): direct when recorded, else through a last landmark.
+    for r2 in old_landmarks:
+        best = from_lmk.get(r2, INF)
+        for rh, d_from in from_lmk.items():
+            d = h[r2].get(rh, INF) + d_from
+            if d < best:
+                best = d
+        h[r2][r] = best
+
+    lan_fwd, ver_out = _upgrade_sweep(index, r, forward=True)
+    lan_bwd, ver_in = _upgrade_sweep(index, r, forward=False)
+    # Crossed cleanup: an L_out entry (r', .) dies when every shortest
+    # r' -> u path crosses r, whose r' -> r prefix is what the *backward*
+    # sweep certifies (and symmetrically for L_in).
+    _upgrade_cleanup(index, lan_bwd, ver_out, forward=True)
+    _upgrade_cleanup(index, lan_fwd, ver_in, forward=False)
+
+
+# ----------------------------------------------------------------------
+# Dynamic: DOWNGRADE-LMK, directed
+# ----------------------------------------------------------------------
+def _downgrade_one_direction(
+    index: DirectedHCLIndex, r: int, remaining: set[int], forward: bool
+) -> list[tuple[int, float]]:
+    """Erasure sweep (Algorithm 2 phase 1) in one orientation.
+
+    ``forward=True`` sweeps out-arcs from ``r``: it deletes ``(r, ·)``
+    entries from ``L_out`` and collects landmarks ``u`` with a landmark-free
+    shortest ``r -> u`` path (these cover ``r`` in ``L_in(r)``).
+    """
+    graph = index.graph
+    labels = index._out if forward else index._in
+    own_label = index._in[r] if forward else index._out[r]
+    sweep_adj = graph.out_neighbors if forward else graph.in_neighbors
+    h = index._h
+    reached: list[tuple[int, float]] = []
+    hole = [False] * graph.n  # vertices losing their (r, .) entry
+    hole[r] = True
+
+    dist = [INF] * graph.n
+    dist[r] = 0.0
+    if graph.unweighted:
+        frontier: deque[int] | list = deque([r])
+        pop = frontier.popleft
+    else:
+        frontier = [(0.0, r)]
+
+    while frontier:
+        if graph.unweighted:
+            u = pop()
+            delta = dist[u]
+        else:
+            delta, u = heapq.heappop(frontier)
+            if delta > dist[u]:
+                continue
+        if u in remaining:
+            stored = h[r][u] if forward else h[u][r]
+            if stored < delta:
+                continue
+            reached.append((u, delta))
+            own_label[u] = delta
+            continue
+        if labels[u].pop(r, None) is not None:
+            hole[u] = True
+        for v, w in sweep_adj(u):
+            nd = delta + w
+            if nd < dist[v]:
+                dist[v] = nd
+                if graph.unweighted:
+                    frontier.append(v)
+                else:
+                    heapq.heappush(frontier, (nd, v))
+    return reached, hole
+
+
+def _recover_one_direction(
+    index: DirectedHCLIndex,
+    r: int,
+    remaining: set[int],
+    reached: list[tuple[int, float]],
+    hole: list[bool],
+    forward: bool,
+) -> None:
+    """Re-cover sweeps (Algorithm 2 phase 2) in one orientation.
+
+    Confined to the hole left by ``r`` in the corresponding label family:
+    only vertices that lost their ``(r, ·)`` entry can need a new one (the
+    path suffix/prefix from ``r`` would have covered them), and every
+    vertex between ``r`` and them lies in the hole too.
+    """
+    graph = index.graph
+    labels = index._out if forward else index._in
+    sweep_adj = graph.out_neighbors if forward else graph.in_neighbors
+    prune_below = (
+        index.query_below_out if forward else
+        (lambda l, u, bound: index.query_below_in(u, l, bound))
+    )
+
+    for l, rho in reached:
+        sweep_dist: dict[int, float] = {l: 0.0, r: rho}
+        if graph.unweighted:
+            frontier: deque[int] | list = deque([r])
+            pop = frontier.popleft
+        else:
+            frontier = [(rho, r)]
+        while frontier:
+            if graph.unweighted:
+                u = pop()
+                delta = sweep_dist[u]
+            else:
+                delta, u = heapq.heappop(frontier)
+                if delta > sweep_dist.get(u, INF):
+                    continue
+            if u != r:
+                if not hole[u]:
+                    continue
+                dl = labels[u].get(l)
+                if dl is not None and dl < delta:
+                    continue
+                if prune_below(l, u, delta):
+                    continue
+            labels[u][l] = delta
+            for v, w in sweep_adj(u):
+                nd = delta + w
+                if hole[v] and nd < sweep_dist.get(v, INF):
+                    sweep_dist[v] = nd
+                    if graph.unweighted:
+                        frontier.append(v)
+                    else:
+                        heapq.heappush(frontier, (nd, v))
+
+
+def downgrade_landmark_directed(index: DirectedHCLIndex, r: int) -> None:
+    """Directed ``DOWNGRADE-LMK``: demote ``r`` in a directed index."""
+    if r not in index._h:
+        raise LandmarkError(f"vertex {r} is not a landmark")
+    remaining = index.landmarks
+    remaining.discard(r)
+
+    index._in[r].clear()
+    index._out[r].clear()
+    # Forward sweep fixes L_out and finds landmarks covering r from behind
+    # (entries for L_in(r)); backward sweep is the mirror image.
+    reached_fwd, hole_out = _downgrade_one_direction(index, r, remaining, forward=True)
+    reached_bwd, hole_in = _downgrade_one_direction(index, r, remaining, forward=False)
+
+    del index._h[r]
+    for row in index._h.values():
+        row.pop(r, None)
+
+    # Landmarks covering r forward (shortest l -> r path; from the backward
+    # sweep) re-cover L_out through r; mirror for L_in.
+    _recover_one_direction(index, r, remaining, reached_bwd, hole_out, forward=True)
+    _recover_one_direction(index, r, remaining, reached_fwd, hole_in, forward=False)
+
+
+def _relabel_landmark_directed(index: DirectedHCLIndex, r: int) -> None:
+    """Recompute landmark ``r``'s highway row/column and both label sides."""
+    graph = index.graph
+    landmarks = index.landmarks
+    blocked = landmarks - {r}
+    dist_f, clear_f = flagged_single_source(
+        _DirectionView(graph, forward=True), r, blocked
+    )
+    dist_b, clear_b = flagged_single_source(
+        _DirectionView(graph, forward=False), r, blocked
+    )
+    h = index._h
+    for r2 in landmarks:
+        h[r][r2] = dist_f[r2]
+        h[r2][r] = dist_b[r2]
+    for v in range(graph.n):
+        if v in landmarks:
+            continue
+        if clear_f[v]:
+            index._out[v][r] = dist_f[v]
+        else:
+            index._out[v].pop(r, None)
+        if clear_b[v]:
+            index._in[v][r] = dist_b[v]
+        else:
+            index._in[v].pop(r, None)
+    index._out[r][r] = 0.0
+    index._in[r][r] = 0.0
+
+
+def _affected_landmarks_directed(
+    index: DirectedHCLIndex, u: int, v: int, w: float, inserting: bool
+) -> list[int]:
+    """Landmarks whose sweeps the arc ``u -> v`` (weight ``w``) may touch.
+
+    Mirrors the undirected test with direction-aware exact distances:
+    forward sweeps care about ``d(r -> u) + w`` vs ``d(r -> v)``, backward
+    sweeps about ``d(v -> r)`` vs ``w + d(u -> r)`` — both reduce to the
+    same tightness condition on the arc, evaluated from the index's own
+    exact landmark distances.
+    """
+    affected = []
+    for r in index.landmarks:
+        to_u = 0.0 if r == u else index.query_from_landmark(r, u)
+        to_v = 0.0 if r == v else index.query_from_landmark(r, v)
+        from_u = 0.0 if r == u else index.query_to_landmark(u, r)
+        from_v = 0.0 if r == v else index.query_to_landmark(v, r)
+        # Guard against inf <= inf: an arc between vertices unreachable
+        # from/to r cannot change r's sweeps.
+        fwd = to_u + w
+        bwd = w + from_v
+        if inserting:
+            hit = (fwd <= to_v and fwd < INF) or (bwd <= from_u and bwd < INF)
+        else:
+            hit = (fwd == to_v and fwd < INF) or (bwd == from_u and bwd < INF)
+        if hit:
+            affected.append(r)
+    return affected
+
+
+def insert_arc_directed(
+    index: DirectedHCLIndex, u: int, v: int, w: float = 1.0
+) -> int:
+    """Insert arc ``u -> v`` and repair the affected landmark rows.
+
+    Returns the number of landmarks relabelled (the fully dynamic
+    extension for digraphs — future-work items i + iii combined).
+    """
+    affected = _affected_landmarks_directed(index, u, v, w, inserting=True)
+    index.graph.add_arc(u, v, w)
+    for r in affected:
+        _relabel_landmark_directed(index, r)
+    return len(affected)
+
+
+def delete_arc_directed(index: DirectedHCLIndex, u: int, v: int) -> int:
+    """Delete arc ``u -> v`` and repair the affected landmark rows."""
+    weight = None
+    for x, arc_w in index.graph.out_neighbors(u):
+        if x == v:
+            weight = arc_w
+            break
+    if weight is None:
+        raise LandmarkError(f"arc ({u}, {v}) not present")
+    affected = _affected_landmarks_directed(index, u, v, weight, inserting=False)
+    index.graph.remove_arc(u, v)
+    for r in affected:
+        _relabel_landmark_directed(index, r)
+    return len(affected)
+
+
+class DirectedDynamicHCL:
+    """Facade mirroring :class:`~repro.core.dynhcl.DynamicHCL` for digraphs.
+
+    Examples
+    --------
+    >>> from repro.graphs import DiGraph
+    >>> g = DiGraph(4)
+    >>> for u, v in [(0, 1), (1, 2), (2, 3), (3, 0)]:
+    ...     g.add_arc(u, v, 1.0)
+    >>> dyn = DirectedDynamicHCL.build(g, [1])
+    >>> dyn.add_landmark(3)
+    >>> dyn.query(0, 2)          # 0 -> 1 -> 2 passes landmark 1
+    2.0
+    >>> dyn.remove_landmark(1)
+    >>> dyn.query(0, 2)          # now forced through 3: 0->1->2->3->0->1->2
+    6.0
+    """
+
+    def __init__(self, index: DirectedHCLIndex):
+        self.index = index
+
+    @classmethod
+    def build(cls, graph: DiGraph, landmarks) -> "DirectedDynamicHCL":
+        """Directed ``BUILDHCL`` plus the facade."""
+        return cls(build_directed_hcl(graph, landmarks))
+
+    @property
+    def landmarks(self) -> set[int]:
+        """Current landmark set."""
+        return self.index.landmarks
+
+    def add_landmark(self, v: int) -> None:
+        """Promote ``v`` (directed ``UPGRADE-LMK``, both orientations)."""
+        upgrade_landmark_directed(self.index, v)
+
+    def remove_landmark(self, v: int) -> None:
+        """Demote ``v`` (directed ``DOWNGRADE-LMK``, both orientations)."""
+        downgrade_landmark_directed(self.index, v)
+
+    def query(self, s: int, t: int) -> float:
+        """Landmark-constrained ``s -> t`` distance."""
+        return self.index.query(s, t)
+
+    def distance(self, s: int, t: int) -> float:
+        """Exact ``s -> t`` distance."""
+        return self.index.distance(s, t)
+
+    def rebuild(self) -> DirectedHCLIndex:
+        """Fresh directed ``BUILDHCL`` over the current landmark set."""
+        return build_directed_hcl(self.index.graph, sorted(self.landmarks))
+
+
+__all__.append("DirectedDynamicHCL")

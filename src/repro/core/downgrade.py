@@ -1,0 +1,209 @@
+"""Algorithm 2 — ``DOWNGRADE-LMK``: demote a landmark to a plain vertex.
+
+Faithful implementation of the paper's Algorithm 2 for weighted
+(Dijkstra-like) and unweighted (BFS-like) graphs.  Two phases:
+
+1. *Erasure sweep* (lines 1–22): a search from the demoted landmark ``r``
+   that (a) deletes every ``(r, ·)`` entry it meets, (b) rebuilds ``L(r)``
+   with the landmarks that now cover ``r`` — those reached by a shortest
+   path with no other landmark in between (recorded in ``REACHED-ENT``
+   together with their distance), and (c) finally drops ``r`` from the
+   highway.  The sweep prunes at landmarks: at a landmark ``u`` the stored
+   ``δ_H(r, u)`` decides whether ``u`` covers ``r`` (``δ_H(r, u) = δ``) or
+   the path was non-optimal (``δ_H(r, u) < δ``).
+2. *Re-cover sweeps* (lines 23–39): for each ``(l, ρ) ∈ REACHED-ENT``, a
+   search *rooted at* ``l`` but *started from* ``r`` with seed priority
+   ``ρ = d(l, r)`` extends ``l``'s coverage through the hole left by ``r``.
+   Pruning mirrors Algorithm 1: at landmarks, and when
+   ``QUERY(l, u) < δ`` proves a strictly better landmark-through path.
+
+The result is again the canonical (minimal, order-invariant) index for the
+reduced landmark set (Theorem 3.5, Lemmas 3.6/3.7).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from collections import deque
+from dataclasses import dataclass
+
+from ..errors import LandmarkError
+from .index import HCLIndex
+
+INF = math.inf
+
+__all__ = ["downgrade_landmark", "DowngradeStats"]
+
+
+@dataclass(frozen=True)
+class DowngradeStats:
+    """Work counters for one ``DOWNGRADE-LMK`` run."""
+
+    removed_landmark: int
+    swept: int
+    entries_removed: int
+    entries_added: int
+    recover_searches: int
+
+
+def downgrade_landmark(index: HCLIndex, r: int) -> DowngradeStats:
+    """Remove landmark ``r`` from ``index``, updating it in place.
+
+    Parameters
+    ----------
+    index:
+        A canonical HCL index covering its graph. Modified in place.
+    r:
+        Landmark to demote; must currently be a landmark.
+
+    Returns
+    -------
+    DowngradeStats
+        Counters describing the amount of work performed.
+
+    Raises
+    ------
+    LandmarkError
+        If ``r`` is not a landmark.
+    """
+    graph = index.graph
+    highway = index.highway
+    labeling = index.labeling
+    if r not in highway:
+        raise LandmarkError(f"vertex {r} is not a landmark")
+
+    remaining = highway.landmarks
+    remaining.discard(r)  # R' = R \ {r}
+
+    # ------------------------------------------------------------------
+    # Lines 1-22: erasure sweep from r.
+    # ------------------------------------------------------------------
+    labeling.clear_vertex(r)
+    reached_ent: list[tuple[int, float]] = []
+    row_r = highway.row(r)
+
+    label_of = labeling.label
+    add_entry = labeling.add_entry
+    remove_entry = labeling.remove_entry
+    neighbors = graph.neighbors
+
+    dist = [INF] * graph.n
+    dist[r] = 0.0
+    swept = 0
+    entries_removed = 0
+    # Vertices that lose their (r, .) entry: the "hole" the re-cover sweeps
+    # of phase 2 must fill.  A vertex can gain a new entry (l, .) only if
+    # every landmark-free shortest l -> u path crosses r; the suffix of such
+    # a path from r is a landmark-free shortest r -> u path, so u was
+    # covered by r — as is every vertex between r and u.  Phase 2 may
+    # therefore confine both relabelling and expansion to this set.
+    hole = [False] * graph.n
+    hole[r] = True
+
+    if graph.unweighted:
+        queue: deque[int] = deque([r])
+        while queue:
+            u = queue.popleft()
+            delta = dist[u]
+            if u in remaining:
+                if row_r.get(u, INF) < delta:
+                    continue
+                reached_ent.append((u, delta))
+                add_entry(r, u, delta)
+                continue
+            swept += 1
+            if remove_entry(u, r):
+                entries_removed += 1
+                hole[u] = True
+            nd = delta + 1.0
+            for v, _ in neighbors(u):
+                if nd < dist[v]:
+                    dist[v] = nd
+                    queue.append(v)
+    else:
+        heap: list[tuple[float, int]] = [(0.0, r)]
+        while heap:
+            delta, u = heapq.heappop(heap)
+            if delta > dist[u]:
+                continue
+            if u in remaining:
+                if row_r.get(u, INF) < delta:
+                    continue
+                reached_ent.append((u, delta))
+                add_entry(r, u, delta)
+                continue
+            swept += 1
+            if remove_entry(u, r):
+                entries_removed += 1
+                hole[u] = True
+            for v, w in neighbors(u):
+                nd = delta + w
+                if nd < dist[v]:
+                    dist[v] = nd
+                    heapq.heappush(heap, (nd, v))
+
+    highway.remove_landmark(r)
+
+    # ------------------------------------------------------------------
+    # Lines 23-39: re-cover sweeps, one per landmark now covering r.
+    # ------------------------------------------------------------------
+    query_below = index.query_below
+    entries_added = 0
+
+    label_of = labeling.label
+    for l, rho in reached_ent:
+        # Sparse distance map: the sweep is confined to the hole left by r,
+        # so a dict beats resetting an O(n) array.
+        sweep_dist: dict[int, float] = {l: 0.0, r: rho}
+        if graph.unweighted:
+            queue = deque([r])
+            while queue:
+                u = queue.popleft()
+                delta = sweep_dist[u]
+                if u != r:
+                    if not hole[u]:
+                        continue
+                    # Cheap pre-test: an existing closer l-entry already
+                    # proves QUERY(l, u) < delta.
+                    dl = label_of(u).get(l)
+                    if dl is not None and dl < delta:
+                        continue
+                    if query_below(l, u, delta):
+                        continue
+                add_entry(u, l, delta)
+                entries_added += 1
+                nd = delta + 1.0
+                for v, _ in neighbors(u):
+                    if hole[v] and nd < sweep_dist.get(v, INF):
+                        sweep_dist[v] = nd
+                        queue.append(v)
+        else:
+            heap = [(rho, r)]
+            while heap:
+                delta, u = heapq.heappop(heap)
+                if delta > sweep_dist.get(u, INF):
+                    continue
+                if u != r:
+                    if not hole[u]:
+                        continue
+                    dl = label_of(u).get(l)
+                    if dl is not None and dl < delta:
+                        continue
+                    if query_below(l, u, delta):
+                        continue
+                add_entry(u, l, delta)
+                entries_added += 1
+                for v, w in neighbors(u):
+                    nd = delta + w
+                    if hole[v] and nd < sweep_dist.get(v, INF):
+                        sweep_dist[v] = nd
+                        heapq.heappush(heap, (nd, v))
+
+    return DowngradeStats(
+        removed_landmark=r,
+        swept=swept,
+        entries_removed=entries_removed,
+        entries_added=entries_added,
+        recover_searches=len(reached_ent),
+    )

@@ -1,0 +1,173 @@
+"""DYN-HCL — the dynamic framework tying the two update algorithms together.
+
+:class:`DynamicHCL` owns an :class:`~repro.core.index.HCLIndex` and exposes
+landmark insertion/removal (delegating to ``UPGRADE-LMK`` /
+``DOWNGRADE-LMK``), replacement, update-sequence application with per-update
+timing, and queries.  It is the object the paper's experiments drive: the
+``apply_sequence`` bookkeeping produces exactly the ``T_FDYN`` /
+``CMT_FDYN`` measurements of Tables 2 and 3.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from ..errors import LandmarkError
+from ..graphs.graph import Graph
+from .build import build_hcl
+from .downgrade import DowngradeStats, downgrade_landmark
+from .index import HCLIndex
+from .upgrade import UpgradeStats, upgrade_landmark
+
+__all__ = ["DynamicHCL", "LandmarkUpdate", "UpdateRecord"]
+
+
+@dataclass(frozen=True)
+class LandmarkUpdate:
+    """One landmark reconfiguration: ``kind`` is ``"add"`` or ``"remove"``."""
+
+    kind: str
+    vertex: int
+
+    def __post_init__(self):
+        if self.kind not in ("add", "remove"):
+            raise LandmarkError(f"unknown update kind {self.kind!r}")
+
+
+@dataclass(frozen=True)
+class UpdateRecord:
+    """Timing + work counters for one applied update."""
+
+    update: LandmarkUpdate
+    seconds: float
+    stats: UpgradeStats | DowngradeStats
+
+
+@dataclass
+class UpdateLog:
+    """Accumulated per-update records of a :class:`DynamicHCL` session."""
+
+    records: list[UpdateRecord] = field(default_factory=list)
+
+    @property
+    def count(self) -> int:
+        return len(self.records)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(rec.seconds for rec in self.records)
+
+    @property
+    def mean_seconds(self) -> float:
+        return self.total_seconds / self.count if self.count else 0.0
+
+    @property
+    def max_seconds(self) -> float:
+        """Worst single update (tail latency matters for online serving)."""
+        return max((rec.seconds for rec in self.records), default=0.0)
+
+    def percentile_seconds(self, q: float) -> float:
+        """The ``q``-quantile (0..1) of per-update times, nearest-rank."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self.records:
+            return 0.0
+        ordered = sorted(rec.seconds for rec in self.records)
+        rank = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+        return ordered[rank]
+
+
+class DynamicHCL:
+    """An HCL index kept current under landmark reconfigurations.
+
+    Examples
+    --------
+    >>> from repro.graphs import Graph
+    >>> g = Graph(5)
+    >>> for u, v in [(0, 1), (1, 2), (2, 3), (3, 4)]:
+    ...     g.add_edge(u, v, 1.0)
+    >>> dyn = DynamicHCL.build(g, [2])
+    >>> _ = dyn.add_landmark(4)
+    >>> sorted(dyn.landmarks)
+    [2, 4]
+    >>> _ = dyn.remove_landmark(2)
+    >>> sorted(dyn.landmarks)
+    [4]
+    """
+
+    def __init__(self, index: HCLIndex):
+        self.index = index
+        self.log = UpdateLog()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, graph: Graph, landmarks: Sequence[int]) -> "DynamicHCL":
+        """Build the initial index with ``BUILDHCL`` and wrap it."""
+        return cls(build_hcl(graph, landmarks))
+
+    # ------------------------------------------------------------------
+    # Landmark reconfiguration
+    # ------------------------------------------------------------------
+    @property
+    def landmarks(self) -> set[int]:
+        """Current landmark set."""
+        return self.index.landmarks
+
+    def add_landmark(self, v: int) -> UpgradeStats:
+        """Promote ``v`` via ``UPGRADE-LMK``; records timing in the log."""
+        start = time.perf_counter()
+        stats = upgrade_landmark(self.index, v)
+        elapsed = time.perf_counter() - start
+        self.log.records.append(
+            UpdateRecord(LandmarkUpdate("add", v), elapsed, stats)
+        )
+        return stats
+
+    def remove_landmark(self, v: int) -> DowngradeStats:
+        """Demote ``v`` via ``DOWNGRADE-LMK``; records timing in the log."""
+        start = time.perf_counter()
+        stats = downgrade_landmark(self.index, v)
+        elapsed = time.perf_counter() - start
+        self.log.records.append(
+            UpdateRecord(LandmarkUpdate("remove", v), elapsed, stats)
+        )
+        return stats
+
+    def replace_landmark(self, old: int, new: int) -> None:
+        """Swap one landmark for another (downgrade + upgrade)."""
+        self.remove_landmark(old)
+        self.add_landmark(new)
+
+    def apply(self, update: LandmarkUpdate) -> UpdateRecord:
+        """Apply a single :class:`LandmarkUpdate` and return its record."""
+        if update.kind == "add":
+            self.add_landmark(update.vertex)
+        else:
+            self.remove_landmark(update.vertex)
+        return self.log.records[-1]
+
+    def apply_sequence(self, updates: Iterable[LandmarkUpdate]) -> UpdateLog:
+        """Apply updates in order; returns the log restricted to them."""
+        before = self.log.count
+        for update in updates:
+            self.apply(update)
+        return UpdateLog(self.log.records[before:])
+
+    # ------------------------------------------------------------------
+    # Queries (delegation)
+    # ------------------------------------------------------------------
+    def query(self, s: int, t: int) -> float:
+        """Landmark-constrained distance (``QUERY``)."""
+        return self.index.query(s, t)
+
+    def distance(self, s: int, t: int) -> float:
+        """Exact distance."""
+        return self.index.distance(s, t)
+
+    def rebuild(self) -> HCLIndex:
+        """Fresh ``BUILDHCL`` over the current landmark set (baseline)."""
+        return build_hcl(self.index.graph, sorted(self.landmarks))

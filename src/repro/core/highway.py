@@ -1,0 +1,109 @@
+"""The highway ``H = (R, δ_H)`` of an HCL index.
+
+The highway stores the landmark set and the *distance decoding function*
+``δ_H : R × R → R+`` — exact pairwise landmark distances (paper §2).  It is
+kept as a full symmetric matrix in dict-of-dict form: with the landmark-set
+sizes the paper uses (tens to a few thousands) the matrix is tiny next to
+the labeling, and O(1) access keeps ``QUERY`` fast.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import LandmarkError
+
+INF = math.inf
+
+__all__ = ["Highway"]
+
+
+class Highway:
+    """Landmark set plus exact pairwise landmark distances.
+
+    Distances are symmetric (undirected graphs) and ``δ_H(r, r) = 0``.
+    Landmark pairs in different connected components hold ``inf``.
+    """
+
+    __slots__ = ("_dist",)
+
+    def __init__(self):
+        self._dist: dict[int, dict[int, float]] = {}
+
+    # ------------------------------------------------------------------
+    # Landmark set
+    # ------------------------------------------------------------------
+    @property
+    def landmarks(self) -> set[int]:
+        """A fresh set with the current landmarks."""
+        return set(self._dist)
+
+    @property
+    def size(self) -> int:
+        """Number of landmarks ``|R|``."""
+        return len(self._dist)
+
+    def __contains__(self, r: int) -> bool:
+        return r in self._dist
+
+    def __len__(self) -> int:
+        return len(self._dist)
+
+    def add_landmark(self, r: int) -> None:
+        """Register ``r`` with unknown (infinite) distances to the others."""
+        if r in self._dist:
+            raise LandmarkError(f"vertex {r} is already a landmark")
+        row = {r: 0.0}
+        for r2, other_row in self._dist.items():
+            row[r2] = INF
+            other_row[r] = INF
+        self._dist[r] = row
+
+    def remove_landmark(self, r: int) -> None:
+        """Drop ``r`` and every distance entry that mentions it."""
+        if r not in self._dist:
+            raise LandmarkError(f"vertex {r} is not a landmark")
+        del self._dist[r]
+        for row in self._dist.values():
+            row.pop(r, None)
+
+    # ------------------------------------------------------------------
+    # Distances
+    # ------------------------------------------------------------------
+    def set_distance(self, r1: int, r2: int, d: float) -> None:
+        """Record ``δ_H(r1, r2) = δ_H(r2, r1) = d``."""
+        if r1 not in self._dist or r2 not in self._dist:
+            raise LandmarkError(f"({r1}, {r2}) not a landmark pair")
+        self._dist[r1][r2] = d
+        self._dist[r2][r1] = d
+
+    def distance(self, r1: int, r2: int) -> float:
+        """``δ_H(r1, r2)``; raises for non-landmark arguments."""
+        try:
+            return self._dist[r1][r2]
+        except KeyError:
+            raise LandmarkError(f"({r1}, {r2}) not a landmark pair") from None
+
+    def row(self, r: int) -> dict[int, float]:
+        """The internal distance row of ``r`` (do not mutate)."""
+        return self._dist[r]
+
+    # ------------------------------------------------------------------
+    # Utilities
+    # ------------------------------------------------------------------
+    def copy(self) -> "Highway":
+        """Deep copy."""
+        h = Highway()
+        h._dist = {r: dict(row) for r, row in self._dist.items()}
+        return h
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Highway):
+            return NotImplemented
+        return self._dist == other._dist
+
+    def __hash__(self) -> int:  # mutable; identity hash
+        return id(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Highway(|R|={len(self._dist)})"

@@ -1,0 +1,201 @@
+"""The HCL index ``I = (H, L)`` and its query routines.
+
+Implements the paper's ``QUERY(s, t, H, L)`` (landmark-constrained
+distance), the exact distance query that refines the landmark-constrained
+upper bound with a distance-bounded bidirectional search on
+``G[V \\ R]``, and bookkeeping/statistics used by the experiments.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import LandmarkError, VertexError
+from ..graphs.graph import Graph
+from ..graphs.traversal import bounded_bidirectional_distance
+from .highway import Highway
+from .labeling import Labeling
+
+INF = math.inf
+
+__all__ = ["HCLIndex", "IndexStats"]
+
+
+@dataclass(frozen=True)
+class IndexStats:
+    """Size statistics of an HCL index (the paper's space measure)."""
+
+    landmarks: int
+    label_entries: int
+    highway_cells: int
+    average_label_size: float
+    max_label_size: int
+
+    @property
+    def total_entries(self) -> int:
+        """Label entries plus highway cells: the full index footprint."""
+        return self.label_entries + self.highway_cells
+
+
+class HCLIndex:
+    """Highway cover labeling index over a graph.
+
+    Build one with :func:`repro.core.build.build_hcl` and keep it current
+    under landmark changes with
+    :func:`repro.core.upgrade.upgrade_landmark` /
+    :func:`repro.core.downgrade.downgrade_landmark` (or the
+    :class:`repro.core.dynhcl.DynamicHCL` facade).
+
+    Attributes
+    ----------
+    graph:
+        The covered graph. The index holds a reference, not a copy.
+    highway:
+        The :class:`~repro.core.highway.Highway` ``(R, δ_H)``.
+    labeling:
+        The :class:`~repro.core.labeling.Labeling` ``L``.
+    """
+
+    __slots__ = ("graph", "highway", "labeling")
+
+    def __init__(self, graph: Graph, highway: Highway, labeling: Labeling):
+        if labeling.n != graph.n:
+            raise VertexError(
+                f"labeling spans {labeling.n} vertices but graph has {graph.n}"
+            )
+        for r in highway.landmarks:
+            if not 0 <= r < graph.n:
+                raise LandmarkError(f"landmark {r} not a vertex of the graph")
+        self.graph = graph
+        self.highway = highway
+        self.labeling = labeling
+
+    # ------------------------------------------------------------------
+    # Landmark set
+    # ------------------------------------------------------------------
+    @property
+    def landmarks(self) -> set[int]:
+        """The current landmark set ``R`` (fresh set)."""
+        return self.highway.landmarks
+
+    def is_landmark(self, v: int) -> bool:
+        """Whether ``v`` is currently a landmark."""
+        return v in self.highway
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def query(self, s: int, t: int) -> float:
+        """Landmark-constrained distance — the paper's ``QUERY(s,t,H,L)``.
+
+        Returns the weight of the shortest ``s``–``t`` path passing through
+        at least one landmark (``inf`` when no such path exists).  This is
+        an upper bound on ``d(s, t)`` and the exact beer distance when the
+        landmarks are beer vertices.
+        """
+        ls = self.labeling.label(s)
+        lt = self.labeling.label(t)
+        if not ls or not lt:
+            return INF
+        if len(ls) > len(lt):
+            ls, lt = lt, ls
+        row = self.highway.row
+        best = INF
+        for ri, di in ls.items():
+            hrow = row(ri)
+            for rj, dj in lt.items():
+                d = di + hrow.get(rj, INF) + dj
+                if d < best:
+                    best = d
+        return best
+
+    def query_from_landmark(self, r: int, u: int) -> float:
+        """``QUERY(r, u, H, L)`` specialized for a landmark ``r``.
+
+        For a landmark, ``L(r) = {(r, 0)}``, so the double loop collapses to
+        one scan of ``L(u)``.  Used in the hot pruning tests of Algorithms
+        1 and 2.
+        """
+        hrow = self.highway.row(r)
+        best = INF
+        for rj, dj in self.labeling.label(u).items():
+            d = hrow.get(rj, INF) + dj
+            if d < best:
+                best = d
+        return best
+
+    def query_below(self, r: int, u: int, bound: float) -> bool:
+        """Whether ``QUERY(r, u) < bound`` for a landmark ``r``.
+
+        Early-exits on the first witnessing entry, which makes the pruning
+        tests of Algorithms 1 and 2 (strict ``<`` against the search
+        priority) cheaper than materializing the full minimum on densely
+        covered vertices.
+        """
+        hrow = self.highway.row(r)
+        for rj, dj in self.labeling.label(u).items():
+            if hrow.get(rj, INF) + dj < bound:
+                return True
+        return False
+
+    def distance(self, s: int, t: int) -> float:
+        """Exact distance ``d(s, t)``.
+
+        Combines the landmark-constrained upper bound with a
+        distance-bounded bidirectional search on the subgraph induced by
+        non-landmark vertices (paper §2).  When either endpoint is a
+        landmark the bound is already exact.
+        """
+        if s == t:
+            return 0.0
+        s_is_lmk = s in self.highway
+        t_is_lmk = t in self.highway
+        if s_is_lmk and t_is_lmk:
+            return self.highway.distance(s, t)
+        if s_is_lmk:
+            return self.query_from_landmark(s, t)
+        if t_is_lmk:
+            return self.query_from_landmark(t, s)
+        ub = self.query(s, t)
+        return bounded_bidirectional_distance(
+            self.graph, s, t, ub, excluded=self.highway.landmarks
+        )
+
+    def covering_landmarks(self, v: int) -> set[int]:
+        """The landmarks covering ``v`` (those with an entry in ``L(v)``)."""
+        return set(self.labeling.label(v))
+
+    # ------------------------------------------------------------------
+    # Bookkeeping
+    # ------------------------------------------------------------------
+    def stats(self) -> IndexStats:
+        """Size statistics used by the space-validation experiments."""
+        k = self.highway.size
+        return IndexStats(
+            landmarks=k,
+            label_entries=self.labeling.total_entries(),
+            highway_cells=k * k,
+            average_label_size=self.labeling.average_label_size(),
+            max_label_size=self.labeling.max_label_size(),
+        )
+
+    def copy(self) -> "HCLIndex":
+        """Deep copy (shares the graph, copies highway and labeling)."""
+        return HCLIndex(self.graph, self.highway.copy(), self.labeling.copy())
+
+    def structurally_equal(self, other: "HCLIndex") -> bool:
+        """Exact equality of landmark sets, ``δ_H`` and all labels.
+
+        The paper's minimality + order-invariance lemmas imply the index is
+        a *canonical function of* ``(G, R)``; this predicate is what the
+        test suite uses to compare dynamically-updated indexes against
+        from-scratch rebuilds.
+        """
+        return self.highway == other.highway and self.labeling == other.labeling
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"HCLIndex(n={self.graph.n}, |R|={self.highway.size}, "
+            f"entries={self.labeling.total_entries()})"
+        )

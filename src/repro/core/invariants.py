@@ -1,0 +1,177 @@
+"""Validation of the HCL invariants the paper's theorems establish.
+
+Three layers of checking, from cheapest to strongest:
+
+* :func:`check_highway_exact` — ``δ_H`` equals true pairwise landmark
+  distances (property (i) of Theorems 3.1/3.5).
+* :func:`check_cover_property` — for (sampled or all) vertex pairs and every
+  landmark ``r``, the ``r``-constrained distance is recoverable from
+  ``δ_H`` + labels (property (ii)); compares against brute-force
+  ``d(s, r) + d(r, t)``.
+* :func:`assert_canonical` — *structural equality* with a from-scratch
+  ``BUILDHCL``.  Because the canonical index is the unique minimal
+  order-invariant labeling (Lemmas 3.2/3.3/3.6/3.7), this single check
+  subsumes cover, minimality and order-invariance; it is the workhorse of
+  the dynamic-algorithm test suite.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import random
+from typing import Iterable, Sequence
+
+from ..errors import CoverPropertyError
+from ..graphs.graph import Graph
+from ..graphs.traversal import single_source_distances
+from .build import build_hcl
+from .index import HCLIndex
+
+INF = math.inf
+
+__all__ = [
+    "check_highway_exact",
+    "check_cover_property",
+    "check_minimality",
+    "assert_canonical",
+    "canonical_index",
+    "brute_force_landmark_constrained",
+]
+
+
+def canonical_index(graph: Graph, landmarks: Iterable[int]) -> HCLIndex:
+    """The unique minimal order-invariant index for ``(graph, landmarks)``."""
+    return build_hcl(graph, sorted(landmarks))
+
+
+def check_highway_exact(index: HCLIndex) -> None:
+    """Raise :class:`CoverPropertyError` unless ``δ_H`` is exact."""
+    graph = index.graph
+    lmks = sorted(index.landmarks)
+    for r in lmks:
+        dist = single_source_distances(graph, r)
+        for r2 in lmks:
+            stored = index.highway.distance(r, r2)
+            if stored != dist[r2]:
+                raise CoverPropertyError(
+                    f"δ_H({r}, {r2}) = {stored} but d({r}, {r2}) = {dist[r2]}"
+                )
+
+
+def brute_force_landmark_constrained(
+    graph: Graph, landmarks: Iterable[int], s: int, t: int
+) -> float:
+    """``min_r d(s, r) + d(r, t)`` by plain single-source searches."""
+    best = INF
+    for r in landmarks:
+        dist = single_source_distances(graph, r)
+        d = dist[s] + dist[t]
+        if d < best:
+            best = d
+    return best
+
+
+def check_cover_property(
+    index: HCLIndex,
+    pairs: Sequence[tuple[int, int]] | None = None,
+    sample: int = 50,
+    seed: int = 0,
+) -> None:
+    """Verify property (ii): per-landmark constrained distances from labels.
+
+    For each checked pair ``(s, t)`` and each landmark ``r``, the distance
+    decoded from the index — ``min_i (d_i + δ_H(r_i, r))`` over ``L(s)``
+    plus ``min_j (δ_H(r, r_j) + d_j)`` over ``L(t)`` — must equal the
+    brute-force ``d(s, r) + d(r, t)``.  (The paper's §2 formula with
+    ``r_i = r`` or ``r_j = r`` is the special case where ``r`` itself
+    covers an endpoint.)
+    """
+    graph = index.graph
+    lmks = sorted(index.landmarks)
+    if not lmks:
+        return
+    dist_from = {r: single_source_distances(graph, r) for r in lmks}
+
+    if pairs is None:
+        non_landmarks = [v for v in graph.vertices() if not index.is_landmark(v)]
+        if len(non_landmarks) < 2:
+            return
+        rng = random.Random(seed)
+        all_pairs = list(itertools.combinations(non_landmarks, 2))
+        if len(all_pairs) > sample:
+            pairs = rng.sample(all_pairs, sample)
+        else:
+            pairs = all_pairs
+
+    labeling = index.labeling
+    highway = index.highway
+    for s, t in pairs:
+        ls = labeling.label(s)
+        lt = labeling.label(t)
+        for r in lmks:
+            expected = dist_from[r][s] + dist_from[r][t]
+            # Decode d(s, r) from L(s) (first landmark on a shortest s-r
+            # path covers s) and d(r, t) from L(t), composing through δ_H;
+            # the r_i = r / r_j = r cases of the paper's formula fall out
+            # as δ_H(r, r) = 0.
+            to_r = min(
+                (di + highway.distance(ri, r) for ri, di in ls.items()),
+                default=INF,
+            )
+            from_r = min(
+                (highway.distance(r, rj) + dj for rj, dj in lt.items()),
+                default=INF,
+            )
+            got = to_r + from_r
+            if got != expected:
+                raise CoverPropertyError(
+                    f"{r}-constrained distance for ({s}, {t}): "
+                    f"index gives {got}, brute force gives {expected}"
+                )
+
+
+def check_minimality(index: HCLIndex) -> None:
+    """Verify no label entry can be dropped without breaking coverage.
+
+    Uses the canonical characterization: entry ``(r, d) ∈ L(v)`` is needed
+    iff some shortest ``r → v`` path avoids the other landmarks internally —
+    i.e. the index must equal the canonical rebuild entry-for-entry.
+    """
+    assert_canonical(index)
+
+
+def assert_canonical(index: HCLIndex) -> None:
+    """Raise unless ``index`` equals the from-scratch canonical index.
+
+    This is the strongest invariant check: it certifies the highway cover
+    property, exactness of ``δ_H``, minimality *and* order-invariance in one
+    comparison (the canonical index is the unique structure with all four).
+    """
+    fresh = canonical_index(index.graph, index.landmarks)
+    if index.highway != fresh.highway:
+        mine = {
+            (a, b): index.highway.distance(a, b)
+            for a in index.landmarks
+            for b in index.landmarks
+        }
+        theirs = {
+            (a, b): fresh.highway.distance(a, b)
+            for a in fresh.landmarks
+            for b in fresh.landmarks
+        }
+        diff = {k: (mine.get(k), theirs.get(k)) for k in set(mine) | set(theirs)
+                if mine.get(k) != theirs.get(k)}
+        raise CoverPropertyError(f"highway differs from canonical: {diff}")
+    if index.labeling != fresh.labeling:
+        diffs = []
+        for v in index.graph.vertices():
+            a = index.labeling.label(v)
+            b = fresh.labeling.label(v)
+            if a != b:
+                diffs.append((v, dict(a), dict(b)))
+            if len(diffs) >= 5:
+                break
+        raise CoverPropertyError(
+            f"labeling differs from canonical at (vertex, got, want): {diffs}"
+        )

@@ -1,0 +1,98 @@
+"""The landmark labeling ``L = {L(v)}`` of an HCL index.
+
+Each label ``L(v)`` is a mapping ``landmark -> distance`` holding the
+entries ``(r, d(r, v))`` of the paper; dict storage gives O(1) lookup of a
+specific landmark's entry, which both ``QUERY`` and the dynamic algorithms
+exploit heavily.  The canonical index keeps at most one entry per landmark
+per vertex, matching the ``|L(v)| <= |R|`` assumption of Theorem 3.4.
+"""
+
+from __future__ import annotations
+
+from ..errors import VertexError
+
+__all__ = ["Labeling"]
+
+
+class Labeling:
+    """Per-vertex landmark labels for a graph on ``n`` vertices."""
+
+    __slots__ = ("_labels",)
+
+    def __init__(self, n: int):
+        if n < 0:
+            raise VertexError(f"number of vertices must be >= 0, got {n}")
+        self._labels: list[dict[int, float]] = [{} for _ in range(n)]
+
+    @property
+    def n(self) -> int:
+        """Number of vertices the labeling spans."""
+        return len(self._labels)
+
+    def label(self, v: int) -> dict[int, float]:
+        """The label ``L(v)`` as a ``landmark -> distance`` dict.
+
+        This is the internal mapping; treat it as read-only and use the
+        mutator methods below for changes.
+        """
+        return self._labels[v]
+
+    def add_vertex(self) -> int:
+        """Grow the labeling by one (empty-label) vertex; returns its id."""
+        self._labels.append({})
+        return len(self._labels) - 1
+
+    def add_entry(self, v: int, r: int, d: float) -> None:
+        """Insert (or overwrite) entry ``(r, d)`` in ``L(v)``."""
+        self._labels[v][r] = d
+
+    def remove_entry(self, v: int, r: int) -> bool:
+        """Delete the entry for landmark ``r`` from ``L(v)`` if present."""
+        return self._labels[v].pop(r, None) is not None
+
+    def clear_vertex(self, v: int) -> None:
+        """Remove every entry of ``L(v)`` (paper: ``L(v) <- ∅``)."""
+        self._labels[v].clear()
+
+    def entry(self, v: int, r: int) -> float | None:
+        """Distance of entry ``(r, ·) ∈ L(v)``, or ``None`` if absent."""
+        return self._labels[v].get(r)
+
+    def covers(self, r: int, v: int) -> bool:
+        """Whether landmark ``r`` covers vertex ``v`` (entry present)."""
+        return r in self._labels[v]
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def total_entries(self) -> int:
+        """Total number of label entries (the index-size measure)."""
+        return sum(len(lbl) for lbl in self._labels)
+
+    def average_label_size(self) -> float:
+        """Mean entries per vertex."""
+        return self.total_entries() / self.n if self.n else 0.0
+
+    def max_label_size(self) -> int:
+        """Largest label."""
+        return max((len(lbl) for lbl in self._labels), default=0)
+
+    # ------------------------------------------------------------------
+    # Utilities
+    # ------------------------------------------------------------------
+    def copy(self) -> "Labeling":
+        """Deep copy."""
+        out = Labeling(0)
+        out._labels = [dict(lbl) for lbl in self._labels]
+        return out
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Labeling):
+            return NotImplemented
+        return self._labels == other._labels
+
+    def __hash__(self) -> int:  # mutable; identity hash
+        return id(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Labeling(n={self.n}, entries={self.total_entries()})"

@@ -1,0 +1,95 @@
+"""Index quality metrics.
+
+The paper argues HCL's practicality from index *compactness* (space) and
+query-relevant structure (how many landmarks cover a vertex, how balanced
+coverage is).  These helpers compute that structure for monitoring,
+experiment reporting and the advisor's diagnostics.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from .index import HCLIndex
+
+__all__ = [
+    "coverage_histogram",
+    "landmark_coverage_counts",
+    "uncovered_vertices",
+    "IndexQualityReport",
+    "quality_report",
+]
+
+
+def coverage_histogram(index: HCLIndex) -> dict[int, int]:
+    """``label size -> vertex count`` over non-landmark vertices."""
+    landmarks = index.highway.landmarks
+    sizes = Counter(
+        len(index.labeling.label(v))
+        for v in index.graph.vertices()
+        if v not in landmarks
+    )
+    return dict(sizes)
+
+
+def landmark_coverage_counts(index: HCLIndex) -> dict[int, int]:
+    """``landmark -> number of non-landmark vertices it covers``."""
+    landmarks = index.highway.landmarks
+    counts: dict[int, int] = {r: 0 for r in landmarks}
+    for v in index.graph.vertices():
+        if v in landmarks:
+            continue
+        for r in index.labeling.label(v):
+            counts[r] += 1
+    return counts
+
+
+def uncovered_vertices(index: HCLIndex) -> list[int]:
+    """Non-landmark vertices with empty labels (no landmark in component)."""
+    landmarks = index.highway.landmarks
+    return [
+        v
+        for v in index.graph.vertices()
+        if v not in landmarks and not index.labeling.label(v)
+    ]
+
+
+@dataclass(frozen=True)
+class IndexQualityReport:
+    """Aggregated quality snapshot of one index."""
+
+    landmarks: int
+    label_entries: int
+    average_label_size: float
+    max_label_size: int
+    uncovered: int
+    min_landmark_coverage: int
+    max_landmark_coverage: int
+    bytes_estimate: int
+
+    @property
+    def coverage_balance(self) -> float:
+        """min/max coverage ratio in [0, 1]; 1 means perfectly balanced."""
+        if self.max_landmark_coverage == 0:
+            return 1.0
+        return self.min_landmark_coverage / self.max_landmark_coverage
+
+
+def quality_report(index: HCLIndex) -> IndexQualityReport:
+    """Compute an :class:`IndexQualityReport` in one pass over the labels."""
+    counts = landmark_coverage_counts(index)
+    stats = index.stats()
+    # 12 bytes per label entry (u32 landmark + f64 distance) + 8 per
+    # highway cell: the binary serialization's footprint.
+    bytes_estimate = 12 * stats.label_entries + 8 * stats.highway_cells
+    return IndexQualityReport(
+        landmarks=stats.landmarks,
+        label_entries=stats.label_entries,
+        average_label_size=stats.average_label_size,
+        max_label_size=stats.max_label_size,
+        uncovered=len(uncovered_vertices(index)),
+        min_landmark_coverage=min(counts.values(), default=0),
+        max_landmark_coverage=max(counts.values(), default=0),
+        bytes_estimate=bytes_estimate,
+    )

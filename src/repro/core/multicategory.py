@@ -1,0 +1,182 @@
+"""Multi-category landmark sets (paper future-work item iv).
+
+The paper's final future-work item proposes landmark sets with *categories*
+("different types of important vertices"), enabling generalized
+shortest-path queries: find the cheapest ``s -> t`` route that visits at
+least one landmark of each requested category, in the requested order —
+e.g. *warehouse, then inspection point, then fuel stop*.
+
+The HCL machinery makes this surprisingly direct.  Maintain one dynamic
+index over the **union** of all category members.  Then, for categories
+``C_1, ..., C_k`` in order:
+
+* ``d(s, r_1)`` for each ``r_1 in C_1`` is exact from ``L(s)`` + ``δ_H``
+  (``min_i d_i + δ_H(r_i, r_1)`` — the landmark-endpoint query);
+* every middle leg ``d(r_j, r_{j+1})`` is a single exact ``δ_H`` lookup
+  (both endpoints are landmarks);
+* ``d(r_k, t)`` mirrors the first leg.
+
+so the whole query is a ``k``-stage dynamic program over ``δ_H`` with no
+graph traversal.  Category membership churn maps to ``UPGRADE-LMK`` /
+``DOWNGRADE-LMK`` on the union (a vertex is only demoted when it leaves its
+*last* category).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Mapping, Sequence
+
+from ..errors import DatasetError, LandmarkError
+from ..graphs.graph import Graph
+from .dynhcl import DynamicHCL
+
+INF = math.inf
+
+__all__ = ["MultiCategoryHCL"]
+
+
+class MultiCategoryHCL:
+    """Dynamic HCL index over categorized landmarks.
+
+    Examples
+    --------
+    >>> from repro.graphs import Graph
+    >>> g = Graph(6)
+    >>> for u, v in [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]:
+    ...     g.add_edge(u, v, 1.0)
+    >>> mc = MultiCategoryHCL(g, {"fuel": [2], "inspection": [4]})
+    >>> mc.ordered_category_distance(0, 5, ["fuel", "inspection"])
+    5.0
+    >>> mc.ordered_category_distance(0, 5, ["inspection", "fuel"])
+    9.0
+    """
+
+    def __init__(self, graph: Graph, categories: Mapping[str, Iterable[int]]):
+        self._members: dict[str, set[int]] = {}
+        union: set[int] = set()
+        for name, members in categories.items():
+            member_set = set(members)
+            for v in member_set:
+                if not 0 <= v < graph.n:
+                    raise LandmarkError(f"vertex {v} out of range [0, {graph.n})")
+            self._members[name] = member_set
+            union |= member_set
+        self._dyn = DynamicHCL.build(graph, sorted(union))
+
+    # ------------------------------------------------------------------
+    # Category management
+    # ------------------------------------------------------------------
+    @property
+    def categories(self) -> dict[str, set[int]]:
+        """Current category membership (fresh copies)."""
+        return {name: set(members) for name, members in self._members.items()}
+
+    @property
+    def landmarks(self) -> set[int]:
+        """The union landmark set backing the index."""
+        return self._dyn.landmarks
+
+    def _category(self, name: str) -> set[int]:
+        members = self._members.get(name)
+        if members is None:
+            raise DatasetError(
+                f"unknown category {name!r}; have {sorted(self._members)}"
+            )
+        return members
+
+    def add_category(self, name: str, members: Iterable[int] = ()) -> None:
+        """Create a new (possibly empty) category."""
+        if name in self._members:
+            raise DatasetError(f"category {name!r} already exists")
+        self._members[name] = set()
+        for v in members:
+            self.add_member(name, v)
+
+    def add_member(self, name: str, v: int) -> None:
+        """Add ``v`` to a category; promotes it if newly a landmark."""
+        members = self._category(name)
+        if v in members:
+            raise LandmarkError(f"vertex {v} is already in category {name!r}")
+        if v not in self._dyn.landmarks:
+            self._dyn.add_landmark(v)  # UPGRADE-LMK
+        members.add(v)
+
+    def remove_member(self, name: str, v: int) -> None:
+        """Drop ``v`` from a category; demotes it when no category remains."""
+        members = self._category(name)
+        if v not in members:
+            raise LandmarkError(f"vertex {v} is not in category {name!r}")
+        members.discard(v)
+        if not any(v in other for other in self._members.values()):
+            self._dyn.remove_landmark(v)  # DOWNGRADE-LMK
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def _to_landmarks(self, s: int, targets: set[int]) -> dict[int, float]:
+        """Exact ``d(s, r)`` for every ``r`` in ``targets`` (landmarks)."""
+        index = self._dyn.index
+        if s in index.highway:
+            row = index.highway.row(s)
+            return {r: row.get(r, INF) if r != s else 0.0 for r in targets}
+        label = index.labeling.label(s)
+        highway = index.highway
+        out: dict[int, float] = {}
+        for r in targets:
+            hrow = highway.row(r)
+            best = INF
+            for ri, di in label.items():
+                d = di + hrow.get(ri, INF)
+                if d < best:
+                    best = d
+            out[r] = best
+        return out
+
+    def ordered_category_distance(
+        self, s: int, t: int, order: Sequence[str]
+    ) -> float:
+        """Cheapest ``s -> t`` route visiting one member per category, in order.
+
+        Runs the ``δ_H`` dynamic program described in the module docstring;
+        ``inf`` when any category is empty or unreachable.
+        """
+        if not order:
+            return self._dyn.distance(s, t)
+        stages = [self._category(name) for name in order]
+        if any(not members for members in stages):
+            return INF
+
+        highway = self._dyn.index.highway
+        # stage 0: exact distances from s into the first category
+        costs = self._to_landmarks(s, stages[0])
+        # middle stages: one δ_H lookup per member pair
+        for nxt in stages[1:]:
+            new_costs: dict[int, float] = {}
+            for r2 in nxt:
+                row = highway.row(r2)
+                best = INF
+                for r1, c in costs.items():
+                    d = c + row.get(r1, INF)
+                    if d < best:
+                        best = d
+                new_costs[r2] = best
+            costs = new_costs
+        # final leg: exact distances from the last category to t
+        finish = self._to_landmarks(t, stages[-1])
+        return min(
+            (c + finish[r] for r, c in costs.items()),
+            default=INF,
+        )
+
+    def any_category_distance(self, s: int, t: int, name: str) -> float:
+        """Cheapest route through at least one member of one category.
+
+        The beer-distance generalization: with ``name``'s members as the
+        constraint set this is a single-stage instance of the DP.
+        """
+        return self.ordered_category_distance(s, t, [name])
+
+    def distance(self, s: int, t: int) -> float:
+        """Unconstrained exact distance."""
+        return self._dyn.distance(s, t)

@@ -1,0 +1,199 @@
+"""Path reporting on HCL indexes (paper future-work item i, second half).
+
+The paper notes (§2) that an HCL index can report paths, not just
+distances, by augmenting entries with predecessors.  The canonical index
+actually needs *no* extra storage for this: if ``(r, d) ∈ L(v)`` then some
+shortest ``r -> v`` path avoids other landmarks internally, and its
+predecessor ``w`` of ``v`` is itself covered by ``r`` with
+``d(r, w) + ω(w, v) = d`` — exactly the certificate Algorithm 1's cleanup
+tests.  Walking that certificate greedily reconstructs the label path; the
+highway leg between two landmarks decomposes recursively at intermediate
+landmarks read off ``δ_H`` (and bottoms out in a short landmark-avoiding
+local search).
+
+Provided queries:
+
+* :func:`label_path` — the covered path ``r .. v`` behind a label entry;
+* :func:`highway_path` — a shortest path between two landmarks;
+* :func:`landmark_constrained_path` — a path realizing ``QUERY(s, t)``;
+* :func:`shortest_path` — an exact shortest path (bound + local search).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+
+from ..errors import LandmarkError, ReproError
+from .index import HCLIndex
+
+INF = math.inf
+
+__all__ = [
+    "label_path",
+    "highway_path",
+    "landmark_constrained_path",
+    "shortest_path",
+]
+
+
+def label_path(index: HCLIndex, r: int, v: int) -> list[int]:
+    """The landmark-avoiding shortest path ``r .. v`` behind ``(r, ·) ∈ L(v)``.
+
+    Walks the certificate chain: each step moves to a neighbor ``w`` with
+    ``L(w)[r] + ω(w, u) = L(u)[r]``; distances strictly decrease, so the
+    walk reaches ``r`` in at most ``n`` steps.
+    """
+    labeling = index.labeling
+    if r not in labeling.label(v):
+        raise LandmarkError(f"vertex {v} is not covered by landmark {r}")
+    path = [v]
+    u = v
+    du = labeling.label(u)[r]
+    neighbors = index.graph.neighbors
+    while u != r:
+        step = None
+        for w, weight in neighbors(u):
+            dw = labeling.label(w).get(r)
+            if dw is not None and dw + weight == du:
+                step = (w, dw)
+                break
+        if step is None:  # pragma: no cover - canonical indexes always chain
+            raise ReproError(
+                f"broken certificate chain for landmark {r} at vertex {u}"
+            )
+        u, du = step
+        path.append(u)
+    path.reverse()
+    return path
+
+
+def _direct_landmark_leg(index: HCLIndex, a: int, b: int) -> list[int]:
+    """Shortest ``a``-``b`` path with no internal landmark (local search)."""
+    graph = index.graph
+    landmarks = index.highway.landmarks
+    bound = index.highway.distance(a, b)
+    dist = {a: 0.0}
+    parent: dict[int, int] = {}
+    heap: list[tuple[float, int]] = [(0.0, a)]
+    while heap:
+        d, u = heapq.heappop(heap)
+        if d > dist.get(u, INF):
+            continue
+        if u == b:
+            break
+        if u != a and u in landmarks:
+            continue  # internal landmarks are forbidden on this leg
+        for v, w in graph.neighbors(u):
+            nd = d + w
+            if nd <= bound and nd < dist.get(v, INF):
+                dist[v] = nd
+                parent[v] = u
+                heapq.heappush(heap, (nd, v))
+    if dist.get(b) != bound:  # pragma: no cover - guarded by decomposition
+        raise ReproError(f"no landmark-avoiding shortest path {a} -> {b}")
+    path = [b]
+    while path[-1] != a:
+        path.append(parent[path[-1]])
+    path.reverse()
+    return path
+
+
+def highway_path(index: HCLIndex, a: int, b: int) -> list[int]:
+    """A shortest path between landmarks ``a`` and ``b``.
+
+    Recursively splits at any intermediate landmark ``m`` with
+    ``δ_H(a, m) + δ_H(m, b) = δ_H(a, b)``; when none exists every shortest
+    ``a``-``b`` path is landmark-free inside and a bounded local search
+    reconstructs it.  Positive weights make both sub-legs strictly shorter,
+    so the recursion terminates.
+    """
+    if a not in index.highway or b not in index.highway:
+        raise LandmarkError(f"({a}, {b}) is not a landmark pair")
+    if a == b:
+        return [a]
+    total = index.highway.distance(a, b)
+    if total == INF:
+        raise ReproError(f"landmarks {a} and {b} are disconnected")
+    row_a = index.highway.row(a)
+    row_b = index.highway.row(b)
+    for m in index.highway.landmarks:
+        if m == a or m == b:
+            continue
+        da, db = row_a.get(m, INF), row_b.get(m, INF)
+        if da + db == total and da > 0 and db > 0:
+            left = highway_path(index, a, m)
+            right = highway_path(index, m, b)
+            return left + right[1:]
+    return _direct_landmark_leg(index, a, b)
+
+
+def landmark_constrained_path(index: HCLIndex, s: int, t: int) -> list[int]:
+    """A path realizing the landmark-constrained distance ``QUERY(s, t)``.
+
+    Returns the concatenation ``s .. r_i .. r_j .. t`` for the optimal
+    entry pair; raises if no landmark-constrained path exists.
+    """
+    ls = index.labeling.label(s)
+    lt = index.labeling.label(t)
+    best = INF
+    best_pair: tuple[int, int] | None = None
+    for ri, di in ls.items():
+        row = index.highway.row(ri)
+        for rj, dj in lt.items():
+            d = di + row.get(rj, INF) + dj
+            if d < best:
+                best = d
+                best_pair = (ri, rj)
+    if best_pair is None or best == INF:
+        raise ReproError(f"no landmark-constrained path between {s} and {t}")
+    ri, rj = best_pair
+    first = label_path(index, ri, s)[::-1]  # s .. ri
+    middle = highway_path(index, ri, rj)  # ri .. rj
+    last = label_path(index, rj, t)  # rj .. t
+    return first + middle[1:] + last[1:]
+
+
+def shortest_path(index: HCLIndex, s: int, t: int) -> list[int]:
+    """An exact shortest ``s``-``t`` path.
+
+    Uses the landmark-constrained upper bound to prune a parent-tracking
+    Dijkstra restricted exactly as the paper's refinement search; falls
+    back to the landmark-constrained path when that is optimal.
+    """
+    if s == t:
+        return [s]
+    ub = index.query(s, t)
+    graph = index.graph
+    landmarks = index.highway.landmarks
+    dist = {s: 0.0}
+    parent: dict[int, int] = {}
+    heap: list[tuple[float, int]] = [(0.0, s)]
+    best_inner = INF
+    if s not in landmarks and t not in landmarks:
+        while heap:
+            d, u = heapq.heappop(heap)
+            if d > dist.get(u, INF) or d >= min(ub, best_inner):
+                continue
+            if u == t:
+                best_inner = d
+                break
+            if u != s and u in landmarks:
+                continue
+            for v, w in graph.neighbors(u):
+                if v in landmarks and v != t:
+                    continue
+                nd = d + w
+                if nd < dist.get(v, INF) and nd < min(ub, best_inner):
+                    dist[v] = nd
+                    parent[v] = u
+                    heapq.heappush(heap, (nd, v))
+    if best_inner < ub:
+        path = [t]
+        while path[-1] != s:
+            path.append(parent[path[-1]])
+        path.reverse()
+        return path
+    if ub == INF:
+        raise ReproError(f"vertices {s} and {t} are disconnected")
+    return landmark_constrained_path(index, s, t)

@@ -1,0 +1,116 @@
+"""Landmark selection policies.
+
+The paper adopts the standard policies of the HCL literature (§4): highest
+degree for unweighted graphs and approximate betweenness for weighted ones,
+plus uniform random selection for stress tests.  Approximate betweenness
+follows the usual pivot-sampling scheme: grow shortest-path trees from a
+sample of pivots and score vertices by how often they appear as internal
+vertices of the sampled trees' root-to-leaf paths (counted via subtree
+accumulation).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from ..errors import DatasetError
+from ..graphs.graph import Graph
+from ..graphs.traversal import single_source_with_parents
+
+__all__ = [
+    "select_by_degree",
+    "select_by_approx_betweenness",
+    "select_random",
+    "select_landmarks",
+]
+
+
+def _check_k(graph: Graph, k: int) -> None:
+    if k < 0:
+        raise DatasetError(f"cannot select {k} landmarks")
+    if k > graph.n:
+        raise DatasetError(f"cannot select {k} landmarks from {graph.n} vertices")
+
+
+def select_by_degree(graph: Graph, k: int) -> list[int]:
+    """The ``k`` highest-degree vertices (ties by smaller id).
+
+    The paper's policy of choice for unweighted (complex-network) graphs.
+    """
+    _check_k(graph, k)
+    order = sorted(graph.vertices(), key=lambda v: (-graph.degree(v), v))
+    return order[:k]
+
+
+def select_by_approx_betweenness(
+    graph: Graph, k: int, pivots: int = 16, seed: int | None = None
+) -> list[int]:
+    """Approximate-betweenness top-``k`` via pivot sampling.
+
+    Runs ``pivots`` single-source shortest-path trees from random roots and
+    accumulates, for every vertex, the number of tree descendants it has —
+    the classic dependency-style score.  The paper's policy of choice for
+    weighted (road) graphs.
+    """
+    _check_k(graph, k)
+    if pivots <= 0:
+        raise DatasetError(f"need at least one pivot, got {pivots}")
+    rng = random.Random(seed)
+    n = graph.n
+    score = [0.0] * n
+    roots = [rng.randrange(n) for _ in range(min(pivots, n))]
+    for root in roots:
+        dist, parent = single_source_with_parents(graph, root)
+        # Accumulate subtree sizes bottom-up: process vertices by
+        # decreasing distance so children are counted before parents.
+        order = sorted(
+            (v for v in range(n) if dist[v] != float("inf")),
+            key=lambda v: dist[v],
+            reverse=True,
+        )
+        subtree = [1.0] * n
+        for v in order:
+            p = parent[v]
+            if p != -1:
+                subtree[p] += subtree[v]
+        for v in order:
+            if v != root:
+                # Internal-vertex contribution: descendants routed through v.
+                score[v] += subtree[v] - 1.0
+    ranked = sorted(range(n), key=lambda v: (-score[v], -graph.degree(v), v))
+    return ranked[:k]
+
+
+def select_random(graph: Graph, k: int, seed: int | None = None) -> list[int]:
+    """``k`` distinct uniform-random vertices."""
+    _check_k(graph, k)
+    rng = random.Random(seed)
+    return rng.sample(range(graph.n), k)
+
+
+def select_landmarks(
+    graph: Graph, k: int, policy: str = "auto", seed: int | None = None
+) -> list[int]:
+    """Dispatch on policy name.
+
+    ``auto`` reproduces the paper's setup: degree for unweighted graphs,
+    approximate betweenness for weighted ones.
+    """
+    if policy == "auto":
+        policy = "degree" if graph.unweighted else "betweenness"
+    if policy == "degree":
+        return select_by_degree(graph, k)
+    if policy == "betweenness":
+        return select_by_approx_betweenness(graph, k, seed=seed)
+    if policy == "random":
+        return select_random(graph, k, seed=seed)
+    raise DatasetError(f"unknown landmark selection policy {policy!r}")
+
+
+def selection_policies() -> Sequence[str]:
+    """Names accepted by :func:`select_landmarks`."""
+    return ("auto", "degree", "betweenness", "random")
+
+
+__all__.append("selection_policies")

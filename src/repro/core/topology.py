@@ -1,0 +1,155 @@
+"""Fully dynamic setting: topology updates alongside landmark updates.
+
+Paper future-work item (iii): combine DYN-HCL with maintenance under graph
+changes (in the spirit of Farhan & Wang 2023).  This module provides a
+correct, localized topology-maintenance layer:
+
+* An edge change can only affect landmark ``r``'s highway row and label
+  entries if the edge lies on (insertion: creates) a shortest path from
+  ``r``.  Because ``QUERY(r, x)`` is *exact* for a landmark ``r``, the
+  affected test costs two O(|L|) lookups per landmark — no graph search.
+* Only the affected landmarks re-run their (single-sweep) labelling pass;
+  unaffected landmarks keep rows and entries untouched.
+
+The result is again the canonical index, so the same structural-equality
+testing applies.  :class:`FullyDynamicHCL` packages topology and landmark
+dynamics behind one facade.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..graphs.traversal import flagged_single_source
+from .dynhcl import DynamicHCL
+from .index import HCLIndex
+
+__all__ = ["TopologyStats", "insert_edge", "delete_edge", "set_edge_weight", "FullyDynamicHCL"]
+
+
+@dataclass(frozen=True)
+class TopologyStats:
+    """Work counters for one topology update."""
+
+    affected_landmarks: int
+    total_landmarks: int
+
+
+def _relabel_landmark(index: HCLIndex, r: int) -> None:
+    """Recompute landmark ``r``'s highway row and label entries in place."""
+    graph = index.graph
+    landmarks = index.highway.landmarks
+    dist, clear = flagged_single_source(graph, r, landmarks - {r})
+    for r2 in landmarks:
+        index.highway.set_distance(r, r2, dist[r2])
+    labeling = index.labeling
+    for v in range(graph.n):
+        if v in landmarks:
+            continue
+        if clear[v]:
+            labeling.add_entry(v, r, dist[v])
+        else:
+            labeling.remove_entry(v, r)
+    labeling.add_entry(r, r, 0.0)
+
+
+def _affected_landmarks(
+    index: HCLIndex, u: int, v: int, w: float, inserting: bool
+) -> list[int]:
+    """Landmarks whose shortest-path structure the edge change may touch.
+
+    Uses exact landmark distances from the index itself: inserting ``(u,
+    v, w)`` matters to ``r`` iff it creates a path no longer than an
+    existing shortest one (``d(r,u) + w <= d(r,v)`` or symmetrically);
+    deleting matters iff the edge lies on some shortest path from ``r``
+    (same test with equality, distances measured before the change).
+    """
+    inf = float("inf")
+    affected = []
+    for r in index.highway.landmarks:
+        du = index.query_from_landmark(r, u) if r != u else 0.0
+        dv = index.query_from_landmark(r, v) if r != v else 0.0
+        # Guard against inf <= inf: an edge between vertices unreachable
+        # from r cannot change r's shortest paths.
+        a, b = du + w, dv + w
+        if inserting:
+            hit = (a <= dv and a < inf) or (b <= du and b < inf)
+        else:
+            hit = (a == dv and a < inf) or (b == du and b < inf)
+        if hit:
+            affected.append(r)
+    return affected
+
+
+def insert_edge(index: HCLIndex, u: int, v: int, w: float = 1.0) -> TopologyStats:
+    """Insert edge ``{u, v}`` and repair the index (affected rows only)."""
+    affected = _affected_landmarks(index, u, v, w, inserting=True)
+    index.graph.add_edge(u, v, w)
+    for r in affected:
+        _relabel_landmark(index, r)
+    return TopologyStats(len(affected), index.highway.size)
+
+
+def delete_edge(index: HCLIndex, u: int, v: int) -> TopologyStats:
+    """Delete edge ``{u, v}`` and repair the index (affected rows only)."""
+    w = index.graph.edge_weight(u, v)
+    affected = _affected_landmarks(index, u, v, w, inserting=False)
+    index.graph.remove_edge(u, v)
+    for r in affected:
+        _relabel_landmark(index, r)
+    return TopologyStats(len(affected), index.highway.size)
+
+
+def set_edge_weight(index: HCLIndex, u: int, v: int, w: float) -> TopologyStats:
+    """Change the weight of edge ``{u, v}`` and repair the index."""
+    old = index.graph.edge_weight(u, v)
+    if old == w:
+        return TopologyStats(0, index.highway.size)
+    # A weight change is a delete (old weight) plus an insert (new weight);
+    # the union of both affected sets needs repair.
+    before = set(_affected_landmarks(index, u, v, old, inserting=False))
+    index.graph.set_weight(u, v, w)
+    after = set(_affected_landmarks(index, u, v, w, inserting=True))
+    # ``after`` is computed on the new graph, where query_from_landmark may
+    # already be stale for landmarks in ``before``; include both sets.
+    affected = before | after
+    for r in affected:
+        _relabel_landmark(index, r)
+    return TopologyStats(len(affected), index.highway.size)
+
+
+class FullyDynamicHCL(DynamicHCL):
+    """DYN-HCL plus topology updates: the fully dynamic setting.
+
+    Examples
+    --------
+    >>> from repro.graphs import Graph
+    >>> g = Graph(4)
+    >>> for a, b in [(0, 1), (1, 2), (2, 3)]:
+    ...     g.add_edge(a, b, 1.0)
+    >>> dyn = FullyDynamicHCL.build(g, [1])
+    >>> _ = dyn.insert_edge(0, 3, 1.0)
+    >>> dyn.distance(0, 3)
+    1.0
+    >>> _ = dyn.add_landmark(3)
+    >>> sorted(dyn.landmarks)
+    [1, 3]
+    """
+
+    def insert_edge(self, u: int, v: int, w: float = 1.0) -> TopologyStats:
+        """Insert an edge, repairing only the affected landmark rows."""
+        return insert_edge(self.index, u, v, w)
+
+    def delete_edge(self, u: int, v: int) -> TopologyStats:
+        """Delete an edge, repairing only the affected landmark rows."""
+        return delete_edge(self.index, u, v)
+
+    def set_edge_weight(self, u: int, v: int, w: float) -> TopologyStats:
+        """Reweight an edge, repairing only the affected landmark rows."""
+        return set_edge_weight(self.index, u, v, w)
+
+    def add_vertex(self) -> int:
+        """Append an isolated vertex (labels grow with it)."""
+        vid = self.index.graph.add_vertex()
+        self.index.labeling.add_vertex()
+        return vid

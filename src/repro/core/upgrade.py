@@ -1,0 +1,213 @@
+"""Algorithm 1 — ``UPGRADE-LMK``: promote a vertex to a landmark.
+
+Faithful implementation of the paper's Algorithm 1 for both weighted
+(Dijkstra-like) and unweighted (BFS-like) graphs.  The algorithm has three
+phases:
+
+1. *Highway enrichment* (lines 1–5): distances from the new landmark ``r``
+   to all existing landmarks are obtained **without any graph search** —
+   directly from ``L(r)`` for landmarks that cover ``r``, and by one-stop
+   composition ``min_{r̂} δ_H(r, r̂) + δ_H(r̂, r')`` otherwise.
+2. *Pruned search* (lines 6–26): a Dijkstra/BFS from ``r`` that prunes at
+   other landmarks and whenever ``QUERY(r, u) < δ`` (a strictly shorter
+   landmark-through path exists).  Every vertex the search settles receives
+   entry ``(r, δ)``; landmarks it touches go to ``REACHED-LAN``, and the
+   previously-covering landmarks of relabelled vertices populate
+   ``REACHED-VER``.
+3. *Superfluous-entry cleanup* (lines 27–34): for each reached landmark
+   ``r'``, vertices that were covered by ``r'`` and are now also covered by
+   ``r`` are examined in nondecreasing distance from ``r'``; an entry
+   ``(r', ρ)`` survives iff some neighbor ``w`` still covered by ``r'``
+   certifies a shortest path (``ρ = d(r', w) + ω(w, u)``).  Removals
+   cascade, restoring minimality and order-invariance (Lemmas 3.2/3.3).
+
+The returned statistics let the experiment harness report search sizes.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from collections import deque
+from dataclasses import dataclass
+
+from ..errors import LandmarkError, VertexError
+from .index import HCLIndex
+
+INF = math.inf
+
+__all__ = ["upgrade_landmark", "UpgradeStats"]
+
+
+@dataclass(frozen=True)
+class UpgradeStats:
+    """Work counters for one ``UPGRADE-LMK`` run."""
+
+    new_landmark: int
+    settled: int
+    entries_added: int
+    entries_removed: int
+    reached_landmarks: int
+
+
+def upgrade_landmark(
+    index: HCLIndex, r: int, remove_superfluous: bool = True
+) -> UpgradeStats:
+    """Add ``r`` to the landmark set of ``index``, updating it in place.
+
+    Parameters
+    ----------
+    index:
+        A canonical HCL index covering its graph. Modified in place.
+    r:
+        Vertex to promote; must not already be a landmark.
+    remove_superfluous:
+        Run the cleanup phase (lines 27-34). Disabling it keeps the index
+        *correct* (the cover property still holds) but no longer minimal /
+        order-invariant; exposed for the ablation study only.
+
+    Returns
+    -------
+    UpgradeStats
+        Counters describing the amount of work performed.
+
+    Raises
+    ------
+    LandmarkError
+        If ``r`` is already a landmark.
+    """
+    graph = index.graph
+    highway = index.highway
+    labeling = index.labeling
+    if not 0 <= r < graph.n:
+        raise VertexError(f"vertex {r} out of range [0, {graph.n})")
+    if r in highway:
+        raise LandmarkError(f"vertex {r} is already a landmark")
+
+    old_landmarks = highway.landmarks
+
+    # ------------------------------------------------------------------
+    # Lines 1-5: enrich the highway with the distances of r. No search.
+    # ------------------------------------------------------------------
+    label_r = dict(labeling.label(r))  # entries (r', δ) of landmarks covering r
+    highway.add_landmark(r)
+    for r2, d in label_r.items():
+        highway.set_distance(r, r2, d)
+    covering = set(label_r)
+    row_r = highway.row(r)
+    for r2 in old_landmarks - covering:
+        # Every shortest r-r2 path crosses some landmark r̂ covering r.
+        best = INF
+        row_r2 = highway.row(r2)
+        for rh in covering:
+            d = row_r[rh] + row_r2[rh]
+            if d < best:
+                best = d
+        highway.set_distance(r, r2, best)
+
+    # ------------------------------------------------------------------
+    # Lines 6-26: pruned search from r.
+    # ------------------------------------------------------------------
+    labeling.clear_vertex(r)
+    reached_lan: set[int] = set()
+    reached_ver: dict[int, list[int]] = {}
+    new_set = old_landmarks
+    new_set.add(r)  # R' = R ∪ {r}; highway.landmarks returned a fresh set
+
+    query_below = index.query_below
+    label_of = labeling.label
+    add_entry = labeling.add_entry
+    neighbors = graph.neighbors
+
+    dist = [INF] * graph.n
+    dist[r] = 0.0
+    settled = 0
+    entries_added = 0
+
+    # Candidate filter for the cleanup phase: an entry (r', ρ) of a settled
+    # vertex u can only have become superfluous if *all* shortest r' -> u
+    # paths pass the new landmark r, which forces ρ = δ_H(r', r) + d(r, u).
+    # Entries failing this O(1) test are provably still needed, so they are
+    # never enqueued for the (expensive) neighbor-certification pass.
+    if graph.unweighted:
+        # BFS variant: FIFO queue, discovery-time distances, checks at
+        # dequeue time exactly as in the Dijkstra variant.
+        queue: deque[int] = deque([r])
+        while queue:
+            u = queue.popleft()
+            delta = dist[u]
+            if u != r:
+                if u in new_set:
+                    reached_lan.add(u)
+                    continue
+                if query_below(r, u, delta):
+                    continue
+            settled += 1
+            for r2, d2 in label_of(u).items():
+                if d2 == row_r.get(r2, INF) + delta:
+                    reached_ver.setdefault(r2, []).append(u)
+            add_entry(u, r, delta)
+            entries_added += 1
+            nd = delta + 1.0
+            for v, _ in neighbors(u):
+                if nd < dist[v]:
+                    dist[v] = nd
+                    queue.append(v)
+    else:
+        heap: list[tuple[float, int]] = [(0.0, r)]
+        while heap:
+            delta, u = heapq.heappop(heap)
+            if delta > dist[u]:
+                continue
+            if u != r:
+                if u in new_set:
+                    reached_lan.add(u)
+                    continue
+                if query_below(r, u, delta):
+                    continue
+            settled += 1
+            for r2, d2 in label_of(u).items():
+                if d2 == row_r.get(r2, INF) + delta:
+                    reached_ver.setdefault(r2, []).append(u)
+            add_entry(u, r, delta)
+            entries_added += 1
+            for v, w in neighbors(u):
+                nd = delta + w
+                if nd < dist[v]:
+                    dist[v] = nd
+                    heapq.heappush(heap, (nd, v))
+
+    # ------------------------------------------------------------------
+    # Lines 27-34: drop entries made superfluous by r.
+    # ------------------------------------------------------------------
+    entries_removed = 0
+    remove_entry = labeling.remove_entry
+    if not remove_superfluous:
+        reached_lan = set()
+    for r2 in reached_lan:
+        candidates = reached_ver.get(r2)
+        if not candidates:
+            continue
+        # Process in nondecreasing distance from r2 so removals cascade
+        # outward along r2's shortest-path trees (paper lines 28-34).
+        ordered = sorted(
+            (label_of(x)[r2], x) for x in candidates if r2 in label_of(x)
+        )
+        for rho, u in ordered:
+            keep = False
+            for w, weight in neighbors(u):
+                dw = label_of(w).get(r2)
+                if dw is not None and dw + weight == rho:
+                    keep = True
+                    break
+            if not keep:
+                remove_entry(u, r2)
+                entries_removed += 1
+
+    return UpgradeStats(
+        new_landmark=r,
+        settled=settled,
+        entries_added=entries_added,
+        entries_removed=entries_removed,
+        reached_landmarks=len(reached_lan),
+    )

@@ -1,0 +1,52 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can use a single ``except`` clause at API boundaries while still
+being able to discriminate failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class GraphError(ReproError):
+    """Structural problem with a graph (bad vertex id, bad weight, ...)."""
+
+
+class VertexError(GraphError):
+    """A vertex id is out of range or otherwise invalid."""
+
+
+class EdgeError(GraphError):
+    """An edge is invalid: self-loop where forbidden, missing, duplicate."""
+
+
+class WeightError(GraphError):
+    """An edge weight is not a positive finite number."""
+
+
+class IndexStateError(ReproError):
+    """An HCL index operation was applied in an invalid state.
+
+    Examples: upgrading a vertex that is already a landmark, downgrading a
+    vertex that is not a landmark, querying an index over the wrong graph.
+    """
+
+
+class LandmarkError(IndexStateError):
+    """A landmark argument is invalid for the requested operation."""
+
+
+class CoverPropertyError(ReproError):
+    """An index failed the highway-cover property validation."""
+
+
+class DatasetError(ReproError):
+    """A workload/dataset specification could not be realized."""
+
+
+class ParseError(ReproError):
+    """A graph file could not be parsed."""

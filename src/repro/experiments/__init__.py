@@ -1,0 +1,43 @@
+"""Experiment harness regenerating every table and figure of the paper."""
+
+from .ablations import (
+    run_ablation_batch,
+    run_ablation_cleanup,
+    run_ablation_incdec,
+    run_ablation_selection,
+)
+from .extensions import run_extension_directed, run_extension_fullydynamic
+from .export import g1_rows, g2_rows, write_csv, write_json
+from .figure1 import run_figure1
+from .figure2 import run_figure2
+from .harness import G1Result, G2Result, run_g1, run_g2
+from .reporting import fmt_amortized, fmt_seconds, fmt_speedup, render_table
+from .table1 import run_table1
+from .table2 import run_table2
+from .table3 import run_table3
+
+__all__ = [
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "run_figure1",
+    "run_figure2",
+    "run_ablation_cleanup",
+    "run_ablation_batch",
+    "run_ablation_incdec",
+    "run_extension_directed",
+    "run_extension_fullydynamic",
+    "run_ablation_selection",
+    "run_g1",
+    "run_g2",
+    "G1Result",
+    "G2Result",
+    "render_table",
+    "fmt_seconds",
+    "fmt_speedup",
+    "fmt_amortized",
+    "g1_rows",
+    "g2_rows",
+    "write_csv",
+    "write_json",
+]

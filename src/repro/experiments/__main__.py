@@ -1,0 +1,144 @@
+"""Command-line entry point for the experiment harness.
+
+Usage::
+
+    python -m repro.experiments table1 [--scale S] [--seed N]
+    python -m repro.experiments table2 [--scale S] [--datasets A,B] [--no-large]
+    python -m repro.experiments table3 [--scale S] [--queries Q]
+    python -m repro.experiments figure1
+    python -m repro.experiments figure2 [--scale S] [--queries Q]
+    python -m repro.experiments ablation-cleanup | ablation-batch | ablation-selection
+    python -m repro.experiments all          # everything, in paper order
+
+Each subcommand prints a plain-text table shaped like the paper's
+corresponding table/figure; see EXPERIMENTS.md for a recorded run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .ablations import (
+    run_ablation_batch,
+    run_ablation_cleanup,
+    run_ablation_incdec,
+    run_ablation_selection,
+)
+from .extensions import run_extension_directed, run_extension_fullydynamic
+from .figure1 import run_figure1
+from .figure2 import run_figure2
+from .table1 import run_table1
+from .table2 import run_table2
+from .table3 import run_table3
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "target",
+        choices=[
+            "table1",
+            "table2",
+            "table3",
+            "figure1",
+            "figure2",
+            "ablation-cleanup",
+            "ablation-batch",
+            "ablation-selection",
+            "ablation-incdec",
+            "extension-directed",
+            "extension-fullydynamic",
+            "all",
+        ],
+    )
+    parser.add_argument("--scale", type=float, default=1.0, help="dataset size multiplier")
+    parser.add_argument("--seed", type=int, default=0, help="workload seed")
+    parser.add_argument("--queries", type=int, default=2000, help="queries per configuration")
+    parser.add_argument(
+        "--datasets",
+        type=str,
+        default=None,
+        help="comma-separated dataset filter (e.g. LUX,NW)",
+    )
+    parser.add_argument(
+        "--export",
+        type=str,
+        default=None,
+        help="table2/table3: also write measurements to this CSV path",
+    )
+    parser.add_argument(
+        "--no-large",
+        action="store_true",
+        help="table2: skip the large landmark sweep",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run one experiment target and print its table(s)."""
+    args = _build_parser().parse_args(argv)
+    datasets = args.datasets.split(",") if args.datasets else None
+
+    def emit(text: str) -> None:
+        print(text)
+        print()
+
+    start = time.perf_counter()
+    if args.target in ("table1", "all"):
+        emit(run_table1(scale=args.scale, seed=args.seed))
+    if args.target in ("figure1", "all"):
+        emit(run_figure1())
+    if args.target in ("table2", "all"):
+        emit(
+            run_table2(
+                scale=args.scale,
+                seed=args.seed,
+                datasets=datasets,
+                include_large=not args.no_large,
+                export_csv=args.export,
+            )
+        )
+    if args.target in ("table3", "all"):
+        emit(
+            run_table3(
+                scale=args.scale,
+                seed=args.seed,
+                queries=args.queries,
+                datasets=datasets,
+                export_csv=args.export,
+            )
+        )
+    if args.target in ("figure2", "all"):
+        emit(
+            run_figure2(
+                scale=args.scale,
+                seed=args.seed,
+                queries=args.queries,
+                datasets=datasets,
+            )
+        )
+    if args.target in ("ablation-cleanup", "all"):
+        emit(run_ablation_cleanup(scale=args.scale, seed=args.seed))
+    if args.target in ("ablation-batch", "all"):
+        emit(run_ablation_batch(scale=args.scale, seed=args.seed))
+    if args.target in ("ablation-selection", "all"):
+        emit(run_ablation_selection(scale=args.scale, seed=args.seed))
+    if args.target in ("ablation-incdec", "all"):
+        emit(run_ablation_incdec(scale=args.scale, seed=args.seed))
+    if args.target in ("extension-directed", "all"):
+        emit(run_extension_directed(scale=args.scale, seed=args.seed))
+    if args.target in ("extension-fullydynamic", "all"):
+        emit(run_extension_fullydynamic(scale=args.scale, seed=args.seed))
+    print(f"[done in {time.perf_counter() - start:.1f}s]", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,111 @@
+"""Structured export of experiment results (CSV / JSON).
+
+The table runners print paper-shaped text; downstream analysis wants
+machine-readable rows.  These helpers serialize the harness result
+dataclasses with stable column orders, so a sweep can be re-plotted
+without re-running it.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Iterable, Sequence, TextIO
+
+from .harness import G1Result, G2Result
+
+__all__ = ["g1_rows", "g2_rows", "write_csv", "write_json"]
+
+G1_COLUMNS = (
+    "dataset",
+    "landmarks",
+    "sigma",
+    "t_build",
+    "t_fdyn",
+    "speedup",
+    "label_entries_dyn",
+    "label_entries_rebuilt",
+)
+
+G2_COLUMNS = (
+    "dataset",
+    "landmarks",
+    "sigma",
+    "queries",
+    "cmt_fdyn",
+    "cmt_chgsp",
+    "amr_fdyn",
+    "amr_chgsp",
+)
+
+
+def g1_rows(results: Iterable[G1Result]) -> list[dict]:
+    """Dict rows (column order of ``G1_COLUMNS``) for Table 2 results."""
+    return [
+        {
+            "dataset": r.dataset,
+            "landmarks": r.landmarks,
+            "sigma": r.sigma,
+            "t_build": r.t_build,
+            "t_fdyn": r.t_fdyn,
+            "speedup": r.speedup,
+            "label_entries_dyn": r.label_entries_dyn,
+            "label_entries_rebuilt": r.label_entries_rebuilt,
+        }
+        for r in results
+    ]
+
+
+def g2_rows(results: Iterable[G2Result]) -> list[dict]:
+    """Dict rows (column order of ``G2_COLUMNS``) for Table 3 results."""
+    return [
+        {
+            "dataset": r.dataset,
+            "landmarks": r.landmarks,
+            "sigma": r.sigma,
+            "queries": r.queries,
+            "cmt_fdyn": r.cmt_fdyn,
+            "cmt_chgsp": r.cmt_chgsp,
+            "amr_fdyn": r.amr_fdyn,
+            "amr_chgsp": r.amr_chgsp,
+        }
+        for r in results
+    ]
+
+
+def write_csv(
+    rows: Sequence[dict], target: str | Path | TextIO, columns: Sequence[str] | None = None
+) -> None:
+    """Write dict rows as CSV (column order from ``columns`` or first row)."""
+    if not rows:
+        raise ValueError("no rows to export")
+    columns = list(columns or rows[0].keys())
+    if isinstance(target, (str, Path)):
+        fh: TextIO = open(target, "w", newline="", encoding="utf-8")
+        should_close = True
+    else:
+        fh = target
+        should_close = False
+    try:
+        writer = csv.DictWriter(fh, fieldnames=columns)
+        writer.writeheader()
+        writer.writerows(rows)
+    finally:
+        if should_close:
+            fh.close()
+
+
+def write_json(rows: Sequence[dict], target: str | Path | TextIO) -> None:
+    """Write dict rows as a JSON array."""
+    if isinstance(target, (str, Path)):
+        fh: TextIO = open(target, "w", encoding="utf-8")
+        should_close = True
+    else:
+        fh = target
+        should_close = False
+    try:
+        json.dump(list(rows), fh, indent=2)
+    finally:
+        if should_close:
+            fh.close()

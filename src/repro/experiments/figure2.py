@@ -1,0 +1,59 @@
+"""Figure 2 — cumulative runtime vs graph size at the largest |R|.
+
+The paper plots ``CMT_FDYN`` and ``CMT_CHGSP`` over a selection of road
+graphs at |R| = 3200 and observes that both scale roughly linearly with
+graph size while DYN-HCL keeps constants at least an order of magnitude
+lower.  This runner regenerates the two series (printed as a table, one
+row per graph in increasing size) at the rescaled |R|.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..workloads.datasets import dataset_spec
+from .harness import run_g2
+from .reporting import fmt_seconds, render_table
+
+__all__ = ["run_figure2", "FIGURE2_DATASETS"]
+
+#: Road-family series in increasing size (the figure's x axis).
+FIGURE2_DATASETS: tuple[str, ...] = ("LUX", "NW", "NE", "ITA", "DEU", "USA")
+
+
+def run_figure2(
+    scale: float = 1.0,
+    seed: int = 0,
+    queries: int = 2000,
+    landmark_count: int = 400,
+    datasets: Sequence[str] | None = None,
+) -> str:
+    """Regenerate the Figure 2 series."""
+    rows = []
+    for name in datasets or FIGURE2_DATASETS:
+        spec = dataset_spec(name)
+        graph = spec.build(scale=scale, seed=seed)
+        r = min(landmark_count, max(2, graph.n // 4))  # density <= 25%
+        res = run_g2(graph, name, r, queries=queries, seed=seed + 17)
+        ratio = res.cmt_chgsp / res.cmt_fdyn if res.cmt_fdyn else float("inf")
+        rows.append(
+            [
+                name,
+                f"{graph.n:,}",
+                f"{graph.m:,}",
+                fmt_seconds(res.cmt_fdyn),
+                fmt_seconds(res.cmt_chgsp),
+                f"{ratio:.1f}x",
+            ]
+        )
+    return render_table(
+        f"Figure 2 — cumulative runtimes at |R| = {landmark_count} "
+        "(paper: 3200, rescaled)",
+        ["Graph", "|V|", "|E|", "CMT_FDYN (s)", "CMT_CHGSP (s)", "CH-GSP/DYN"],
+        rows,
+        note=(
+            "Series in increasing graph size; the paper's claim to check is "
+            "roughly linear growth of both series with DYN-HCL at least an "
+            "order of magnitude below CH-GSP throughout."
+        ),
+    )

@@ -1,0 +1,156 @@
+"""Shared experiment machinery: timed runs of DYN-HCL and CH-GSP.
+
+Implements the paper's methodology steps (1)–(5):
+
+1. build an initial HCL index over landmarks chosen by the standard policy;
+2. (sparse graphs) preprocess CH-GSP and time its setup;
+3. apply ``σ = |R|/4`` mixed landmark updates;
+4. time each ``UPGRADE-LMK`` / ``DOWNGRADE-LMK`` invocation;
+5. rebuild from scratch with ``BUILDHCL`` on the final landmark set, then
+   issue ``q`` random landmark-constrained queries on both engines.
+
+Results are returned as plain dataclasses the table runners format.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..baselines.ch.gsp import CHGSP
+from ..core.build import build_hcl
+from ..core.dynhcl import DynamicHCL
+from ..core.selection import select_landmarks
+from ..graphs.graph import Graph
+from ..workloads.queries import random_query_pairs
+from ..workloads.updates import mixed_update_sequence
+
+__all__ = ["G1Result", "G2Result", "run_g1", "run_g2"]
+
+
+def _timed(fn, *args, **kwargs):
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - start
+
+
+@dataclass(frozen=True)
+class G1Result:
+    """One Table 2 cell group: dynamic maintenance vs full rebuild."""
+
+    dataset: str
+    landmarks: int
+    sigma: int
+    t_build: float  # BUILDHCL from scratch on the final landmark set
+    t_fdyn: float  # mean per-update time of UPGRADE/DOWNGRADE-LMK
+    label_entries_dyn: int
+    label_entries_rebuilt: int
+
+    @property
+    def speedup(self) -> float:
+        """The paper's SPEED-UP column: ``T_BUILD / T_FDYN``."""
+        return self.t_build / self.t_fdyn if self.t_fdyn > 0 else float("inf")
+
+
+@dataclass(frozen=True)
+class G2Result:
+    """One Table 3 cell group: cumulative/amortized DYN-HCL vs CH-GSP."""
+
+    dataset: str
+    landmarks: int
+    sigma: int
+    queries: int
+    cmt_fdyn: float
+    cmt_chgsp: float
+
+    @property
+    def amr_fdyn(self) -> float:
+        """Amortized DYN-HCL cost per query."""
+        return self.cmt_fdyn / self.queries
+
+    @property
+    def amr_chgsp(self) -> float:
+        """Amortized CH-GSP cost per query."""
+        return self.cmt_chgsp / self.queries
+
+
+def run_g1(
+    graph: Graph,
+    dataset: str,
+    landmark_count: int,
+    seed: int = 0,
+    policy: str = "auto",
+) -> G1Result:
+    """Goal (G1): maintenance efficiency of DYN-HCL vs BUILDHCL (Table 2)."""
+    initial = select_landmarks(graph, landmark_count, policy=policy, seed=seed)
+    dyn = DynamicHCL.build(graph, initial)
+    updates = mixed_update_sequence(graph.n, initial, seed=seed + 1)
+    log = dyn.apply_sequence(updates)
+
+    final_landmarks = sorted(dyn.landmarks)
+    rebuilt, t_build = _timed(build_hcl, graph, final_landmarks)
+
+    return G1Result(
+        dataset=dataset,
+        landmarks=landmark_count,
+        sigma=log.count,
+        t_build=t_build,
+        t_fdyn=log.mean_seconds,
+        label_entries_dyn=dyn.index.labeling.total_entries(),
+        label_entries_rebuilt=rebuilt.labeling.total_entries(),
+    )
+
+
+def run_g2(
+    graph: Graph,
+    dataset: str,
+    landmark_count: int,
+    queries: int = 2000,
+    seed: int = 0,
+    policy: str = "auto",
+) -> G2Result:
+    """Goal (G2): cumulative cost of DYN-HCL vs CH-GSP (Table 3 / Fig. 2).
+
+    Cumulative DYN-HCL = initial BUILDHCL + all dynamic updates + all
+    ``QUERY`` calls.  Cumulative CH-GSP = CH preprocessing + landmark-space
+    setup/maintenance + all GSP queries.  Amortized = cumulative / queries,
+    the classical charging scheme of the paper.
+    """
+    initial = select_landmarks(graph, landmark_count, policy=policy, seed=seed)
+    updates = mixed_update_sequence(graph.n, initial, seed=seed + 1)
+    pairs = random_query_pairs(graph.n, queries, seed=seed + 2)
+
+    # --- DYN-HCL side -------------------------------------------------
+    dyn, t_build = _timed(DynamicHCL.build, graph, initial)
+    log = dyn.apply_sequence(updates)
+    query = dyn.index.query
+    start = time.perf_counter()
+    for s, t in pairs:
+        query(s, t)
+    t_queries = time.perf_counter() - start
+    cmt_fdyn = t_build + log.total_seconds + t_queries
+
+    # --- CH-GSP side --------------------------------------------------
+    engine, t_pre = _timed(CHGSP, graph, initial)
+    start = time.perf_counter()
+    for update in updates:
+        if update.kind == "add":
+            engine.add_landmark(update.vertex)
+        else:
+            engine.remove_landmark(update.vertex)
+    t_maintain = time.perf_counter() - start
+    gsp_query = engine.landmark_constrained_distance
+    start = time.perf_counter()
+    for s, t in pairs:
+        gsp_query(s, t)
+    t_gsp_queries = time.perf_counter() - start
+    cmt_chgsp = t_pre + t_maintain + t_gsp_queries
+
+    return G2Result(
+        dataset=dataset,
+        landmarks=landmark_count,
+        sigma=log.count,
+        queries=queries,
+        cmt_fdyn=cmt_fdyn,
+        cmt_chgsp=cmt_chgsp,
+    )

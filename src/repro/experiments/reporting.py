@@ -1,0 +1,62 @@
+"""Plain-text table rendering for the experiment harness.
+
+The runners print tables with the same rows/columns as the paper's Tables
+1–3 and the series of Figure 2, so a reproduction run can be compared to
+the paper side by side.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+__all__ = ["render_table", "fmt_seconds", "fmt_speedup", "fmt_amortized"]
+
+
+def fmt_seconds(value: float, threshold: float = 0.01) -> str:
+    """Seconds formatted like the paper's Table 2 (``<0.01`` floor)."""
+    if value != value or value == math.inf:  # NaN / inf guards
+        return "-"
+    if 0 < value < threshold:
+        return f"<{threshold:g}"
+    return f"{value:.2f}"
+
+
+def fmt_speedup(value: float) -> str:
+    """Speedup factors with two decimals (paper style)."""
+    if value != value or value == math.inf:
+        return "-"
+    return f"{value:,.2f}"
+
+
+def fmt_amortized(value: float) -> str:
+    """Scientific notation with one decimal, as in the paper's Table 3."""
+    if value != value or value == math.inf or value <= 0:
+        return "-"
+    exponent = math.floor(math.log10(value))
+    mantissa = value / 10**exponent
+    return f"{mantissa:.1f}e{exponent:+03d}"
+
+
+def render_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[str]],
+    note: str | None = None,
+) -> str:
+    """Fixed-width table with a title rule and an optional footnote."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(str(cell)))
+    sep = "-+-".join("-" * w for w in widths)
+
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(str(c).rjust(w) for c, w in zip(cells, widths))
+
+    out = [title, "=" * len(title), line(headers), sep]
+    out.extend(line(row) for row in rows)
+    if note:
+        out.append("")
+        out.append(note)
+    return "\n".join(out)

@@ -1,0 +1,118 @@
+"""Table 2 — DYN-HCL vs full recomputation (goal G1).
+
+For every dataset and landmark-set size, reports ``T_BUILD`` (full
+``BUILDHCL`` on the final landmark set), ``T_FDYN`` (mean per-update time
+of ``UPGRADE-LMK``/``DOWNGRADE-LMK`` over the σ = |R|/4 mixed workload) and
+their ratio ``SPEED-UP`` — the paper's headline measurement.
+
+The paper's small sweep uses |R| ∈ {20, 40, 80} on all graphs and a large
+sweep |R| ∈ {800, 1600, 3200} on road/communication graphs; at our ~1/1000
+graph scale the large sweep maps to {100, 200, 400} (same landmark density).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..workloads.datasets import TABLE1_DATASETS, dataset_spec
+from .harness import G1Result, run_g1
+from .reporting import fmt_seconds, fmt_speedup, render_table
+
+__all__ = ["run_table2", "SMALL_R", "LARGE_R", "LARGE_R_DATASETS"]
+
+#: The paper's small landmark sweep (used verbatim).
+SMALL_R: tuple[int, ...] = (20, 40, 80)
+
+#: The paper's {800, 1600, 3200} sweep rescaled to our instance sizes.
+LARGE_R: tuple[int, ...] = (100, 200, 400)
+
+#: Road + communication datasets eligible for the large sweep (paper's set).
+LARGE_R_DATASETS: tuple[str, ...] = ("LUX", "CAI", "UK-W", "NW", "NE", "ITA", "DEU", "USA")
+
+
+def _sweep(
+    names: Sequence[str], r_values: Sequence[int], scale: float, seed: int
+) -> list[list[G1Result]]:
+    table: list[list[G1Result]] = []
+    for name in names:
+        spec = dataset_spec(name)
+        graph = spec.build(scale=scale, seed=seed)
+        row = [
+            run_g1(graph, name, r, seed=seed + 13 * r)
+            for r in r_values
+            # keep landmark density <= 50% so the σ/2 insertions of the
+            # mixed workload always have candidates
+            if 2 * r <= graph.n
+        ]
+        table.append(row)
+    return table
+
+
+def _render(
+    title: str, r_values: Sequence[int], results: list[list[G1Result]]
+) -> str:
+    headers = ["Graph"]
+    for r in r_values:
+        headers += [f"T_BUILD@{r}", f"T_FDYN@{r}", f"SPEEDUP@{r}"]
+    rows = []
+    for row in results:
+        if not row:
+            continue
+        cells = [row[0].dataset]
+        for res in row:
+            cells += [
+                fmt_seconds(res.t_build),
+                fmt_seconds(res.t_fdyn),
+                fmt_speedup(res.speedup),
+            ]
+        # Pad datasets that skipped infeasible |R| values.
+        cells += ["-"] * (len(headers) - len(cells))
+        rows.append(cells)
+    return render_table(
+        title,
+        headers,
+        rows,
+        note=(
+            "T_BUILD: BUILDHCL from scratch on the final landmark set (s). "
+            "T_FDYN: mean per-update time of UPGRADE/DOWNGRADE-LMK (s). "
+            "SPEED-UP = T_BUILD / T_FDYN."
+        ),
+    )
+
+
+def run_table2(
+    scale: float = 1.0,
+    seed: int = 0,
+    datasets: Sequence[str] | None = None,
+    include_large: bool = True,
+    export_csv: str | None = None,
+) -> str:
+    """Run the full Table 2 sweep and render both halves.
+
+    ``export_csv`` additionally writes every measurement as machine-readable
+    rows (see :mod:`repro.experiments.export`).
+    """
+    small_names = list(datasets) if datasets else [s.name for s in TABLE1_DATASETS]
+    small = _sweep(small_names, SMALL_R, scale, seed)
+    parts = [
+        _render("Table 2 (top) — |R| in {20, 40, 80}", SMALL_R, small)
+    ]
+    collected = [res for row in small for res in row]
+    if include_large:
+        large_names = [n for n in LARGE_R_DATASETS if n in small_names]
+        if large_names:
+            large = _sweep(large_names, LARGE_R, scale, seed)
+            collected += [res for row in large for res in row]
+            parts.append(
+                _render(
+                    "Table 2 (bottom) — |R| in {100, 200, 400} "
+                    "(paper: {800, 1600, 3200}, rescaled)",
+                    LARGE_R,
+                    large,
+                )
+            )
+    if export_csv and collected:
+        from .export import G1_COLUMNS, g1_rows, write_csv
+
+        write_csv(g1_rows(collected), export_csv, columns=G1_COLUMNS)
+    return "\n\n".join(parts)

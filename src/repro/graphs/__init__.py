@@ -1,0 +1,73 @@
+"""Graph substrate: data structures, search kernels, generators, I/O."""
+
+from .analysis import (
+    GraphProfile,
+    connected_components,
+    degree_histogram,
+    double_sweep_diameter,
+    is_connected,
+    largest_component,
+    profile_graph,
+)
+from .csr import CSRGraph, csr_dijkstra
+from .digraph import DiGraph
+from .generators import (
+    barabasi_albert,
+    community_graph,
+    connect_components,
+    erdos_renyi,
+    random_bipartite,
+    road_grid,
+)
+from .graph import Graph
+from .io import read_dimacs, read_edge_list, write_dimacs, write_edge_list
+from .pqueue import AddressableHeap, LazyHeap
+from .traversal import (
+    INF,
+    bfs_distances,
+    bounded_bidirectional_distance,
+    dijkstra_distances,
+    distance_between,
+    flagged_single_source,
+    reconstruct_path,
+    single_source_distances,
+    single_source_with_parents,
+)
+from .weights import assign_uniform_integer_weights, unit_weights
+
+__all__ = [
+    "Graph",
+    "GraphProfile",
+    "connected_components",
+    "degree_histogram",
+    "double_sweep_diameter",
+    "is_connected",
+    "largest_component",
+    "profile_graph",
+    "DiGraph",
+    "CSRGraph",
+    "csr_dijkstra",
+    "AddressableHeap",
+    "LazyHeap",
+    "INF",
+    "bfs_distances",
+    "dijkstra_distances",
+    "single_source_distances",
+    "single_source_with_parents",
+    "flagged_single_source",
+    "bounded_bidirectional_distance",
+    "distance_between",
+    "reconstruct_path",
+    "erdos_renyi",
+    "barabasi_albert",
+    "community_graph",
+    "road_grid",
+    "random_bipartite",
+    "connect_components",
+    "assign_uniform_integer_weights",
+    "unit_weights",
+    "read_dimacs",
+    "write_dimacs",
+    "read_edge_list",
+    "write_edge_list",
+]

@@ -1,0 +1,113 @@
+"""Structural graph metrics used by the workloads and experiments.
+
+These are the quantities the paper's Table 1 and dataset discussion refer
+to: component structure, degree profile, and an eccentricity-based diameter
+estimate (exact diameters are too expensive at scale; the standard
+double-sweep lower bound is what experimental papers report).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from .graph import Graph
+from .traversal import INF, single_source_distances
+
+__all__ = [
+    "connected_components",
+    "is_connected",
+    "largest_component",
+    "degree_histogram",
+    "double_sweep_diameter",
+    "GraphProfile",
+    "profile_graph",
+]
+
+
+def connected_components(g: Graph) -> list[list[int]]:
+    """Vertex lists of the connected components, largest first."""
+    seen = [False] * g.n
+    components: list[list[int]] = []
+    for start in g.vertices():
+        if seen[start]:
+            continue
+        stack = [start]
+        seen[start] = True
+        comp = [start]
+        while stack:
+            u = stack.pop()
+            for v, _ in g.neighbors(u):
+                if not seen[v]:
+                    seen[v] = True
+                    comp.append(v)
+                    stack.append(v)
+        components.append(comp)
+    components.sort(key=len, reverse=True)
+    return components
+
+
+def is_connected(g: Graph) -> bool:
+    """Whether the graph is a single connected component."""
+    if g.n == 0:
+        return True
+    return len(connected_components(g)[0]) == g.n
+
+
+def largest_component(g: Graph) -> list[int]:
+    """The vertex list of the largest connected component."""
+    if g.n == 0:
+        return []
+    return connected_components(g)[0]
+
+
+def degree_histogram(g: Graph) -> dict[int, int]:
+    """``degree -> vertex count`` mapping."""
+    return dict(Counter(g.degree(v) for v in g.vertices()))
+
+
+def double_sweep_diameter(g: Graph, start: int = 0) -> float:
+    """Double-sweep diameter lower bound (exact on trees).
+
+    One sweep from ``start`` finds the farthest vertex ``a``; a second
+    sweep from ``a`` returns the largest finite distance — a tight lower
+    bound on the diameter of ``start``'s component.
+    """
+    if g.n == 0:
+        return 0.0
+    dist = single_source_distances(g, start)
+    a = max(
+        (v for v in g.vertices() if dist[v] != INF),
+        key=lambda v: dist[v],
+        default=start,
+    )
+    dist = single_source_distances(g, a)
+    finite = [d for d in dist if d != INF]
+    return max(finite) if finite else 0.0
+
+
+@dataclass(frozen=True)
+class GraphProfile:
+    """Summary statistics of a graph instance."""
+
+    n: int
+    m: int
+    average_degree: float
+    max_degree: int
+    components: int
+    diameter_lower_bound: float
+    weighted: bool
+
+
+def profile_graph(g: Graph) -> GraphProfile:
+    """Compute a :class:`GraphProfile` (one BFS/Dijkstra triple of work)."""
+    comps = connected_components(g)
+    return GraphProfile(
+        n=g.n,
+        m=g.m,
+        average_degree=g.average_degree,
+        max_degree=max((g.degree(v) for v in g.vertices()), default=0),
+        components=len(comps),
+        diameter_lower_bound=double_sweep_diameter(g, comps[0][0]) if comps else 0.0,
+        weighted=not g.unweighted,
+    )

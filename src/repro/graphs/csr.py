@@ -1,0 +1,105 @@
+"""Compressed sparse row (CSR) snapshots of graphs.
+
+Adjacency-list graphs are ideal for the mutation-heavy dynamic algorithms,
+but large *static* workloads (BUILDHCL over a frozen graph, bulk query
+serving) benefit from a compact immutable layout: one offsets array plus
+flat neighbor/weight arrays (``array('l')`` / ``array('d')``) — roughly
+3-4x less memory than tuple lists.  In pure CPython the flat layout does
+*not* beat tuple lists on speed (boxing on every indexed read); the win is
+memory and the snapshot/immutability semantics, and the layout is the one
+a C extension would accelerate directly.  ``benchmarks/bench_csr.py``
+records the trade-off.
+
+:class:`CSRGraph` is a read-only snapshot exposing the same ``n`` /
+``unweighted`` / ``neighbors`` protocol the search kernels consume, so
+every kernel in :mod:`repro.graphs.traversal` (and therefore ``BUILDHCL``)
+accepts it unchanged.  ``neighbors`` materializes one vertex's slice as a
+list of pairs; the dedicated :func:`csr_dijkstra` avoids even that by
+walking the flat arrays directly.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from array import array
+
+from ..errors import GraphError
+from .graph import Graph
+
+INF = math.inf
+
+__all__ = ["CSRGraph", "csr_dijkstra"]
+
+
+class CSRGraph:
+    """Immutable CSR snapshot of an undirected graph."""
+
+    __slots__ = ("n", "m", "unweighted", "_offsets", "_targets", "_weights")
+
+    def __init__(self, graph: Graph):
+        self.n = graph.n
+        self.m = graph.m
+        self.unweighted = graph.unweighted
+        offsets = array("l", [0]) if self.n >= 0 else array("l")
+        targets = array("l")
+        weights = array("d")
+        total = 0
+        for v in graph.vertices():
+            adj = graph.neighbors(v)
+            total += len(adj)
+            offsets.append(total)
+            for u, w in adj:
+                targets.append(u)
+                weights.append(w)
+        self._offsets = offsets
+        self._targets = targets
+        self._weights = weights
+
+    def neighbors(self, u: int) -> list[tuple[int, float]]:
+        """The ``(neighbor, weight)`` pairs of ``u`` (materialized)."""
+        lo, hi = self._offsets[u], self._offsets[u + 1]
+        return list(zip(self._targets[lo:hi], self._weights[lo:hi]))
+
+    def degree(self, u: int) -> int:
+        """Number of incident edges."""
+        return self._offsets[u + 1] - self._offsets[u]
+
+    def vertices(self) -> range:
+        """The vertex id range."""
+        return range(self.n)
+
+    @property
+    def average_degree(self) -> float:
+        """Average vertex degree."""
+        return (2.0 * self.m / self.n) if self.n else 0.0
+
+    def memory_cells(self) -> int:
+        """Array cells held (offsets + targets + weights)."""
+        return len(self._offsets) + len(self._targets) + len(self._weights)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CSRGraph(n={self.n}, m={self.m})"
+
+
+def csr_dijkstra(csr: CSRGraph, source: int) -> list[float]:
+    """Dijkstra over the flat CSR arrays (no per-edge tuple allocation)."""
+    if not 0 <= source < csr.n:
+        raise GraphError(f"source {source} out of range [0, {csr.n})")
+    offsets = csr._offsets
+    targets = csr._targets
+    weights = csr._weights
+    dist = [INF] * csr.n
+    dist[source] = 0.0
+    heap: list[tuple[float, int]] = [(0.0, source)]
+    while heap:
+        d, u = heapq.heappop(heap)
+        if d > dist[u]:
+            continue
+        for i in range(offsets[u], offsets[u + 1]):
+            v = targets[i]
+            nd = d + weights[i]
+            if nd < dist[v]:
+                dist[v] = nd
+                heapq.heappush(heap, (nd, v))
+    return dist

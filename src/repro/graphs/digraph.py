@@ -1,0 +1,150 @@
+"""Directed weighted graph, used by the directed-HCL extension.
+
+The paper's future-work item (i) generalizes DYN-HCL to digraphs by keeping
+outgoing and incoming adjacency separately; :class:`DiGraph` provides exactly
+that split.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Iterator
+
+from ..errors import EdgeError, VertexError, WeightError
+
+__all__ = ["DiGraph"]
+
+
+class DiGraph:
+    """A simple directed graph with positive arc weights.
+
+    Maintains both out- and in-adjacency so that backward searches (needed
+    for the incoming labels of a directed HCL index) are as cheap as forward
+    ones.
+    """
+
+    __slots__ = ("_out", "_in", "_m", "unweighted")
+
+    def __init__(self, n: int, unweighted: bool = False):
+        if n < 0:
+            raise VertexError(f"number of vertices must be >= 0, got {n}")
+        self._out: list[list[tuple[int, float]]] = [[] for _ in range(n)]
+        self._in: list[list[tuple[int, float]]] = [[] for _ in range(n)]
+        self._m = 0
+        self.unweighted = unweighted
+
+    @property
+    def n(self) -> int:
+        """Number of vertices."""
+        return len(self._out)
+
+    @property
+    def m(self) -> int:
+        """Number of arcs."""
+        return self._m
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DiGraph(n={self.n}, m={self.m})"
+
+    def _check_vertex(self, v: int) -> None:
+        if not 0 <= v < self.n:
+            raise VertexError(f"vertex {v} out of range [0, {self.n})")
+
+    def add_arc(self, u: int, v: int, w: float = 1.0) -> None:
+        """Add the arc ``u -> v`` with weight ``w``."""
+        self._check_vertex(u)
+        self._check_vertex(v)
+        if not (isinstance(w, (int, float)) and math.isfinite(w) and w > 0):
+            raise WeightError(f"arc weight must be a positive finite number, got {w!r}")
+        if u == v:
+            raise EdgeError(f"self-loop on vertex {u} is not allowed")
+        if any(x == v for x, _ in self._out[u]):
+            raise EdgeError(f"arc ({u}, {v}) already present")
+        w = float(w)
+        self._out[u].append((v, w))
+        self._in[v].append((u, w))
+        self._m += 1
+
+    def remove_arc(self, u: int, v: int) -> float:
+        """Remove arc ``u -> v`` and return its weight."""
+        self._check_vertex(u)
+        self._check_vertex(v)
+        weight = None
+        for i, (x, w) in enumerate(self._out[u]):
+            if x == v:
+                weight = w
+                del self._out[u][i]
+                break
+        if weight is None:
+            raise EdgeError(f"arc ({u}, {v}) not present")
+        for i, (x, _) in enumerate(self._in[v]):
+            if x == u:
+                del self._in[v][i]
+                break
+        self._m -= 1
+        return weight
+
+    def out_neighbors(self, u: int) -> list[tuple[int, float]]:
+        """Arcs leaving ``u`` as ``(head, weight)`` pairs."""
+        return self._out[u]
+
+    def in_neighbors(self, u: int) -> list[tuple[int, float]]:
+        """Arcs entering ``u`` as ``(tail, weight)`` pairs."""
+        return self._in[u]
+
+    def out_degree(self, u: int) -> int:
+        """Number of arcs leaving ``u``."""
+        return len(self._out[u])
+
+    def in_degree(self, u: int) -> int:
+        """Number of arcs entering ``u``."""
+        return len(self._in[u])
+
+    def arcs(self) -> Iterator[tuple[int, int, float]]:
+        """Iterate over all arcs as ``(tail, head, weight)``."""
+        for u, adj in enumerate(self._out):
+            for v, w in adj:
+                yield (u, v, w)
+
+    def vertices(self) -> range:
+        """The vertex id range ``0 .. n-1``."""
+        return range(self.n)
+
+    @classmethod
+    def from_arcs(
+        cls,
+        n: int,
+        arcs: Iterable[tuple[int, int] | tuple[int, int, float]],
+        unweighted: bool = False,
+    ) -> "DiGraph":
+        """Build a digraph from an arc iterable, skipping duplicates."""
+        g = cls(n, unweighted=unweighted)
+        for a in arcs:
+            if len(a) == 2:
+                u, v = a  # type: ignore[misc]
+                w = 1.0
+            else:
+                u, v, w = a  # type: ignore[misc]
+            if u == v or any(x == v for x, _ in g._out[u]):
+                continue
+            g.add_arc(u, v, w)
+        return g
+
+    @classmethod
+    def from_undirected(cls, g) -> "DiGraph":
+        """Two opposite arcs per undirected edge (symmetric digraph)."""
+        d = cls(g.n, unweighted=g.unweighted)
+        for u, v, w in g.edges():
+            d.add_arc(u, v, w)
+            d.add_arc(v, u, w)
+        return d
+
+    def reverse(self) -> "DiGraph":
+        """A new digraph with every arc reversed."""
+        r = DiGraph(self.n, unweighted=self.unweighted)
+        for u, v, w in self.arcs():
+            r.add_arc(v, u, w)
+        return r

@@ -1,0 +1,264 @@
+"""Random-graph generators used as stand-ins for the paper's datasets.
+
+Table 1 of the paper mixes road networks (grid-like, sparse, large
+diameter), power-law graphs (Barabási–Albert), a uniform random graph
+(Erdős–Rényi), a web graph, a bipartite ratings graph, and social networks.
+Each generator here reproduces the structural signature of one class at a
+scale a pure-Python shortest-path stack can sweep.
+
+All generators are deterministic given ``seed`` and always return a
+*connected* graph (they add a linking spanning structure when the random
+draw leaves isolated pieces), since HCL indexes cover reachable pairs and
+the paper's instances are connected.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..errors import DatasetError
+from .graph import Graph
+
+__all__ = [
+    "erdos_renyi",
+    "barabasi_albert",
+    "community_graph",
+    "road_grid",
+    "random_bipartite",
+    "connect_components",
+]
+
+
+def _ensure_positive(name: str, value: int) -> None:
+    if value <= 0:
+        raise DatasetError(f"{name} must be positive, got {value}")
+
+
+def connect_components(g: Graph, seed: int | None = None) -> None:
+    """Add the minimum number of random edges to make ``g`` connected.
+
+    Mutates ``g`` in place.  Each added edge joins a random representative
+    of one component to a random vertex of the growing giant component.
+    """
+    rng = random.Random(seed)
+    seen = [False] * g.n
+    components: list[list[int]] = []
+    for start in g.vertices():
+        if seen[start]:
+            continue
+        stack = [start]
+        seen[start] = True
+        comp = [start]
+        while stack:
+            u = stack.pop()
+            for v, _ in g.neighbors(u):
+                if not seen[v]:
+                    seen[v] = True
+                    comp.append(v)
+                    stack.append(v)
+        components.append(comp)
+    giant = components[0]
+    for comp in components[1:]:
+        u = rng.choice(giant)
+        v = rng.choice(comp)
+        g.add_edge(u, v, 1.0)
+        giant.extend(comp)
+
+
+def erdos_renyi(n: int, avg_degree: float, seed: int | None = None) -> Graph:
+    """Connected Erdős–Rényi ``G(n, m)`` graph with the given average degree.
+
+    Mirrors the paper's ``ERD`` instance (uniform random topology).  We use
+    the ``G(n, m)`` variant with ``m = n * avg_degree / 2`` for exact size
+    control.
+    """
+    _ensure_positive("n", n)
+    if avg_degree <= 0 or avg_degree >= n:
+        raise DatasetError(f"average degree {avg_degree} infeasible for n={n}")
+    rng = random.Random(seed)
+    target_m = max(n - 1, round(n * avg_degree / 2))
+    g = Graph(n, unweighted=True)
+    edges: set[tuple[int, int]] = set()
+    max_m = n * (n - 1) // 2
+    if target_m > max_m:
+        raise DatasetError(f"requested {target_m} edges but K_{n} has only {max_m}")
+    while len(edges) < target_m:
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        if u == v:
+            continue
+        e = (u, v) if u < v else (v, u)
+        if e not in edges:
+            edges.add(e)
+            g.add_edge(*e, 1.0)
+    connect_components(g, seed=rng.randrange(1 << 30))
+    return g
+
+
+def barabasi_albert(n: int, k: int, seed: int | None = None) -> Graph:
+    """Barabási–Albert preferential-attachment graph (power-law degrees).
+
+    Each new vertex attaches to ``k`` distinct existing vertices chosen
+    proportionally to degree.  Matches the paper's U-BAR/W-BAR synthetic
+    instances and acts as the stand-in for its social/web graphs.
+    """
+    _ensure_positive("n", n)
+    _ensure_positive("k", k)
+    if n <= k:
+        raise DatasetError(f"need n > k, got n={n}, k={k}")
+    rng = random.Random(seed)
+    g = Graph(n, unweighted=True)
+    # Seed clique on k+1 vertices so the first attachments have targets.
+    repeated: list[int] = []  # vertex repeated once per incident edge
+    for u in range(k + 1):
+        for v in range(u + 1, k + 1):
+            g.add_edge(u, v, 1.0)
+            repeated.append(u)
+            repeated.append(v)
+    for u in range(k + 1, n):
+        targets: set[int] = set()
+        while len(targets) < k:
+            targets.add(rng.choice(repeated))
+        for v in targets:
+            g.add_edge(u, v, 1.0)
+            repeated.append(u)
+            repeated.append(v)
+    return g
+
+
+def road_grid(
+    rows: int,
+    cols: int,
+    diagonal_prob: float = 0.08,
+    removal_prob: float = 0.05,
+    seed: int | None = None,
+) -> Graph:
+    """Road-network stand-in: perturbed grid with occasional diagonals.
+
+    Real road networks (LUX, NW, NE, ITA, DEU, USA in the paper) are almost
+    planar with average degree ~2.5 and large diameter.  A grid with a few
+    random removals and diagonal shortcuts reproduces exactly that profile.
+    """
+    _ensure_positive("rows", rows)
+    _ensure_positive("cols", cols)
+    if not 0 <= removal_prob < 1:
+        raise DatasetError(f"removal_prob must be in [0, 1), got {removal_prob}")
+    rng = random.Random(seed)
+    n = rows * cols
+    g = Graph(n, unweighted=True)
+
+    def vid(r: int, c: int) -> int:
+        return r * cols + c
+
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols and rng.random() >= removal_prob:
+                g.add_edge(vid(r, c), vid(r, c + 1), 1.0)
+            if r + 1 < rows and rng.random() >= removal_prob:
+                g.add_edge(vid(r, c), vid(r + 1, c), 1.0)
+            if (
+                r + 1 < rows
+                and c + 1 < cols
+                and rng.random() < diagonal_prob
+            ):
+                g.add_edge(vid(r, c), vid(r + 1, c + 1), 1.0)
+    connect_components(g, seed=rng.randrange(1 << 30))
+    return g
+
+
+def community_graph(
+    n: int,
+    communities: int,
+    k_intra: int,
+    inter_fraction: float = 0.04,
+    seed: int | None = None,
+) -> Graph:
+    """Power-law communities joined by sparse random bridges.
+
+    Real social and web graphs combine heavy-tailed degrees with community
+    structure; plain preferential attachment reproduces only the former,
+    which makes every hub reachable from everywhere by many disjoint paths
+    — pathological for landmark-cover locality.  This generator runs
+    Barabási–Albert-style attachment *inside* each of ``communities``
+    blocks and adds ``n * inter_fraction`` random inter-community bridges,
+    restoring the locality that lets landmarks shadow one another.
+    """
+    _ensure_positive("n", n)
+    _ensure_positive("communities", communities)
+    _ensure_positive("k_intra", k_intra)
+    if not 0 <= inter_fraction < 1:
+        raise DatasetError(f"inter_fraction must be in [0, 1), got {inter_fraction}")
+    size = n // communities
+    if size <= k_intra:
+        raise DatasetError(
+            f"community size {size} must exceed k_intra={k_intra}"
+        )
+    rng = random.Random(seed)
+    g = Graph(n, unweighted=True)
+
+    for c in range(communities):
+        lo = c * size
+        hi = n if c == communities - 1 else lo + size
+        members = list(range(lo, hi))
+        repeated: list[int] = []
+        seed_k = min(k_intra + 1, len(members))
+        for i in range(seed_k):
+            for j in range(i + 1, seed_k):
+                g.add_edge(members[i], members[j], 1.0)
+                repeated.append(members[i])
+                repeated.append(members[j])
+        for idx in range(seed_k, len(members)):
+            u = members[idx]
+            targets: set[int] = set()
+            while len(targets) < min(k_intra, idx):
+                targets.add(rng.choice(repeated))
+            for v in targets:
+                g.add_edge(u, v, 1.0)
+                repeated.append(u)
+                repeated.append(v)
+
+    bridges = round(n * inter_fraction)
+    added = 0
+    attempts = 0
+    while added < bridges and attempts < 50 * bridges + 100:
+        attempts += 1
+        u, v = rng.randrange(n), rng.randrange(n)
+        if (
+            u != v
+            and min(u // size, communities - 1) != min(v // size, communities - 1)
+            and not g.has_edge(u, v)
+        ):
+            g.add_edge(u, v, 1.0)
+            added += 1
+    connect_components(g, seed=rng.randrange(1 << 30))
+    return g
+
+
+def random_bipartite(
+    left: int, right: int, avg_degree: float, seed: int | None = None
+) -> Graph:
+    """Bipartite ratings-style graph (stand-in for the paper's YAH).
+
+    Vertices ``0..left-1`` form one side, ``left..left+right-1`` the other;
+    edges only cross sides, like user–item rating graphs.
+    """
+    _ensure_positive("left", left)
+    _ensure_positive("right", right)
+    n = left + right
+    if avg_degree <= 0:
+        raise DatasetError(f"average degree must be positive, got {avg_degree}")
+    rng = random.Random(seed)
+    target_m = max(n - 1, round(n * avg_degree / 2))
+    max_m = left * right
+    if target_m > max_m:
+        raise DatasetError(f"requested {target_m} edges but K_{left},{right} has {max_m}")
+    g = Graph(n, unweighted=True)
+    edges: set[tuple[int, int]] = set()
+    while len(edges) < target_m:
+        u = rng.randrange(left)
+        v = left + rng.randrange(right)
+        if (u, v) not in edges:
+            edges.add((u, v))
+            g.add_edge(u, v, 1.0)
+    connect_components(g, seed=rng.randrange(1 << 30))
+    return g

@@ -1,0 +1,229 @@
+"""Undirected weighted graph used throughout the library.
+
+The representation is an adjacency list of ``(neighbor, weight)`` tuples,
+which is the fastest layout for the Dijkstra/BFS-heavy workloads of the HCL
+algorithms in pure Python.  Vertices are dense integer ids ``0..n-1`` as in
+the DIMACS instances the paper evaluates on.
+
+Weights must be positive and finite (the paper assumes
+``ω : E → R+``); unweighted graphs are modelled with unit weights plus the
+``unweighted`` flag, which the algorithms use to switch Dijkstra searches to
+FIFO BFS exactly as described in the paper's experimental setup.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Iterator
+
+from ..errors import EdgeError, VertexError, WeightError
+
+__all__ = ["Graph"]
+
+
+class Graph:
+    """A simple undirected graph with positive edge weights.
+
+    Parameters
+    ----------
+    n:
+        Number of vertices. Vertices are the integers ``0 .. n-1``.
+    unweighted:
+        When ``True`` every edge weight must be exactly ``1`` and searches
+        over the graph may use BFS instead of Dijkstra.
+
+    Examples
+    --------
+    >>> g = Graph(3)
+    >>> g.add_edge(0, 1, 2.0)
+    >>> g.add_edge(1, 2, 3.0)
+    >>> sorted(g.neighbors(1))
+    [(0, 2.0), (2, 3.0)]
+    """
+
+    __slots__ = ("_adj", "_m", "unweighted")
+
+    def __init__(self, n: int, unweighted: bool = False):
+        if n < 0:
+            raise VertexError(f"number of vertices must be >= 0, got {n}")
+        self._adj: list[list[tuple[int, float]]] = [[] for _ in range(n)]
+        self._m = 0
+        self.unweighted = unweighted
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of vertices."""
+        return len(self._adj)
+
+    @property
+    def m(self) -> int:
+        """Number of (undirected) edges."""
+        return self._m
+
+    @property
+    def average_degree(self) -> float:
+        """Average vertex degree ``2m / n`` (0 for the empty graph)."""
+        return (2.0 * self._m / self.n) if self.n else 0.0
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "unweighted" if self.unweighted else "weighted"
+        return f"Graph(n={self.n}, m={self.m}, {kind})"
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add_vertex(self) -> int:
+        """Append a fresh isolated vertex and return its id."""
+        self._adj.append([])
+        return self.n - 1
+
+    def _check_vertex(self, v: int) -> None:
+        if not 0 <= v < self.n:
+            raise VertexError(f"vertex {v} out of range [0, {self.n})")
+
+    def _check_weight(self, w: float) -> None:
+        if not (isinstance(w, (int, float)) and math.isfinite(w) and w > 0):
+            raise WeightError(f"edge weight must be a positive finite number, got {w!r}")
+        if self.unweighted and w != 1:
+            raise WeightError("unweighted graphs only accept unit edge weights")
+
+    def add_edge(self, u: int, v: int, w: float = 1.0) -> None:
+        """Add the undirected edge ``{u, v}`` with weight ``w``.
+
+        Self-loops are rejected (they can never lie on a shortest path with
+        positive weights) and so are duplicate edges.
+        """
+        self._check_vertex(u)
+        self._check_vertex(v)
+        self._check_weight(w)
+        if u == v:
+            raise EdgeError(f"self-loop on vertex {u} is not allowed")
+        if self.has_edge(u, v):
+            raise EdgeError(f"edge ({u}, {v}) already present")
+        w = float(w)
+        self._adj[u].append((v, w))
+        self._adj[v].append((u, w))
+        self._m += 1
+
+    def remove_edge(self, u: int, v: int) -> float:
+        """Remove edge ``{u, v}`` and return its weight."""
+        self._check_vertex(u)
+        self._check_vertex(v)
+        weight = None
+        for i, (x, w) in enumerate(self._adj[u]):
+            if x == v:
+                weight = w
+                del self._adj[u][i]
+                break
+        if weight is None:
+            raise EdgeError(f"edge ({u}, {v}) not present")
+        for i, (x, _) in enumerate(self._adj[v]):
+            if x == u:
+                del self._adj[v][i]
+                break
+        self._m -= 1
+        return weight
+
+    def set_weight(self, u: int, v: int, w: float) -> float:
+        """Change the weight of an existing edge; returns the old weight."""
+        self._check_weight(w)
+        old = self.remove_edge(u, v)
+        w = float(w)
+        self._adj[u].append((v, w))
+        self._adj[v].append((u, w))
+        self._m += 1
+        return old
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    def neighbors(self, u: int) -> list[tuple[int, float]]:
+        """The list of ``(neighbor, weight)`` pairs of ``u``.
+
+        The returned list is the internal adjacency list; callers must not
+        mutate it.
+        """
+        return self._adj[u]
+
+    def degree(self, u: int) -> int:
+        """Number of edges incident to ``u``."""
+        return len(self._adj[u])
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether the undirected edge ``{u, v}`` is present."""
+        self._check_vertex(u)
+        self._check_vertex(v)
+        adj = self._adj[u] if len(self._adj[u]) <= len(self._adj[v]) else self._adj[v]
+        target = v if adj is self._adj[u] else u
+        return any(x == target for x, _ in adj)
+
+    def edge_weight(self, u: int, v: int) -> float:
+        """Weight of edge ``{u, v}``; raises :class:`EdgeError` if absent."""
+        self._check_vertex(u)
+        self._check_vertex(v)
+        for x, w in self._adj[u]:
+            if x == v:
+                return w
+        raise EdgeError(f"edge ({u}, {v}) not present")
+
+    def edges(self) -> Iterator[tuple[int, int, float]]:
+        """Iterate over edges once each as ``(u, v, w)`` with ``u < v``."""
+        for u, adj in enumerate(self._adj):
+            for v, w in adj:
+                if u < v:
+                    yield (u, v, w)
+
+    def vertices(self) -> range:
+        """The vertex id range ``0 .. n-1``."""
+        return range(self.n)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls,
+        n: int,
+        edges: Iterable[tuple[int, int] | tuple[int, int, float]],
+        unweighted: bool = False,
+    ) -> "Graph":
+        """Build a graph from an edge iterable.
+
+        Each item is ``(u, v)`` (weight 1) or ``(u, v, w)``. Duplicate edges
+        are silently skipped, which makes it convenient to ingest edge lists
+        that record both orientations.
+        """
+        g = cls(n, unweighted=unweighted)
+        for e in edges:
+            if len(e) == 2:
+                u, v = e  # type: ignore[misc]
+                w = 1.0
+            else:
+                u, v, w = e  # type: ignore[misc]
+            if u == v or g.has_edge(u, v):
+                continue
+            g.add_edge(u, v, w)
+        return g
+
+    def copy(self) -> "Graph":
+        """Deep copy of the graph."""
+        g = Graph(self.n, unweighted=self.unweighted)
+        g._adj = [list(adj) for adj in self._adj]
+        g._m = self._m
+        return g
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        if self.n != other.n or self.m != other.m:
+            return False
+        return all(sorted(a) == sorted(b) for a, b in zip(self._adj, other._adj))
+
+    def __hash__(self) -> int:  # graphs are mutable; identity hash
+        return id(self)

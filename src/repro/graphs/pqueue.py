@@ -1,0 +1,176 @@
+"""Priority queues for the Dijkstra-style searches of the paper.
+
+Two implementations are provided:
+
+* :class:`AddressableHeap` — a binary min-heap with ``decrease_key``,
+  mirroring the interface the paper's pseudocode assumes
+  (``enqueue`` / ``decreaseKey`` / ``dequeueMin``).
+* :class:`LazyHeap` — the classic ``heapq`` lazy-deletion pattern, which has
+  better constants in CPython and is what the hot search loops use.
+
+Both are drop-in interchangeable for the algorithms in :mod:`repro.core`; the
+test suite exercises them against each other.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Hashable
+
+__all__ = ["AddressableHeap", "LazyHeap"]
+
+
+class AddressableHeap:
+    """Binary min-heap over hashable items with ``decrease_key`` support.
+
+    Each item may appear at most once.  All operations are ``O(log n)``
+    except :meth:`peek` and membership, which are ``O(1)``.
+
+    Examples
+    --------
+    >>> q = AddressableHeap()
+    >>> q.enqueue("a", 5.0)
+    >>> q.enqueue("b", 3.0)
+    >>> q.decrease_key("a", 1.0)
+    >>> q.dequeue_min()
+    ('a', 1.0)
+    """
+
+    __slots__ = ("_heap", "_pos")
+
+    def __init__(self):
+        self._heap: list[tuple[float, Hashable]] = []
+        self._pos: dict[Hashable, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def __contains__(self, item: Hashable) -> bool:
+        return item in self._pos
+
+    def priority(self, item: Hashable) -> float:
+        """Current priority of ``item`` (must be present)."""
+        return self._heap[self._pos[item]][0]
+
+    def enqueue(self, item: Hashable, priority: float) -> None:
+        """Insert ``item`` with ``priority``; the item must be absent."""
+        if item in self._pos:
+            raise KeyError(f"item {item!r} already in heap")
+        self._heap.append((priority, item))
+        self._pos[item] = len(self._heap) - 1
+        self._sift_up(len(self._heap) - 1)
+
+    def decrease_key(self, item: Hashable, priority: float) -> None:
+        """Lower the priority of ``item``; raising it is rejected."""
+        i = self._pos[item]
+        old, _ = self._heap[i]
+        if priority > old:
+            raise ValueError(f"decrease_key would increase priority: {old} -> {priority}")
+        self._heap[i] = (priority, item)
+        self._sift_up(i)
+
+    def enqueue_or_decrease(self, item: Hashable, priority: float) -> None:
+        """Insert, or decrease the key if the new priority is lower."""
+        if item in self._pos:
+            if priority < self.priority(item):
+                self.decrease_key(item, priority)
+        else:
+            self.enqueue(item, priority)
+
+    def peek(self) -> tuple[Hashable, float]:
+        """The minimum ``(item, priority)`` without removing it."""
+        priority, item = self._heap[0]
+        return item, priority
+
+    def dequeue_min(self) -> tuple[Hashable, float]:
+        """Remove and return the minimum ``(item, priority)``."""
+        priority, item = self._heap[0]
+        last = self._heap.pop()
+        del self._pos[item]
+        if self._heap:
+            self._heap[0] = last
+            self._pos[last[1]] = 0
+            self._sift_down(0)
+        return item, priority
+
+    def _sift_up(self, i: int) -> None:
+        heap, pos = self._heap, self._pos
+        entry = heap[i]
+        while i > 0:
+            parent = (i - 1) >> 1
+            if heap[parent][0] <= entry[0]:
+                break
+            heap[i] = heap[parent]
+            pos[heap[i][1]] = i
+            i = parent
+        heap[i] = entry
+        pos[entry[1]] = i
+
+    def _sift_down(self, i: int) -> None:
+        heap, pos = self._heap, self._pos
+        size = len(heap)
+        entry = heap[i]
+        while True:
+            left = 2 * i + 1
+            if left >= size:
+                break
+            child = left
+            right = left + 1
+            if right < size and heap[right][0] < heap[left][0]:
+                child = right
+            if heap[child][0] >= entry[0]:
+                break
+            heap[i] = heap[child]
+            pos[heap[i][1]] = i
+            i = child
+        heap[i] = entry
+        pos[entry[1]] = i
+
+
+class LazyHeap:
+    """``heapq``-based min-queue with lazy decrease-key.
+
+    ``enqueue_or_decrease`` simply pushes a new entry; stale entries are
+    skipped on :meth:`dequeue_min` by comparing against the recorded best
+    priority.  Matches the semantics of :class:`AddressableHeap` for
+    Dijkstra-style use (monotone settle order).
+    """
+
+    __slots__ = ("_heap", "_best")
+
+    def __init__(self):
+        self._heap: list[tuple[float, Hashable]] = []
+        self._best: dict[Hashable, float] = {}
+
+    def __bool__(self) -> bool:
+        # May report True with only stale entries; dequeue_min resolves it.
+        return bool(self._heap)
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def enqueue(self, item: Hashable, priority: float) -> None:
+        """Insert ``item`` (duplicates allowed; smaller priority wins)."""
+        self.enqueue_or_decrease(item, priority)
+
+    def enqueue_or_decrease(self, item: Hashable, priority: float) -> None:
+        """Push unless an entry with smaller-or-equal priority exists."""
+        best = self._best.get(item)
+        if best is not None and best <= priority:
+            return
+        self._best[item] = priority
+        heapq.heappush(self._heap, (priority, item))
+
+    def dequeue_min(self):
+        """Pop the minimum live ``(item, priority)``; ``None`` if empty."""
+        heap = self._heap
+        best = self._best
+        while heap:
+            priority, item = heapq.heappop(heap)
+            if best.get(item) == priority:
+                del best[item]
+                return item, priority
+        return None

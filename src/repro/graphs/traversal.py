@@ -1,0 +1,283 @@
+"""Shortest-path search kernels shared by every algorithm in the library.
+
+All kernels operate on :class:`repro.graphs.Graph` (or any object exposing
+``n``, ``neighbors`` and ``unweighted``).  The weighted kernels use the
+lazy-deletion ``heapq`` pattern; unweighted graphs get plain FIFO BFS, which
+is exactly the substitution the paper performs for its unweighted instances.
+
+The slightly unusual kernel here is :func:`flagged_single_source`: a single
+Dijkstra/BFS that, besides distances, computes for every vertex whether some
+shortest path from the source avoids a *blocked* vertex set internally.
+Because edge weights are strictly positive, a shortest-path parent always
+settles strictly before its children, so the flag can be propagated in one
+pass over the shortest-path DAG.  ``BUILDHCL`` is a thin wrapper around this
+kernel (see :mod:`repro.core.build`).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from collections import deque
+from typing import Collection, Sequence
+
+from .graph import Graph
+
+INF = math.inf
+
+__all__ = [
+    "INF",
+    "single_source_distances",
+    "dijkstra_distances",
+    "bfs_distances",
+    "flagged_single_source",
+    "single_source_with_parents",
+    "bounded_bidirectional_distance",
+    "distance_between",
+]
+
+
+def dijkstra_distances(g: Graph, source: int) -> list[float]:
+    """Exact distances from ``source`` to every vertex (Dijkstra)."""
+    dist = [INF] * g.n
+    dist[source] = 0.0
+    heap: list[tuple[float, int]] = [(0.0, source)]
+    neighbors = g.neighbors
+    while heap:
+        d, u = heapq.heappop(heap)
+        if d > dist[u]:
+            continue
+        for v, w in neighbors(u):
+            nd = d + w
+            if nd < dist[v]:
+                dist[v] = nd
+                heapq.heappush(heap, (nd, v))
+    return dist
+
+
+def bfs_distances(g: Graph, source: int) -> list[float]:
+    """Exact distances from ``source`` assuming unit weights (BFS)."""
+    dist = [INF] * g.n
+    dist[source] = 0.0
+    queue: deque[int] = deque([source])
+    neighbors = g.neighbors
+    while queue:
+        u = queue.popleft()
+        nd = dist[u] + 1.0
+        for v, _ in neighbors(u):
+            if dist[v] == INF:
+                dist[v] = nd
+                queue.append(v)
+    return dist
+
+
+def single_source_distances(g: Graph, source: int) -> list[float]:
+    """Distances from ``source``, picking BFS or Dijkstra by graph kind."""
+    if g.unweighted:
+        return bfs_distances(g, source)
+    return dijkstra_distances(g, source)
+
+
+def flagged_single_source(
+    g: Graph, source: int, blocked: Collection[int]
+) -> tuple[list[float], list[bool]]:
+    """Distances plus blocked-avoiding shortest-path flags.
+
+    Returns ``(dist, clear)`` where ``clear[v]`` is ``True`` iff at least one
+    shortest ``source -> v`` path has no *internal* vertex in ``blocked``
+    (endpoints are always allowed).  ``clear[source]`` is ``True``.
+
+    This is the canonical-coverage predicate of the HCL framework: with
+    ``blocked = R \\ {r}`` and ``source = r``, vertex ``v`` is covered by
+    landmark ``r`` exactly when ``clear[v]`` holds.
+    """
+    blocked_mask = [False] * g.n
+    for b in blocked:
+        blocked_mask[b] = True
+
+    dist = [INF] * g.n
+    clear = [False] * g.n
+    dist[source] = 0.0
+    clear[source] = True
+    neighbors = g.neighbors
+
+    if g.unweighted:
+        queue: deque[int] = deque([source])
+        while queue:
+            u = queue.popleft()
+            du = dist[u]
+            # A path extended through u is blocked-free only if u itself is
+            # not blocked (or is the source) and some shortest path to u was
+            # blocked-free.
+            extend = clear[u] and (u == source or not blocked_mask[u])
+            nd = du + 1.0
+            for v, _ in neighbors(u):
+                if dist[v] == INF:
+                    dist[v] = nd
+                    clear[v] = extend
+                    queue.append(v)
+                elif dist[v] == nd and extend and not clear[v]:
+                    clear[v] = True
+        return dist, clear
+
+    heap: list[tuple[float, int]] = [(0.0, source)]
+    while heap:
+        d, u = heapq.heappop(heap)
+        if d > dist[u]:
+            continue
+        extend = clear[u] and (u == source or not blocked_mask[u])
+        for v, w in neighbors(u):
+            nd = d + w
+            if nd < dist[v]:
+                dist[v] = nd
+                clear[v] = extend
+                heapq.heappush(heap, (nd, v))
+            elif nd == dist[v] and extend and not clear[v]:
+                # u settled strictly before v (positive weights), so this
+                # tie-join happens before v is dequeued: clear[v] is final by
+                # the time v settles.
+                clear[v] = True
+    return dist, clear
+
+
+def single_source_with_parents(
+    g: Graph, source: int
+) -> tuple[list[float], list[int]]:
+    """Distances and a shortest-path-tree parent array (-1 for roots)."""
+    dist = [INF] * g.n
+    parent = [-1] * g.n
+    dist[source] = 0.0
+    neighbors = g.neighbors
+    if g.unweighted:
+        queue: deque[int] = deque([source])
+        while queue:
+            u = queue.popleft()
+            nd = dist[u] + 1.0
+            for v, _ in neighbors(u):
+                if dist[v] == INF:
+                    dist[v] = nd
+                    parent[v] = u
+                    queue.append(v)
+        return dist, parent
+    heap: list[tuple[float, int]] = [(0.0, source)]
+    while heap:
+        d, u = heapq.heappop(heap)
+        if d > dist[u]:
+            continue
+        for v, w in neighbors(u):
+            nd = d + w
+            if nd < dist[v]:
+                dist[v] = nd
+                parent[v] = u
+                heapq.heappush(heap, (nd, v))
+    return dist, parent
+
+
+def bounded_bidirectional_distance(
+    g: Graph,
+    s: int,
+    t: int,
+    upper_bound: float,
+    excluded: Collection[int] = (),
+) -> float:
+    """Exact ``s``–``t`` distance on ``G[V \\ excluded]``, capped by a bound.
+
+    Runs a bidirectional Dijkstra that never expands vertices in
+    ``excluded`` (the HCL landmark set) and abandons any branch whose
+    tentative length reaches ``upper_bound``.  Returns the shortest distance
+    found this way, or ``upper_bound`` when every ``s``–``t`` path in the
+    induced subgraph is at least that long.
+
+    This is the "distance-bounded bidirectional search on the subgraph of
+    ``G`` induced by ``V \\ R``" that turns the HCL landmark-constrained
+    upper bound into an exact distance (paper §2).
+    """
+    if s == t:
+        return 0.0
+    excluded_mask = [False] * g.n
+    for x in excluded:
+        excluded_mask[x] = True
+    if excluded_mask[s] or excluded_mask[t]:
+        # Endpoints inside the excluded set have no path in the induced
+        # subgraph; the landmark-constrained bound is already exact.
+        return upper_bound
+
+    dist_f = {s: 0.0}
+    dist_b = {t: 0.0}
+    heap_f: list[tuple[float, int]] = [(0.0, s)]
+    heap_b: list[tuple[float, int]] = [(0.0, t)]
+    best = upper_bound
+    neighbors = g.neighbors
+
+    while heap_f and heap_b:
+        if heap_f[0][0] + heap_b[0][0] >= best:
+            break
+        # Expand the side with the smaller frontier priority.
+        if heap_f[0][0] <= heap_b[0][0]:
+            heap, dist, other = heap_f, dist_f, dist_b
+        else:
+            heap, dist, other = heap_b, dist_b, dist_f
+        d, u = heapq.heappop(heap)
+        if d > dist.get(u, INF):
+            continue
+        if d >= best:
+            continue
+        for v, w in neighbors(u):
+            if excluded_mask[v]:
+                continue
+            nd = d + w
+            if nd >= best and v not in other:
+                continue
+            if nd < dist.get(v, INF):
+                dist[v] = nd
+                heapq.heappush(heap, (nd, v))
+            dv_other = other.get(v)
+            if dv_other is not None and dist[v] + dv_other < best:
+                best = dist[v] + dv_other
+    return best
+
+
+def distance_between(g: Graph, s: int, t: int) -> float:
+    """Plain exact ``s``–``t`` distance (early-exit Dijkstra/BFS)."""
+    if s == t:
+        return 0.0
+    dist = [INF] * g.n
+    dist[s] = 0.0
+    neighbors = g.neighbors
+    if g.unweighted:
+        queue: deque[int] = deque([s])
+        while queue:
+            u = queue.popleft()
+            if u == t:
+                return dist[u]
+            nd = dist[u] + 1.0
+            for v, _ in neighbors(u):
+                if dist[v] == INF:
+                    dist[v] = nd
+                    queue.append(v)
+        return INF
+    heap: list[tuple[float, int]] = [(0.0, s)]
+    while heap:
+        d, u = heapq.heappop(heap)
+        if u == t:
+            return d
+        if d > dist[u]:
+            continue
+        for v, w in neighbors(u):
+            nd = d + w
+            if nd < dist[v]:
+                dist[v] = nd
+                heapq.heappush(heap, (nd, v))
+    return INF
+
+
+def reconstruct_path(parent: Sequence[int], t: int) -> list[int]:
+    """Root-to-``t`` vertex sequence from a parent array."""
+    path = [t]
+    while parent[path[-1]] != -1:
+        path.append(parent[path[-1]])
+    path.reverse()
+    return path
+
+
+__all__.append("reconstruct_path")

@@ -1,0 +1,40 @@
+"""Weight assignment helpers for synthetic instances.
+
+The DIMACS road instances the paper evaluates on carry integer arc weights;
+we mirror that by drawing integer weights, which keeps shortest-path
+comparisons exact (no floating-point tie ambiguity) — a property the
+canonical-index equality tests rely on.
+"""
+
+from __future__ import annotations
+
+import random
+
+from .graph import Graph
+
+__all__ = ["assign_uniform_integer_weights", "unit_weights"]
+
+
+def assign_uniform_integer_weights(
+    g: Graph, low: int = 1, high: int = 10, seed: int | None = None
+) -> Graph:
+    """A copy of ``g`` with integer weights drawn uniformly from [low, high].
+
+    The input graph's topology is preserved; the result is a *weighted*
+    graph regardless of the input's ``unweighted`` flag.
+    """
+    if low < 1 or high < low:
+        raise ValueError(f"invalid weight range [{low}, {high}]")
+    rng = random.Random(seed)
+    out = Graph(g.n, unweighted=False)
+    for u, v, _ in g.edges():
+        out.add_edge(u, v, float(rng.randint(low, high)))
+    return out
+
+
+def unit_weights(g: Graph) -> Graph:
+    """A copy of ``g`` with all weights forced to 1 and flagged unweighted."""
+    out = Graph(g.n, unweighted=True)
+    for u, v, _ in g.edges():
+        out.add_edge(u, v, 1.0)
+    return out

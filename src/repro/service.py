@@ -1,0 +1,187 @@
+"""A small operational layer: typed requests, audit log, snapshots.
+
+:class:`HCLService` wraps a :class:`~repro.core.dynhcl.DynamicHCL` the way
+a deployment would embed it behind an API: operations arrive as typed
+request objects, every mutation is audited, query answers flow through the
+version-invalidated cache, and the whole index can be checkpointed to /
+restored from disk (binary format) without rebuilding.
+
+This layer adds no algorithmics — it exists so the library is adoptable as
+a component, and it doubles as an end-to-end exercise of the public API in
+the test suite.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import BinaryIO, Union
+
+from .core.cache import CachedQueryEngine
+from .core.dynhcl import DynamicHCL
+from .core.serialization import load_index_binary, save_index_binary
+from .errors import ReproError
+from .graphs.graph import Graph
+
+__all__ = [
+    "HCLService",
+    "DistanceRequest",
+    "ConstrainedDistanceRequest",
+    "AddLandmarkRequest",
+    "RemoveLandmarkRequest",
+    "AuditRecord",
+]
+
+
+@dataclass(frozen=True)
+class DistanceRequest:
+    """Exact distance query."""
+
+    s: int
+    t: int
+
+
+@dataclass(frozen=True)
+class ConstrainedDistanceRequest:
+    """Landmark-constrained distance query (``QUERY``)."""
+
+    s: int
+    t: int
+
+
+@dataclass(frozen=True)
+class AddLandmarkRequest:
+    """Promote a vertex (``UPGRADE-LMK``)."""
+
+    vertex: int
+
+
+@dataclass(frozen=True)
+class RemoveLandmarkRequest:
+    """Demote a landmark (``DOWNGRADE-LMK``)."""
+
+    vertex: int
+
+
+Request = Union[
+    DistanceRequest,
+    ConstrainedDistanceRequest,
+    AddLandmarkRequest,
+    RemoveLandmarkRequest,
+]
+
+
+@dataclass(frozen=True)
+class AuditRecord:
+    """One processed request with its outcome and wall-clock cost."""
+
+    request: Request
+    result: object
+    seconds: float
+    ok: bool
+    error: str | None = None
+
+
+@dataclass
+class ServiceStats:
+    """Aggregate counters of a service session."""
+
+    queries: int = 0
+    mutations: int = 0
+    failures: int = 0
+
+
+class HCLService:
+    """Request-oriented facade over a dynamic HCL index.
+
+    Examples
+    --------
+    >>> from repro.graphs import Graph
+    >>> g = Graph(4)
+    >>> for u, v in [(0, 1), (1, 2), (2, 3)]:
+    ...     g.add_edge(u, v, 1.0)
+    >>> svc = HCLService.build(g, [1])
+    >>> svc.submit(DistanceRequest(0, 3))
+    3.0
+    >>> _ = svc.submit(AddLandmarkRequest(3))
+    >>> sorted(svc.landmarks)
+    [1, 3]
+    """
+
+    def __init__(self, dyn: DynamicHCL, cache_capacity: int = 65536):
+        self._dyn = dyn
+        self._engine = CachedQueryEngine(dyn, capacity=cache_capacity)
+        self.audit: list[AuditRecord] = []
+        self.stats = ServiceStats()
+
+    @classmethod
+    def build(cls, graph: Graph, landmarks) -> "HCLService":
+        """Build the underlying index and wrap it."""
+        return cls(DynamicHCL.build(graph, landmarks))
+
+    # ------------------------------------------------------------------
+    # Request processing
+    # ------------------------------------------------------------------
+    @property
+    def landmarks(self) -> set[int]:
+        """Current landmark set."""
+        return self._dyn.landmarks
+
+    @property
+    def cache_stats(self):
+        """Hit/miss counters of the query cache."""
+        return self._engine.stats
+
+    def submit(self, request: Request):
+        """Process one request; raises on failure after auditing it."""
+        start = time.perf_counter()
+        try:
+            if isinstance(request, DistanceRequest):
+                result = self._engine.distance(request.s, request.t)
+                self.stats.queries += 1
+            elif isinstance(request, ConstrainedDistanceRequest):
+                result = self._engine.query(request.s, request.t)
+                self.stats.queries += 1
+            elif isinstance(request, AddLandmarkRequest):
+                result = self._engine.add_landmark(request.vertex)
+                self.stats.mutations += 1
+            elif isinstance(request, RemoveLandmarkRequest):
+                result = self._engine.remove_landmark(request.vertex)
+                self.stats.mutations += 1
+            else:
+                raise ReproError(f"unknown request type {type(request).__name__}")
+        except ReproError as exc:
+            self.stats.failures += 1
+            self.audit.append(
+                AuditRecord(
+                    request, None, time.perf_counter() - start, False, str(exc)
+                )
+            )
+            raise
+        self.audit.append(
+            AuditRecord(request, result, time.perf_counter() - start, True)
+        )
+        return result
+
+    def submit_batch(self, requests) -> list[AuditRecord]:
+        """Process requests in order; stops at the first failure."""
+        before = len(self.audit)
+        for request in requests:
+            self.submit(request)
+        return self.audit[before:]
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def checkpoint(self, target: str | Path | BinaryIO) -> None:
+        """Persist the current index (binary format)."""
+        save_index_binary(self._dyn.index, target)
+
+    @classmethod
+    def restore(
+        cls, graph: Graph, source: str | Path | BinaryIO
+    ) -> "HCLService":
+        """Recreate a service from a checkpoint, skipping BUILDHCL."""
+        index = load_index_binary(graph, source)
+        return cls(DynamicHCL(index))

@@ -1,0 +1,37 @@
+"""Workloads: dataset stand-ins, update sequences, query generators."""
+
+from .datasets import (
+    TABLE1_DATASETS,
+    DatasetSpec,
+    dataset_names,
+    dataset_spec,
+    make_dataset,
+)
+from .figure1_graph import FIGURE1_EDGES, FIGURE1_INITIAL_LANDMARKS, figure1_graph
+from .queries import random_query_pairs, zipf_query_pairs
+from .trace import ReplayResult, Trace, TraceOp, replay
+from .updates import (
+    decremental_update_sequence,
+    incremental_update_sequence,
+    mixed_update_sequence,
+)
+
+__all__ = [
+    "DatasetSpec",
+    "TABLE1_DATASETS",
+    "dataset_names",
+    "dataset_spec",
+    "make_dataset",
+    "figure1_graph",
+    "FIGURE1_EDGES",
+    "FIGURE1_INITIAL_LANDMARKS",
+    "random_query_pairs",
+    "zipf_query_pairs",
+    "Trace",
+    "TraceOp",
+    "ReplayResult",
+    "replay",
+    "mixed_update_sequence",
+    "incremental_update_sequence",
+    "decremental_update_sequence",
+]

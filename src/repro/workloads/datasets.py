@@ -1,0 +1,183 @@
+"""Synthetic stand-ins for the paper's Table 1 datasets.
+
+The paper evaluates on 13 graphs spanning road, internet, web, ratings,
+social and synthetic-random topologies, up to 1.6B edges.  A pure-Python
+stack cannot sweep that size (repro band 3/5), so each dataset is replaced
+by a generator that preserves its *class signature* — topology family,
+weightedness, average degree — at roughly 1/1000 of the vertex count.
+Real DIMACS / edge-list files can be substituted via :mod:`repro.graphs.io`
+without touching the harness.
+
+Every dataset is deterministic given its name (fixed seed per entry).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable
+
+from ..errors import DatasetError
+from ..graphs.generators import (
+    barabasi_albert,
+    community_graph,
+    erdos_renyi,
+    random_bipartite,
+    road_grid,
+)
+from ..graphs.graph import Graph
+from ..graphs.weights import assign_uniform_integer_weights
+
+__all__ = ["DatasetSpec", "TABLE1_DATASETS", "dataset_names", "make_dataset"]
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One Table 1 row: provenance plus the scaled generator."""
+
+    name: str
+    kind: str
+    weighted: bool
+    paper_vertices: int
+    paper_edges: int
+    builder: Callable[[float, int], Graph]
+    sparse: bool  # CH-GSP is only run on sparse graphs, as in the paper
+
+    def build(self, scale: float = 1.0, seed: int = 0) -> Graph:
+        """Instantiate the stand-in graph at the given size multiplier."""
+        g = self.builder(scale, seed)
+        if self.weighted and g.unweighted:
+            g = assign_uniform_integer_weights(g, 1, 10, seed=seed + 1)
+        return g
+
+
+def _scaled(value: int, scale: float, minimum: int = 8) -> int:
+    return max(minimum, round(value * scale))
+
+
+def _internet_like(scale: float, seed: int) -> Graph:
+    """AS-graph profile: power-law, tree-like core, avg degree ~2.5."""
+    n = _scaled(2000, scale)
+    g = barabasi_albert(n, 1, seed=seed)
+    rng = random.Random(seed + 7)
+    extra = n // 4  # lift average degree from ~2 to ~2.5
+    added = 0
+    while added < extra:
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u != v and not g.has_edge(u, v):
+            g.add_edge(u, v, 1.0)
+            added += 1
+    return g
+
+
+def _community(base_n: int, base_communities: int, k_intra: int):
+    def build(scale: float, seed: int) -> Graph:
+        n = _scaled(base_n, scale)
+        communities = max(2, round(base_communities * scale)) if scale < 1 else base_communities
+        size = n // communities
+        k = max(2, min(k_intra, size - 1))
+        return community_graph(n, communities, k, 0.03, seed=seed)
+
+    return build
+
+
+def _grid(rows: int, cols: int):
+    def build(scale: float, seed: int) -> Graph:
+        factor = scale**0.5
+        return road_grid(
+            _scaled(rows, factor, 3), _scaled(cols, factor, 3), seed=seed
+        )
+
+    return build
+
+
+#: Table 1 rows, in the paper's order (sorted by nondecreasing |V|).
+TABLE1_DATASETS: tuple[DatasetSpec, ...] = (
+    DatasetSpec(
+        "ERD", "Uniform", True, 10_000, 24_998_846,
+        lambda s, seed: erdos_renyi(_scaled(1500, s), 30, seed=seed),
+        sparse=False,
+    ),
+    DatasetSpec(
+        "LUX", "Road", True, 30_647, 37_773, _grid(50, 40), sparse=True
+    ),
+    DatasetSpec(
+        "CAI", "Internet", True, 32_000, 40_204, _internet_like, sparse=True
+    ),
+    DatasetSpec(
+        "UK-W", "Web", False, 129_632, 11_744_049,
+        _community(1500, 15, 10),
+        sparse=False,
+    ),
+    DatasetSpec(
+        "NW", "Road", True, 1_207_945, 1_410_387, _grid(60, 50), sparse=True
+    ),
+    DatasetSpec(
+        "NE", "Road", True, 1_524_453, 1_934_010, _grid(64, 56), sparse=True
+    ),
+    DatasetSpec(
+        "YAH", "Ratings", False, 1_625_951, 256_804_235,
+        lambda s, seed: random_bipartite(
+            _scaled(400, s), _scaled(1200, s), 20, seed=seed
+        ),
+        sparse=False,
+    ),
+    DatasetSpec(
+        "ITA", "Road", True, 2_077_709, 2_589_431, _grid(70, 60), sparse=True
+    ),
+    DatasetSpec(
+        "DEU", "Road", True, 4_047_577, 4_907_447, _grid(90, 70), sparse=True
+    ),
+    DatasetSpec(
+        "U-BAR", "Power-Law", False, 50_000_000, 149_985_000,
+        lambda s, seed: barabasi_albert(_scaled(8000, s), 3, seed=seed),
+        sparse=False,
+    ),
+    DatasetSpec(
+        "W-BAR", "Power-Law", True, 50_000_000, 149_985_000,
+        lambda s, seed: barabasi_albert(_scaled(8000, s), 3, seed=seed + 101),
+        sparse=False,
+    ),
+    DatasetSpec(
+        "USA", "Road", True, 23_947_347, 28_854_312, _grid(120, 100), sparse=True
+    ),
+    DatasetSpec(
+        "TWI", "Social", False, 52_579_682, 1_614_106_500,
+        _community(6000, 60, 10),
+        sparse=False,
+    ),
+)
+
+_BY_NAME = {spec.name: spec for spec in TABLE1_DATASETS}
+
+
+def dataset_names() -> list[str]:
+    """Dataset names in Table 1 order."""
+    return [spec.name for spec in TABLE1_DATASETS]
+
+
+def make_dataset(name: str, scale: float = 1.0, seed: int = 0) -> Graph:
+    """Instantiate a Table 1 stand-in by name.
+
+    ``scale`` multiplies the default vertex count (0.1 for smoke tests,
+    1.0 for the paper-shaped runs).
+    """
+    spec = _BY_NAME.get(name.upper())
+    if spec is None:
+        raise DatasetError(
+            f"unknown dataset {name!r}; choose from {dataset_names()}"
+        )
+    return spec.build(scale=scale, seed=seed)
+
+
+def dataset_spec(name: str) -> DatasetSpec:
+    """The :class:`DatasetSpec` registered under ``name``."""
+    spec = _BY_NAME.get(name.upper())
+    if spec is None:
+        raise DatasetError(
+            f"unknown dataset {name!r}; choose from {dataset_names()}"
+        )
+    return spec
+
+
+__all__.append("dataset_spec")

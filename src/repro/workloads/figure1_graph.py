@@ -1,0 +1,68 @@
+"""Reconstruction of the paper's Figure 1 example graph.
+
+The figure itself is only described textually in the paper source we work
+from, so the graph is reconstructed from the worked narrative (§3, last
+paragraphs).  The reconstruction reproduces every checkable statement:
+
+* ``R = {5, 7}`` with ``δ_H(5, 7) = 2``;
+* ``L(1) = {(5, 2), (7, 1)}`` via paths ``(1, 3, 5)`` and ``(1, 7)``;
+* ``L(6) = {(5, 1), (7, 1)}`` (6 adjacent to both landmarks);
+* ``L(8) = {(5, 1)}`` only — every shortest ``7 -> 8`` path crosses 5;
+* promoting 3: ``δ_H(3, 5) = 1``, ``δ_H(3, 7) = 2``; the pruned search
+  settles ``{1, 2, 4, 6}`` at distance 1, reaches landmark 5 (distance 1)
+  and landmark 7 (distance 2), labels 9 at distance 2 and 10 at distance 3,
+  and prunes on 8 at distance 4 because ``QUERY(3, 8) = 2``;
+  ``REACHED-VER[5] = {1, 2, 4, 6, 9, 10}``; entries ``(5, 2)`` are removed
+  from ``L(1)``, ``L(2)``, ``L(4)`` while 6 and 9 keep ``(5, 1)``;
+* demoting 7: entries ``(7, 1)`` leave ``L(1)``, ``L(6)``, ``L(11)``;
+  ``(7, 2)`` leaves ``L(2)``, ``L(4)``, ``L(9)``; ``(7, 3)`` leaves
+  ``L(10)``; ``L(7)`` becomes ``{(3, 2), (5, 2)}``; the re-cover sweeps add
+  ``(3, 3)`` and ``(5, 3)`` to ``L(11)``; ``L(8)`` is untouched.
+
+**Known discrepancy.** The narrative also removes the entry for landmark 5
+from ``L(10)`` after promoting 3, but in any graph satisfying the facts
+above the path ``5 - 9 - 10`` (length 2, no internal landmark) survives, so
+Algorithm 1's own keep-test (line 34, certified by neighbor 9) retains the
+entry.  We follow the algorithm — and the canonical minimal index — rather
+than the figure caption; see EXPERIMENTS.md.
+
+Vertex ids keep the paper's 1-based numbering; vertex 0 exists but is
+isolated and unlabeled.
+"""
+
+from __future__ import annotations
+
+from ..graphs.graph import Graph
+
+__all__ = ["figure1_graph", "FIGURE1_INITIAL_LANDMARKS", "FIGURE1_EDGES"]
+
+#: Edges of the reconstructed Figure 1 graph (unweighted, paper numbering).
+FIGURE1_EDGES: tuple[tuple[int, int], ...] = (
+    (1, 2),
+    (1, 3),
+    (1, 4),
+    (1, 7),
+    (2, 3),
+    (3, 4),
+    (3, 5),
+    (3, 6),
+    (5, 6),
+    (5, 8),
+    (5, 9),
+    (6, 7),
+    (6, 9),
+    (7, 11),
+    (8, 10),
+    (9, 10),
+)
+
+#: The initial landmark set of the example.
+FIGURE1_INITIAL_LANDMARKS: tuple[int, ...] = (5, 7)
+
+
+def figure1_graph() -> Graph:
+    """The 11-vertex unweighted example graph of Figure 1."""
+    g = Graph(12, unweighted=True)
+    for u, v in FIGURE1_EDGES:
+        g.add_edge(u, v, 1.0)
+    return g

@@ -1,0 +1,165 @@
+"""Replayable operation traces.
+
+A *trace* is a recorded sequence of index operations — landmark updates and
+queries — that can be saved as JSON and replayed against any engine that
+speaks the small ``add/remove/query`` protocol.  Traces make comparative
+experiments airtight (DYN-HCL and CH-GSP consume byte-identical workloads)
+and let users capture a production workload once and benchmark candidate
+configurations offline.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Protocol, TextIO
+
+from ..errors import ParseError
+
+__all__ = ["TraceOp", "Trace", "ReplayResult", "replay"]
+
+_SCHEMA = "dyn-hcl-trace/1"
+_KINDS = ("add", "remove", "query")
+
+
+@dataclass(frozen=True)
+class TraceOp:
+    """One operation: ``add v`` / ``remove v`` / ``query s t``."""
+
+    kind: str
+    a: int
+    b: int | None = None
+
+    def __post_init__(self):
+        if self.kind not in _KINDS:
+            raise ParseError(f"unknown trace op kind {self.kind!r}")
+        if self.kind == "query" and self.b is None:
+            raise ParseError("query ops need two vertices")
+
+
+class Trace:
+    """An ordered list of :class:`TraceOp` with JSON persistence."""
+
+    def __init__(self, ops: list[TraceOp] | None = None):
+        self.ops: list[TraceOp] = list(ops or [])
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def add_landmark(self, v: int) -> "Trace":
+        """Append a landmark insertion."""
+        self.ops.append(TraceOp("add", v))
+        return self
+
+    def remove_landmark(self, v: int) -> "Trace":
+        """Append a landmark removal."""
+        self.ops.append(TraceOp("remove", v))
+        return self
+
+    def query(self, s: int, t: int) -> "Trace":
+        """Append a landmark-constrained distance query."""
+        self.ops.append(TraceOp("query", s, t))
+        return self
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Trace):
+            return NotImplemented
+        return self.ops == other.ops
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, target: str | Path | TextIO) -> None:
+        """Write the trace as JSON."""
+        payload = {
+            "schema": _SCHEMA,
+            "ops": [
+                [op.kind, op.a] if op.b is None else [op.kind, op.a, op.b]
+                for op in self.ops
+            ],
+        }
+        if isinstance(target, (str, Path)):
+            with open(target, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh)
+        else:
+            json.dump(payload, target)
+
+    @classmethod
+    def load(cls, source: str | Path | TextIO) -> "Trace":
+        """Read a JSON trace."""
+        if isinstance(source, (str, Path)):
+            with open(source, "r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+        else:
+            payload = json.load(source)
+        if payload.get("schema") != _SCHEMA:
+            raise ParseError(f"unknown trace schema {payload.get('schema')!r}")
+        ops = []
+        for row in payload["ops"]:
+            if len(row) == 2:
+                ops.append(TraceOp(row[0], row[1]))
+            elif len(row) == 3:
+                ops.append(TraceOp(row[0], row[1], row[2]))
+            else:
+                raise ParseError(f"malformed trace op {row!r}")
+        return cls(ops)
+
+
+class TraceEngine(Protocol):
+    """What :func:`replay` needs from an engine."""
+
+    def add_landmark(self, v: int): ...
+
+    def remove_landmark(self, v: int): ...
+
+
+@dataclass(frozen=True)
+class ReplayResult:
+    """Outcome of replaying one trace against one engine."""
+
+    queries: int
+    updates: int
+    answers: list[float]
+    seconds: float
+
+    @property
+    def amortized_seconds(self) -> float:
+        """Wall-clock per query (the Table 3 charging scheme)."""
+        return self.seconds / self.queries if self.queries else 0.0
+
+
+def replay(trace: Trace, engine, query_method: str | None = None) -> ReplayResult:
+    """Run every op of ``trace`` against ``engine`` and time the whole run.
+
+    ``engine`` must expose ``add_landmark`` / ``remove_landmark`` and a
+    query callable — ``query_method`` selects it by name, defaulting to
+    ``query`` and falling back to ``landmark_constrained_distance`` (the
+    CH-GSP spelling).  Returns the answers in trace order so two engines'
+    replays can be compared element-wise.
+    """
+    if query_method is None:
+        query_method = (
+            "query" if hasattr(engine, "query") else "landmark_constrained_distance"
+        )
+    query = getattr(engine, query_method)
+    answers: list[float] = []
+    updates = 0
+    start = time.perf_counter()
+    for op in trace.ops:
+        if op.kind == "add":
+            engine.add_landmark(op.a)
+            updates += 1
+        elif op.kind == "remove":
+            engine.remove_landmark(op.a)
+            updates += 1
+        else:
+            answers.append(query(op.a, op.b))
+    elapsed = time.perf_counter() - start
+    return ReplayResult(
+        queries=len(answers), updates=updates, answers=answers, seconds=elapsed
+    )

@@ -1,0 +1,118 @@
+"""Landmark-update workloads reproducing the paper's methodology step (3).
+
+The paper simulates dynamic behaviour with ``σ = |R| / 4`` landmark
+updates: a randomly interleaved sequence of ``σ/2`` insertions (vertices
+promoted from ``V \\ R``) and ``σ/2`` deletions (landmarks demoted), each
+chosen with equal probability at every step subject to feasibility.  Purely
+incremental and purely decremental sequences are also provided (the paper
+reports they behave like the mixed case).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Sequence
+
+from ..core.dynhcl import LandmarkUpdate
+from ..errors import DatasetError
+
+__all__ = [
+    "mixed_update_sequence",
+    "incremental_update_sequence",
+    "decremental_update_sequence",
+]
+
+
+def _prepare(n: int, landmarks: Iterable[int]) -> tuple[set[int], list[int]]:
+    current = set(landmarks)
+    for r in current:
+        if not 0 <= r < n:
+            raise DatasetError(f"landmark {r} out of range [0, {n})")
+    outside = [v for v in range(n) if v not in current]
+    return current, outside
+
+
+def mixed_update_sequence(
+    n: int,
+    landmarks: Sequence[int],
+    sigma: int | None = None,
+    seed: int = 0,
+) -> list[LandmarkUpdate]:
+    """The paper's mixed workload: σ/2 insertions + σ/2 deletions, shuffled.
+
+    Parameters
+    ----------
+    n:
+        Number of graph vertices.
+    landmarks:
+        Initial landmark set ``R``.
+    sigma:
+        Total updates; defaults to ``max(2, |R| // 4)`` rounded even, as in
+        the paper's step (3).
+    seed:
+        Workload randomness.
+
+    Returns
+    -------
+    list[LandmarkUpdate]
+        A feasible sequence: every ``add`` targets a current non-landmark,
+        every ``remove`` a current landmark, when replayed in order.
+    """
+    rng = random.Random(seed)
+    current, outside = _prepare(n, landmarks)
+    if sigma is None:
+        sigma = max(2, len(current) // 4)
+    sigma -= sigma % 2  # equal halves
+    adds_left = sigma // 2
+    removes_left = sigma // 2
+    if adds_left > len(outside):
+        raise DatasetError(
+            f"cannot schedule {adds_left} insertions with only "
+            f"{len(outside)} non-landmark vertices"
+        )
+
+    updates: list[LandmarkUpdate] = []
+    while adds_left or removes_left:
+        do_add = adds_left and (
+            not removes_left or not current or rng.random() < 0.5
+        )
+        if do_add and outside:
+            i = rng.randrange(len(outside))
+            outside[i], outside[-1] = outside[-1], outside[i]
+            v = outside.pop()
+            current.add(v)
+            adds_left -= 1
+            updates.append(LandmarkUpdate("add", v))
+        elif removes_left and current:
+            v = rng.choice(sorted(current))
+            current.discard(v)
+            outside.append(v)
+            removes_left -= 1
+            updates.append(LandmarkUpdate("remove", v))
+        else:  # pragma: no cover - only hit on degenerate inputs
+            break
+    return updates
+
+
+def incremental_update_sequence(
+    n: int, landmarks: Sequence[int], count: int, seed: int = 0
+) -> list[LandmarkUpdate]:
+    """``count`` insertions only (the paper's purely incremental test)."""
+    rng = random.Random(seed)
+    current, outside = _prepare(n, landmarks)
+    if count > len(outside):
+        raise DatasetError(f"cannot insert {count} landmarks; {len(outside)} candidates")
+    chosen = rng.sample(outside, count)
+    return [LandmarkUpdate("add", v) for v in chosen]
+
+
+def decremental_update_sequence(
+    n: int, landmarks: Sequence[int], count: int, seed: int = 0
+) -> list[LandmarkUpdate]:
+    """``count`` deletions only (the paper's purely decremental test)."""
+    rng = random.Random(seed)
+    current, _ = _prepare(n, landmarks)
+    if count > len(current):
+        raise DatasetError(f"cannot remove {count} landmarks; {len(current)} present")
+    chosen = rng.sample(sorted(current), count)
+    return [LandmarkUpdate("remove", v) for v in chosen]

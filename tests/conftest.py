@@ -1,0 +1,73 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.graphs import Graph, assign_uniform_integer_weights, erdos_renyi
+
+
+def path_graph(n: int, weights=None) -> Graph:
+    """0 - 1 - ... - n-1 with optional per-edge weights."""
+    g = Graph(n, unweighted=weights is None)
+    for i in range(n - 1):
+        w = 1.0 if weights is None else weights[i]
+        g.add_edge(i, i + 1, w)
+    return g
+
+
+def cycle_graph(n: int) -> Graph:
+    """Unweighted n-cycle."""
+    g = Graph(n, unweighted=True)
+    for i in range(n):
+        g.add_edge(i, (i + 1) % n, 1.0)
+    return g
+
+
+def grid_graph(rows: int, cols: int) -> Graph:
+    """Unweighted rows x cols lattice."""
+    g = Graph(rows * cols, unweighted=True)
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            if c + 1 < cols:
+                g.add_edge(v, v + 1, 1.0)
+            if r + 1 < rows:
+                g.add_edge(v, v + cols, 1.0)
+    return g
+
+
+def random_graph(seed: int, n_lo: int = 5, n_hi: int = 30, weighted=None) -> Graph:
+    """Connected random graph; ``weighted=None`` flips a seeded coin."""
+    rng = random.Random(seed)
+    n = rng.randint(n_lo, n_hi)
+    base = erdos_renyi(n, min(n - 2, rng.uniform(1.5, 4.0)), seed=seed)
+    if weighted is None:
+        weighted = rng.random() < 0.5
+    if weighted:
+        return assign_uniform_integer_weights(base, 1, 7, seed=seed + 1)
+    return base
+
+
+@pytest.fixture
+def small_path() -> Graph:
+    """A 5-vertex unweighted path."""
+    return path_graph(5)
+
+
+@pytest.fixture
+def weighted_diamond() -> Graph:
+    """Two s-t routes of different weight plus a tie route.
+
+    Edges: 0-1 (1), 1-3 (1), 0-2 (3), 2-3 (1), 0-3 (5).
+    d(0, 3) = 2 via 0-1-3.
+    """
+    g = Graph(4)
+    g.add_edge(0, 1, 1.0)
+    g.add_edge(1, 3, 1.0)
+    g.add_edge(0, 2, 3.0)
+    g.add_edge(2, 3, 1.0)
+    g.add_edge(0, 3, 5.0)
+    return g

@@ -1,0 +1,86 @@
+"""Hypothesis strategies for structured graph inputs.
+
+The seed-driven :func:`conftest.random_graph` covers Erdős–Rényi-flavoured
+inputs well; these composite strategies deliberately generate *structured*
+topologies — trees with chords, stars of cliques, long weighted chains —
+where shortest-path ties, bottlenecks and hub blocking behave very
+differently, plus a matched landmark set.  Used by
+``test_structured_property.py`` to diversify the canonicity fuzzing.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import strategies as st
+
+from repro.graphs import Graph
+
+
+@st.composite
+def tree_with_chords(draw) -> Graph:
+    """A random tree plus a few chord edges (sparse, high diameter)."""
+    n = draw(st.integers(4, 24))
+    rng = random.Random(draw(st.integers(0, 2**20)))
+    weighted = draw(st.booleans())
+    g = Graph(n, unweighted=not weighted)
+
+    def weight() -> float:
+        return float(rng.randint(1, 7)) if weighted else 1.0
+
+    for v in range(1, n):
+        g.add_edge(v, rng.randrange(v), weight())
+    for _ in range(draw(st.integers(0, n // 3))):
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u != v and not g.has_edge(u, v):
+            g.add_edge(u, v, weight())
+    return g
+
+
+@st.composite
+def star_of_cliques(draw) -> Graph:
+    """Small cliques joined through a central hub (community structure)."""
+    cliques = draw(st.integers(2, 4))
+    size = draw(st.integers(2, 4))
+    rng = random.Random(draw(st.integers(0, 2**20)))
+    n = 1 + cliques * size
+    g = Graph(n, unweighted=True)
+    for c in range(cliques):
+        members = [1 + c * size + i for i in range(size)]
+        for i, a in enumerate(members):
+            for b in members[i + 1 :]:
+                g.add_edge(a, b, 1.0)
+        g.add_edge(0, rng.choice(members), 1.0)
+    return g
+
+
+@st.composite
+def weighted_chain_with_shortcuts(draw) -> Graph:
+    """A long chain plus shortcut edges: rich in path-length ties."""
+    n = draw(st.integers(5, 20))
+    rng = random.Random(draw(st.integers(0, 2**20)))
+    g = Graph(n)
+    for i in range(n - 1):
+        g.add_edge(i, i + 1, float(rng.randint(1, 3)))
+    for _ in range(draw(st.integers(1, 4))):
+        a = rng.randrange(n - 2)
+        b = rng.randrange(a + 2, n)
+        if not g.has_edge(a, b):
+            # exact chord weight often equals the chain distance -> ties
+            g.add_edge(a, b, float(b - a))
+    return g
+
+
+structured_graphs = st.one_of(
+    tree_with_chords(), star_of_cliques(), weighted_chain_with_shortcuts()
+)
+
+
+@st.composite
+def graph_with_landmarks(draw):
+    """A structured graph plus a random nonempty landmark subset."""
+    g = draw(structured_graphs)
+    k = draw(st.integers(1, max(1, g.n // 3)))
+    rng = random.Random(draw(st.integers(0, 2**20)))
+    landmarks = sorted(rng.sample(range(g.n), k))
+    return g, landmarks

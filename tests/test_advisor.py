@@ -1,0 +1,86 @@
+"""Tests for the workload-driven landmark advisor."""
+
+import pytest
+
+from conftest import cycle_graph, grid_graph, path_graph
+from repro.core import build_hcl
+from repro.core.advisor import (
+    score_landmark_usage,
+    suggest_addition,
+    suggest_removal,
+)
+from repro.errors import LandmarkError
+
+
+class TestSuggestAddition:
+    def test_bottleneck_vertex_wins(self):
+        # All queries cross the middle of a path: the center scores highest.
+        g = path_graph(9)
+        index = build_hcl(g, [0])
+        queries = [(1, 7), (2, 8), (1, 8), (2, 6)]
+        (best, score), *_ = suggest_addition(index, queries)
+        # vertices 3..6 lie on every sampled path and tie at the top score
+        assert best in (3, 4, 5, 6)
+        assert score == 4
+
+    def test_existing_landmarks_excluded(self):
+        g = path_graph(9)
+        index = build_hcl(g, [4])
+        suggestions = suggest_addition(index, [(1, 7), (2, 8)])
+        assert all(not index.is_landmark(v) for v, _ in suggestions)
+
+    def test_empty_sample_rejected(self):
+        index = build_hcl(path_graph(3), [1])
+        with pytest.raises(LandmarkError):
+            suggest_addition(index, [])
+
+    def test_top_limit(self):
+        g = grid_graph(5, 5)
+        index = build_hcl(g, [0])
+        queries = [(i, 24 - i) for i in range(5)]
+        assert len(suggest_addition(index, queries, top=3)) <= 3
+
+    def test_promoting_suggestion_improves_bound(self):
+        from repro.core import upgrade_landmark
+
+        g = path_graph(9)
+        index = build_hcl(g, [0])
+        queries = [(2, 7), (3, 8)]
+        before = sum(index.query(s, t) for s, t in queries)
+        (best, _), *_ = suggest_addition(index, queries)
+        upgrade_landmark(index, best)
+        after = sum(index.query(s, t) for s, t in queries)
+        assert after < before
+
+
+class TestUsageAndRemoval:
+    def test_usage_counts_argmin_pair(self):
+        g = cycle_graph(8)
+        index = build_hcl(g, [0, 4])
+        usage = score_landmark_usage(index, [(3, 5)])
+        # 3 -> 5 optimum goes through 4 (cost 2), never 0 (cost 6).
+        assert usage[4] == 1
+        assert usage[0] == 0
+
+    def test_unused_landmark_suggested_first(self):
+        g = cycle_graph(8)
+        index = build_hcl(g, [0, 4])
+        (victim, usage), *_ = suggest_removal(index, [(3, 5)])
+        assert victim == 0
+        assert usage == 0
+
+    def test_all_landmarks_scored(self):
+        g = grid_graph(4, 4)
+        index = build_hcl(g, [0, 5, 15])
+        usage = score_landmark_usage(index, [(1, 14), (2, 13)])
+        assert set(usage) == {0, 5, 15}
+
+    def test_removal_needs_landmarks(self):
+        index = build_hcl(path_graph(3), [])
+        with pytest.raises(LandmarkError):
+            suggest_removal(index, [(0, 2)])
+
+    def test_top_limit(self):
+        g = grid_graph(4, 4)
+        index = build_hcl(g, [0, 5, 10, 15])
+        assert len(suggest_removal(index, [(1, 14)], top=2)) == 2

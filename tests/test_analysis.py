@@ -1,0 +1,76 @@
+"""Tests for graph analysis utilities."""
+
+from conftest import cycle_graph, grid_graph, path_graph
+from repro.graphs import Graph, barabasi_albert
+from repro.graphs.analysis import (
+    connected_components,
+    degree_histogram,
+    double_sweep_diameter,
+    is_connected,
+    largest_component,
+    profile_graph,
+)
+
+
+class TestComponents:
+    def test_connected_graph_is_one_component(self):
+        assert len(connected_components(cycle_graph(6))) == 1
+        assert is_connected(cycle_graph(6))
+
+    def test_components_sorted_by_size(self):
+        g = Graph(7, unweighted=True)
+        g.add_edge(0, 1, 1.0)
+        g.add_edge(1, 2, 1.0)
+        g.add_edge(3, 4, 1.0)
+        comps = connected_components(g)
+        assert [len(c) for c in comps] == [3, 2, 1, 1]
+        assert sorted(largest_component(g)) == [0, 1, 2]
+        assert not is_connected(g)
+
+    def test_empty_graph(self):
+        assert connected_components(Graph(0)) == []
+        assert is_connected(Graph(0))
+        assert largest_component(Graph(0)) == []
+
+
+class TestDegreeHistogram:
+    def test_path(self):
+        assert degree_histogram(path_graph(4)) == {1: 2, 2: 2}
+
+    def test_cycle(self):
+        assert degree_histogram(cycle_graph(5)) == {2: 5}
+
+
+class TestDiameter:
+    def test_path_diameter_is_exact(self):
+        assert double_sweep_diameter(path_graph(9)) == 8.0
+
+    def test_cycle_lower_bound(self):
+        # exact diameter of C_10 is 5; double sweep finds it
+        assert double_sweep_diameter(cycle_graph(10)) == 5.0
+
+    def test_grid(self):
+        assert double_sweep_diameter(grid_graph(4, 5)) == 7.0
+
+    def test_weighted(self):
+        g = path_graph(3, weights=[2.0, 5.0])
+        assert double_sweep_diameter(g) == 7.0
+
+    def test_empty(self):
+        assert double_sweep_diameter(Graph(0)) == 0.0
+
+
+class TestProfile:
+    def test_profile_fields(self):
+        g = barabasi_albert(80, 2, seed=1)
+        profile = profile_graph(g)
+        assert profile.n == 80
+        assert profile.m == g.m
+        assert profile.components == 1
+        assert profile.max_degree >= profile.average_degree
+        assert profile.diameter_lower_bound > 0
+        assert not profile.weighted
+
+    def test_profile_weighted_flag(self):
+        g = path_graph(3, weights=[1.0, 2.0])
+        assert profile_graph(g).weighted

@@ -1,0 +1,84 @@
+"""Tests for batch landmark reconfiguration (future-work ii)."""
+
+import pytest
+
+from conftest import cycle_graph, path_graph, random_graph
+from repro.core import assert_canonical, build_hcl
+from repro.core.batch import batch_reconfigure
+from repro.errors import LandmarkError
+
+
+class TestStrategies:
+    def test_dynamic_path(self):
+        index = build_hcl(cycle_graph(12), [0, 3, 6, 9])
+        result = batch_reconfigure(index, add=[1], remove=[6])
+        assert result.strategy == "dynamic"
+        assert index.landmarks == {0, 1, 3, 9}
+        assert_canonical(index)
+
+    def test_rebuild_cutoff(self):
+        index = build_hcl(cycle_graph(12), [0, 6])
+        result = batch_reconfigure(
+            index, add=[1, 2, 3, 4], remove=[0, 6], rebuild_factor=0.5
+        )
+        assert result.strategy == "rebuild"
+        assert index.landmarks == {1, 2, 3, 4}
+        assert_canonical(index)
+
+    def test_force_dynamic(self):
+        index = build_hcl(cycle_graph(12), [0, 6])
+        result = batch_reconfigure(
+            index, add=[1, 2, 3], remove=[0], rebuild_factor=float("inf")
+        )
+        assert result.strategy == "dynamic"
+        assert_canonical(index)
+
+    @pytest.mark.parametrize("factor", [0.0, 0.75, float("inf")])
+    def test_strategies_agree(self, factor):
+        g = random_graph(33, n_lo=10, n_hi=25)
+        landmarks = [v for v in range(g.n) if v % 4 == 0]
+        adds = [v for v in range(g.n) if v % 4 == 1][:3]
+        index = build_hcl(g, landmarks)
+        batch_reconfigure(index, add=adds, remove=landmarks[:2], rebuild_factor=factor)
+        fresh = build_hcl(g, sorted(index.landmarks))
+        assert index.structurally_equal(fresh)
+
+
+class TestCancellation:
+    def test_add_and_remove_same_vertex_cancels(self):
+        index = build_hcl(path_graph(6), [2])
+        result = batch_reconfigure(index, add=[4], remove=[4])
+        assert result.cancelled == 1
+        assert result.applied_adds == 0
+        assert result.applied_removes == 0
+        assert index.landmarks == {2}
+
+    def test_cancel_preserves_current_state_for_landmark(self):
+        index = build_hcl(path_graph(6), [2])
+        result = batch_reconfigure(index, add=[2], remove=[2])
+        assert result.cancelled == 1
+        assert index.landmarks == {2}
+
+    def test_empty_batch_is_noop(self):
+        index = build_hcl(path_graph(4), [1])
+        snapshot = index.copy()
+        result = batch_reconfigure(index)
+        assert result.strategy == "dynamic"
+        assert index.structurally_equal(snapshot)
+
+
+class TestValidation:
+    def test_add_existing_landmark_rejected(self):
+        index = build_hcl(path_graph(4), [1])
+        with pytest.raises(LandmarkError):
+            batch_reconfigure(index, add=[1])
+
+    def test_remove_non_landmark_rejected(self):
+        index = build_hcl(path_graph(4), [1])
+        with pytest.raises(LandmarkError):
+            batch_reconfigure(index, remove=[0])
+
+    def test_out_of_range_rejected(self):
+        index = build_hcl(path_graph(4), [1])
+        with pytest.raises(LandmarkError):
+            batch_reconfigure(index, add=[77])

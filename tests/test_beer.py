@@ -1,0 +1,133 @@
+"""Tests for the shortest-beer-path application layer."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import cycle_graph, path_graph, random_graph
+from repro.beer import BeerDistanceIndex, BeerGraph, beer_distance_baseline
+from repro.errors import LandmarkError, VertexError
+
+
+class TestBeerGraph:
+    def test_open_close(self):
+        bg = BeerGraph(path_graph(4), beer_vertices=[1])
+        assert bg.is_beer_vertex(1)
+        bg.open_beer_vertex(3)
+        assert bg.beer_vertices == {1, 3}
+        bg.close_beer_vertex(1)
+        assert bg.beer_vertices == {3}
+
+    def test_double_open_rejected(self):
+        bg = BeerGraph(path_graph(3), beer_vertices=[1])
+        with pytest.raises(LandmarkError):
+            bg.open_beer_vertex(1)
+
+    def test_close_missing_rejected(self):
+        bg = BeerGraph(path_graph(3))
+        with pytest.raises(LandmarkError):
+            bg.close_beer_vertex(0)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(VertexError):
+            BeerGraph(path_graph(3), beer_vertices=[9])
+
+
+class TestBaseline:
+    def test_detour_required(self):
+        bg = BeerGraph(cycle_graph(6), beer_vertices=[0])
+        # 2 -> 4 must detour through the bar at 0: 2 + 2 = 4.
+        assert beer_distance_baseline(bg, 2, 4) == 4.0
+
+    def test_no_beer_is_inf(self):
+        bg = BeerGraph(path_graph(3))
+        assert beer_distance_baseline(bg, 0, 2) == math.inf
+
+    def test_beer_on_shortest_path(self):
+        bg = BeerGraph(path_graph(5), beer_vertices=[2])
+        assert beer_distance_baseline(bg, 0, 4) == 4.0
+
+
+class TestBeerDistanceIndex:
+    def test_matches_baseline_static(self):
+        g = random_graph(21, n_lo=8, n_hi=24)
+        beer = [v for v in range(g.n) if v % 4 == 0]
+        oracle = BeerDistanceIndex(BeerGraph(g, beer_vertices=beer))
+        bg = BeerGraph(g, beer_vertices=beer)
+        for s in range(0, g.n, 2):
+            for t in range(1, g.n, 3):
+                assert oracle.beer_distance(s, t) == beer_distance_baseline(bg, s, t)
+
+    def test_beer_endpoint_degenerates_to_distance(self):
+        g = path_graph(4)
+        oracle = BeerDistanceIndex(BeerGraph(g, beer_vertices=[0]))
+        assert oracle.beer_distance(0, 3) == 3.0
+        assert oracle.beer_distance(3, 0) == 3.0
+
+    def test_dynamic_open_close_tracks_baseline(self):
+        g = cycle_graph(8)
+        oracle = BeerDistanceIndex(BeerGraph(g, beer_vertices=[0]))
+        assert oracle.beer_distance(3, 5) == 6.0
+        oracle.open_beer_vertex(4)
+        assert oracle.beer_distance(3, 5) == 2.0
+        oracle.close_beer_vertex(4)
+        assert oracle.beer_distance(3, 5) == 6.0
+
+    def test_plain_distance_passthrough(self):
+        g = cycle_graph(8)
+        oracle = BeerDistanceIndex(BeerGraph(g, beer_vertices=[0]))
+        assert oracle.distance(3, 5) == 2.0
+
+    def test_dynamic_index_exposed(self):
+        oracle = BeerDistanceIndex(BeerGraph(path_graph(3), beer_vertices=[1]))
+        assert oracle.dynamic_index.landmarks == {1}
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 5_000))
+def test_property_beer_distance_under_churn(seed):
+    """Beer distances stay exact while shops open and close."""
+    g = random_graph(seed, n_lo=6, n_hi=18)
+    rng = random.Random(seed)
+    beer = set(rng.sample(range(g.n), max(1, g.n // 4)))
+    oracle = BeerDistanceIndex(BeerGraph(g, beer_vertices=sorted(beer)))
+    for _ in range(4):
+        closed = [v for v in range(g.n) if v not in beer]
+        if beer and (not closed or rng.random() < 0.5):
+            v = rng.choice(sorted(beer))
+            oracle.close_beer_vertex(v)
+            beer.discard(v)
+        elif closed:
+            v = rng.choice(closed)
+            oracle.open_beer_vertex(v)
+            beer.add(v)
+        reference = BeerGraph(g, beer_vertices=sorted(beer))
+        s, t = rng.randrange(g.n), rng.randrange(g.n)
+        want = beer_distance_baseline(reference, s, t)
+        if oracle.beer_graph.is_beer_vertex(s) or oracle.beer_graph.is_beer_vertex(t):
+            # endpoint itself sells beer: plain distance
+            from repro.graphs import single_source_distances
+
+            want = min(want, single_source_distances(g, s)[t])
+        assert oracle.beer_distance(s, t) == want
+
+
+class TestBeerPathReporting:
+    def test_path_realizes_beer_distance(self):
+        g = cycle_graph(8)
+        oracle = BeerDistanceIndex(BeerGraph(g, beer_vertices=[0]))
+        route = oracle.beer_path(3, 5)
+        assert route[0] == 3 and route[-1] == 5
+        assert 0 in route  # passes the beer vertex
+        weight = sum(
+            g.edge_weight(route[i], route[i + 1]) for i in range(len(route) - 1)
+        )
+        assert weight == oracle.beer_distance(3, 5)
+
+    def test_beer_endpoint_gives_plain_shortest_path(self):
+        g = path_graph(5)
+        oracle = BeerDistanceIndex(BeerGraph(g, beer_vertices=[0]))
+        assert oracle.beer_path(0, 4) == [0, 1, 2, 3, 4]

@@ -1,0 +1,101 @@
+"""Tests for the directed beer-distance oracle."""
+
+import math
+import random
+
+import pytest
+
+from repro.beer.directed import (
+    DirectedBeerDistanceIndex,
+    directed_beer_distance_baseline,
+)
+from repro.errors import LandmarkError, VertexError
+from repro.graphs import DiGraph
+
+
+def directed_cycle(n: int) -> DiGraph:
+    g = DiGraph(n, unweighted=True)
+    for i in range(n):
+        g.add_arc(i, (i + 1) % n, 1.0)
+    return g
+
+
+def random_digraph(seed: int, n_lo=6, n_hi=18) -> DiGraph:
+    rng = random.Random(seed)
+    n = rng.randint(n_lo, n_hi)
+    g = DiGraph(n, unweighted=(rng.random() < 0.5))
+    for _ in range(rng.randint(2 * n, 4 * n)):
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u != v and not any(x == v for x, _ in g.out_neighbors(u)):
+            g.add_arc(u, v, 1.0 if g.unweighted else float(rng.randint(1, 5)))
+    return g
+
+
+class TestBasics:
+    def test_doctest_scenario(self):
+        oracle = DirectedBeerDistanceIndex(directed_cycle(4), beer_vertices=[2])
+        assert oracle.beer_distance(0, 3) == 3.0
+        assert oracle.beer_distance(3, 1) == 6.0
+
+    def test_asymmetry(self):
+        oracle = DirectedBeerDistanceIndex(directed_cycle(6), beer_vertices=[3])
+        assert oracle.beer_distance(1, 4) != oracle.beer_distance(4, 1)
+
+    def test_beer_endpoint_is_plain_distance(self):
+        g = directed_cycle(5)
+        oracle = DirectedBeerDistanceIndex(g, beer_vertices=[0])
+        assert oracle.beer_distance(0, 3) == 3.0
+        assert oracle.distance(0, 3) == 3.0
+
+    def test_no_beer_is_inf(self):
+        oracle = DirectedBeerDistanceIndex(directed_cycle(4))
+        assert oracle.beer_distance(0, 2) == math.inf
+
+    def test_validation(self):
+        g = directed_cycle(4)
+        with pytest.raises(VertexError):
+            DirectedBeerDistanceIndex(g, beer_vertices=[9])
+        with pytest.raises(LandmarkError):
+            DirectedBeerDistanceIndex(g, beer_vertices=[1, 1])
+        oracle = DirectedBeerDistanceIndex(g, beer_vertices=[1])
+        with pytest.raises(LandmarkError):
+            oracle.open_beer_vertex(1)
+        with pytest.raises(LandmarkError):
+            oracle.close_beer_vertex(0)
+        with pytest.raises(VertexError):
+            oracle.open_beer_vertex(44)
+
+
+class TestDynamics:
+    def test_open_close_tracks_baseline(self):
+        g = directed_cycle(8)
+        oracle = DirectedBeerDistanceIndex(g, beer_vertices=[0])
+        baseline = directed_beer_distance_baseline(g, [0], 3, 5)
+        assert oracle.beer_distance(3, 5) == baseline
+        oracle.open_beer_vertex(4)
+        assert oracle.beer_distance(3, 5) == 2.0
+        oracle.close_beer_vertex(4)
+        assert oracle.beer_distance(3, 5) == baseline
+        assert oracle.beer_vertices == {0}
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_baseline_under_churn(self, seed):
+        g = random_digraph(seed)
+        rng = random.Random(seed)
+        beer = set(rng.sample(range(g.n), max(1, g.n // 4)))
+        oracle = DirectedBeerDistanceIndex(g, beer_vertices=sorted(beer))
+        for _ in range(4):
+            closed = [v for v in range(g.n) if v not in beer]
+            if beer and (not closed or rng.random() < 0.5):
+                v = rng.choice(sorted(beer))
+                oracle.close_beer_vertex(v)
+                beer.discard(v)
+            elif closed:
+                v = rng.choice(closed)
+                oracle.open_beer_vertex(v)
+                beer.add(v)
+            s, t = rng.randrange(g.n), rng.randrange(g.n)
+            if s in beer or t in beer:
+                continue
+            want = directed_beer_distance_baseline(g, beer, s, t)
+            assert oracle.beer_distance(s, t) == want, (s, t, sorted(beer))

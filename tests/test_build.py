@@ -1,0 +1,114 @@
+"""Tests for BUILDHCL: canonical index semantics."""
+
+import math
+
+import pytest
+
+from conftest import cycle_graph, grid_graph, path_graph, random_graph
+from repro.core import build_hcl, check_cover_property, check_highway_exact
+from repro.errors import LandmarkError, VertexError
+from repro.graphs import Graph
+
+
+class TestHandExamples:
+    def test_single_landmark_on_path(self):
+        g = path_graph(5)
+        index = build_hcl(g, [2])
+        # every vertex is covered by the sole landmark
+        assert index.labeling.label(0) == {2: 2.0}
+        assert index.labeling.label(4) == {2: 2.0}
+        assert index.labeling.label(2) == {2: 0.0}
+        assert index.highway.distance(2, 2) == 0.0
+
+    def test_landmark_blocks_coverage(self):
+        g = path_graph(5)
+        index = build_hcl(g, [1, 2])
+        # vertex 0: shortest path to 2 passes landmark 1 -> not covered by 2
+        assert index.labeling.label(0) == {1: 1.0}
+        # vertex 3 and 4 behind 2: not covered by 1
+        assert index.labeling.label(3) == {2: 1.0}
+        assert index.highway.distance(1, 2) == 1.0
+
+    def test_tie_keeps_entry(self):
+        # Two equal shortest paths 0 -> 3, one through landmark 1 only.
+        g = Graph(4, unweighted=True)
+        g.add_edge(0, 1, 1.0)
+        g.add_edge(0, 2, 1.0)
+        g.add_edge(1, 3, 1.0)
+        g.add_edge(2, 3, 1.0)
+        index = build_hcl(g, [1, 3])
+        # 3 covers 0 via 0-2-3 which avoids landmark 1.
+        assert index.labeling.label(0) == {1: 1.0, 3: 2.0}
+
+    def test_cycle_symmetry(self):
+        g = cycle_graph(6)
+        index = build_hcl(g, [0, 3])
+        assert index.highway.distance(0, 3) == 3.0
+        # vertices 1, 2 covered by both (paths on opposite arcs)
+        assert index.labeling.label(1) == {0: 1.0, 3: 2.0}
+        assert index.labeling.label(2) == {0: 2.0, 3: 1.0}
+
+    def test_landmark_labels_are_self_only(self):
+        g = grid_graph(3, 3)
+        index = build_hcl(g, [0, 4, 8])
+        for r in (0, 4, 8):
+            assert index.labeling.label(r) == {r: 0.0}
+
+
+class TestEdgeCases:
+    def test_empty_landmark_set(self):
+        g = path_graph(3)
+        index = build_hcl(g, [])
+        assert index.landmarks == set()
+        assert index.labeling.total_entries() == 0
+        assert index.query(0, 2) == math.inf
+
+    def test_all_vertices_landmarks(self):
+        g = cycle_graph(4)
+        index = build_hcl(g, [0, 1, 2, 3])
+        for v in range(4):
+            assert index.labeling.label(v) == {v: 0.0}
+        assert index.highway.distance(0, 2) == 2.0
+
+    def test_disconnected_graph(self):
+        g = path_graph(3)
+        g.add_vertex()
+        g.add_vertex()
+        g.add_edge(3, 4, 1.0)
+        index = build_hcl(g, [1, 4])
+        assert index.highway.distance(1, 4) == math.inf
+        assert index.labeling.label(0) == {1: 1.0}
+        assert index.labeling.label(3) == {4: 1.0}
+
+    def test_duplicate_landmarks_rejected(self):
+        with pytest.raises(LandmarkError):
+            build_hcl(path_graph(3), [1, 1])
+
+    def test_out_of_range_landmark_rejected(self):
+        with pytest.raises(VertexError):
+            build_hcl(path_graph(3), [7])
+
+
+class TestInvariants:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_highway_exact_on_random_graphs(self, seed):
+        g = random_graph(seed)
+        landmarks = [v for v in range(g.n) if v % 4 == 0]
+        index = build_hcl(g, landmarks)
+        check_highway_exact(index)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_cover_property_on_random_graphs(self, seed):
+        g = random_graph(seed)
+        landmarks = [v for v in range(g.n) if v % 4 == 1]
+        index = build_hcl(g, landmarks)
+        check_cover_property(index, sample=30, seed=seed)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_order_invariance(self, seed):
+        """Landmark processing order cannot change the result."""
+        g = random_graph(seed)
+        landmarks = [v for v in range(g.n) if v % 3 == 0]
+        a = build_hcl(g, landmarks)
+        b = build_hcl(g, list(reversed(landmarks)))
+        assert a.structurally_equal(b)

@@ -1,0 +1,85 @@
+"""Tests for the version-invalidated query cache."""
+
+import pytest
+
+from conftest import cycle_graph, path_graph
+from repro.core import DynamicHCL
+from repro.core.cache import CachedQueryEngine
+
+
+class TestBasics:
+    def test_hit_after_miss(self):
+        engine = CachedQueryEngine(DynamicHCL.build(path_graph(5), [2]))
+        first = engine.query(0, 4)
+        second = engine.query(0, 4)
+        assert first == second == 4.0
+        assert engine.stats.misses == 1
+        assert engine.stats.hits == 1
+
+    def test_symmetric_key(self):
+        engine = CachedQueryEngine(DynamicHCL.build(path_graph(5), [2]))
+        engine.query(0, 4)
+        engine.query(4, 0)  # same undirected pair -> cache hit
+        assert engine.stats.hits == 1
+
+    def test_distance_cached_separately(self):
+        engine = CachedQueryEngine(DynamicHCL.build(cycle_graph(6), [0]))
+        q = engine.query(2, 4)
+        d = engine.distance(2, 4)
+        assert q == 4.0 and d == 2.0
+        assert engine.stats.misses == 2
+
+    def test_hit_rate(self):
+        engine = CachedQueryEngine(DynamicHCL.build(path_graph(4), [1]))
+        engine.query(0, 3)
+        engine.query(0, 3)
+        engine.query(0, 3)
+        assert engine.stats.hit_rate == pytest.approx(2 / 3)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            CachedQueryEngine(DynamicHCL.build(path_graph(3), [1]), capacity=0)
+
+
+class TestInvalidation:
+    def test_landmark_update_flushes(self):
+        g = cycle_graph(8)
+        engine = CachedQueryEngine(DynamicHCL.build(g, [0]))
+        assert engine.query(3, 5) == 6.0
+        engine.add_landmark(4)  # landmark-constrained distances change
+        assert engine.query(3, 5) == 2.0  # fresh, not the stale 6.0
+        assert engine.stats.invalidations == 1
+
+    def test_external_update_also_detected(self):
+        """Updates applied directly on the wrapped DynamicHCL count too."""
+        g = cycle_graph(8)
+        dyn = DynamicHCL.build(g, [0])
+        engine = CachedQueryEngine(dyn)
+        assert engine.query(3, 5) == 6.0
+        dyn.add_landmark(4)  # bypasses the cache wrapper
+        assert engine.query(3, 5) == 2.0
+
+    def test_remove_landmark_flushes(self):
+        g = cycle_graph(8)
+        engine = CachedQueryEngine(DynamicHCL.build(g, [0, 4]))
+        assert engine.query(3, 5) == 2.0
+        engine.remove_landmark(4)
+        assert engine.query(3, 5) == 6.0
+
+
+class TestEviction:
+    def test_lru_respects_capacity(self):
+        g = path_graph(10)
+        engine = CachedQueryEngine(DynamicHCL.build(g, [5]), capacity=3)
+        for t in range(1, 8):
+            engine.query(0, t)
+        assert len(engine) <= 3
+
+    def test_evicted_entries_recompute(self):
+        g = path_graph(10)
+        engine = CachedQueryEngine(DynamicHCL.build(g, [5]), capacity=2)
+        engine.query(0, 9)
+        engine.query(0, 8)
+        engine.query(0, 7)  # evicts (0, 9)
+        engine.query(0, 9)  # must recompute, still correct
+        assert engine.stats.misses == 4

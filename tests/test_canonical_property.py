@@ -1,0 +1,148 @@
+"""Property-based tests: the theorems of the paper, machine-checked.
+
+The canonical index is the unique minimal, order-invariant HCL structure
+for ``(G, R)``.  Theorems 3.1/3.5 + Lemmas 3.2/3.3/3.6/3.7 together say
+that UPGRADE-LMK and DOWNGRADE-LMK map canonical indexes to canonical
+indexes; we verify this by structural equality with a from-scratch rebuild
+after every step of randomized mixed update sequences, over random
+weighted and unweighted graphs (hypothesis-driven).
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import random_graph
+from repro.core import (
+    assert_canonical,
+    build_hcl,
+    downgrade_landmark,
+    upgrade_landmark,
+)
+
+
+def apply_random_updates(index, landmarks, steps, rng):
+    """Drive a random feasible mixed sequence; yields after each update."""
+    n = index.graph.n
+    for _ in range(steps):
+        removable = sorted(landmarks)
+        addable = [v for v in range(n) if v not in landmarks]
+        if removable and (not addable or rng.random() < 0.5):
+            v = rng.choice(removable)
+            downgrade_landmark(index, v)
+            landmarks.discard(v)
+        elif addable:
+            v = rng.choice(addable)
+            upgrade_landmark(index, v)
+            landmarks.add(v)
+        yield
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_mixed_sequences_stay_canonical(seed):
+    g = random_graph(seed, n_lo=5, n_hi=28)
+    rng = random.Random(seed + 1)
+    k = rng.randint(1, max(1, g.n // 3))
+    landmarks = set(rng.sample(range(g.n), k))
+    index = build_hcl(g, sorted(landmarks))
+    for _ in apply_random_updates(index, landmarks, steps=6, rng=rng):
+        assert_canonical(index)
+
+
+@settings(max_examples=12, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_update_order_does_not_matter(seed):
+    """Applying the same set of changes in different orders agrees."""
+    g = random_graph(seed, n_lo=8, n_hi=22)
+    rng = random.Random(seed + 2)
+    base = set(rng.sample(range(g.n), max(2, g.n // 4)))
+    adds = rng.sample([v for v in range(g.n) if v not in base], 2)
+    removes = rng.sample(sorted(base), 2)
+
+    def run(order):
+        index = build_hcl(g, sorted(base))
+        for kind, v in order:
+            if kind == "add":
+                upgrade_landmark(index, v)
+            else:
+                downgrade_landmark(index, v)
+        return index
+
+    ops = [("add", adds[0]), ("add", adds[1]), ("rm", removes[0]), ("rm", removes[1])]
+    forward = run(ops)
+    backward = run(list(reversed(ops)))
+    assert forward.structurally_equal(backward)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_dynamic_equals_static_for_final_set(seed):
+    """After any update sequence, the index equals BUILDHCL on the result."""
+    g = random_graph(seed, n_lo=5, n_hi=25)
+    rng = random.Random(seed + 3)
+    landmarks = set(rng.sample(range(g.n), max(1, g.n // 4)))
+    index = build_hcl(g, sorted(landmarks))
+    for _ in apply_random_updates(index, landmarks, steps=5, rng=rng):
+        pass
+    fresh = build_hcl(g, sorted(landmarks))
+    assert index.structurally_equal(fresh)
+    # Space parity claim of the paper (Lemmas 3.2/3.6): same entry count.
+    assert index.labeling.total_entries() == fresh.labeling.total_entries()
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_query_monotone_under_landmark_changes(seed):
+    """Adding a landmark can only tighten QUERY; removing only loosen it.
+
+    The landmark-constrained distance is a minimum over landmarks, so it is
+    antitone in the landmark set — a paper-level sanity property the update
+    algorithms must preserve on top of canonicity.
+    """
+    g = random_graph(seed, n_lo=6, n_hi=20)
+    rng = random.Random(seed + 9)
+    landmarks = set(rng.sample(range(g.n), max(1, g.n // 4)))
+    index = build_hcl(g, sorted(landmarks))
+    pairs = [(rng.randrange(g.n), rng.randrange(g.n)) for _ in range(8)]
+
+    before = {p: index.query(*p) for p in pairs}
+    addable = [v for v in range(g.n) if v not in landmarks]
+    if addable:
+        upgrade_landmark(index, rng.choice(addable))
+        for p in pairs:
+            assert index.query(*p) <= before[p]
+        before = {p: index.query(*p) for p in pairs}
+
+    victim = rng.choice(sorted(index.landmarks))
+    downgrade_landmark(index, victim)
+    for p in pairs:
+        assert index.query(*p) >= before[p]
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_exact_distance_invariant_under_landmark_changes(seed):
+    """index.distance must equal the true distance regardless of R."""
+    from repro.graphs import single_source_distances
+
+    g = random_graph(seed, n_lo=5, n_hi=16)
+    rng = random.Random(seed + 11)
+    landmarks = set(rng.sample(range(g.n), max(1, g.n // 3)))
+    index = build_hcl(g, sorted(landmarks))
+    s = rng.randrange(g.n)
+    truth = single_source_distances(g, s)
+
+    for _ in range(3):
+        addable = [v for v in range(g.n) if v not in landmarks]
+        if landmarks and (not addable or rng.random() < 0.5):
+            v = rng.choice(sorted(landmarks))
+            downgrade_landmark(index, v)
+            landmarks.discard(v)
+        elif addable:
+            v = rng.choice(addable)
+            upgrade_landmark(index, v)
+            landmarks.add(v)
+        for t in range(g.n):
+            assert index.distance(s, t) == truth[t]

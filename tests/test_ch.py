@@ -1,0 +1,87 @@
+"""Tests for the Contraction Hierarchies substrate."""
+
+import pytest
+
+from conftest import cycle_graph, grid_graph, path_graph, random_graph
+from repro.baselines import build_contraction_hierarchy, ch_distance
+from repro.baselines.ch import join_search_spaces, upward_search_space
+from repro.errors import GraphError
+from repro.graphs import INF, single_source_distances
+
+
+class TestConstruction:
+    def test_ranks_are_a_permutation(self):
+        g = grid_graph(4, 4)
+        ch = build_contraction_hierarchy(g)
+        assert sorted(ch.rank) == list(range(g.n))
+        assert len(ch.order) == g.n
+
+    def test_upward_edges_point_up(self):
+        g = random_graph(3)
+        ch = build_contraction_hierarchy(g)
+        for v in range(g.n):
+            for u, _ in ch.upward[v]:
+                assert ch.rank[u] > ch.rank[v]
+
+    def test_path_graph_hierarchy_stays_sparse(self):
+        # Contracting a path in edge-difference order yields a balanced
+        # hierarchy with fewer than one shortcut per vertex.
+        g = path_graph(20)
+        ch = build_contraction_hierarchy(g)
+        assert ch.shortcuts < g.n
+
+    def test_invalid_budget(self):
+        with pytest.raises(GraphError):
+            build_contraction_hierarchy(path_graph(3), witness_budget=0)
+
+
+class TestQueries:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_distance_matches_dijkstra(self, seed):
+        g = random_graph(seed, n_lo=5, n_hi=40)
+        ch = build_contraction_hierarchy(g)
+        for s in range(0, g.n, 3):
+            dist = single_source_distances(g, s)
+            for t in range(0, g.n, 2):
+                assert ch_distance(ch, s, t) == dist[t], (s, t)
+
+    def test_disconnected_pairs_are_inf(self):
+        g = path_graph(2)
+        g.add_vertex()
+        ch = build_contraction_hierarchy(g)
+        assert ch_distance(ch, 0, 2) == INF
+
+    def test_same_vertex(self):
+        ch = build_contraction_hierarchy(cycle_graph(5))
+        assert ch_distance(ch, 2, 2) == 0.0
+
+    def test_small_witness_budget_still_correct(self):
+        """A tiny budget inflates shortcuts but never breaks distances."""
+        g = random_graph(11, n_lo=10, n_hi=25)
+        generous = build_contraction_hierarchy(g, witness_budget=100)
+        stingy = build_contraction_hierarchy(g, witness_budget=1)
+        assert stingy.shortcuts >= generous.shortcuts
+        dist = single_source_distances(g, 0)
+        for t in range(g.n):
+            assert ch_distance(stingy, 0, t) == dist[t]
+
+
+class TestSearchSpaces:
+    def test_space_contains_source_at_zero(self):
+        ch = build_contraction_hierarchy(grid_graph(3, 3))
+        space = upward_search_space(ch, 4)
+        assert space[4] == 0.0
+
+    def test_join_is_min_over_shared_keys(self):
+        assert join_search_spaces({1: 2.0, 2: 5.0}, {2: 1.0, 3: 0.0}) == 6.0
+        assert join_search_spaces({1: 1.0}, {2: 1.0}) == INF
+
+    def test_meet_equals_distance(self):
+        g = grid_graph(5, 5)
+        ch = build_contraction_hierarchy(g)
+        dist = single_source_distances(g, 0)
+        for t in (6, 12, 24):
+            got = join_search_spaces(
+                upward_search_space(ch, 0), upward_search_space(ch, t)
+            )
+            assert got == dist[t]

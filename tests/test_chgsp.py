@@ -1,0 +1,86 @@
+"""Tests for the CH-GSP competitor."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import cycle_graph, grid_graph, random_graph
+from repro.baselines import CHGSP, multi_dijkstra_landmark_constrained
+from repro.errors import LandmarkError, VertexError
+from repro.graphs import INF
+
+
+class TestQueries:
+    def test_simple_detour(self):
+        engine = CHGSP(cycle_graph(6), landmarks=[0])
+        # 2 -> 4 through landmark 0: 2 + 2 = 4.
+        assert engine.landmark_constrained_distance(2, 4) == 4.0
+
+    def test_no_landmarks_is_inf(self):
+        engine = CHGSP(cycle_graph(4))
+        assert engine.landmark_constrained_distance(0, 2) == INF
+
+    def test_landmark_endpoint(self):
+        engine = CHGSP(cycle_graph(6), landmarks=[2])
+        # s is the landmark: constrained distance equals plain distance.
+        assert engine.landmark_constrained_distance(2, 5) == 3.0
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_multi_dijkstra(self, seed):
+        g = random_graph(seed, n_lo=8, n_hi=30)
+        landmarks = [v for v in range(g.n) if v % 4 == 0]
+        engine = CHGSP(g, landmarks)
+        for s in range(0, g.n, 3):
+            for t in range(1, g.n, 3):
+                want = multi_dijkstra_landmark_constrained(g, landmarks, s, t)
+                assert engine.landmark_constrained_distance(s, t) == want
+
+    def test_plain_distance_matches(self):
+        g = grid_graph(4, 4)
+        engine = CHGSP(g)
+        assert engine.distance(0, 15) == 6.0
+
+
+class TestDynamics:
+    def test_add_remove_landmark(self):
+        g = cycle_graph(8)
+        engine = CHGSP(g, landmarks=[0])
+        engine.add_landmark(4)
+        assert engine.landmarks == {0, 4}
+        # 3 -> 5 through 4 costs 2; through 0 costs 8.
+        assert engine.landmark_constrained_distance(3, 5) == 2.0
+        engine.remove_landmark(4)
+        assert engine.landmark_constrained_distance(3, 5) == 6.0
+
+    def test_duplicate_add_rejected(self):
+        engine = CHGSP(cycle_graph(4), landmarks=[1])
+        with pytest.raises(LandmarkError):
+            engine.add_landmark(1)
+
+    def test_remove_missing_rejected(self):
+        engine = CHGSP(cycle_graph(4))
+        with pytest.raises(LandmarkError):
+            engine.remove_landmark(0)
+
+    def test_out_of_range_rejected(self):
+        engine = CHGSP(cycle_graph(4))
+        with pytest.raises(VertexError):
+            engine.add_landmark(99)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 5_000))
+def test_property_agrees_with_hcl_query(seed):
+    """CH-GSP and DYN-HCL answer identical landmark-constrained queries."""
+    import random
+
+    from repro.core import DynamicHCL
+
+    g = random_graph(seed, n_lo=6, n_hi=20)
+    rng = random.Random(seed)
+    landmarks = sorted(rng.sample(range(g.n), max(1, g.n // 5)))
+    engine = CHGSP(g, landmarks)
+    dyn = DynamicHCL.build(g, landmarks)
+    for _ in range(8):
+        s, t = rng.randrange(g.n), rng.randrange(g.n)
+        assert engine.landmark_constrained_distance(s, t) == dyn.query(s, t)

@@ -1,0 +1,48 @@
+"""Tests for the experiments command-line interface."""
+
+import pytest
+
+from repro.experiments.__main__ import main
+
+
+class TestCli:
+    def test_figure1_runs(self, capsys):
+        assert main(["figure1"]) == 0
+        out = capsys.readouterr().out
+        assert "UPGRADE-LMK(3)" in out
+
+    def test_table1_with_scale(self, capsys):
+        assert main(["table1", "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "TWI" in out
+
+    def test_table2_with_filters(self, capsys):
+        code = main(
+            ["table2", "--scale", "0.08", "--datasets", "LUX", "--no-large"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "LUX" in out
+        assert "Table 2 (bottom)" not in out
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["table9"])
+
+    def test_help_exits_zero(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["--help"])
+        assert exc.value.code == 0
+
+    def test_export_csv_flag(self, tmp_path, capsys):
+        out_csv = tmp_path / "t2.csv"
+        code = main(
+            [
+                "table2", "--scale", "0.08", "--datasets", "LUX",
+                "--no-large", "--export", str(out_csv),
+            ]
+        )
+        assert code == 0
+        header = out_csv.read_text().splitlines()[0]
+        assert header.startswith("dataset,landmarks,sigma")

@@ -1,0 +1,71 @@
+"""Tests for the CSR graph snapshot."""
+
+import pytest
+
+from conftest import cycle_graph, path_graph, random_graph
+from repro.core import build_hcl
+from repro.errors import GraphError
+from repro.graphs import dijkstra_distances, single_source_distances
+from repro.graphs.csr import CSRGraph, csr_dijkstra
+
+
+class TestStructure:
+    def test_neighbors_match_source_graph(self):
+        g = random_graph(3)
+        csr = CSRGraph(g)
+        for v in g.vertices():
+            assert sorted(csr.neighbors(v)) == sorted(g.neighbors(v))
+
+    def test_degrees_and_metadata(self):
+        g = cycle_graph(6)
+        csr = CSRGraph(g)
+        assert csr.n == 6
+        assert csr.m == 6
+        assert csr.unweighted
+        assert all(csr.degree(v) == 2 for v in csr.vertices())
+        assert csr.average_degree == pytest.approx(2.0)
+
+    def test_memory_cells(self):
+        g = path_graph(4)
+        csr = CSRGraph(g)
+        # offsets: n+1, targets: 2m, weights: 2m
+        assert csr.memory_cells() == 5 + 6 + 6
+
+    def test_empty_graph(self):
+        from repro.graphs import Graph
+
+        csr = CSRGraph(Graph(0))
+        assert csr.n == 0
+        assert csr.average_degree == 0.0
+
+
+class TestSearch:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_csr_dijkstra_matches_adjacency(self, seed):
+        g = random_graph(seed)
+        csr = CSRGraph(g)
+        for s in range(0, g.n, 3):
+            assert csr_dijkstra(csr, s) == dijkstra_distances(g, s)
+
+    def test_out_of_range_source(self):
+        csr = CSRGraph(path_graph(3))
+        with pytest.raises(GraphError):
+            csr_dijkstra(csr, 9)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_kernels_accept_csr(self, seed):
+        """The generic kernels consume CSR snapshots unchanged."""
+        g = random_graph(seed)
+        csr = CSRGraph(g)
+        for s in (0, g.n - 1):
+            assert single_source_distances(csr, s) == single_source_distances(g, s)
+
+
+class TestBuildOnCSR:
+    def test_buildhcl_accepts_csr(self):
+        g = random_graph(11, n_lo=10, n_hi=20)
+        landmarks = [v for v in range(g.n) if v % 4 == 0]
+        via_adjacency = build_hcl(g, landmarks)
+        via_csr = build_hcl(CSRGraph(g), landmarks)
+        assert via_csr.highway == via_adjacency.highway
+        assert via_csr.labeling == via_adjacency.labeling

@@ -1,0 +1,73 @@
+"""Unit tests for the directed graph structure."""
+
+import pytest
+
+from repro.errors import EdgeError, VertexError, WeightError
+from repro.graphs import DiGraph, Graph
+
+
+class TestArcs:
+    def test_arc_is_directed(self):
+        g = DiGraph(3)
+        g.add_arc(0, 1, 2.0)
+        assert (1, 2.0) in g.out_neighbors(0)
+        assert (0, 2.0) in g.in_neighbors(1)
+        assert g.out_neighbors(1) == []
+        assert g.in_neighbors(0) == []
+        assert g.m == 1
+
+    def test_antiparallel_arcs_allowed(self):
+        g = DiGraph(2)
+        g.add_arc(0, 1, 1.0)
+        g.add_arc(1, 0, 3.0)
+        assert g.m == 2
+
+    def test_duplicate_arc_rejected(self):
+        g = DiGraph(2)
+        g.add_arc(0, 1, 1.0)
+        with pytest.raises(EdgeError):
+            g.add_arc(0, 1, 2.0)
+
+    def test_self_loop_rejected(self):
+        g = DiGraph(1)
+        with pytest.raises(EdgeError):
+            g.add_arc(0, 0, 1.0)
+
+    def test_bad_weight_rejected(self):
+        g = DiGraph(2)
+        with pytest.raises(WeightError):
+            g.add_arc(0, 1, -1.0)
+
+    def test_bad_vertex_rejected(self):
+        g = DiGraph(2)
+        with pytest.raises(VertexError):
+            g.add_arc(0, 9, 1.0)
+
+    def test_degrees(self):
+        g = DiGraph.from_arcs(3, [(0, 1), (0, 2), (1, 2)])
+        assert g.out_degree(0) == 2
+        assert g.in_degree(2) == 2
+        assert g.in_degree(0) == 0
+
+    def test_arcs_iteration(self):
+        arcs = [(0, 1, 1.0), (1, 2, 2.0)]
+        g = DiGraph.from_arcs(3, arcs)
+        assert sorted(g.arcs()) == arcs
+
+
+class TestConversions:
+    def test_from_undirected_doubles_edges(self):
+        u = Graph.from_edges(3, [(0, 1), (1, 2)])
+        d = DiGraph.from_undirected(u)
+        assert d.m == 4
+        assert (1, 1.0) in d.out_neighbors(0)
+        assert (0, 1.0) in d.out_neighbors(1)
+
+    def test_reverse(self):
+        g = DiGraph.from_arcs(3, [(0, 1, 5.0), (1, 2, 2.0)])
+        r = g.reverse()
+        assert sorted(r.arcs()) == [(1, 0, 5.0), (2, 1, 2.0)]
+
+    def test_from_arcs_skips_duplicates_and_loops(self):
+        g = DiGraph.from_arcs(3, [(0, 1), (0, 1), (2, 2)])
+        assert g.m == 1

@@ -1,0 +1,261 @@
+"""Tests for the directed-HCL extension (future-work i)."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    build_directed_hcl,
+    downgrade_landmark_directed,
+    upgrade_landmark_directed,
+)
+from repro.errors import LandmarkError, VertexError
+from repro.graphs import DiGraph
+
+INF = math.inf
+
+
+def directed_path(n: int) -> DiGraph:
+    g = DiGraph(n, unweighted=True)
+    for i in range(n - 1):
+        g.add_arc(i, i + 1, 1.0)
+    return g
+
+
+def directed_cycle(n: int) -> DiGraph:
+    g = DiGraph(n, unweighted=True)
+    for i in range(n):
+        g.add_arc(i, (i + 1) % n, 1.0)
+    return g
+
+
+def random_digraph(seed: int, n_lo=5, n_hi=16) -> DiGraph:
+    rng = random.Random(seed)
+    n = rng.randint(n_lo, n_hi)
+    g = DiGraph(n, unweighted=(rng.random() < 0.5))
+    for _ in range(rng.randint(n, 3 * n)):
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u != v and not any(x == v for x, _ in g.out_neighbors(u)):
+            w = 1.0 if g.unweighted else float(rng.randint(1, 5))
+            g.add_arc(u, v, w)
+    return g
+
+
+def dijkstra_from(g: DiGraph, s: int) -> list[float]:
+    import heapq
+
+    dist = [INF] * g.n
+    dist[s] = 0.0
+    heap = [(0.0, s)]
+    while heap:
+        d, u = heapq.heappop(heap)
+        if d > dist[u]:
+            continue
+        for v, w in g.out_neighbors(u):
+            if d + w < dist[v]:
+                dist[v] = d + w
+                heapq.heappush(heap, (d + w, v))
+    return dist
+
+
+class TestBuild:
+    def test_asymmetric_labels_on_directed_path(self):
+        g = directed_path(4)
+        index = build_directed_hcl(g, [1])
+        # forward coverage: 1 reaches 2, 3; backward coverage: 0 reaches 1.
+        assert index.label_out(3) == {1: 2.0}
+        assert index.label_in(0) == {1: 1.0}
+        assert index.label_out(0) == {}  # 1 cannot reach 0
+        assert index.label_in(3) == {}  # 3 cannot reach 1
+
+    def test_highway_is_asymmetric(self):
+        g = directed_cycle(5)
+        index = build_directed_hcl(g, [0, 2])
+        assert index.highway_distance(0, 2) == 2.0
+        assert index.highway_distance(2, 0) == 3.0
+
+    def test_landmark_self_entries(self):
+        index = build_directed_hcl(directed_cycle(4), [1])
+        assert index.label_out(1) == {1: 0.0}
+        assert index.label_in(1) == {1: 0.0}
+
+    def test_duplicate_landmark_rejected(self):
+        with pytest.raises(LandmarkError):
+            build_directed_hcl(directed_path(3), [1, 1])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(VertexError):
+            build_directed_hcl(directed_path(3), [9])
+
+
+class TestQueries:
+    def test_query_is_directional(self):
+        g = directed_cycle(6)
+        index = build_directed_hcl(g, [0])
+        # 2 -> 4 through 0 must wrap around: 4 + 4 = 8.
+        assert index.query(2, 4) == 8.0
+        assert index.distance(2, 4) == 2.0
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_exact_distance(self, seed):
+        g = random_digraph(seed)
+        rng = random.Random(seed)
+        landmarks = sorted(rng.sample(range(g.n), max(1, g.n // 4)))
+        index = build_directed_hcl(g, landmarks)
+        for s in range(0, g.n, 2):
+            dist = dijkstra_from(g, s)
+            for t in range(g.n):
+                assert index.distance(s, t) == dist[t], (s, t)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_query_matches_bruteforce(self, seed):
+        g = random_digraph(seed)
+        rng = random.Random(seed + 9)
+        landmarks = sorted(rng.sample(range(g.n), max(1, g.n // 4)))
+        index = build_directed_hcl(g, landmarks)
+        for s in range(g.n):
+            dist_s = dijkstra_from(g, s)
+            for t in range(0, g.n, 2):
+                want = min(
+                    (dist_s[r] + dijkstra_from(g, r)[t] for r in landmarks),
+                    default=INF,
+                )
+                assert index.query(s, t) == want, (s, t)
+
+
+class TestDynamics:
+    def test_upgrade_errors(self):
+        index = build_directed_hcl(directed_path(3), [1])
+        with pytest.raises(LandmarkError):
+            upgrade_landmark_directed(index, 1)
+        with pytest.raises(VertexError):
+            upgrade_landmark_directed(index, 42)
+
+    def test_downgrade_errors(self):
+        index = build_directed_hcl(directed_path(3), [1])
+        with pytest.raises(LandmarkError):
+            downgrade_landmark_directed(index, 0)
+
+    def test_upgrade_matches_rebuild(self):
+        g = directed_cycle(7)
+        index = build_directed_hcl(g, [0])
+        upgrade_landmark_directed(index, 3)
+        assert index.structurally_equal(build_directed_hcl(g, [0, 3]))
+
+    def test_downgrade_matches_rebuild(self):
+        g = directed_cycle(7)
+        index = build_directed_hcl(g, [0, 3])
+        downgrade_landmark_directed(index, 0)
+        assert index.structurally_equal(build_directed_hcl(g, [3]))
+
+    def test_total_entries(self):
+        index = build_directed_hcl(directed_path(3), [1])
+        # L_out: {1: 0} at 1, {1: 1} at 2; L_in: {1: 1} at 0, {1: 0} at 1.
+        assert index.total_entries() == 4
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_property_directed_updates_stay_canonical(seed):
+    g = random_digraph(seed)
+    rng = random.Random(seed + 1)
+    landmarks = set(rng.sample(range(g.n), max(1, g.n // 4)))
+    index = build_directed_hcl(g, sorted(landmarks))
+    for _ in range(5):
+        addable = [v for v in range(g.n) if v not in landmarks]
+        if landmarks and (not addable or rng.random() < 0.5):
+            v = rng.choice(sorted(landmarks))
+            downgrade_landmark_directed(index, v)
+            landmarks.discard(v)
+        elif addable:
+            v = rng.choice(addable)
+            upgrade_landmark_directed(index, v)
+            landmarks.add(v)
+        fresh = build_directed_hcl(g, sorted(landmarks))
+        assert index.structurally_equal(fresh)
+
+
+class TestDirectedFacade:
+    def test_build_and_query(self):
+        from repro.core.directed import DirectedDynamicHCL
+
+        g = directed_cycle(4)
+        dyn = DirectedDynamicHCL.build(g, [1])
+        assert dyn.landmarks == {1}
+        assert dyn.query(0, 2) == 2.0
+        assert dyn.distance(0, 2) == 2.0
+
+    def test_add_remove_and_rebuild(self):
+        from repro.core.directed import DirectedDynamicHCL
+
+        g = directed_cycle(6)
+        dyn = DirectedDynamicHCL.build(g, [0])
+        dyn.add_landmark(3)
+        dyn.remove_landmark(0)
+        assert dyn.landmarks == {3}
+        assert dyn.index.structurally_equal(dyn.rebuild())
+
+    def test_doctest_scenario(self):
+        from repro.core.directed import DirectedDynamicHCL
+
+        g = directed_cycle(4)
+        dyn = DirectedDynamicHCL.build(g, [1])
+        dyn.add_landmark(3)
+        assert dyn.query(0, 2) == 2.0
+        dyn.remove_landmark(1)
+        assert dyn.query(0, 2) == 6.0
+
+
+class TestDirectedTopology:
+    def test_insert_arc_creates_shortcut(self):
+        from repro.core.directed import build_directed_hcl, insert_arc_directed
+
+        g = directed_path(5)
+        index = build_directed_hcl(g, [0])
+        affected = insert_arc_directed(index, 0, 4, 1.0)
+        assert affected == 1
+        assert index.label_out(4)[0] == 1.0
+        assert index.structurally_equal(build_directed_hcl(g, [0]))
+
+    def test_irrelevant_arc_repairs_nothing(self):
+        from repro.core.directed import build_directed_hcl, insert_arc_directed
+
+        g = DiGraph(4)
+        for u, v in [(0, 1), (1, 2), (2, 3)]:
+            g.add_arc(u, v, 1.0)
+        index = build_directed_hcl(g, [0])
+        # heavy back-arc cannot shorten anything from 0
+        affected = insert_arc_directed(index, 3, 1, 9.0)
+        assert affected == 0
+        assert index.structurally_equal(build_directed_hcl(g, [0]))
+
+    def test_delete_arc_reroutes(self):
+        from repro.core.directed import build_directed_hcl, delete_arc_directed
+
+        g = directed_cycle(5)
+        index = build_directed_hcl(g, [0])
+        affected = delete_arc_directed(index, 0, 1)
+        assert affected == 1
+        assert index.label_out(1) == {}  # 1 is now unreachable from 0
+        assert index.structurally_equal(build_directed_hcl(g, [0]))
+
+    def test_delete_missing_arc_raises(self):
+        from repro.core.directed import build_directed_hcl, delete_arc_directed
+        from repro.errors import LandmarkError
+
+        index = build_directed_hcl(directed_path(3), [1])
+        with pytest.raises(LandmarkError):
+            delete_arc_directed(index, 2, 0)
+
+    def test_remove_arc_digraph_api(self):
+        from repro.errors import EdgeError
+
+        g = DiGraph(3)
+        g.add_arc(0, 1, 2.5)
+        assert g.remove_arc(0, 1) == 2.5
+        assert g.m == 0
+        with pytest.raises(EdgeError):
+            g.remove_arc(0, 1)

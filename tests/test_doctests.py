@@ -1,0 +1,44 @@
+"""Execute the doctest examples embedded in the public modules.
+
+Keeps every usage example in the docstrings honest — if an API changes,
+the documented snippets fail here before a user finds out.
+"""
+
+import doctest
+
+import pytest
+
+import repro
+import repro.baselines.pll
+import repro.core.build
+import repro.core.cache
+import repro.core.dynhcl
+import repro.core.multicategory
+import repro.core.topology
+import repro.graphs.graph
+import repro.graphs.pqueue
+import repro.beer.queries
+import repro.baselines.ch.gsp
+import repro.service
+
+MODULES = [
+    repro,
+    repro.graphs.graph,
+    repro.graphs.pqueue,
+    repro.core.build,
+    repro.core.dynhcl,
+    repro.core.topology,
+    repro.core.cache,
+    repro.core.multicategory,
+    repro.beer.queries,
+    repro.baselines.ch.gsp,
+    repro.baselines.pll,
+    repro.service,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.attempted > 0, f"{module.__name__} lost its doctests"
+    assert results.failed == 0

@@ -1,0 +1,105 @@
+"""Unit tests for DOWNGRADE-LMK (Algorithm 2)."""
+
+import math
+
+import pytest
+
+from conftest import cycle_graph, path_graph, random_graph
+from repro.core import (
+    assert_canonical,
+    build_hcl,
+    downgrade_landmark,
+    upgrade_landmark,
+)
+from repro.errors import LandmarkError
+
+
+class TestBasics:
+    def test_downgrade_on_path(self):
+        g = path_graph(5)
+        index = build_hcl(g, [1, 3])
+        stats = downgrade_landmark(index, 1)
+        assert index.landmarks == {3}
+        assert stats.removed_landmark == 1
+        assert_canonical(index)
+
+    def test_demoted_vertex_gets_label(self):
+        g = path_graph(5)
+        index = build_hcl(g, [1, 3])
+        downgrade_landmark(index, 1)
+        assert index.labeling.label(1) == {3: 2.0}
+
+    def test_highway_entries_dropped(self):
+        g = cycle_graph(6)
+        index = build_hcl(g, [0, 2, 4])
+        downgrade_landmark(index, 2)
+        assert 2 not in index.highway
+        assert 2 not in index.highway.row(0)
+
+    def test_recover_extends_coverage_through_hole(self):
+        # 0 -1- 1 -1- 2: with R={1,2}, vertex 0 is covered only by 1.
+        # Removing 1 must re-cover 0 by 2 (path through the demoted 1).
+        g = path_graph(3)
+        index = build_hcl(g, [1, 2])
+        downgrade_landmark(index, 1)
+        assert index.labeling.label(0) == {2: 2.0}
+        assert_canonical(index)
+
+    def test_remove_last_landmark(self):
+        g = path_graph(4)
+        index = build_hcl(g, [2])
+        downgrade_landmark(index, 2)
+        assert index.landmarks == set()
+        assert index.labeling.total_entries() == 0
+        assert index.query(0, 3) == math.inf
+
+    def test_disconnected_component_untouched(self):
+        g = path_graph(3)
+        g.add_vertex()
+        g.add_vertex()
+        g.add_edge(3, 4, 1.0)
+        index = build_hcl(g, [1, 4])
+        downgrade_landmark(index, 4)
+        # other component's labels unaffected
+        assert index.labeling.label(0) == {1: 1.0}
+        assert_canonical(index)
+
+
+class TestErrors:
+    def test_non_landmark_rejected(self):
+        index = build_hcl(path_graph(3), [1])
+        with pytest.raises(LandmarkError):
+            downgrade_landmark(index, 0)
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_upgrade_then_downgrade_is_identity(self, seed):
+        g = random_graph(seed)
+        landmarks = [v for v in range(g.n) if v % 4 == 0]
+        index = build_hcl(g, landmarks)
+        reference = index.copy()
+        v = next(x for x in range(g.n) if x not in set(landmarks))
+        upgrade_landmark(index, v)
+        downgrade_landmark(index, v)
+        assert index.structurally_equal(reference)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_decremental_chain_stays_canonical(self, seed):
+        g = random_graph(seed)
+        landmarks = sorted(v for v in range(g.n) if v % 3 == 0)
+        index = build_hcl(g, landmarks)
+        for v in landmarks:
+            downgrade_landmark(index, v)
+            assert_canonical(index)
+        assert index.landmarks == set()
+
+
+class TestStats:
+    def test_counters_plausible(self):
+        g = cycle_graph(8)
+        index = build_hcl(g, [0, 4])
+        stats = downgrade_landmark(index, 4)
+        assert stats.entries_removed > 0
+        assert stats.recover_searches == 1  # only landmark 0 covers 4
+        assert stats.entries_added > 0

@@ -1,0 +1,94 @@
+"""Tests for the DynamicHCL facade."""
+
+import pytest
+
+from conftest import cycle_graph, path_graph
+from repro.core import DynamicHCL, LandmarkUpdate, assert_canonical
+from repro.errors import LandmarkError
+
+
+class TestFacade:
+    def test_build_and_query(self):
+        dyn = DynamicHCL.build(path_graph(5), [2])
+        assert dyn.landmarks == {2}
+        assert dyn.query(0, 4) == 4.0
+        assert dyn.distance(0, 4) == 4.0
+
+    def test_add_remove_log(self):
+        dyn = DynamicHCL.build(cycle_graph(6), [0])
+        dyn.add_landmark(3)
+        dyn.remove_landmark(0)
+        assert dyn.landmarks == {3}
+        assert dyn.log.count == 2
+        kinds = [rec.update.kind for rec in dyn.log.records]
+        assert kinds == ["add", "remove"]
+        assert dyn.log.total_seconds >= 0.0
+        assert dyn.log.mean_seconds >= 0.0
+
+    def test_replace_landmark(self):
+        dyn = DynamicHCL.build(cycle_graph(6), [0])
+        dyn.replace_landmark(0, 3)
+        assert dyn.landmarks == {3}
+        assert_canonical(dyn.index)
+
+    def test_apply_single_update(self):
+        dyn = DynamicHCL.build(path_graph(4), [1])
+        rec = dyn.apply(LandmarkUpdate("add", 3))
+        assert rec.update.vertex == 3
+        assert dyn.landmarks == {1, 3}
+
+    def test_apply_sequence_returns_sublog(self):
+        dyn = DynamicHCL.build(path_graph(6), [2])
+        updates = [LandmarkUpdate("add", 4), LandmarkUpdate("remove", 2)]
+        log = dyn.apply_sequence(updates)
+        assert log.count == 2
+        assert dyn.landmarks == {4}
+        assert_canonical(dyn.index)
+
+    def test_rebuild_matches_dynamic(self):
+        dyn = DynamicHCL.build(cycle_graph(8), [0, 4])
+        dyn.add_landmark(2)
+        dyn.remove_landmark(4)
+        fresh = dyn.rebuild()
+        assert dyn.index.structurally_equal(fresh)
+
+    def test_invalid_update_kind(self):
+        with pytest.raises(LandmarkError):
+            LandmarkUpdate("toggle", 1)
+
+    def test_errors_propagate(self):
+        dyn = DynamicHCL.build(path_graph(3), [1])
+        with pytest.raises(LandmarkError):
+            dyn.add_landmark(1)
+        with pytest.raises(LandmarkError):
+            dyn.remove_landmark(0)
+
+
+class TestEmptyLog:
+    def test_mean_of_empty_log(self):
+        dyn = DynamicHCL.build(path_graph(3), [1])
+        assert dyn.log.mean_seconds == 0.0
+        assert dyn.log.total_seconds == 0.0
+
+
+class TestLogStatistics:
+    def test_percentiles_and_max(self):
+        dyn = DynamicHCL.build(cycle_graph(10), [0])
+        for v in (3, 5, 7):
+            dyn.add_landmark(v)
+        log = dyn.log
+        assert log.max_seconds >= log.percentile_seconds(0.5) > 0.0
+        assert log.percentile_seconds(0.0) <= log.percentile_seconds(1.0)
+        assert log.percentile_seconds(1.0) == log.max_seconds
+
+    def test_percentile_validation(self):
+        import pytest as _pytest
+
+        dyn = DynamicHCL.build(cycle_graph(4), [0])
+        with _pytest.raises(ValueError):
+            dyn.log.percentile_seconds(1.5)
+
+    def test_empty_log_statistics(self):
+        dyn = DynamicHCL.build(cycle_graph(4), [0])
+        assert dyn.log.max_seconds == 0.0
+        assert dyn.log.percentile_seconds(0.9) == 0.0

@@ -1,0 +1,106 @@
+"""Degenerate-input tests: singletons, isolated vertices, lone landmarks."""
+
+import math
+
+from conftest import path_graph
+from repro.core import (
+    DynamicHCL,
+    assert_canonical,
+    build_hcl,
+    downgrade_landmark,
+    upgrade_landmark,
+)
+from repro.graphs import Graph
+
+
+class TestSingletonGraph:
+    def test_build_on_one_vertex(self):
+        g = Graph(1)
+        index = build_hcl(g, [0])
+        assert index.labeling.label(0) == {0: 0.0}
+        assert index.distance(0, 0) == 0.0
+        assert_canonical(index)
+
+    def test_upgrade_then_downgrade_single_vertex(self):
+        g = Graph(1)
+        index = build_hcl(g, [])
+        upgrade_landmark(index, 0)
+        assert index.landmarks == {0}
+        downgrade_landmark(index, 0)
+        assert index.landmarks == set()
+        assert_canonical(index)
+
+
+class TestIsolatedVertices:
+    def test_promote_isolated_vertex(self):
+        g = path_graph(3)
+        g.add_vertex()  # vertex 3, isolated
+        index = build_hcl(g, [1])
+        upgrade_landmark(index, 3)
+        assert index.highway.distance(1, 3) == math.inf
+        assert index.labeling.label(3) == {3: 0.0}
+        assert_canonical(index)
+
+    def test_demote_isolated_landmark(self):
+        g = path_graph(3)
+        g.add_vertex()
+        index = build_hcl(g, [1, 3])
+        downgrade_landmark(index, 3)
+        assert index.labeling.label(3) == {}
+        assert_canonical(index)
+
+    def test_queries_with_isolated_endpoint(self):
+        g = path_graph(3)
+        g.add_vertex()
+        index = build_hcl(g, [1])
+        assert index.query(0, 3) == math.inf
+        assert index.distance(0, 3) == math.inf
+
+
+class TestLoneLandmarkComponent:
+    def test_demote_only_landmark_of_component(self):
+        # two components, each with one landmark; removing one leaves the
+        # other component untouched and the first uncovered.
+        g = path_graph(3)
+        g.add_vertex()
+        g.add_vertex()
+        g.add_edge(3, 4, 1.0)
+        index = build_hcl(g, [1, 4])
+        downgrade_landmark(index, 1)
+        assert index.labeling.label(0) == {}
+        assert index.labeling.label(3) == {4: 1.0}
+        assert_canonical(index)
+
+    def test_promote_into_uncovered_component(self):
+        g = path_graph(3)
+        g.add_vertex()
+        g.add_vertex()
+        g.add_edge(3, 4, 1.0)
+        index = build_hcl(g, [1])  # component {3, 4} uncovered
+        upgrade_landmark(index, 4)
+        assert index.labeling.label(3) == {4: 1.0}
+        assert_canonical(index)
+
+
+class TestTwoVertexGraph:
+    def test_full_lifecycle(self):
+        g = Graph(2)
+        g.add_edge(0, 1, 3.0)
+        dyn = DynamicHCL.build(g, [])
+        assert dyn.query(0, 1) == math.inf
+        dyn.add_landmark(0)
+        assert dyn.query(0, 1) == 3.0
+        assert dyn.distance(0, 1) == 3.0
+        dyn.add_landmark(1)
+        assert dyn.index.highway.distance(0, 1) == 3.0
+        dyn.remove_landmark(0)
+        dyn.remove_landmark(1)
+        assert dyn.landmarks == set()
+        assert_canonical(dyn.index)
+
+
+class TestEmptyGraph:
+    def test_build_on_zero_vertices(self):
+        g = Graph(0)
+        index = build_hcl(g, [])
+        assert index.stats().label_entries == 0

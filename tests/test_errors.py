@@ -1,0 +1,67 @@
+"""Tests for the exception hierarchy and public API surface."""
+
+import pytest
+
+import repro
+from repro.errors import (
+    CoverPropertyError,
+    DatasetError,
+    EdgeError,
+    GraphError,
+    IndexStateError,
+    LandmarkError,
+    ParseError,
+    ReproError,
+    VertexError,
+    WeightError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            GraphError,
+            VertexError,
+            EdgeError,
+            WeightError,
+            IndexStateError,
+            LandmarkError,
+            CoverPropertyError,
+            DatasetError,
+            ParseError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_graph_errors_grouped(self):
+        for exc in (VertexError, EdgeError, WeightError):
+            assert issubclass(exc, GraphError)
+
+    def test_landmark_error_is_index_state(self):
+        assert issubclass(LandmarkError, IndexStateError)
+
+    def test_single_except_clause_catches_all(self):
+        from repro.graphs import Graph
+
+        with pytest.raises(ReproError):
+            Graph(2).add_edge(0, 9)
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_main_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    def test_quickstart_docstring_example(self):
+        g = repro.Graph(5)
+        for u, v in [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]:
+            g.add_edge(u, v, 1.0)
+        dyn = repro.DynamicHCL.build(g, [0])
+        dyn.add_landmark(2)
+        assert dyn.query(1, 3) == 2.0
+        assert dyn.distance(1, 3) == 2.0

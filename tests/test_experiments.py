@@ -1,0 +1,139 @@
+"""Integration tests for the experiment harness (tiny scales)."""
+
+import math
+
+import pytest
+
+from repro.experiments import (
+    fmt_amortized,
+    fmt_seconds,
+    fmt_speedup,
+    render_table,
+    run_ablation_batch,
+    run_ablation_cleanup,
+    run_ablation_selection,
+    run_figure1,
+    run_figure2,
+    run_g1,
+    run_g2,
+    run_table1,
+    run_table2,
+    run_table3,
+)
+from repro.workloads import make_dataset
+
+
+class TestFormatting:
+    def test_fmt_seconds(self):
+        assert fmt_seconds(1.234) == "1.23"
+        assert fmt_seconds(0.001) == "<0.01"
+        assert fmt_seconds(0.0) == "0.00"
+        assert fmt_seconds(math.inf) == "-"
+
+    def test_fmt_speedup(self):
+        assert fmt_speedup(1234.5) == "1,234.50"
+        assert fmt_speedup(math.nan) == "-"
+
+    def test_fmt_amortized(self):
+        assert fmt_amortized(0.00123) == "1.2e-03"
+        assert fmt_amortized(250.0) == "2.5e+02"
+        assert fmt_amortized(0.0) == "-"
+
+    def test_render_table_alignment(self):
+        out = render_table("T", ["a", "bb"], [["1", "2"], ["10", "20"]], note="n")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[2] and "bb" in lines[2]
+        assert lines[-1] == "n"
+
+
+class TestRunners:
+    def test_g1_result_fields(self):
+        g = make_dataset("LUX", scale=0.08, seed=0)
+        res = run_g1(g, "LUX", 8, seed=0)
+        assert res.dataset == "LUX"
+        assert res.sigma == 2
+        assert res.t_build > 0
+        assert res.t_fdyn > 0
+        assert res.speedup == pytest.approx(res.t_build / res.t_fdyn)
+        # space parity (Lemmas 3.2/3.6)
+        assert res.label_entries_dyn == res.label_entries_rebuilt
+
+    def test_g2_result_fields(self):
+        g = make_dataset("LUX", scale=0.08, seed=0)
+        res = run_g2(g, "LUX", 8, queries=50, seed=0)
+        assert res.queries == 50
+        assert res.cmt_fdyn > 0
+        assert res.cmt_chgsp > 0
+        assert res.amr_fdyn == pytest.approx(res.cmt_fdyn / 50)
+
+    def test_table1_text(self):
+        out = run_table1(scale=0.05)
+        assert "ERD" in out and "TWI" in out
+        assert "paper |V|" in out
+
+    def test_table2_text(self):
+        out = run_table2(scale=0.08, datasets=["LUX"], include_large=False)
+        assert "SPEEDUP@20" in out
+        assert "LUX" in out
+
+    def test_table3_text(self):
+        out = run_table3(scale=0.08, queries=30, datasets=["LUX"], r_values=(8,))
+        assert "CMT_FDYN@8" in out
+        assert "AMR_CHGSP@8" in out
+
+    def test_table3_filters_non_sparse(self):
+        out = run_table3(scale=0.08, queries=10, datasets=["TWI"], r_values=(4,))
+        assert "TWI" not in out  # dense datasets are excluded, as in the paper
+
+    def test_figure1_text(self):
+        out = run_figure1()
+        assert "UPGRADE-LMK(3)" in out
+        assert "DOWNGRADE-LMK(7)" in out
+        assert "L( 8) = {(5, 1)}" in out
+
+    def test_figure2_text(self):
+        out = run_figure2(scale=0.08, queries=20, landmark_count=8, datasets=["LUX"])
+        assert "CMT_FDYN" in out
+
+    def test_ablations_text(self):
+        cleanup = run_ablation_cleanup(scale=0.05, datasets=("LUX",), k=6)
+        assert "cleanup" in cleanup
+        batch = run_ablation_batch(scale=0.05, datasets=("LUX",), k=8)
+        assert "batch strategy" in batch
+        selection = run_ablation_selection(scale=0.05, datasets=("LUX",), k=6)
+        assert "betweenness" in selection
+
+
+class TestIncDecAblation:
+    def test_incdec_text(self):
+        from repro.experiments import run_ablation_incdec
+
+        out = run_ablation_incdec(scale=0.05, datasets=("LUX",), k=8)
+        assert "incremental" in out
+        assert "decremental" in out
+        assert "mixed" in out
+
+
+class TestExtensionRunners:
+    def test_directed_extension_text(self):
+        from repro.experiments import run_extension_directed
+
+        out = run_extension_directed(scale=0.05, datasets=("NW",), k=6)
+        assert "directed DYN-HCL" in out
+        assert "NW" in out
+
+    def test_fullydynamic_extension_text(self):
+        from repro.experiments import run_extension_fullydynamic
+
+        out = run_extension_fullydynamic(scale=0.05, datasets=("NW",), k=6)
+        assert "fully dynamic" in out
+        assert "affected rows" in out
+
+
+class TestTable2LargeSweep:
+    def test_infeasible_r_values_padded(self):
+        # At tiny scale the large |R| sweep exceeds n: cells become "-".
+        out = run_table2(scale=0.02, datasets=["LUX"], include_large=True)
+        assert "Table 2 (bottom)" in out
+        assert "-" in out

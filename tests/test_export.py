@@ -1,0 +1,98 @@
+"""Tests for experiment-result export."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.experiments.export import (
+    G1_COLUMNS,
+    G2_COLUMNS,
+    g1_rows,
+    g2_rows,
+    write_csv,
+    write_json,
+)
+from repro.experiments.harness import G1Result, G2Result
+
+
+@pytest.fixture
+def g1_result():
+    return G1Result(
+        dataset="LUX",
+        landmarks=40,
+        sigma=10,
+        t_build=2.0,
+        t_fdyn=0.01,
+        label_entries_dyn=1234,
+        label_entries_rebuilt=1234,
+    )
+
+
+@pytest.fixture
+def g2_result():
+    return G2Result(
+        dataset="NW",
+        landmarks=100,
+        sigma=25,
+        queries=2000,
+        cmt_fdyn=3.0,
+        cmt_chgsp=90.0,
+    )
+
+
+class TestRows:
+    def test_g1_row_contents(self, g1_result):
+        (row,) = g1_rows([g1_result])
+        assert tuple(row) == G1_COLUMNS
+        assert row["speedup"] == pytest.approx(200.0)
+
+    def test_g2_row_contents(self, g2_result):
+        (row,) = g2_rows([g2_result])
+        assert tuple(row) == G2_COLUMNS
+        assert row["amr_fdyn"] == pytest.approx(0.0015)
+        assert row["amr_chgsp"] == pytest.approx(0.045)
+
+
+class TestWriters:
+    def test_csv_roundtrip(self, g1_result, tmp_path):
+        path = tmp_path / "g1.csv"
+        write_csv(g1_rows([g1_result]), path, columns=G1_COLUMNS)
+        with open(path) as fh:
+            rows = list(csv.DictReader(fh))
+        assert rows[0]["dataset"] == "LUX"
+        assert float(rows[0]["t_build"]) == 2.0
+
+    def test_csv_to_stream(self, g2_result):
+        buf = io.StringIO()
+        write_csv(g2_rows([g2_result]), buf)
+        assert buf.getvalue().startswith("dataset,landmarks")
+
+    def test_csv_empty_rejected(self):
+        with pytest.raises(ValueError):
+            write_csv([], io.StringIO())
+
+    def test_json_roundtrip(self, g1_result, g2_result, tmp_path):
+        path = tmp_path / "all.json"
+        write_json(g1_rows([g1_result]) + g2_rows([g2_result]), path)
+        data = json.loads(path.read_text())
+        assert len(data) == 2
+        assert data[1]["dataset"] == "NW"
+
+    def test_json_to_stream(self, g1_result):
+        buf = io.StringIO()
+        write_json(g1_rows([g1_result]), buf)
+        assert json.loads(buf.getvalue())[0]["landmarks"] == 40
+
+
+class TestResultProperties:
+    def test_zero_update_time_gives_infinite_speedup(self):
+        res = G1Result("X", 1, 0, t_build=1.0, t_fdyn=0.0,
+                       label_entries_dyn=0, label_entries_rebuilt=0)
+        assert res.speedup == float("inf")
+
+    def test_amortized_definitions(self, g2_result):
+        assert g2_result.amr_fdyn * g2_result.queries == pytest.approx(
+            g2_result.cmt_fdyn
+        )

@@ -1,0 +1,136 @@
+"""The paper's Figure 1 worked example, asserted end to end.
+
+Every fact the paper's §3 narrative states about the example is checked
+against the implementation, with one documented exception (the removal of
+the landmark-5 entry from L(10), which contradicts Algorithm 1's own
+keep-test; see the module docstring of repro.workloads.figure1_graph).
+"""
+
+import pytest
+
+from repro.core import (
+    assert_canonical,
+    build_hcl,
+    downgrade_landmark,
+    upgrade_landmark,
+)
+from repro.workloads import FIGURE1_INITIAL_LANDMARKS, figure1_graph
+
+
+@pytest.fixture
+def initial_index():
+    return build_hcl(figure1_graph(), FIGURE1_INITIAL_LANDMARKS)
+
+
+class TestInitialIndex:
+    def test_highway(self, initial_index):
+        assert initial_index.highway.distance(5, 7) == 2.0
+
+    def test_labels_from_figure(self, initial_index):
+        L = initial_index.labeling
+        assert L.label(1) == {5: 2.0, 7: 1.0}
+        assert L.label(6) == {5: 1.0, 7: 1.0}
+        # "L(8) contains only an entry associated with landmark 5, since
+        # the 7-constrained shortest path from 7 to 8 traverses 5."
+        assert L.label(8) == {5: 1.0}
+        assert L.label(11) == {7: 1.0}
+        assert L.label(3) == {5: 1.0, 7: 2.0}
+
+    def test_is_canonical(self, initial_index):
+        assert_canonical(initial_index)
+
+
+class TestUpgradeVertex3:
+    @pytest.fixture
+    def upgraded(self, initial_index):
+        stats = upgrade_landmark(initial_index, 3)
+        return initial_index, stats
+
+    def test_highway_from_label_scan(self, upgraded):
+        index, _ = upgraded
+        # "scanning L(3) = {(5,1), (7,2)} ... sets δ_H(3,5)=1, δ_H(3,7)=2"
+        assert index.highway.distance(3, 5) == 1.0
+        assert index.highway.distance(3, 7) == 2.0
+
+    def test_distance_one_vertices_labelled(self, upgraded):
+        index, _ = upgraded
+        for v in (1, 2, 4, 6):
+            assert index.labeling.entry(v, 3) == 1.0
+
+    def test_vertices_9_and_10(self, upgraded):
+        index, _ = upgraded
+        assert index.labeling.entry(9, 3) == 2.0
+        assert index.labeling.entry(10, 3) == 3.0
+
+    def test_search_pruned_on_8(self, upgraded):
+        index, _ = upgraded
+        # "the visit is pruned on 8 ... QUERY(3, 8) returns 2"
+        assert index.query_from_landmark(3, 8) == 2.0
+        assert 3 not in index.labeling.label(8)
+
+    def test_both_landmarks_reached(self, upgraded):
+        _, stats = upgraded
+        assert stats.reached_landmarks == 2  # landmarks 5 and 7
+
+    def test_superfluous_entries_for_5_removed(self, upgraded):
+        index, _ = upgraded
+        # "(5, 2) is removed from L(v) for v in {1, 2, 4}" — all shortest
+        # paths to 5 now pass the new landmark 3.
+        for v in (1, 2, 4):
+            assert 5 not in index.labeling.label(v), v
+
+    def test_entries_for_5_kept_at_6_and_9(self, upgraded):
+        index, _ = upgraded
+        # "vertices 9 and 6 ... (5, 1) is not deleted"
+        assert index.labeling.entry(6, 5) == 1.0
+        assert index.labeling.entry(9, 5) == 1.0
+
+    def test_documented_discrepancy_vertex_10(self, upgraded):
+        """The paper also removes (5, 2) from L(10); the path 5-9-10 avoids
+        landmark 3, so Algorithm 1's keep-test (line 34, certified by
+        neighbor 9) retains it — as does the canonical index."""
+        index, _ = upgraded
+        assert index.labeling.entry(10, 5) == 2.0
+        assert_canonical(index)
+
+
+class TestDowngradeVertex7:
+    @pytest.fixture
+    def final_index(self, initial_index):
+        upgrade_landmark(initial_index, 3)
+        stats = downgrade_landmark(initial_index, 7)
+        return initial_index, stats
+
+    def test_entries_for_7_all_removed(self, final_index):
+        index, _ = final_index
+        for v in range(1, 12):
+            assert 7 not in index.labeling.label(v) or v == 7
+
+    def test_label_of_demoted_7(self, final_index):
+        index, _ = final_index
+        # "adding entries (3, 2) and (5, 2) to L(7)"
+        assert index.labeling.label(7) == {3: 2.0, 5: 2.0}
+
+    def test_recover_reaches_11(self, final_index):
+        index, _ = final_index
+        # "this yields the addition of entries (3,3) and (5,3) to L(11)"
+        assert index.labeling.label(11) == {3: 3.0, 5: 3.0}
+
+    def test_vertex_8_untouched(self, final_index):
+        index, _ = final_index
+        # "The only vertex whose label is unchanged is 8."
+        assert index.labeling.label(8) == {5: 1.0}
+
+    def test_highway_shrunk(self, final_index):
+        index, _ = final_index
+        assert index.landmarks == {3, 5}
+        assert index.highway.distance(3, 5) == 1.0
+
+    def test_two_recover_searches(self, final_index):
+        _, stats = final_index
+        # REACHED-ENT = {(3, 2), (5, 2)}
+        assert stats.recover_searches == 2
+
+    def test_final_index_canonical(self, final_index):
+        index, _ = final_index
+        assert_canonical(index)

@@ -1,0 +1,162 @@
+"""Tests for the synthetic graph generators."""
+
+import pytest
+
+from repro.errors import DatasetError
+from repro.graphs import (
+    barabasi_albert,
+    connect_components,
+    erdos_renyi,
+    random_bipartite,
+    road_grid,
+    single_source_distances,
+)
+
+
+def is_connected(g) -> bool:
+    if g.n == 0:
+        return True
+    dist = single_source_distances(g, 0)
+    return all(d != float("inf") for d in dist)
+
+
+class TestErdosRenyi:
+    def test_size_and_degree(self):
+        g = erdos_renyi(200, 4.0, seed=1)
+        assert g.n == 200
+        assert g.average_degree == pytest.approx(4.0, rel=0.15)
+
+    def test_connected(self):
+        assert is_connected(erdos_renyi(150, 2.0, seed=2))
+
+    def test_deterministic(self):
+        a = erdos_renyi(50, 3.0, seed=9)
+        b = erdos_renyi(50, 3.0, seed=9)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = erdos_renyi(50, 3.0, seed=1)
+        b = erdos_renyi(50, 3.0, seed=2)
+        assert a != b
+
+    def test_infeasible_degree_rejected(self):
+        with pytest.raises(DatasetError):
+            erdos_renyi(10, 20.0, seed=0)
+        with pytest.raises(DatasetError):
+            erdos_renyi(10, 0.0, seed=0)
+
+
+class TestBarabasiAlbert:
+    def test_size(self):
+        g = barabasi_albert(300, 3, seed=4)
+        assert g.n == 300
+        # m = seed clique + k per new vertex
+        assert g.m == 3 * 4 // 2 + (300 - 4) * 3
+
+    def test_connected(self):
+        assert is_connected(barabasi_albert(200, 2, seed=0))
+
+    def test_heavy_tail(self):
+        g = barabasi_albert(500, 2, seed=7)
+        max_deg = max(g.degree(v) for v in g.vertices())
+        assert max_deg > 5 * g.average_degree
+
+    def test_requires_n_greater_than_k(self):
+        with pytest.raises(DatasetError):
+            barabasi_albert(3, 3, seed=0)
+
+
+class TestRoadGrid:
+    def test_size_and_sparsity(self):
+        g = road_grid(20, 30, seed=3)
+        assert g.n == 600
+        assert g.average_degree < 4.5
+
+    def test_connected_despite_removals(self):
+        g = road_grid(25, 25, removal_prob=0.2, seed=5)
+        assert is_connected(g)
+
+    def test_invalid_removal_prob(self):
+        with pytest.raises(DatasetError):
+            road_grid(5, 5, removal_prob=1.0)
+
+    def test_large_diameter(self):
+        g = road_grid(30, 30, diagonal_prob=0.0, removal_prob=0.0, seed=0)
+        dist = single_source_distances(g, 0)
+        assert max(dist) >= 58  # corner-to-corner manhattan distance
+
+
+class TestRandomBipartite:
+    def test_size(self):
+        g = random_bipartite(40, 120, 6.0, seed=1)
+        assert g.n == 160
+        assert g.average_degree == pytest.approx(6.0, rel=0.2)
+
+    def test_connected(self):
+        assert is_connected(random_bipartite(30, 90, 4.0, seed=2))
+
+    def test_infeasible_rejected(self):
+        with pytest.raises(DatasetError):
+            random_bipartite(2, 2, 100.0, seed=0)
+
+
+class TestConnectComponents:
+    def test_joins_disconnected_pieces(self):
+        from repro.graphs import Graph
+
+        g = Graph(6, unweighted=True)
+        g.add_edge(0, 1, 1.0)
+        g.add_edge(2, 3, 1.0)
+        g.add_edge(4, 5, 1.0)
+        connect_components(g, seed=0)
+        assert is_connected(g)
+        assert g.m == 5  # exactly two bridging edges added
+
+    def test_noop_on_connected(self):
+        g = erdos_renyi(30, 3.0, seed=3)
+        m = g.m
+        connect_components(g, seed=0)
+        assert g.m == m
+
+
+class TestCommunityGraph:
+    def test_size_and_connectivity(self):
+        from repro.graphs import community_graph
+
+        g = community_graph(600, 10, 5, 0.05, seed=1)
+        assert g.n == 600
+        assert is_connected(g)
+
+    def test_deterministic(self):
+        from repro.graphs import community_graph
+
+        a = community_graph(300, 6, 4, 0.04, seed=7)
+        b = community_graph(300, 6, 4, 0.04, seed=7)
+        assert a == b
+
+    def test_community_locality(self):
+        """Intra-community edges must dominate inter-community ones."""
+        from repro.graphs import community_graph
+
+        communities, n = 10, 500
+        g = community_graph(n, communities, 5, 0.04, seed=2)
+        size = n // communities
+        intra = sum(1 for u, v, _ in g.edges() if u // size == v // size)
+        assert intra > 0.8 * g.m
+
+    def test_heavy_tail_within_communities(self):
+        from repro.graphs import community_graph
+
+        g = community_graph(800, 8, 4, 0.03, seed=3)
+        max_deg = max(g.degree(v) for v in g.vertices())
+        assert max_deg > 3 * g.average_degree
+
+    def test_validation(self):
+        from repro.graphs import community_graph
+
+        with pytest.raises(DatasetError):
+            community_graph(100, 10, 20)  # community size 10 <= k_intra
+        with pytest.raises(DatasetError):
+            community_graph(100, 5, 3, inter_fraction=1.5)
+        with pytest.raises(DatasetError):
+            community_graph(0, 1, 1)

@@ -1,0 +1,138 @@
+"""Unit tests for the undirected Graph structure."""
+
+import pytest
+
+from repro.errors import EdgeError, VertexError, WeightError
+from repro.graphs import Graph
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        g = Graph(0)
+        assert g.n == 0
+        assert g.m == 0
+        assert g.average_degree == 0.0
+
+    def test_vertices_range(self):
+        g = Graph(4)
+        assert list(g.vertices()) == [0, 1, 2, 3]
+        assert len(g) == 4
+
+    def test_negative_vertex_count_rejected(self):
+        with pytest.raises(VertexError):
+            Graph(-1)
+
+    def test_add_vertex_appends(self):
+        g = Graph(2)
+        assert g.add_vertex() == 2
+        assert g.n == 3
+        assert g.degree(2) == 0
+
+    def test_from_edges_skips_duplicates(self):
+        g = Graph.from_edges(3, [(0, 1), (1, 0), (1, 2), (1, 1)])
+        assert g.m == 2
+
+    def test_from_edges_with_weights(self):
+        g = Graph.from_edges(2, [(0, 1, 2.5)])
+        assert g.edge_weight(0, 1) == 2.5
+
+
+class TestEdges:
+    def test_add_edge_is_symmetric(self):
+        g = Graph(3)
+        g.add_edge(0, 2, 4.0)
+        assert (2, 4.0) in g.neighbors(0)
+        assert (0, 4.0) in g.neighbors(2)
+        assert g.m == 1
+
+    def test_self_loop_rejected(self):
+        g = Graph(2)
+        with pytest.raises(EdgeError):
+            g.add_edge(1, 1, 1.0)
+
+    def test_duplicate_edge_rejected(self):
+        g = Graph(2)
+        g.add_edge(0, 1, 1.0)
+        with pytest.raises(EdgeError):
+            g.add_edge(1, 0, 2.0)
+
+    def test_out_of_range_vertex_rejected(self):
+        g = Graph(2)
+        with pytest.raises(VertexError):
+            g.add_edge(0, 5, 1.0)
+
+    @pytest.mark.parametrize("bad", [0, -1.5, float("inf"), float("nan"), "x"])
+    def test_invalid_weight_rejected(self, bad):
+        g = Graph(2)
+        with pytest.raises(WeightError):
+            g.add_edge(0, 1, bad)
+
+    def test_unweighted_enforces_unit_weights(self):
+        g = Graph(2, unweighted=True)
+        with pytest.raises(WeightError):
+            g.add_edge(0, 1, 2.0)
+        g.add_edge(0, 1, 1)
+        assert g.m == 1
+
+    def test_remove_edge_returns_weight(self):
+        g = Graph(3)
+        g.add_edge(0, 1, 7.0)
+        assert g.remove_edge(1, 0) == 7.0
+        assert g.m == 0
+        assert not g.has_edge(0, 1)
+
+    def test_remove_missing_edge_raises(self):
+        g = Graph(2)
+        with pytest.raises(EdgeError):
+            g.remove_edge(0, 1)
+
+    def test_set_weight(self):
+        g = Graph(2)
+        g.add_edge(0, 1, 3.0)
+        assert g.set_weight(0, 1, 5.0) == 3.0
+        assert g.edge_weight(0, 1) == 5.0
+        assert g.m == 1
+
+    def test_edge_weight_missing_raises(self):
+        g = Graph(3)
+        with pytest.raises(EdgeError):
+            g.edge_weight(0, 2)
+
+    def test_edges_iterates_once_per_edge(self):
+        g = Graph.from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        edges = sorted((u, v) for u, v, _ in g.edges())
+        assert edges == [(0, 1), (0, 3), (1, 2), (2, 3)]
+
+    def test_has_edge_uses_smaller_adjacency(self):
+        g = Graph(5)
+        for v in range(1, 5):
+            g.add_edge(0, v, 1.0)
+        assert g.has_edge(0, 3)
+        assert not g.has_edge(1, 2)
+
+
+class TestMetrics:
+    def test_degree_and_average(self):
+        g = Graph.from_edges(4, [(0, 1), (0, 2), (0, 3)])
+        assert g.degree(0) == 3
+        assert g.degree(3) == 1
+        assert g.average_degree == pytest.approx(1.5)
+
+
+class TestCopyAndEquality:
+    def test_copy_is_independent(self):
+        g = Graph.from_edges(3, [(0, 1), (1, 2)])
+        h = g.copy()
+        h.remove_edge(0, 1)
+        assert g.m == 2
+        assert h.m == 1
+
+    def test_equality_ignores_adjacency_order(self):
+        a = Graph.from_edges(3, [(0, 1), (0, 2)])
+        b = Graph.from_edges(3, [(0, 2), (0, 1)])
+        assert a == b
+
+    def test_inequality_on_weight(self):
+        a = Graph.from_edges(2, [(0, 1, 1.0)])
+        b = Graph.from_edges(2, [(0, 1, 2.0)])
+        assert a != b

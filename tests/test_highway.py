@@ -1,0 +1,83 @@
+"""Unit tests for the Highway (R, δ_H) structure."""
+
+import math
+
+import pytest
+
+from repro.core import Highway
+from repro.errors import LandmarkError
+
+
+class TestLandmarkSet:
+    def test_add_and_contains(self):
+        h = Highway()
+        h.add_landmark(3)
+        assert 3 in h
+        assert h.size == 1
+        assert h.landmarks == {3}
+
+    def test_duplicate_add_rejected(self):
+        h = Highway()
+        h.add_landmark(1)
+        with pytest.raises(LandmarkError):
+            h.add_landmark(1)
+
+    def test_remove(self):
+        h = Highway()
+        h.add_landmark(1)
+        h.add_landmark(2)
+        h.remove_landmark(1)
+        assert h.landmarks == {2}
+        assert 1 not in h.row(2)
+
+    def test_remove_missing_rejected(self):
+        with pytest.raises(LandmarkError):
+            Highway().remove_landmark(5)
+
+
+class TestDistances:
+    def test_self_distance_zero(self):
+        h = Highway()
+        h.add_landmark(4)
+        assert h.distance(4, 4) == 0.0
+
+    def test_new_pairs_start_infinite(self):
+        h = Highway()
+        h.add_landmark(1)
+        h.add_landmark(2)
+        assert h.distance(1, 2) == math.inf
+
+    def test_set_distance_is_symmetric(self):
+        h = Highway()
+        h.add_landmark(1)
+        h.add_landmark(2)
+        h.set_distance(1, 2, 7.0)
+        assert h.distance(2, 1) == 7.0
+
+    def test_non_landmark_pair_rejected(self):
+        h = Highway()
+        h.add_landmark(1)
+        with pytest.raises(LandmarkError):
+            h.distance(1, 9)
+        with pytest.raises(LandmarkError):
+            h.set_distance(1, 9, 1.0)
+
+
+class TestCopyEquality:
+    def test_copy_independent(self):
+        h = Highway()
+        h.add_landmark(1)
+        h.add_landmark(2)
+        h.set_distance(1, 2, 3.0)
+        c = h.copy()
+        c.set_distance(1, 2, 9.0)
+        assert h.distance(1, 2) == 3.0
+        assert h != c
+
+    def test_equality(self):
+        a, b = Highway(), Highway()
+        for h in (a, b):
+            h.add_landmark(0)
+            h.add_landmark(1)
+            h.set_distance(0, 1, 2.0)
+        assert a == b

@@ -1,0 +1,116 @@
+"""Tests for HCLIndex: QUERY semantics, exact distances, stats."""
+
+import math
+
+import pytest
+
+from conftest import cycle_graph, grid_graph, path_graph, random_graph
+from repro.core import HCLIndex, Highway, Labeling, build_hcl
+from repro.core.invariants import brute_force_landmark_constrained
+from repro.errors import LandmarkError, VertexError
+from repro.graphs import single_source_distances
+
+
+class TestQuery:
+    def test_query_is_landmark_constrained(self):
+        g = cycle_graph(6)
+        index = build_hcl(g, [0])
+        # 2 -> 4 directly is 2, but through landmark 0 it is 2 + 2 = 4.
+        assert index.query(2, 4) == 4.0
+        assert index.distance(2, 4) == 2.0
+
+    def test_query_empty_label_is_inf(self):
+        g = path_graph(3)
+        g.add_vertex()  # isolated vertex 3
+        index = build_hcl(g, [1])
+        assert index.query(0, 3) == math.inf
+
+    def test_query_from_landmark_matches_general(self):
+        g = grid_graph(4, 4)
+        index = build_hcl(g, [0, 15])
+        for t in range(16):
+            assert index.query_from_landmark(0, t) == index.query(0, t)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_query_matches_bruteforce(self, seed):
+        g = random_graph(seed)
+        landmarks = [v for v in range(g.n) if v % 5 == 0]
+        index = build_hcl(g, landmarks)
+        for s in range(0, g.n, 3):
+            for t in range(1, g.n, 4):
+                expected = brute_force_landmark_constrained(g, landmarks, s, t)
+                assert index.query(s, t) == expected, (s, t)
+
+
+class TestDistance:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_exact_distance(self, seed):
+        g = random_graph(seed)
+        landmarks = [v for v in range(g.n) if v % 4 == 2]
+        index = build_hcl(g, landmarks)
+        for s in range(0, g.n, 2):
+            dist = single_source_distances(g, s)
+            for t in range(g.n):
+                assert index.distance(s, t) == dist[t], (s, t)
+
+    def test_distance_between_landmarks_reads_highway(self):
+        g = cycle_graph(8)
+        index = build_hcl(g, [0, 4])
+        assert index.distance(0, 4) == 4.0
+
+    def test_distance_same_vertex(self):
+        index = build_hcl(path_graph(3), [1])
+        assert index.distance(2, 2) == 0.0
+
+
+class TestBookkeeping:
+    def test_stats(self):
+        g = path_graph(5)
+        index = build_hcl(g, [2])
+        stats = index.stats()
+        assert stats.landmarks == 1
+        assert stats.label_entries == 5
+        assert stats.highway_cells == 1
+        assert stats.total_entries == 6
+        assert stats.max_label_size == 1
+
+    def test_covering_landmarks(self):
+        g = path_graph(5)
+        index = build_hcl(g, [1, 3])
+        assert index.covering_landmarks(0) == {1}
+        assert index.covering_landmarks(2) == {1, 3}
+
+    def test_is_landmark(self):
+        index = build_hcl(path_graph(3), [1])
+        assert index.is_landmark(1)
+        assert not index.is_landmark(0)
+
+    def test_copy_shares_graph_copies_index(self):
+        g = path_graph(4)
+        index = build_hcl(g, [1])
+        clone = index.copy()
+        assert clone.graph is index.graph
+        clone.labeling.add_entry(0, 1, 99.0)
+        assert index.labeling.entry(0, 1) != 99.0
+
+    def test_structural_equality(self):
+        g = path_graph(4)
+        a = build_hcl(g, [1])
+        b = build_hcl(g, [1])
+        assert a.structurally_equal(b)
+        b.labeling.remove_entry(3, 1)
+        assert not a.structurally_equal(b)
+
+
+class TestValidation:
+    def test_labeling_size_mismatch_rejected(self):
+        g = path_graph(3)
+        with pytest.raises(VertexError):
+            HCLIndex(g, Highway(), Labeling(7))
+
+    def test_landmark_outside_graph_rejected(self):
+        g = path_graph(3)
+        h = Highway()
+        h.add_landmark(9)
+        with pytest.raises(LandmarkError):
+            HCLIndex(g, h, Labeling(3))

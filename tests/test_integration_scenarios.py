@@ -1,0 +1,141 @@
+"""End-to-end scenario tests exercising several subsystems together."""
+
+import io
+import random
+
+from conftest import random_graph
+from repro.beer import BeerDistanceIndex, BeerGraph, beer_distance_baseline
+from repro.core import (
+    DynamicHCL,
+    assert_canonical,
+    batch_reconfigure,
+    build_hcl,
+    load_index_binary,
+    save_index_binary,
+)
+from repro.core.advisor import suggest_addition, suggest_removal
+from repro.core.metrics import quality_report
+from repro.core.topology import FullyDynamicHCL
+from repro.workloads import Trace, mixed_update_sequence, replay
+from repro.baselines import CHGSP
+
+
+class TestLifecycleScenario:
+    """Build -> churn -> checkpoint -> restore -> keep churning."""
+
+    def test_full_lifecycle(self):
+        rng = random.Random(1234)
+        g = random_graph(99, n_lo=30, n_hi=40)
+        landmarks = sorted(rng.sample(range(g.n), 6))
+        dyn = DynamicHCL.build(g, landmarks)
+
+        updates = mixed_update_sequence(g.n, landmarks, sigma=4, seed=5)
+        dyn.apply_sequence(updates)
+        assert_canonical(dyn.index)
+
+        blob = io.BytesIO()
+        save_index_binary(dyn.index, blob)
+        blob.seek(0)
+        restored = DynamicHCL(load_index_binary(g, blob))
+        assert restored.index.structurally_equal(dyn.index)
+
+        # keep mutating the restored copy; it must stay canonical
+        more = mixed_update_sequence(g.n, sorted(restored.landmarks), sigma=4, seed=6)
+        restored.apply_sequence(more)
+        assert_canonical(restored.index)
+
+
+class TestAdvisorDrivenReconfiguration:
+    """Advisor output must be applicable and improve the hot workload."""
+
+    def test_advice_applies_cleanly(self):
+        rng = random.Random(5)
+        g = random_graph(7, n_lo=30, n_hi=40)
+        landmarks = sorted(rng.sample(range(g.n), 5))
+        index = build_hcl(g, landmarks)
+        queries = [
+            (rng.randrange(g.n), rng.randrange(g.n)) for _ in range(30)
+        ]
+        adds = [v for v, _ in suggest_addition(index, queries, top=2)]
+        removes = [
+            v for v, usage in suggest_removal(index, queries, top=2) if usage == 0
+        ]
+        removes = removes[: max(0, len(landmarks) - 1)]
+        before = [index.query(s, t) for s, t in queries]
+        batch_reconfigure(index, add=adds, remove=removes)
+        assert_canonical(index)
+        if adds and not removes:
+            after = [index.query(s, t) for s, t in queries]
+            assert all(a <= b for a, b in zip(after, before))
+
+
+class TestTraceComparison:
+    """DYN-HCL and CH-GSP must answer identical traces identically."""
+
+    def test_random_trace_agreement(self):
+        rng = random.Random(31)
+        g = random_graph(77, n_lo=20, n_hi=30)
+        landmarks = sorted(rng.sample(range(g.n), 4))
+
+        trace = Trace()
+        current = set(landmarks)
+        for _ in range(25):
+            roll = rng.random()
+            if roll < 0.15 and len(current) < g.n - 1:
+                v = rng.choice([x for x in range(g.n) if x not in current])
+                trace.add_landmark(v)
+                current.add(v)
+            elif roll < 0.3 and len(current) > 1:
+                v = rng.choice(sorted(current))
+                trace.remove_landmark(v)
+                current.discard(v)
+            else:
+                trace.query(rng.randrange(g.n), rng.randrange(g.n))
+
+        dyn = DynamicHCL.build(g, landmarks)
+        gsp = CHGSP(g, landmarks)
+        assert replay(trace, dyn).answers == replay(trace, gsp).answers
+
+
+class TestBeerOnEvolvingCity:
+    """Beer oracle stays exact while both stores and roads change."""
+
+    def test_city_evolution(self):
+        rng = random.Random(55)
+        g = random_graph(13, n_lo=25, n_hi=35, weighted=True)
+        beer = sorted(rng.sample(range(g.n), 4))
+        oracle = BeerDistanceIndex(BeerGraph(g, beer_vertices=beer))
+        fully = FullyDynamicHCL(oracle.dynamic_index.index)
+
+        for step in range(6):
+            if step % 3 == 0:
+                # open a store
+                v = rng.choice(
+                    [x for x in range(g.n) if not oracle.beer_graph.is_beer_vertex(x)]
+                )
+                oracle.open_beer_vertex(v)
+            elif step % 3 == 1:
+                # a road closes
+                edges = list(g.edges())
+                u, v, _ = rng.choice(edges)
+                fully.delete_edge(u, v)
+            else:
+                # a new road opens
+                for _ in range(30):
+                    u, v = rng.randrange(g.n), rng.randrange(g.n)
+                    if u != v and not g.has_edge(u, v):
+                        fully.insert_edge(u, v, float(rng.randint(1, 5)))
+                        break
+            # oracle answers must match the brute-force baseline
+            reference = BeerGraph(g, beer_vertices=sorted(oracle.beer_graph.beer_vertices))
+            s, t = rng.randrange(g.n), rng.randrange(g.n)
+            want = beer_distance_baseline(reference, s, t)
+            if not (
+                oracle.beer_graph.is_beer_vertex(s)
+                or oracle.beer_graph.is_beer_vertex(t)
+            ):
+                assert oracle.beer_distance(s, t) == want
+
+        report = quality_report(oracle.dynamic_index.index)
+        assert report.landmarks == len(oracle.beer_graph.beer_vertices)
+        assert_canonical(oracle.dynamic_index.index)

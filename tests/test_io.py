@@ -1,0 +1,103 @@
+"""Tests for graph file I/O (DIMACS and edge lists)."""
+
+import io
+
+import pytest
+
+from repro.errors import ParseError
+from repro.graphs import (
+    Graph,
+    read_dimacs,
+    read_edge_list,
+    write_dimacs,
+    write_edge_list,
+)
+from repro.graphs.io import graph_from_string
+
+
+class TestDimacs:
+    DIMACS = """c example
+p sp 4 6
+a 1 2 5
+a 2 1 5
+a 2 3 2
+a 3 2 2
+a 3 4 7
+a 4 3 7
+"""
+
+    def test_parse(self):
+        g = read_dimacs(io.StringIO(self.DIMACS))
+        assert g.n == 4
+        assert g.m == 3
+        assert g.edge_weight(0, 1) == 5.0
+        assert g.edge_weight(2, 3) == 7.0
+
+    def test_roundtrip(self, tmp_path):
+        g = Graph.from_edges(5, [(0, 1, 2.0), (1, 2, 3.0), (3, 4, 1.0)])
+        path = tmp_path / "g.gr"
+        write_dimacs(g, path)
+        h = read_dimacs(path)
+        assert g == h
+
+    def test_duplicate_arcs_keep_minimum(self):
+        text = "p sp 2 2\na 1 2 9\na 1 2 4\n"
+        g = read_dimacs(io.StringIO(text))
+        assert g.edge_weight(0, 1) == 4.0
+
+    def test_missing_problem_line(self):
+        with pytest.raises(ParseError):
+            read_dimacs(io.StringIO("a 1 2 3\n"))
+
+    def test_vertex_out_of_range(self):
+        with pytest.raises(ParseError):
+            read_dimacs(io.StringIO("p sp 2 1\na 1 5 3\n"))
+
+    def test_unknown_record(self):
+        with pytest.raises(ParseError):
+            read_dimacs(io.StringIO("p sp 2 1\nx 1 2 3\n"))
+
+    def test_self_loops_skipped(self):
+        g = read_dimacs(io.StringIO("p sp 2 2\na 1 1 3\na 1 2 1\n"))
+        assert g.m == 1
+
+
+class TestEdgeList:
+    def test_parse_unweighted(self):
+        g = read_edge_list(io.StringIO("# comment\n0 1\n1 2\n"))
+        assert g.n == 3
+        assert g.m == 2
+        assert g.unweighted
+
+    def test_parse_weighted(self):
+        g = read_edge_list(io.StringIO("0 1 2.5\n1 2 4\n"))
+        assert not g.unweighted
+        assert g.edge_weight(1, 2) == 4.0
+
+    def test_roundtrip(self, tmp_path):
+        g = Graph.from_edges(4, [(0, 1, 1.5), (2, 3, 2.5)])
+        path = tmp_path / "g.txt"
+        write_edge_list(g, path)
+        assert read_edge_list(path) == g
+
+    def test_roundtrip_unweighted(self, tmp_path):
+        g = Graph.from_edges(3, [(0, 1), (1, 2)], unweighted=True)
+        path = tmp_path / "g.txt"
+        write_edge_list(g, path)
+        h = read_edge_list(path)
+        assert h.unweighted
+        assert h == g
+
+    def test_malformed_line(self):
+        with pytest.raises(ParseError):
+            read_edge_list(io.StringIO("0 1 2 3\n"))
+
+    def test_negative_id(self):
+        with pytest.raises(ParseError):
+            read_edge_list(io.StringIO("-1 2\n"))
+
+    def test_graph_from_string(self):
+        g = graph_from_string("0 1\n1 2\n")
+        assert g.m == 2
+        with pytest.raises(ParseError):
+            graph_from_string("0 1", fmt="nope")

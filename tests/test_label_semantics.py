@@ -1,0 +1,94 @@
+"""Direct semantic validation of label entries against networkx.
+
+The canonical characterization says: ``(r, d) ∈ L(v)`` iff ``d = d(r, v)``
+and some shortest ``r -> v`` path has no *internal* landmark.  These
+property tests check that predicate entry-by-entry with networkx
+enumerating all shortest paths — independent of our own search kernels, so
+a systematic bias in ``flagged_single_source`` could not hide.
+"""
+
+import networkx as nx
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import random_graph
+from repro.core import build_hcl
+
+
+def to_networkx(g):
+    nxg = nx.Graph()
+    nxg.add_nodes_from(range(g.n))
+    for u, v, w in g.edges():
+        nxg.add_edge(u, v, weight=w)
+    return nxg
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_every_entry_is_canonical(seed):
+    g = random_graph(seed, n_lo=4, n_hi=14)
+    landmarks = [v for v in range(g.n) if v % 3 == 0]
+    index = build_hcl(g, landmarks)
+    nxg = to_networkx(g)
+    lmk_set = set(landmarks)
+
+    lengths = {
+        r: nx.single_source_dijkstra_path_length(nxg, r, weight="weight")
+        for r in landmarks
+    }
+
+    for v in range(g.n):
+        label = index.labeling.label(v)
+        if v in lmk_set:
+            assert label == {v: 0.0}
+            continue
+        for r in landmarks:
+            true_dist = lengths[r].get(v)
+            if true_dist is None:
+                assert r not in label
+                continue
+            avoiding = any(
+                all(x not in lmk_set for x in path[1:-1])
+                for path in nx.all_shortest_paths(nxg, r, v, weight="weight")
+            )
+            if avoiding:
+                assert label.get(r) == true_dist, (v, r)
+            else:
+                assert r not in label, (v, r)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_entries_survive_update_roundtrip(seed):
+    """Semantic check repeated after an upgrade+downgrade round trip."""
+    import random
+
+    from repro.core import downgrade_landmark, upgrade_landmark
+
+    g = random_graph(seed, n_lo=4, n_hi=12)
+    rng = random.Random(seed)
+    landmarks = [v for v in range(g.n) if v % 3 == 1]
+    if not landmarks:
+        return
+    index = build_hcl(g, landmarks)
+    outside = [v for v in range(g.n) if v not in set(landmarks)]
+    if not outside:
+        return
+    v = rng.choice(outside)
+    upgrade_landmark(index, v)
+    downgrade_landmark(index, v)
+
+    nxg = to_networkx(g)
+    lmk_set = set(landmarks)
+    for u in range(g.n):
+        if u in lmk_set:
+            continue
+        for r in landmarks:
+            if not nx.has_path(nxg, r, u):
+                assert r not in index.labeling.label(u)
+                continue
+            avoiding = any(
+                all(x not in lmk_set for x in path[1:-1])
+                for path in nx.all_shortest_paths(nxg, r, u, weight="weight")
+            )
+            assert (r in index.labeling.label(u)) == avoiding

@@ -1,0 +1,79 @@
+"""Unit tests for the Labeling structure."""
+
+import pytest
+
+from repro.core import Labeling
+from repro.errors import VertexError
+
+
+class TestEntries:
+    def test_add_and_lookup(self):
+        lab = Labeling(3)
+        lab.add_entry(1, 5, 2.0)
+        assert lab.entry(1, 5) == 2.0
+        assert lab.covers(5, 1)
+        assert not lab.covers(5, 0)
+
+    def test_overwrite(self):
+        lab = Labeling(2)
+        lab.add_entry(0, 3, 2.0)
+        lab.add_entry(0, 3, 1.0)
+        assert lab.entry(0, 3) == 1.0
+        assert lab.total_entries() == 1
+
+    def test_remove(self):
+        lab = Labeling(2)
+        lab.add_entry(0, 3, 2.0)
+        assert lab.remove_entry(0, 3)
+        assert not lab.remove_entry(0, 3)
+        assert lab.entry(0, 3) is None
+
+    def test_clear_vertex(self):
+        lab = Labeling(2)
+        lab.add_entry(1, 0, 1.0)
+        lab.add_entry(1, 9, 2.0)
+        lab.clear_vertex(1)
+        assert lab.label(1) == {}
+
+    def test_add_vertex(self):
+        lab = Labeling(1)
+        assert lab.add_vertex() == 1
+        assert lab.n == 2
+        assert lab.label(1) == {}
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(VertexError):
+            Labeling(-2)
+
+
+class TestStats:
+    def test_counts(self):
+        lab = Labeling(3)
+        lab.add_entry(0, 1, 1.0)
+        lab.add_entry(0, 2, 1.0)
+        lab.add_entry(2, 1, 1.0)
+        assert lab.total_entries() == 3
+        assert lab.average_label_size() == pytest.approx(1.0)
+        assert lab.max_label_size() == 2
+
+    def test_empty(self):
+        lab = Labeling(0)
+        assert lab.average_label_size() == 0.0
+        assert lab.max_label_size() == 0
+
+
+class TestCopyEquality:
+    def test_copy_independent(self):
+        lab = Labeling(2)
+        lab.add_entry(0, 1, 1.0)
+        c = lab.copy()
+        c.add_entry(0, 2, 2.0)
+        assert lab.total_entries() == 1
+        assert c.total_entries() == 2
+        assert lab != c
+
+    def test_equality(self):
+        a, b = Labeling(2), Labeling(2)
+        a.add_entry(1, 4, 2.0)
+        b.add_entry(1, 4, 2.0)
+        assert a == b

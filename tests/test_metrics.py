@@ -1,0 +1,52 @@
+"""Tests for index quality metrics."""
+
+from conftest import cycle_graph, grid_graph, path_graph
+from repro.core import build_hcl
+from repro.core.metrics import (
+    coverage_histogram,
+    landmark_coverage_counts,
+    quality_report,
+    uncovered_vertices,
+)
+
+
+class TestCoverage:
+    def test_histogram_on_path(self):
+        index = build_hcl(path_graph(5), [2])
+        # every non-landmark vertex is covered by exactly one landmark
+        assert coverage_histogram(index) == {1: 4}
+
+    def test_histogram_counts_overlap(self):
+        index = build_hcl(cycle_graph(6), [0, 3])
+        # vertices 1, 2, 4, 5 are each covered by both landmarks
+        assert coverage_histogram(index) == {2: 4}
+
+    def test_landmark_counts(self):
+        index = build_hcl(path_graph(5), [1, 3])
+        counts = landmark_coverage_counts(index)
+        assert counts[1] == 2  # vertices 0 and 2
+        assert counts[3] == 2  # vertices 2 and 4
+
+    def test_uncovered(self):
+        g = path_graph(3)
+        g.add_vertex()
+        index = build_hcl(g, [1])
+        assert uncovered_vertices(index) == [3]
+
+
+class TestQualityReport:
+    def test_fields(self):
+        index = build_hcl(grid_graph(4, 4), [0, 15])
+        report = quality_report(index)
+        assert report.landmarks == 2
+        assert report.label_entries == index.labeling.total_entries()
+        assert report.uncovered == 0
+        assert report.max_label_size >= report.average_label_size
+        assert report.bytes_estimate > 0
+        assert 0 <= report.coverage_balance <= 1
+
+    def test_balance_degenerate(self):
+        index = build_hcl(path_graph(2), [])
+        report = quality_report(index)
+        assert report.coverage_balance == 1.0
+        assert report.min_landmark_coverage == 0

@@ -1,0 +1,146 @@
+"""Tests for multi-category landmark sets (future-work iv)."""
+
+import itertools
+import math
+import random
+
+import pytest
+
+from conftest import path_graph, random_graph
+from repro.core import assert_canonical
+from repro.core.multicategory import MultiCategoryHCL
+from repro.errors import DatasetError, LandmarkError
+from repro.graphs import single_source_distances
+
+
+def brute_force_ordered(g, s, t, stages):
+    """min over member tuples of d(s,r1)+d(r1,r2)+...+d(rk,t)."""
+    dist = {}
+
+    def d(a, b):
+        if a not in dist:
+            dist[a] = single_source_distances(g, a)
+        return dist[a][b]
+
+    best = math.inf
+    for combo in itertools.product(*stages):
+        total = d(s, combo[0])
+        for a, b in zip(combo, combo[1:]):
+            total += d(a, b)
+        total += d(combo[-1], t)
+        best = min(best, total)
+    return best
+
+
+class TestOrderedQueries:
+    def test_docstring_example(self):
+        from repro.graphs import Graph
+
+        g = Graph(6)
+        for u, v in [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]:
+            g.add_edge(u, v, 1.0)
+        mc = MultiCategoryHCL(g, {"fuel": [2], "inspection": [4]})
+        assert mc.ordered_category_distance(0, 5, ["fuel", "inspection"]) == 5.0
+        assert mc.ordered_category_distance(0, 5, ["inspection", "fuel"]) == 9.0
+
+    def test_empty_order_is_plain_distance(self):
+        g = path_graph(4)
+        mc = MultiCategoryHCL(g, {"a": [1]})
+        assert mc.ordered_category_distance(0, 3, []) == 3.0
+
+    def test_empty_category_is_inf(self):
+        g = path_graph(4)
+        mc = MultiCategoryHCL(g, {"a": [1]})
+        mc.add_category("b")
+        assert mc.ordered_category_distance(0, 3, ["b"]) == math.inf
+
+    def test_single_category_equals_beer_distance(self):
+        g = random_graph(17, n_lo=10, n_hi=20)
+        rng = random.Random(1)
+        members = sorted(rng.sample(range(g.n), 3))
+        mc = MultiCategoryHCL(g, {"bar": members})
+        for _ in range(10):
+            s, t = rng.randrange(g.n), rng.randrange(g.n)
+            want = brute_force_ordered(g, s, t, [members])
+            assert mc.any_category_distance(s, t, "bar") == want
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_two_ordered_categories_vs_bruteforce(self, seed):
+        g = random_graph(seed, n_lo=10, n_hi=18)
+        rng = random.Random(seed)
+        pool = list(range(g.n))
+        rng.shuffle(pool)
+        cat_a = sorted(pool[:3])
+        cat_b = sorted(pool[3:6])
+        mc = MultiCategoryHCL(g, {"A": cat_a, "B": cat_b})
+        for _ in range(8):
+            s, t = rng.randrange(g.n), rng.randrange(g.n)
+            want = brute_force_ordered(g, s, t, [cat_a, cat_b])
+            assert mc.ordered_category_distance(s, t, ["A", "B"]) == want
+
+    def test_three_stage_chain(self):
+        g = path_graph(9)
+        mc = MultiCategoryHCL(g, {"x": [2], "y": [4], "z": [6]})
+        assert mc.ordered_category_distance(0, 8, ["x", "y", "z"]) == 8.0
+        assert mc.ordered_category_distance(0, 8, ["z", "x", "y"]) == 16.0
+
+    def test_shared_member_can_serve_consecutive_categories(self):
+        g = path_graph(5)
+        mc = MultiCategoryHCL(g, {"a": [2], "b": [2]})
+        assert mc.ordered_category_distance(0, 4, ["a", "b"]) == 4.0
+
+
+class TestMembershipDynamics:
+    def test_union_landmarks(self):
+        g = path_graph(6)
+        mc = MultiCategoryHCL(g, {"a": [1, 2], "b": [2, 4]})
+        assert mc.landmarks == {1, 2, 4}
+
+    def test_add_member_promotes(self):
+        g = path_graph(6)
+        mc = MultiCategoryHCL(g, {"a": [1]})
+        mc.add_member("a", 4)
+        assert mc.landmarks == {1, 4}
+        assert_canonical(mc._dyn.index)
+
+    def test_remove_member_demotes_only_when_last(self):
+        g = path_graph(6)
+        mc = MultiCategoryHCL(g, {"a": [2], "b": [2]})
+        mc.remove_member("a", 2)
+        assert mc.landmarks == {2}  # still in category b
+        mc.remove_member("b", 2)
+        assert mc.landmarks == set()
+        assert_canonical(mc._dyn.index)
+
+    def test_membership_errors(self):
+        g = path_graph(4)
+        mc = MultiCategoryHCL(g, {"a": [1]})
+        with pytest.raises(LandmarkError):
+            mc.add_member("a", 1)
+        with pytest.raises(LandmarkError):
+            mc.remove_member("a", 0)
+        with pytest.raises(DatasetError):
+            mc.add_member("nope", 0)
+        with pytest.raises(DatasetError):
+            mc.add_category("a")
+        with pytest.raises(LandmarkError):
+            MultiCategoryHCL(g, {"a": [99]})
+
+    def test_queries_track_membership_churn(self):
+        g = path_graph(9)
+        mc = MultiCategoryHCL(g, {"stop": [7]})
+        assert mc.ordered_category_distance(0, 8, ["stop"]) == 8.0
+        mc.add_member("stop", 1)
+        assert mc.ordered_category_distance(0, 8, ["stop"]) == 8.0
+        mc.remove_member("stop", 7)
+        # only member is now 1: 0 -> 1 -> 8
+        assert mc.ordered_category_distance(0, 8, ["stop"]) == 8.0
+        mc.remove_member("stop", 1)
+        assert mc.ordered_category_distance(0, 8, ["stop"]) == math.inf
+
+    def test_categories_snapshot_is_copy(self):
+        g = path_graph(4)
+        mc = MultiCategoryHCL(g, {"a": [1]})
+        snap = mc.categories
+        snap["a"].add(3)
+        assert mc.categories == {"a": {1}}

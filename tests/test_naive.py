@@ -1,0 +1,64 @@
+"""Tests for the naive landmark-constrained baselines."""
+
+import pytest
+
+from conftest import cycle_graph, random_graph
+from repro.baselines import DistanceMatrixOracle, multi_dijkstra_landmark_constrained
+from repro.errors import LandmarkError, VertexError
+from repro.graphs import INF, single_source_distances
+
+
+class TestMultiDijkstra:
+    def test_simple(self):
+        g = cycle_graph(6)
+        assert multi_dijkstra_landmark_constrained(g, [0], 2, 4) == 4.0
+
+    def test_empty_landmarks(self):
+        g = cycle_graph(4)
+        assert multi_dijkstra_landmark_constrained(g, [], 0, 1) == INF
+
+    def test_picks_best_landmark(self):
+        g = cycle_graph(8)
+        assert multi_dijkstra_landmark_constrained(g, [0, 4], 3, 5) == 2.0
+
+
+class TestDistanceMatrixOracle:
+    def test_matches_multi_dijkstra(self):
+        g = random_graph(4, n_lo=8, n_hi=20)
+        landmarks = [v for v in range(g.n) if v % 3 == 0]
+        oracle = DistanceMatrixOracle(g, landmarks)
+        for s in range(0, g.n, 2):
+            for t in range(1, g.n, 2):
+                want = multi_dijkstra_landmark_constrained(g, landmarks, s, t)
+                assert oracle.landmark_constrained_distance(s, t) == want
+
+    def test_dynamic_updates(self):
+        g = cycle_graph(8)
+        oracle = DistanceMatrixOracle(g, [0])
+        oracle.add_landmark(4)
+        assert oracle.landmark_constrained_distance(3, 5) == 2.0
+        oracle.remove_landmark(4)
+        assert oracle.landmark_constrained_distance(3, 5) == 6.0
+
+    def test_memory_accounting(self):
+        g = cycle_graph(10)
+        oracle = DistanceMatrixOracle(g, [0, 5])
+        assert oracle.memory_entries() == 20
+
+    def test_empty_is_inf(self):
+        oracle = DistanceMatrixOracle(cycle_graph(4))
+        assert oracle.landmark_constrained_distance(0, 2) == INF
+
+    def test_errors(self):
+        oracle = DistanceMatrixOracle(cycle_graph(4), [1])
+        with pytest.raises(LandmarkError):
+            oracle.add_landmark(1)
+        with pytest.raises(LandmarkError):
+            oracle.remove_landmark(2)
+        with pytest.raises(VertexError):
+            oracle.add_landmark(44)
+
+    def test_rows_are_exact_distances(self):
+        g = random_graph(7)
+        oracle = DistanceMatrixOracle(g, [0])
+        assert oracle._rows[0] == single_source_distances(g, 0)

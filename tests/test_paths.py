@@ -1,0 +1,129 @@
+"""Tests for path reporting on HCL indexes."""
+
+import random
+
+import pytest
+
+from conftest import cycle_graph, path_graph, random_graph
+from repro.core import (
+    build_hcl,
+    highway_path,
+    label_path,
+    landmark_constrained_path,
+    shortest_path,
+)
+from repro.errors import LandmarkError, ReproError
+from repro.graphs import single_source_distances
+
+
+def path_weight(g, path):
+    return sum(g.edge_weight(path[i], path[i + 1]) for i in range(len(path) - 1))
+
+
+class TestLabelPath:
+    def test_simple_chain(self):
+        g = path_graph(5)
+        index = build_hcl(g, [0])
+        assert label_path(index, 0, 4) == [0, 1, 2, 3, 4]
+
+    def test_self_path(self):
+        index = build_hcl(path_graph(3), [1])
+        assert label_path(index, 1, 1) == [1]
+
+    def test_uncovered_vertex_rejected(self):
+        g = path_graph(5)
+        index = build_hcl(g, [1, 2])
+        with pytest.raises(LandmarkError):
+            label_path(index, 2, 0)  # 0 is not covered by 2
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_path_realizes_entry_distance(self, seed):
+        g = random_graph(seed)
+        landmarks = [v for v in range(g.n) if v % 4 == 0]
+        index = build_hcl(g, landmarks)
+        for v in range(g.n):
+            for r, d in index.labeling.label(v).items():
+                p = label_path(index, r, v)
+                assert p[0] == r and p[-1] == v
+                assert path_weight(g, p) == d
+                # internal vertices avoid other landmarks (canonical form)
+                assert all(x not in set(landmarks) for x in p[1:-1])
+
+
+class TestHighwayPath:
+    def test_direct_leg(self):
+        g = cycle_graph(6)
+        index = build_hcl(g, [0, 3])
+        p = highway_path(index, 0, 3)
+        assert p[0] == 0 and p[-1] == 3
+        assert path_weight(g, p) == 3.0
+
+    def test_decomposes_at_middle_landmark(self):
+        g = path_graph(5)
+        index = build_hcl(g, [0, 2, 4])
+        p = highway_path(index, 0, 4)
+        assert p == [0, 1, 2, 3, 4]
+
+    def test_same_landmark(self):
+        index = build_hcl(path_graph(3), [1])
+        assert highway_path(index, 1, 1) == [1]
+
+    def test_non_landmark_rejected(self):
+        index = build_hcl(path_graph(3), [1])
+        with pytest.raises(LandmarkError):
+            highway_path(index, 1, 0)
+
+    def test_disconnected_landmarks_rejected(self):
+        g = path_graph(2)
+        g.add_vertex()
+        g.add_vertex()
+        g.add_edge(2, 3, 1.0)
+        index = build_hcl(g, [0, 3])
+        with pytest.raises(ReproError):
+            highway_path(index, 0, 3)
+
+
+class TestConstrainedAndShortest:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_constrained_path_realizes_query(self, seed):
+        g = random_graph(seed)
+        rng = random.Random(seed)
+        landmarks = sorted(rng.sample(range(g.n), max(1, g.n // 4)))
+        index = build_hcl(g, landmarks)
+        for _ in range(10):
+            s, t = rng.randrange(g.n), rng.randrange(g.n)
+            q = index.query(s, t)
+            if q == float("inf"):
+                continue
+            p = landmark_constrained_path(index, s, t)
+            assert p[0] == s and p[-1] == t
+            assert path_weight(g, p) == q
+            assert any(v in set(landmarks) for v in p)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_shortest_path_is_exact(self, seed):
+        g = random_graph(seed)
+        rng = random.Random(seed + 7)
+        landmarks = sorted(rng.sample(range(g.n), max(1, g.n // 5)))
+        index = build_hcl(g, landmarks)
+        for _ in range(10):
+            s, t = rng.randrange(g.n), rng.randrange(g.n)
+            d = single_source_distances(g, s)[t]
+            if d == float("inf"):
+                with pytest.raises(ReproError):
+                    shortest_path(index, s, t)
+                continue
+            p = shortest_path(index, s, t)
+            assert p[0] == s and p[-1] == t
+            assert path_weight(g, p) == d
+
+    def test_shortest_path_same_vertex(self):
+        index = build_hcl(path_graph(3), [1])
+        assert shortest_path(index, 2, 2) == [2]
+
+    def test_no_constrained_path(self):
+        g = path_graph(2)
+        g.add_vertex()
+        index = build_hcl(g, [1])
+        with pytest.raises(ReproError):
+            landmark_constrained_path(index, 0, 2)

@@ -1,0 +1,76 @@
+"""Tests for the Pruned Landmark Labeling baseline."""
+
+import pytest
+
+from conftest import cycle_graph, grid_graph, path_graph, random_graph
+from repro.baselines.pll import PrunedLandmarkLabeling
+from repro.graphs import INF, single_source_distances
+
+
+class TestConstruction:
+    def test_every_vertex_has_self_entry(self):
+        pll = PrunedLandmarkLabeling(cycle_graph(6))
+        for v in range(6):
+            assert pll.label(v)[v] == 0.0
+
+    def test_custom_order_accepted(self):
+        g = path_graph(5)
+        pll = PrunedLandmarkLabeling(g, order=[2, 0, 4, 1, 3])
+        assert pll.distance(0, 4) == 4.0
+
+    def test_bad_order_rejected(self):
+        with pytest.raises(ValueError):
+            PrunedLandmarkLabeling(path_graph(3), order=[0, 0, 2])
+
+    def test_pruning_keeps_labels_small(self):
+        # On a star, the hub label covers everything: leaves get 2 entries.
+        from repro.graphs import Graph
+
+        g = Graph(9, unweighted=True)
+        for v in range(1, 9):
+            g.add_edge(0, v, 1.0)
+        pll = PrunedLandmarkLabeling(g)
+        assert pll.average_label_size() <= 2.0
+        assert pll.total_entries() == 9 + 8  # self entries + hub entries
+
+
+class TestQueries:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_exact_on_random_graphs(self, seed):
+        g = random_graph(seed, n_lo=5, n_hi=30)
+        pll = PrunedLandmarkLabeling(g)
+        for s in range(0, g.n, 2):
+            dist = single_source_distances(g, s)
+            for t in range(g.n):
+                assert pll.distance(s, t) == dist[t], (s, t)
+
+    def test_disconnected_is_inf(self):
+        g = path_graph(2)
+        g.add_vertex()
+        pll = PrunedLandmarkLabeling(g)
+        assert pll.distance(0, 2) == INF
+
+    def test_same_vertex(self):
+        pll = PrunedLandmarkLabeling(grid_graph(3, 3))
+        assert pll.distance(4, 4) == 0.0
+
+
+class TestComparisonWithHCL:
+    def test_pll_labels_every_vertex_hcl_only_landmark_region(self):
+        """The space trade-off the HCL paper is built on, in miniature."""
+        from repro.core import build_hcl
+
+        g = grid_graph(6, 6)
+        pll = PrunedLandmarkLabeling(g)
+        hcl = build_hcl(g, [0, 35])
+        assert hcl.labeling.total_entries() < pll.total_entries()
+
+    def test_agree_on_exact_distances(self):
+        from repro.core import build_hcl
+
+        g = random_graph(42, n_lo=10, n_hi=20)
+        pll = PrunedLandmarkLabeling(g)
+        hcl = build_hcl(g, [v for v in range(g.n) if v % 4 == 0])
+        for s in range(g.n):
+            for t in range(0, g.n, 3):
+                assert pll.distance(s, t) == hcl.distance(s, t)

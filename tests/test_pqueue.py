@@ -1,0 +1,101 @@
+"""Unit and property tests for the priority queues."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.graphs import AddressableHeap, LazyHeap
+
+
+class TestAddressableHeap:
+    def test_basic_order(self):
+        q = AddressableHeap()
+        for item, p in [("a", 3.0), ("b", 1.0), ("c", 2.0)]:
+            q.enqueue(item, p)
+        assert q.dequeue_min() == ("b", 1.0)
+        assert q.dequeue_min() == ("c", 2.0)
+        assert q.dequeue_min() == ("a", 3.0)
+        assert not q
+
+    def test_decrease_key_moves_item_up(self):
+        q = AddressableHeap()
+        q.enqueue("a", 10.0)
+        q.enqueue("b", 5.0)
+        q.decrease_key("a", 1.0)
+        assert q.peek() == ("a", 1.0)
+
+    def test_decrease_key_rejects_increase(self):
+        q = AddressableHeap()
+        q.enqueue("a", 1.0)
+        with pytest.raises(ValueError):
+            q.decrease_key("a", 2.0)
+
+    def test_duplicate_enqueue_rejected(self):
+        q = AddressableHeap()
+        q.enqueue("a", 1.0)
+        with pytest.raises(KeyError):
+            q.enqueue("a", 2.0)
+
+    def test_membership_and_priority(self):
+        q = AddressableHeap()
+        q.enqueue(7, 4.0)
+        assert 7 in q
+        assert q.priority(7) == 4.0
+        q.dequeue_min()
+        assert 7 not in q
+
+    def test_enqueue_or_decrease(self):
+        q = AddressableHeap()
+        q.enqueue_or_decrease("x", 5.0)
+        q.enqueue_or_decrease("x", 2.0)
+        q.enqueue_or_decrease("x", 9.0)  # higher: ignored
+        assert q.dequeue_min() == ("x", 2.0)
+
+    @given(st.lists(st.tuples(st.integers(0, 50), st.floats(0, 100, allow_nan=False)), max_size=80))
+    def test_dequeues_in_sorted_order(self, ops):
+        q = AddressableHeap()
+        best: dict[int, float] = {}
+        for item, priority in ops:
+            q.enqueue_or_decrease(item, priority)
+            if item not in best or priority < best[item]:
+                best[item] = priority
+        out = []
+        while q:
+            out.append(q.dequeue_min())
+        assert [p for _, p in out] == sorted(p for _, p in out)
+        assert dict((i, p) for i, p in out) == best
+
+
+class TestLazyHeap:
+    def test_basic_order(self):
+        q = LazyHeap()
+        for item, p in [(1, 3.0), (2, 1.0), (3, 2.0)]:
+            q.enqueue(item, p)
+        assert q.dequeue_min() == (2, 1.0)
+        assert q.dequeue_min() == (3, 2.0)
+        assert q.dequeue_min() == (1, 3.0)
+        assert q.dequeue_min() is None
+
+    def test_stale_entries_skipped(self):
+        q = LazyHeap()
+        q.enqueue("a", 9.0)
+        q.enqueue_or_decrease("a", 2.0)
+        assert q.dequeue_min() == ("a", 2.0)
+        assert q.dequeue_min() is None
+
+    @given(st.lists(st.tuples(st.integers(0, 50), st.floats(0, 100, allow_nan=False)), max_size=80))
+    def test_equivalent_to_addressable(self, ops):
+        lazy, addr = LazyHeap(), AddressableHeap()
+        for item, priority in ops:
+            lazy.enqueue_or_decrease(item, priority)
+            addr.enqueue_or_decrease(item, priority)
+        lazy_out = []
+        while True:
+            got = lazy.dequeue_min()
+            if got is None:
+                break
+            lazy_out.append(got)
+        addr_out = []
+        while addr:
+            addr_out.append(addr.dequeue_min())
+        assert sorted(lazy_out) == sorted(addr_out)

@@ -1,0 +1,46 @@
+"""Property tests for query correctness under dynamics.
+
+After arbitrary landmark churn, (a) ``QUERY`` must equal the brute-force
+landmark-constrained distance and (b) ``distance`` must equal true
+shortest-path distance — the paper's query-correctness requirement for
+DYN-HCL (goal G2 relies on it).
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import random_graph
+from repro.core import DynamicHCL
+from repro.core.invariants import brute_force_landmark_constrained
+from repro.graphs import single_source_distances
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_queries_exact_after_churn(seed):
+    g = random_graph(seed, n_lo=6, n_hi=22)
+    rng = random.Random(seed + 5)
+    landmarks = set(rng.sample(range(g.n), max(1, g.n // 4)))
+    dyn = DynamicHCL.build(g, sorted(landmarks))
+
+    for _ in range(4):
+        addable = [v for v in range(g.n) if v not in landmarks]
+        if landmarks and (not addable or rng.random() < 0.5):
+            v = rng.choice(sorted(landmarks))
+            dyn.remove_landmark(v)
+            landmarks.discard(v)
+        elif addable:
+            v = rng.choice(addable)
+            dyn.add_landmark(v)
+            landmarks.add(v)
+
+    pairs = [(rng.randrange(g.n), rng.randrange(g.n)) for _ in range(12)]
+    for s, t in pairs:
+        want_constrained = brute_force_landmark_constrained(
+            g, landmarks, s, t
+        ) if landmarks else float("inf")
+        assert dyn.query(s, t) == want_constrained, (s, t)
+        want_exact = single_source_distances(g, s)[t]
+        assert dyn.distance(s, t) == want_exact, (s, t)

@@ -1,0 +1,48 @@
+"""Coarse scale/performance smoke tests.
+
+Not micro-benchmarks (those live in ``benchmarks/``): these assert only
+order-of-magnitude sanity with very generous bounds, so a catastrophic
+regression (e.g. an accidentally quadratic update) fails the suite while
+normal machine jitter cannot.
+"""
+
+import time
+
+from repro.core import DynamicHCL, select_landmarks
+from repro.workloads import make_dataset, mixed_update_sequence, random_query_pairs
+
+
+def test_midsize_road_instance_end_to_end():
+    graph = make_dataset("LUX", scale=0.5, seed=3)
+    landmarks = select_landmarks(graph, 40, seed=3)
+
+    start = time.perf_counter()
+    dyn = DynamicHCL.build(graph, landmarks)
+    t_build = time.perf_counter() - start
+    assert t_build < 10.0, f"BUILDHCL blew up: {t_build:.1f}s"
+
+    updates = mixed_update_sequence(graph.n, landmarks, seed=4)
+    log = dyn.apply_sequence(updates)
+    assert log.mean_seconds < t_build, "updates should beat a full rebuild"
+
+    pairs = random_query_pairs(graph.n, 500, seed=5)
+    start = time.perf_counter()
+    for s, t in pairs:
+        dyn.query(s, t)
+    per_query = (time.perf_counter() - start) / len(pairs)
+    assert per_query < 0.005, f"QUERY too slow: {per_query * 1e6:.0f} µs"
+
+
+def test_update_cost_stays_sublinear_in_rebuild():
+    """The paper's core claim, as a coarse regression guard."""
+    graph = make_dataset("NW", scale=0.5, seed=1)
+    landmarks = select_landmarks(graph, 60, seed=1)
+    dyn = DynamicHCL.build(graph, landmarks)
+
+    start = time.perf_counter()
+    dyn.rebuild()
+    t_build = time.perf_counter() - start
+
+    log = dyn.apply_sequence(mixed_update_sequence(graph.n, landmarks, seed=2))
+    # paper reports 1-3 orders of magnitude; demand at least 3x here
+    assert log.mean_seconds * 3 < t_build, (log.mean_seconds, t_build)

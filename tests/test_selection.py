@@ -1,0 +1,97 @@
+"""Tests for landmark selection policies."""
+
+import pytest
+
+from repro.core import (
+    select_by_approx_betweenness,
+    select_by_degree,
+    select_landmarks,
+    select_random,
+)
+from repro.core.selection import selection_policies
+from repro.errors import DatasetError
+from repro.graphs import Graph, barabasi_albert, road_grid
+
+
+def star_graph(leaves: int) -> Graph:
+    g = Graph(leaves + 1, unweighted=True)
+    for v in range(1, leaves + 1):
+        g.add_edge(0, v, 1.0)
+    return g
+
+
+class TestDegree:
+    def test_picks_hub_first(self):
+        g = star_graph(5)
+        assert select_by_degree(g, 1) == [0]
+
+    def test_count_and_distinct(self):
+        g = barabasi_albert(60, 2, seed=0)
+        chosen = select_by_degree(g, 10)
+        assert len(chosen) == len(set(chosen)) == 10
+
+    def test_respects_degree_order(self):
+        g = barabasi_albert(60, 2, seed=0)
+        chosen = select_by_degree(g, 5)
+        worst = min(g.degree(v) for v in chosen)
+        rest = [g.degree(v) for v in g.vertices() if v not in set(chosen)]
+        assert all(worst >= d for d in rest)
+
+
+class TestBetweenness:
+    def test_bridge_vertex_scores_high(self):
+        # Two stars joined through vertex 6: 6 lies on most shortest paths.
+        g = Graph(7, unweighted=True)
+        for v in (1, 2):
+            g.add_edge(0, v, 1.0)
+        for v in (4, 5):
+            g.add_edge(3, v, 1.0)
+        g.add_edge(0, 6, 1.0)
+        g.add_edge(6, 3, 1.0)
+        chosen = select_by_approx_betweenness(g, 3, pivots=7, seed=1)
+        assert 6 in chosen
+
+    def test_count(self):
+        g = road_grid(8, 8, seed=1)
+        assert len(select_by_approx_betweenness(g, 12, seed=0)) == 12
+
+    def test_needs_positive_pivots(self):
+        g = star_graph(3)
+        with pytest.raises(DatasetError):
+            select_by_approx_betweenness(g, 2, pivots=0)
+
+
+class TestRandom:
+    def test_deterministic_given_seed(self):
+        g = road_grid(6, 6, seed=0)
+        assert select_random(g, 5, seed=3) == select_random(g, 5, seed=3)
+
+    def test_distinct(self):
+        g = road_grid(6, 6, seed=0)
+        chosen = select_random(g, 10, seed=1)
+        assert len(set(chosen)) == 10
+
+
+class TestDispatch:
+    def test_auto_prefers_degree_for_unweighted(self):
+        g = star_graph(5)
+        assert select_landmarks(g, 1, policy="auto") == select_by_degree(g, 1)
+
+    def test_auto_prefers_betweenness_for_weighted(self):
+        g = Graph(3)
+        g.add_edge(0, 1, 2.0)
+        g.add_edge(1, 2, 2.0)
+        got = select_landmarks(g, 1, policy="auto", seed=0)
+        assert got == select_by_approx_betweenness(g, 1, seed=0)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(DatasetError):
+            select_landmarks(star_graph(3), 1, policy="galactic")
+
+    def test_too_many_landmarks_rejected(self):
+        with pytest.raises(DatasetError):
+            select_landmarks(star_graph(3), 99)
+
+    def test_policy_list(self):
+        assert "degree" in selection_policies()
+        assert "auto" in selection_policies()

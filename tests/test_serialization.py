@@ -1,0 +1,118 @@
+"""Tests for HCL index persistence (JSON and binary)."""
+
+import io
+
+import pytest
+
+from conftest import cycle_graph, path_graph, random_graph
+from repro.core import build_hcl
+from repro.core.serialization import (
+    load_index_binary,
+    load_index_json,
+    save_index_binary,
+    save_index_json,
+)
+from repro.errors import ParseError, VertexError
+
+
+@pytest.mark.parametrize("fmt", ["json", "binary"])
+class TestRoundTrips:
+    def _roundtrip(self, index, graph, fmt, tmp_path):
+        path = tmp_path / f"index.{fmt}"
+        if fmt == "json":
+            save_index_json(index, path)
+            return load_index_json(graph, path)
+        save_index_binary(index, path)
+        return load_index_binary(graph, path)
+
+    def test_simple(self, fmt, tmp_path):
+        g = cycle_graph(8)
+        index = build_hcl(g, [0, 4])
+        loaded = self._roundtrip(index, g, fmt, tmp_path)
+        assert loaded.structurally_equal(index)
+
+    def test_empty_landmarks(self, fmt, tmp_path):
+        g = path_graph(4)
+        index = build_hcl(g, [])
+        loaded = self._roundtrip(index, g, fmt, tmp_path)
+        assert loaded.structurally_equal(index)
+
+    def test_disconnected_inf_distances(self, fmt, tmp_path):
+        g = path_graph(3)
+        g.add_vertex()
+        g.add_vertex()
+        g.add_edge(3, 4, 1.0)
+        index = build_hcl(g, [1, 4])
+        loaded = self._roundtrip(index, g, fmt, tmp_path)
+        assert loaded.highway.distance(1, 4) == float("inf")
+        assert loaded.structurally_equal(index)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random_graphs(self, fmt, tmp_path, seed):
+        g = random_graph(seed)
+        index = build_hcl(g, [v for v in range(g.n) if v % 3 == 0])
+        loaded = self._roundtrip(index, g, fmt, tmp_path)
+        assert loaded.structurally_equal(index)
+
+    def test_loaded_index_answers_queries(self, fmt, tmp_path):
+        g = cycle_graph(10)
+        index = build_hcl(g, [0, 5])
+        loaded = self._roundtrip(index, g, fmt, tmp_path)
+        for s in range(10):
+            for t in range(10):
+                assert loaded.query(s, t) == index.query(s, t)
+                assert loaded.distance(s, t) == index.distance(s, t)
+
+
+class TestValidation:
+    def test_json_wrong_graph_size(self, tmp_path):
+        g = cycle_graph(6)
+        index = build_hcl(g, [0])
+        path = tmp_path / "i.json"
+        save_index_json(index, path)
+        with pytest.raises(VertexError):
+            load_index_json(cycle_graph(8), path)
+
+    def test_binary_wrong_graph_size(self, tmp_path):
+        g = cycle_graph(6)
+        index = build_hcl(g, [0])
+        path = tmp_path / "i.bin"
+        save_index_binary(index, path)
+        with pytest.raises(VertexError):
+            load_index_binary(cycle_graph(8), path)
+
+    def test_json_bad_schema(self):
+        buf = io.StringIO('{"schema": "bogus/9"}')
+        with pytest.raises(ParseError):
+            load_index_json(cycle_graph(4), buf)
+
+    def test_binary_bad_magic(self):
+        buf = io.BytesIO(b"NOPE!")
+        with pytest.raises(ParseError):
+            load_index_binary(cycle_graph(4), buf)
+
+    def test_binary_is_smaller_than_json(self, tmp_path):
+        g = random_graph(5, n_lo=25, n_hi=30)
+        index = build_hcl(g, [v for v in range(g.n) if v % 3 == 0])
+        jpath, bpath = tmp_path / "i.json", tmp_path / "i.bin"
+        save_index_json(index, jpath)
+        save_index_binary(index, bpath)
+        assert bpath.stat().st_size < jpath.stat().st_size
+
+
+class TestStreams:
+    def test_json_stream_roundtrip(self):
+        g = cycle_graph(5)
+        index = build_hcl(g, [2])
+        buf = io.StringIO()
+        save_index_json(index, buf)
+        buf.seek(0)
+        assert load_index_json(g, buf).structurally_equal(index)
+
+    def test_binary_stream_roundtrip(self):
+        g = cycle_graph(5)
+        index = build_hcl(g, [2])
+        buf = io.BytesIO()
+        save_index_binary(index, buf)
+        buf.seek(0)
+        assert load_index_binary(g, buf).structurally_equal(index)

@@ -1,0 +1,64 @@
+"""Canonicity fuzzing on structured (non-ER) topologies.
+
+Trees, clique-stars and tie-rich chains exercise shortest-path DAG shapes
+the uniform random graphs rarely produce; the invariants must hold there
+too.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    assert_canonical,
+    build_hcl,
+    downgrade_landmark,
+    upgrade_landmark,
+)
+from repro.graphs import single_source_distances
+from strategies import graph_with_landmarks, structured_graphs
+
+
+@settings(max_examples=30, deadline=None)
+@given(data=graph_with_landmarks(), seed=st.integers(0, 2**20))
+def test_structured_updates_stay_canonical(data, seed):
+    g, landmarks = data
+    rng = random.Random(seed)
+    current = set(landmarks)
+    index = build_hcl(g, sorted(current))
+    for _ in range(4):
+        addable = [v for v in range(g.n) if v not in current]
+        if current and (not addable or rng.random() < 0.5):
+            v = rng.choice(sorted(current))
+            downgrade_landmark(index, v)
+            current.discard(v)
+        elif addable:
+            v = rng.choice(addable)
+            upgrade_landmark(index, v)
+            current.add(v)
+        assert_canonical(index)
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=graph_with_landmarks(), seed=st.integers(0, 2**20))
+def test_structured_distances_stay_exact(data, seed):
+    g, landmarks = data
+    rng = random.Random(seed)
+    index = build_hcl(g, landmarks)
+    v = rng.choice([x for x in range(g.n) if not index.is_landmark(x)] or landmarks)
+    if not index.is_landmark(v):
+        upgrade_landmark(index, v)
+    s = rng.randrange(g.n)
+    truth = single_source_distances(g, s)
+    for t in range(g.n):
+        assert index.distance(s, t) == truth[t]
+
+
+@settings(max_examples=20, deadline=None)
+@given(g=structured_graphs)
+def test_structured_build_is_order_invariant(g):
+    landmarks = [v for v in range(g.n) if v % 3 == 0]
+    a = build_hcl(g, landmarks)
+    b = build_hcl(g, list(reversed(landmarks)))
+    assert a.structurally_equal(b)

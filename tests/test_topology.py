@@ -1,0 +1,142 @@
+"""Tests for the fully dynamic setting (future-work iii)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import cycle_graph, path_graph, random_graph
+from repro.core import (
+    FullyDynamicHCL,
+    assert_canonical,
+    build_hcl,
+    delete_edge,
+    insert_edge,
+    set_edge_weight,
+)
+from repro.errors import EdgeError
+
+
+class TestInsert:
+    def test_shortcut_updates_labels(self):
+        g = path_graph(5)
+        index = build_hcl(g, [0])
+        stats = insert_edge(index, 0, 4, 1.0)
+        assert index.labeling.entry(4, 0) == 1.0
+        assert stats.affected_landmarks == 1
+        assert_canonical(index)
+
+    def test_irrelevant_edge_touches_nothing(self):
+        from repro.graphs import Graph
+
+        g = Graph(6)  # weighted cycle
+        for i in range(6):
+            g.add_edge(i, (i + 1) % 6, 1.0)
+        index = build_hcl(g, [0])
+        # chord 2-4 (weight 5) cannot shorten any path from 0
+        stats = insert_edge(index, 2, 4, 5.0)
+        assert stats.affected_landmarks == 0
+        assert_canonical(index)
+
+    def test_tie_creating_edge_is_affected(self):
+        g = path_graph(4, weights=[1.0, 1.0, 1.0])
+        index = build_hcl(g, [0])
+        # 0-2 with weight 2 ties the existing distance: flags may change.
+        stats = insert_edge(index, 0, 2, 2.0)
+        assert stats.affected_landmarks == 1
+        assert_canonical(index)
+
+
+class TestDelete:
+    def test_delete_on_shortest_path(self):
+        g = cycle_graph(6)
+        index = build_hcl(g, [0])
+        delete_edge(index, 0, 1)
+        assert index.labeling.entry(1, 0) == 5.0  # all the way around
+        assert_canonical(index)
+
+    def test_delete_bridge_disconnects(self):
+        g = path_graph(4)
+        index = build_hcl(g, [0])
+        delete_edge(index, 1, 2)
+        assert index.labeling.label(3) == {}
+        assert index.query(0, 3) == float("inf")
+        assert_canonical(index)
+
+    def test_delete_missing_edge_raises(self):
+        index = build_hcl(path_graph(3), [0])
+        with pytest.raises(EdgeError):
+            delete_edge(index, 0, 2)
+
+
+class TestReweight:
+    def test_weight_increase(self):
+        g = path_graph(3, weights=[1.0, 1.0])
+        index = build_hcl(g, [0])
+        set_edge_weight(index, 1, 2, 5.0)
+        assert index.labeling.entry(2, 0) == 6.0
+        assert_canonical(index)
+
+    def test_weight_decrease(self):
+        g = path_graph(3, weights=[1.0, 5.0])
+        index = build_hcl(g, [0])
+        set_edge_weight(index, 1, 2, 1.0)
+        assert index.labeling.entry(2, 0) == 2.0
+        assert_canonical(index)
+
+    def test_noop_reweight(self):
+        g = path_graph(3, weights=[1.0, 2.0])
+        index = build_hcl(g, [0])
+        stats = set_edge_weight(index, 1, 2, 2.0)
+        assert stats.affected_landmarks == 0
+
+
+class TestFacade:
+    def test_mixed_topology_and_landmark_updates(self):
+        dyn = FullyDynamicHCL.build(cycle_graph(8), [0])
+        dyn.insert_edge(2, 6, 1.0)
+        dyn.add_landmark(4)
+        dyn.delete_edge(0, 7)
+        dyn.remove_landmark(0)
+        assert_canonical(dyn.index)
+
+    def test_add_vertex(self):
+        dyn = FullyDynamicHCL.build(path_graph(3), [1])
+        v = dyn.add_vertex()
+        assert v == 3
+        dyn.insert_edge(2, 3, 1.0)
+        assert dyn.distance(0, 3) == 3.0
+        assert_canonical(dyn.index)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_property_fully_dynamic_stays_canonical(seed):
+    g = random_graph(seed, n_lo=6, n_hi=18)
+    rng = random.Random(seed + 4)
+    landmarks = set(rng.sample(range(g.n), max(1, g.n // 4)))
+    dyn = FullyDynamicHCL.build(g, sorted(landmarks))
+    for _ in range(6):
+        op = rng.random()
+        if op < 0.25 and len(landmarks) < g.n:
+            v = rng.choice([x for x in range(g.n) if x not in landmarks])
+            dyn.add_landmark(v)
+            landmarks.add(v)
+        elif op < 0.5 and landmarks:
+            v = rng.choice(sorted(landmarks))
+            dyn.remove_landmark(v)
+            landmarks.discard(v)
+        elif op < 0.75:
+            for _ in range(20):
+                u, v = rng.randrange(g.n), rng.randrange(g.n)
+                if u != v and not g.has_edge(u, v):
+                    w = 1.0 if g.unweighted else float(rng.randint(1, 5))
+                    dyn.insert_edge(u, v, w)
+                    break
+        else:
+            edges = list(g.edges())
+            if edges:
+                u, v, _ = rng.choice(edges)
+                dyn.delete_edge(u, v)
+    assert_canonical(dyn.index)

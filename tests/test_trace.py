@@ -1,0 +1,89 @@
+"""Tests for replayable workload traces."""
+
+import io
+
+import pytest
+
+from conftest import cycle_graph
+from repro.baselines import CHGSP
+from repro.core import DynamicHCL
+from repro.errors import ParseError
+from repro.workloads.trace import Trace, TraceOp, replay
+
+
+@pytest.fixture
+def sample_trace():
+    return (
+        Trace()
+        .query(2, 4)
+        .add_landmark(4)
+        .query(3, 5)
+        .remove_landmark(0)
+        .query(3, 5)
+    )
+
+
+class TestTraceStructure:
+    def test_builder_chain(self, sample_trace):
+        assert len(sample_trace) == 5
+        assert sample_trace.ops[0] == TraceOp("query", 2, 4)
+        assert sample_trace.ops[1] == TraceOp("add", 4)
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ParseError):
+            TraceOp("toggle", 1)
+
+    def test_query_needs_two_vertices(self):
+        with pytest.raises(ParseError):
+            TraceOp("query", 1)
+
+
+class TestPersistence:
+    def test_roundtrip_file(self, sample_trace, tmp_path):
+        path = tmp_path / "trace.json"
+        sample_trace.save(path)
+        assert Trace.load(path) == sample_trace
+
+    def test_roundtrip_stream(self, sample_trace):
+        buf = io.StringIO()
+        sample_trace.save(buf)
+        buf.seek(0)
+        assert Trace.load(buf) == sample_trace
+
+    def test_bad_schema(self):
+        with pytest.raises(ParseError):
+            Trace.load(io.StringIO('{"schema": "x", "ops": []}'))
+
+    def test_malformed_op(self):
+        with pytest.raises(ParseError):
+            Trace.load(
+                io.StringIO('{"schema": "dyn-hcl-trace/1", "ops": [[1,2,3,4]]}')
+            )
+
+
+class TestReplay:
+    def test_replay_against_dynhcl(self, sample_trace):
+        g = cycle_graph(8)
+        dyn = DynamicHCL.build(g, [0])
+        result = replay(sample_trace, dyn)
+        assert result.queries == 3
+        assert result.updates == 2
+        assert result.answers[0] == 6.0  # 2->4 via 0 with R={0}: 2 + 4
+        assert result.answers[1] == 2.0  # 3->5 via 4 after add
+        assert result.answers[2] == 2.0  # still via 4 after removing 0
+        assert result.seconds > 0
+        assert result.amortized_seconds == pytest.approx(result.seconds / 3)
+
+    def test_identical_answers_across_engines(self, sample_trace):
+        """The point of traces: byte-identical workloads for both engines."""
+        g = cycle_graph(8)
+        dyn = DynamicHCL.build(g, [0])
+        gsp = CHGSP(g, [0])
+        assert replay(sample_trace, dyn).answers == replay(sample_trace, gsp).answers
+
+    def test_empty_trace(self):
+        g = cycle_graph(4)
+        dyn = DynamicHCL.build(g, [0])
+        result = replay(Trace(), dyn)
+        assert result.queries == 0
+        assert result.amortized_seconds == 0.0

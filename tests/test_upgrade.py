@@ -1,0 +1,116 @@
+"""Unit tests for UPGRADE-LMK (Algorithm 1)."""
+
+import pytest
+
+from conftest import cycle_graph, path_graph, random_graph
+from repro.core import assert_canonical, build_hcl, upgrade_landmark
+from repro.errors import LandmarkError, VertexError
+
+
+class TestBasics:
+    def test_upgrade_on_path(self):
+        g = path_graph(5)
+        index = build_hcl(g, [0])
+        stats = upgrade_landmark(index, 4)
+        assert index.landmarks == {0, 4}
+        assert index.highway.distance(0, 4) == 4.0
+        assert stats.new_landmark == 4
+        assert_canonical(index)
+
+    def test_highway_filled_without_search(self):
+        """Distances to landmarks not covering r come from composition."""
+        g = path_graph(5)
+        index = build_hcl(g, [0, 2])
+        upgrade_landmark(index, 4)
+        # 0 does not cover 4 (landmark 2 blocks); δ_H(4,0)=δ_H(4,2)+δ_H(2,0)
+        assert index.highway.distance(4, 0) == 4.0
+        assert_canonical(index)
+
+    def test_new_landmark_label_reset(self):
+        g = cycle_graph(6)
+        index = build_hcl(g, [0])
+        upgrade_landmark(index, 3)
+        assert index.labeling.label(3) == {3: 0.0}
+
+    def test_superfluous_entries_removed(self):
+        # Path 0-1-2: promoting 1 makes 0's entry for 2 superfluous.
+        g = path_graph(3)
+        index = build_hcl(g, [2])
+        assert index.labeling.label(0) == {2: 2.0}
+        stats = upgrade_landmark(index, 1)
+        assert index.labeling.label(0) == {1: 1.0}
+        assert stats.entries_removed == 1
+        assert_canonical(index)
+
+    def test_entries_kept_when_tie_survives(self):
+        # Two shortest 3->0 paths; only one passes the new landmark.
+        from repro.graphs import Graph
+
+        g = Graph(4, unweighted=True)
+        g.add_edge(0, 1, 1.0)
+        g.add_edge(0, 2, 1.0)
+        g.add_edge(1, 3, 1.0)
+        g.add_edge(2, 3, 1.0)
+        index = build_hcl(g, [3])
+        upgrade_landmark(index, 1)
+        # 3 still covers 0 through 2.
+        assert index.labeling.label(0) == {1: 1.0, 3: 2.0}
+        assert_canonical(index)
+
+
+class TestErrors:
+    def test_existing_landmark_rejected(self):
+        index = build_hcl(path_graph(3), [1])
+        with pytest.raises(LandmarkError):
+            upgrade_landmark(index, 1)
+
+    def test_out_of_range_rejected(self):
+        index = build_hcl(path_graph(3), [1])
+        with pytest.raises(VertexError):
+            upgrade_landmark(index, 17)
+
+
+class TestStats:
+    def test_counters_plausible(self):
+        g = cycle_graph(10)
+        index = build_hcl(g, [0])
+        stats = upgrade_landmark(index, 5)
+        assert stats.settled == stats.entries_added
+        assert stats.reached_landmarks == 1  # landmark 0, from both sides
+        assert stats.entries_added >= 1
+
+
+class TestCleanupToggle:
+    def test_disabled_cleanup_keeps_cover_but_not_minimality(self):
+        g = path_graph(3)
+        index = build_hcl(g, [2])
+        upgrade_landmark(index, 1, remove_superfluous=False)
+        # Entry (2, 2.0) at vertex 0 is now superfluous but retained.
+        assert index.labeling.label(0) == {2: 2.0, 1: 1.0}
+        # Queries still correct (cover property intact).
+        assert index.distance(0, 2) == 2.0
+
+    def test_enabled_cleanup_restores_minimality(self):
+        g = path_graph(3)
+        index = build_hcl(g, [2])
+        upgrade_landmark(index, 1, remove_superfluous=True)
+        assert_canonical(index)
+
+
+class TestSequences:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_incremental_chain_stays_canonical(self, seed):
+        g = random_graph(seed)
+        index = build_hcl(g, [0])
+        for v in range(1, min(g.n, 8)):
+            upgrade_landmark(index, v)
+            assert_canonical(index)
+
+    def test_promote_every_vertex(self):
+        g = cycle_graph(6)
+        index = build_hcl(g, [0])
+        for v in range(1, 6):
+            upgrade_landmark(index, v)
+        for v in range(6):
+            assert index.labeling.label(v) == {v: 0.0}
+        assert_canonical(index)

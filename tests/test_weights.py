@@ -1,0 +1,45 @@
+"""Tests for weight-assignment helpers."""
+
+import pytest
+
+from repro.graphs import assign_uniform_integer_weights, erdos_renyi, unit_weights
+
+
+class TestAssignWeights:
+    def test_weights_in_range(self):
+        base = erdos_renyi(40, 3.0, seed=0)
+        g = assign_uniform_integer_weights(base, 2, 5, seed=1)
+        assert not g.unweighted
+        for _, _, w in g.edges():
+            assert 2 <= w <= 5
+            assert w == int(w)
+
+    def test_topology_preserved(self):
+        base = erdos_renyi(40, 3.0, seed=0)
+        g = assign_uniform_integer_weights(base, 1, 9, seed=1)
+        assert {(u, v) for u, v, _ in g.edges()} == {
+            (u, v) for u, v, _ in base.edges()
+        }
+
+    def test_deterministic(self):
+        base = erdos_renyi(20, 2.0, seed=0)
+        a = assign_uniform_integer_weights(base, 1, 9, seed=7)
+        b = assign_uniform_integer_weights(base, 1, 9, seed=7)
+        assert a == b
+
+    def test_invalid_range(self):
+        base = erdos_renyi(10, 2.0, seed=0)
+        with pytest.raises(ValueError):
+            assign_uniform_integer_weights(base, 0, 5)
+        with pytest.raises(ValueError):
+            assign_uniform_integer_weights(base, 5, 2)
+
+
+class TestUnitWeights:
+    def test_flattens_to_unweighted(self):
+        base = erdos_renyi(20, 2.0, seed=0)
+        w = assign_uniform_integer_weights(base, 1, 9, seed=1)
+        u = unit_weights(w)
+        assert u.unweighted
+        assert all(weight == 1.0 for _, _, weight in u.edges())
+        assert u.m == w.m

@@ -1,0 +1,165 @@
+"""Tests for dataset stand-ins, update sequences and query workloads."""
+
+import pytest
+
+from repro.core import DynamicHCL
+from repro.errors import DatasetError
+from repro.graphs import single_source_distances
+from repro.workloads import (
+    TABLE1_DATASETS,
+    dataset_names,
+    dataset_spec,
+    decremental_update_sequence,
+    incremental_update_sequence,
+    make_dataset,
+    mixed_update_sequence,
+    random_query_pairs,
+)
+
+
+class TestDatasets:
+    def test_registry_matches_paper_rows(self):
+        assert dataset_names() == [
+            "ERD", "LUX", "CAI", "UK-W", "NW", "NE", "YAH",
+            "ITA", "DEU", "U-BAR", "W-BAR", "USA", "TWI",
+        ]
+
+    def test_registry_complete(self):
+        # 13 rows, exactly as in the paper's Table 1 (whose own ordering is
+        # only *approximately* sorted by |V| — U-BAR/W-BAR precede USA).
+        assert len(TABLE1_DATASETS) == 13
+        assert len({spec.name for spec in TABLE1_DATASETS}) == 13
+
+    @pytest.mark.parametrize("name", ["LUX", "ERD", "YAH", "U-BAR"])
+    def test_build_small_scale(self, name):
+        g = make_dataset(name, scale=0.05, seed=1)
+        spec = dataset_spec(name)
+        assert g.n > 0
+        assert g.unweighted != spec.weighted
+        # connected (the generators guarantee it)
+        assert all(d != float("inf") for d in single_source_distances(g, 0))
+
+    def test_weighted_flag_respected(self):
+        g = make_dataset("NW", scale=0.05)
+        assert not g.unweighted
+        assert any(w != 1.0 for _, _, w in g.edges())
+
+    def test_deterministic(self):
+        a = make_dataset("CAI", scale=0.05, seed=3)
+        b = make_dataset("CAI", scale=0.05, seed=3)
+        assert a == b
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(DatasetError):
+            make_dataset("NOPE")
+        with pytest.raises(DatasetError):
+            dataset_spec("NOPE")
+
+    def test_sparse_flags(self):
+        assert dataset_spec("LUX").sparse
+        assert not dataset_spec("TWI").sparse
+
+
+class TestUpdateSequences:
+    def test_mixed_default_sigma(self):
+        updates = mixed_update_sequence(100, list(range(40)), seed=1)
+        assert len(updates) == 10  # |R| // 4
+        assert sum(u.kind == "add" for u in updates) == 5
+        assert sum(u.kind == "remove" for u in updates) == 5
+
+    def test_mixed_is_feasible_when_replayed(self):
+        from conftest import random_graph
+
+        g = random_graph(8, n_lo=20, n_hi=30)
+        landmarks = list(range(0, g.n, 3))
+        updates = mixed_update_sequence(g.n, landmarks, sigma=8, seed=2)
+        dyn = DynamicHCL.build(g, landmarks)
+        dyn.apply_sequence(updates)  # raises if any update is infeasible
+
+    def test_mixed_deterministic(self):
+        a = mixed_update_sequence(50, list(range(20)), seed=5)
+        b = mixed_update_sequence(50, list(range(20)), seed=5)
+        assert a == b
+
+    def test_sigma_rounded_even(self):
+        updates = mixed_update_sequence(100, list(range(40)), sigma=7, seed=0)
+        assert len(updates) == 6
+
+    def test_infeasible_insertions_rejected(self):
+        with pytest.raises(DatasetError):
+            mixed_update_sequence(5, list(range(4)), sigma=10, seed=0)
+
+    def test_incremental(self):
+        updates = incremental_update_sequence(30, [0, 1], 5, seed=1)
+        assert all(u.kind == "add" for u in updates)
+        assert len(updates) == 5
+        assert all(u.vertex not in (0, 1) for u in updates)
+
+    def test_decremental(self):
+        updates = decremental_update_sequence(30, list(range(10)), 4, seed=1)
+        assert all(u.kind == "remove" for u in updates)
+        assert len({u.vertex for u in updates}) == 4
+
+    def test_decremental_too_many_rejected(self):
+        with pytest.raises(DatasetError):
+            decremental_update_sequence(30, [1, 2], 5, seed=0)
+
+    def test_out_of_range_landmark_rejected(self):
+        with pytest.raises(DatasetError):
+            mixed_update_sequence(5, [9], seed=0)
+
+
+class TestQueryPairs:
+    def test_count_and_distinctness(self):
+        pairs = random_query_pairs(50, 200, seed=1)
+        assert len(pairs) == 200
+        assert all(s != t for s, t in pairs)
+        assert all(0 <= s < 50 and 0 <= t < 50 for s, t in pairs)
+
+    def test_exclusion(self):
+        pairs = random_query_pairs(10, 100, seed=2, exclude=[0, 1, 2])
+        assert all(s > 2 and t > 2 for s, t in pairs)
+
+    def test_deterministic(self):
+        assert random_query_pairs(20, 30, seed=7) == random_query_pairs(20, 30, seed=7)
+
+    def test_too_few_candidates_rejected(self):
+        with pytest.raises(DatasetError):
+            random_query_pairs(3, 5, exclude=[0, 1])
+
+
+class TestZipfQueryPairs:
+    def test_skew_concentrates_mass(self):
+        from collections import Counter
+
+        from repro.workloads import zipf_query_pairs
+
+        pairs = zipf_query_pairs(200, 2000, alpha=1.2, seed=1)
+        counts = Counter(v for p in pairs for v in p)
+        top_share = sum(c for _, c in counts.most_common(10)) / (2 * len(pairs))
+        assert top_share > 0.3  # top 5% of vertices take >30% of traffic
+
+    def test_zero_alpha_is_roughly_uniform(self):
+        from collections import Counter
+
+        from repro.workloads import zipf_query_pairs
+
+        pairs = zipf_query_pairs(50, 3000, alpha=0.0, seed=2)
+        counts = Counter(v for p in pairs for v in p)
+        assert max(counts.values()) < 4 * min(counts.values())
+
+    def test_validation(self):
+        from repro.workloads import zipf_query_pairs
+
+        with pytest.raises(DatasetError):
+            zipf_query_pairs(10, 5, alpha=-1.0)
+        with pytest.raises(DatasetError):
+            zipf_query_pairs(2, 5, exclude=[0])
+
+    def test_no_self_pairs_and_deterministic(self):
+        from repro.workloads import zipf_query_pairs
+
+        a = zipf_query_pairs(30, 200, seed=9)
+        b = zipf_query_pairs(30, 200, seed=9)
+        assert a == b
+        assert all(s != t for s, t in a)
