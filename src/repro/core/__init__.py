@@ -1,8 +1,9 @@
 """HCL core: the paper's contribution plus the static HCL substrate."""
 
 from .batch import BatchResult, batch_reconfigure
+from .batchquery import query_batch
 from .cache import CachedQueryEngine, CacheStats
-from .build import build_hcl
+from .build import build_hcl, build_hcl_parallel
 from .directed import (
     DirectedDynamicHCL,
     DirectedHCLIndex,
@@ -63,6 +64,8 @@ __all__ = [
     "HCLIndex",
     "IndexStats",
     "build_hcl",
+    "build_hcl_parallel",
+    "query_batch",
     "upgrade_landmark",
     "UpgradeStats",
     "downgrade_landmark",

@@ -16,20 +16,32 @@ property Lemmas 3.2/3.3/3.6/3.7 preserve dynamically.
 
 Total cost: ``O(|R| (m + n log n))``, matching the complexity the paper
 states for BUILDHCL.
+
+Because every per-landmark pass reads the graph and writes only its own
+highway row and label entries, the construction is embarrassingly parallel
+(the observation Customizable Hub Labeling exploits for per-hub label
+construction).  :func:`build_hcl_parallel` fans the passes out over a
+``multiprocessing`` pool against one immutable
+:class:`~repro.graphs.csr.CSRGraph` snapshot and merges the partial results
+in a fixed order, so its output is structurally identical to — and
+serializes byte-identically with — the serial :func:`build_hcl`.
 """
 
 from __future__ import annotations
 
+import multiprocessing
+import os
 from typing import Iterable, Sequence
 
 from ..errors import LandmarkError, VertexError
+from ..graphs.csr import CSRGraph
 from ..graphs.graph import Graph
 from ..graphs.traversal import flagged_single_source
 from .highway import Highway
 from .index import HCLIndex
 from .labeling import Labeling
 
-__all__ = ["build_hcl", "validate_landmarks"]
+__all__ = ["build_hcl", "build_hcl_parallel", "validate_landmarks"]
 
 
 def validate_landmarks(graph: Graph, landmarks: Iterable[int]) -> list[int]:
@@ -44,6 +56,38 @@ def validate_landmarks(graph: Graph, landmarks: Iterable[int]) -> list[int]:
         seen.add(r)
         out.append(r)
     return out
+
+
+def _landmark_pass(graph, r, lmk_list, lmk_set):
+    """One pruned-SSSP pass for landmark ``r``.
+
+    Returns ``(hrow, entries)``: the highway distances of ``r`` to every
+    landmark (in ``lmk_list`` order) and the canonical label entries
+    ``(v, d(r, v))`` contributed by ``r``.  Both are flat picklable
+    structures — this is the unit of work the parallel build ships to its
+    pool workers, and the serial build runs the very same function so the
+    two paths cannot drift apart.
+    """
+    dist, clear = flagged_single_source(graph, r, lmk_set - {r})
+    hrow = [dist[r2] for r2 in lmk_list]
+    entries = [
+        (v, dist[v]) for v in range(graph.n) if clear[v] and v not in lmk_set
+    ]
+    return hrow, entries
+
+
+def _merge_pass(highway, labeling, lmk_list, r, hrow, entries) -> None:
+    """Fold one landmark's partial result into the index under construction.
+
+    Each unordered landmark pair ``{a, b}`` is filled exactly once, from the
+    smaller id's pass (``set_distance`` is symmetric), so the merge is
+    independent of which worker computed which pass.
+    """
+    for j, r2 in enumerate(lmk_list):
+        if r2 >= r:
+            highway.set_distance(r, r2, hrow[j])
+    labeling.merge_entries(r, entries)
+    labeling.add_entry(r, r, 0.0)
 
 
 def build_hcl(graph: Graph, landmarks: Sequence[int]) -> HCLIndex:
@@ -81,14 +125,87 @@ def build_hcl(graph: Graph, landmarks: Sequence[int]) -> HCLIndex:
 
     lmk_set = set(lmk_list)
     for r in lmk_list:
-        blocked = lmk_set - {r}
-        dist, clear = flagged_single_source(graph, r, blocked)
-        for r2 in lmk_list:
-            if r2 >= r:  # fill each unordered pair once (set_distance is symmetric)
-                highway.set_distance(r, r2, dist[r2])
-        add_entry = labeling.add_entry
-        for v in range(graph.n):
-            if clear[v] and v not in lmk_set:
-                add_entry(v, r, dist[v])
-        labeling.add_entry(r, r, 0.0)
+        hrow, entries = _landmark_pass(graph, r, lmk_list, lmk_set)
+        _merge_pass(highway, labeling, lmk_list, r, hrow, entries)
+    return HCLIndex(graph, highway, labeling)
+
+
+# ----------------------------------------------------------------------
+# Parallel build
+# ----------------------------------------------------------------------
+# Pool workers inherit the snapshot through the initializer: it is pickled
+# once per worker process, not once per landmark task.
+_POOL_STATE: tuple[CSRGraph, tuple[int, ...], set[int]] | None = None
+
+
+def _init_build_pool(csr: CSRGraph, lmk_list: tuple[int, ...]) -> None:
+    global _POOL_STATE
+    _POOL_STATE = (csr, lmk_list, set(lmk_list))
+
+
+def _pool_landmark_pass(i: int):
+    csr, lmk_list, lmk_set = _POOL_STATE
+    return _landmark_pass(csr, lmk_list[i], lmk_list, lmk_set)
+
+
+def _pool_context():
+    """Prefer ``fork`` (cheap snapshot sharing); fall back to the default."""
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def build_hcl_parallel(
+    graph: Graph,
+    landmarks: Sequence[int],
+    workers: int | None = None,
+) -> HCLIndex:
+    """``BUILDHCL`` with the per-landmark passes fanned out over processes.
+
+    Snapshots ``graph`` once as an immutable picklable
+    :class:`~repro.graphs.csr.CSRGraph`, runs
+    :func:`~repro.graphs.traversal.flagged_single_source` for chunks of
+    landmarks in a ``multiprocessing`` pool, and merges the partial highway
+    rows / label entries in landmark-list order.  The merge order is fixed
+    and every unordered landmark pair is filled from the smaller id's pass,
+    so the result is structurally identical to :func:`build_hcl` — the
+    canonical index is a function of ``(G, R)`` alone — and serializes
+    byte-identically regardless of ``workers``.
+
+    Parameters
+    ----------
+    workers:
+        Pool size; ``None`` uses ``os.cpu_count()``.  ``workers <= 1`` (or
+        fewer than two landmarks) short-circuits to the serial path — the
+        pool fork/pickle overhead only pays off when there are passes to
+        overlap.
+    """
+    lmk_list = validate_landmarks(graph, landmarks)
+    if workers is None:
+        workers = os.cpu_count() or 1
+    if workers <= 1 or len(lmk_list) < 2:
+        return build_hcl(graph, lmk_list)
+
+    csr = CSRGraph(graph)
+    lmk_tuple = tuple(lmk_list)
+    pool_size = min(workers, len(lmk_list))
+    # Deterministic chunked assignment: a few chunks per worker balances
+    # skewed pass times without drowning in task overhead.
+    chunksize = max(1, len(lmk_list) // (pool_size * 4))
+    ctx = _pool_context()
+    with ctx.Pool(
+        pool_size, initializer=_init_build_pool, initargs=(csr, lmk_tuple)
+    ) as pool:
+        partials = pool.map(
+            _pool_landmark_pass, range(len(lmk_list)), chunksize=chunksize
+        )
+
+    highway = Highway()
+    labeling = Labeling(graph.n)
+    for r in lmk_list:
+        highway.add_landmark(r)
+    # ``pool.map`` returns results in task order, so the merge below runs in
+    # landmark-list order no matter how the pool scheduled the passes.
+    for r, (hrow, entries) in zip(lmk_list, partials):
+        _merge_pass(highway, labeling, lmk_list, r, hrow, entries)
     return HCLIndex(graph, highway, labeling)

@@ -94,6 +94,47 @@ class CachedQueryEngine:
         key = (s, t) if s <= t else (t, s)
         return self._lookup(self._distance_cache, key, self.dyn.distance)
 
+    def batch(
+        self, pairs, workers: int | None = None, exact: bool = False
+    ) -> list[float]:
+        """Answer many pairs at once, through the cache.
+
+        Cached pairs are served from the (version-checked) LRU store;
+        the misses go to :func:`repro.core.batchquery.query_batch` in one
+        batched call and are inserted afterwards, so a later per-pair
+        ``query``/``distance`` hits.
+        """
+        from .batchquery import query_batch  # local: avoids an import cycle
+
+        self._check_version()
+        cache = self._distance_cache if exact else self._query_cache
+        pair_list = list(pairs)
+        results: list[float | None] = [None] * len(pair_list)
+        misses: list[tuple[int, int]] = []
+        miss_at: list[int] = []
+        for i, (s, t) in enumerate(pair_list):
+            key = (s, t) if s <= t else (t, s)
+            value = cache.get(key)
+            if value is not None:
+                cache.move_to_end(key)
+                self.stats.hits += 1
+                results[i] = value
+            else:
+                misses.append(key)
+                miss_at.append(i)
+        if misses:
+            computed = query_batch(
+                self.dyn.index, misses, workers=workers, exact=exact
+            )
+            for i, key, value in zip(miss_at, misses, computed):
+                results[i] = value
+                if key not in cache:
+                    self.stats.misses += 1
+                cache[key] = value
+                if len(cache) > self.capacity:
+                    cache.popitem(last=False)
+        return results
+
     # Update operations pass straight through; the version bump does the rest.
     def add_landmark(self, v: int):
         """Promote ``v``; cached answers are invalidated lazily."""

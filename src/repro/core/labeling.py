@@ -9,7 +9,9 @@ per vertex, matching the ``|L(v)| <= |R|`` assumption of Theorem 3.4.
 
 from __future__ import annotations
 
-from ..errors import VertexError
+from typing import Iterable
+
+from ..errors import LandmarkError, VertexError
 
 __all__ = ["Labeling"]
 
@@ -53,6 +55,63 @@ class Labeling:
     def clear_vertex(self, v: int) -> None:
         """Remove every entry of ``L(v)`` (paper: ``L(v) <- ∅``)."""
         self._labels[v].clear()
+
+    def merge_entries(
+        self, r: int, entries: Iterable[tuple[int, float]]
+    ) -> int:
+        """Bulk-insert the entries ``(v, d)`` of landmark ``r``.
+
+        This is the merge primitive of the parallel build: each worker
+        returns one landmark's entry list and the coordinator folds them in.
+        A conflicting pre-existing entry (same ``(v, r)`` key, different
+        distance) raises :class:`~repro.errors.LandmarkError` — partial
+        labelings produced from the same snapshot are disjoint per landmark,
+        so a conflict always means a merge-ordering bug.  Returns the number
+        of entries inserted.
+        """
+        labels = self._labels
+        count = 0
+        for v, d in entries:
+            if not 0 <= v < len(labels):
+                raise VertexError(f"vertex {v} out of range [0, {len(labels)})")
+            old = labels[v].get(r)
+            if old is not None and old != d:
+                raise LandmarkError(
+                    f"conflicting entries for ({v}, {r}): {old} vs {d}"
+                )
+            labels[v][r] = d
+            count += 1
+        return count
+
+    def merge(self, other: "Labeling") -> int:
+        """Union another (vertex-aligned) partial labeling into this one.
+
+        Raises on vertex-count mismatch or conflicting entries, mirroring
+        :meth:`merge_entries`.  Returns the number of entries merged.
+        """
+        if other.n != self.n:
+            raise VertexError(
+                f"cannot merge labeling over {other.n} vertices into {self.n}"
+            )
+        count = 0
+        for v, label in enumerate(other._labels):
+            if label:
+                count += self.merge_entries_for_vertex(v, label)
+        return count
+
+    def merge_entries_for_vertex(
+        self, v: int, entries: dict[int, float]
+    ) -> int:
+        """Merge a ``landmark -> distance`` mapping into ``L(v)``."""
+        label = self._labels[v]
+        for r, d in entries.items():
+            old = label.get(r)
+            if old is not None and old != d:
+                raise LandmarkError(
+                    f"conflicting entries for ({v}, {r}): {old} vs {d}"
+                )
+        label.update(entries)
+        return len(entries)
 
     def entry(self, v: int, r: int) -> float | None:
         """Distance of entry ``(r, ·) ∈ L(v)``, or ``None`` if absent."""

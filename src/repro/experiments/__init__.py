@@ -10,7 +10,14 @@ from .extensions import run_extension_directed, run_extension_fullydynamic
 from .export import g1_rows, g2_rows, write_csv, write_json
 from .figure1 import run_figure1
 from .figure2 import run_figure2
-from .harness import G1Result, G2Result, run_g1, run_g2
+from .harness import (
+    G1Result,
+    G2Result,
+    ParallelResult,
+    run_g1,
+    run_g2,
+    run_parallel,
+)
 from .reporting import fmt_amortized, fmt_seconds, fmt_speedup, render_table
 from .table1 import run_table1
 from .table2 import run_table2
@@ -30,8 +37,10 @@ __all__ = [
     "run_ablation_selection",
     "run_g1",
     "run_g2",
+    "run_parallel",
     "G1Result",
     "G2Result",
+    "ParallelResult",
     "render_table",
     "fmt_seconds",
     "fmt_speedup",

@@ -14,18 +14,27 @@ Results are returned as plain dataclasses the table runners format.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass
 
 from ..baselines.ch.gsp import CHGSP
-from ..core.build import build_hcl
+from ..core.batchquery import query_batch
+from ..core.build import build_hcl, build_hcl_parallel
 from ..core.dynhcl import DynamicHCL
 from ..core.selection import select_landmarks
 from ..graphs.graph import Graph
-from ..workloads.queries import random_query_pairs
+from ..workloads.queries import random_query_pairs, zipf_query_pairs
 from ..workloads.updates import mixed_update_sequence
 
-__all__ = ["G1Result", "G2Result", "run_g1", "run_g2"]
+__all__ = [
+    "G1Result",
+    "G2Result",
+    "ParallelResult",
+    "run_g1",
+    "run_g2",
+    "run_parallel",
+]
 
 
 def _timed(fn, *args, **kwargs):
@@ -98,6 +107,92 @@ def run_g1(
         t_fdyn=log.mean_seconds,
         label_entries_dyn=dyn.index.labeling.total_entries(),
         label_entries_rebuilt=rebuilt.labeling.total_entries(),
+    )
+
+
+@dataclass(frozen=True)
+class ParallelResult:
+    """Serial-vs-parallel build plus per-pair-vs-batch query timings."""
+
+    dataset: str
+    landmarks: int
+    workers: int
+    queries: int
+    t_build_serial: float
+    t_build_parallel: float
+    t_query_serial: float  # per-pair ``index.query`` loop
+    t_query_batch: float  # one ``query_batch`` call over the same pairs
+
+    @property
+    def build_speedup(self) -> float:
+        """``T_BUILD / T_BUILD_PAR`` (< 1 on an oversubscribed machine)."""
+        if self.t_build_parallel <= 0:
+            return float("inf")
+        return self.t_build_serial / self.t_build_parallel
+
+    @property
+    def batch_speedup(self) -> float:
+        """Batch-serving throughput gain over the serial per-pair loop."""
+        if self.t_query_batch <= 0:
+            return float("inf")
+        return self.t_query_serial / self.t_query_batch
+
+    @property
+    def batch_throughput(self) -> float:
+        """Batched queries answered per second."""
+        if self.t_query_batch <= 0:
+            return float("inf")
+        return self.queries / self.t_query_batch
+
+
+def run_parallel(
+    graph: Graph,
+    dataset: str,
+    landmark_count: int,
+    workers: int = 4,
+    queries: int = 2000,
+    seed: int = 0,
+    policy: str = "auto",
+    zipf_alpha: float = 1.0,
+) -> ParallelResult:
+    """Measure the multi-core build and the batched query path.
+
+    Builds the index serially and with :func:`build_hcl_parallel` (verifying
+    the two agree structurally — the determinism guarantee the parallel
+    merge makes), then serves a Zipf-skewed workload (real query logs are
+    not uniform) both as a per-pair ``index.query`` loop and as one
+    :func:`query_batch` call.
+    """
+    landmarks = select_landmarks(graph, landmark_count, policy=policy, seed=seed)
+    index, t_serial = _timed(build_hcl, graph, landmarks)
+    par_index, t_parallel = _timed(
+        build_hcl_parallel, graph, landmarks, workers
+    )
+    if not index.structurally_equal(par_index):
+        raise AssertionError("parallel build diverged from the serial index")
+
+    pairs = zipf_query_pairs(graph.n, queries, alpha=zipf_alpha, seed=seed + 2)
+    query = index.query
+    start = time.perf_counter()
+    serial_answers = [query(s, t) for s, t in pairs]
+    t_query_serial = time.perf_counter() - start
+    # Never oversubscribe the machine for serving: on a box with fewer
+    # cores than ``workers`` the shared-state serial batch path wins.
+    batch_answers, t_query_batch = _timed(
+        query_batch, index, pairs, min(workers, os.cpu_count() or 1)
+    )
+    if batch_answers != serial_answers:
+        raise AssertionError("query_batch diverged from the per-pair loop")
+
+    return ParallelResult(
+        dataset=dataset,
+        landmarks=landmark_count,
+        workers=workers,
+        queries=queries,
+        t_build_serial=t_serial,
+        t_build_parallel=t_parallel,
+        t_query_serial=t_query_serial,
+        t_query_batch=t_query_batch,
     )
 
 

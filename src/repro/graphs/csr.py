@@ -41,9 +41,17 @@ class CSRGraph:
         self.n = graph.n
         self.m = graph.m
         self.unweighted = graph.unweighted
-        offsets = array("l", [0]) if self.n >= 0 else array("l")
+        # Every snapshot — the empty graph included — carries the leading
+        # sentinel offset, so the slice arithmetic in ``neighbors`` stays
+        # total: ``offsets`` always has exactly ``n + 1`` cells.
+        offsets = array("l", [0])
         targets = array("l")
         weights = array("d")
+        if graph.n == 0:
+            self._offsets = offsets
+            self._targets = targets
+            self._weights = weights
+            return
         total = 0
         for v in graph.vertices():
             adj = graph.neighbors(v)
@@ -55,6 +63,57 @@ class CSRGraph:
         self._offsets = offsets
         self._targets = targets
         self._weights = weights
+
+    @classmethod
+    def from_arrays(
+        cls,
+        n: int,
+        m: int,
+        unweighted: bool,
+        offsets: array,
+        targets: array,
+        weights: array,
+    ) -> "CSRGraph":
+        """Rebuild a snapshot directly from its flat arrays.
+
+        This is the constructor multiprocessing workers use: a snapshot is
+        decomposed into picklable arrays once, shipped to each worker, and
+        reassembled here without re-walking an adjacency-list graph.
+        """
+        if n < 0:
+            raise GraphError(f"number of vertices must be >= 0, got {n}")
+        if len(offsets) != n + 1 or offsets[0] != 0:
+            raise GraphError(
+                f"offsets must hold n + 1 = {n + 1} cells starting at 0"
+            )
+        if len(targets) != offsets[-1] or len(weights) != offsets[-1]:
+            raise GraphError(
+                f"targets/weights must hold offsets[-1] = {offsets[-1]} cells"
+            )
+        csr = cls.__new__(cls)
+        csr.n = n
+        csr.m = m
+        csr.unweighted = unweighted
+        csr._offsets = offsets
+        csr._targets = targets
+        csr._weights = weights
+        return csr
+
+    def __reduce__(self):
+        # ``__slots__`` without ``__dict__`` needs explicit pickle support;
+        # round-tripping through ``from_arrays`` keeps workers honest about
+        # the invariants they receive.
+        return (
+            CSRGraph.from_arrays,
+            (
+                self.n,
+                self.m,
+                self.unweighted,
+                self._offsets,
+                self._targets,
+                self._weights,
+            ),
+        )
 
     def neighbors(self, u: int) -> list[tuple[int, float]]:
         """The ``(neighbor, weight)`` pairs of ``u`` (materialized)."""

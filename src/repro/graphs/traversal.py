@@ -33,6 +33,7 @@ __all__ = [
     "flagged_single_source",
     "single_source_with_parents",
     "bounded_bidirectional_distance",
+    "bounded_bidirectional_distance_masked",
     "distance_between",
 ]
 
@@ -192,11 +193,29 @@ def bounded_bidirectional_distance(
     ``G`` induced by ``V \\ R``" that turns the HCL landmark-constrained
     upper bound into an exact distance (paper §2).
     """
-    if s == t:
-        return 0.0
     excluded_mask = [False] * g.n
     for x in excluded:
         excluded_mask[x] = True
+    return bounded_bidirectional_distance_masked(
+        g, s, t, upper_bound, excluded_mask
+    )
+
+
+def bounded_bidirectional_distance_masked(
+    g: Graph,
+    s: int,
+    t: int,
+    upper_bound: float,
+    excluded_mask: Sequence[bool],
+) -> float:
+    """:func:`bounded_bidirectional_distance` with a prebuilt exclusion mask.
+
+    Building the O(n) mask dominates small bounded searches, so batch query
+    serving constructs it once per landmark-set version and reuses it for
+    every pair in the batch.
+    """
+    if s == t:
+        return 0.0
     if excluded_mask[s] or excluded_mask[t]:
         # Endpoints inside the excluded set have no path in the induced
         # subgraph; the landmark-constrained bound is already exact.

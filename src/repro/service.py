@@ -13,6 +13,7 @@ the test suite.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass
 from pathlib import Path
@@ -28,6 +29,7 @@ __all__ = [
     "HCLService",
     "DistanceRequest",
     "ConstrainedDistanceRequest",
+    "BatchQueryRequest",
     "AddLandmarkRequest",
     "RemoveLandmarkRequest",
     "AuditRecord",
@@ -51,6 +53,23 @@ class ConstrainedDistanceRequest:
 
 
 @dataclass(frozen=True)
+class BatchQueryRequest:
+    """Bulk query: many ``(s, t)`` pairs served as one batch.
+
+    ``exact=False`` answers the landmark-constrained ``QUERY`` per pair,
+    ``exact=True`` the exact distance — matching what a sequence of
+    :class:`ConstrainedDistanceRequest` / :class:`DistanceRequest`
+    submissions would return, pair for pair.  ``workers`` bounds the
+    process pool used for large batches; it is clamped to the machine's
+    core count so an over-asked deployment never oversubscribes.
+    """
+
+    pairs: tuple[tuple[int, int], ...]
+    exact: bool = False
+    workers: int | None = None
+
+
+@dataclass(frozen=True)
 class AddLandmarkRequest:
     """Promote a vertex (``UPGRADE-LMK``)."""
 
@@ -67,6 +86,7 @@ class RemoveLandmarkRequest:
 Request = Union[
     DistanceRequest,
     ConstrainedDistanceRequest,
+    BatchQueryRequest,
     AddLandmarkRequest,
     RemoveLandmarkRequest,
 ]
@@ -143,6 +163,14 @@ class HCLService:
             elif isinstance(request, ConstrainedDistanceRequest):
                 result = self._engine.query(request.s, request.t)
                 self.stats.queries += 1
+            elif isinstance(request, BatchQueryRequest):
+                workers = request.workers
+                if workers is not None:
+                    workers = min(workers, os.cpu_count() or 1)
+                result = self._engine.batch(
+                    request.pairs, workers=workers, exact=request.exact
+                )
+                self.stats.queries += len(request.pairs)
             elif isinstance(request, AddLandmarkRequest):
                 result = self._engine.add_landmark(request.vertex)
                 self.stats.mutations += 1
@@ -170,6 +198,26 @@ class HCLService:
         for request in requests:
             self.submit(request)
         return self.audit[before:]
+
+    def query_batch(
+        self,
+        pairs,
+        workers: int | None = None,
+        exact: bool = False,
+    ) -> list[float]:
+        """Serve many queries as one audited batch.
+
+        Equivalent to submitting one :class:`ConstrainedDistanceRequest`
+        (or :class:`DistanceRequest` when ``exact``) per pair — same
+        answers, same cache — but the distinct pairs are solved together
+        over one graph snapshot with shared per-endpoint state, and large
+        batches may fan out over ``workers`` processes (clamped to the
+        available cores; small batches stay serial).  Returns one value per
+        pair in input order.
+        """
+        return self.submit(
+            BatchQueryRequest(tuple(pairs), exact=exact, workers=workers)
+        )
 
     # ------------------------------------------------------------------
     # Checkpointing

@@ -1,0 +1,176 @@
+"""Differential tests for batched query serving.
+
+``query_batch`` must agree *exactly* — infinities included — with a
+per-pair ``index.query`` / ``index.distance`` loop on seeded random
+workloads from :mod:`repro.workloads`, through every execution path:
+the plain double loop, the shared landmark rows, the deduplicated fan-out,
+the multiprocessing pool, and the service/cache layers on top.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from conftest import path_graph, random_graph
+from repro.core import DynamicHCL, build_hcl, query_batch
+from repro.core.cache import CachedQueryEngine
+from repro.errors import VertexError
+from repro.graphs import Graph
+from repro.service import BatchQueryRequest, HCLService
+from repro.workloads import random_query_pairs, zipf_query_pairs
+
+INF = math.inf
+
+
+def indexed_instance(seed: int, k: int | None = None):
+    import random
+
+    g = random_graph(seed, n_lo=12, n_hi=30)
+    rng = random.Random(seed + 1000)
+    if k is None:
+        k = rng.randint(1, max(1, g.n // 3))
+    landmarks = sorted(rng.sample(range(g.n), k))
+    return g, build_hcl(g, landmarks)
+
+
+def split_instance():
+    """Two components with landmarks only in the first: ∞ answers abound."""
+    g = Graph(10, unweighted=True)
+    for u, v in [(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)]:
+        g.add_edge(u, v, 1.0)
+    for u, v in [(5, 6), (6, 7), (7, 8), (8, 9)]:
+        g.add_edge(u, v, 1.0)
+    return g, build_hcl(g, [1, 3])
+
+
+class TestQueryBatchDifferential:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_uniform_workload(self, seed):
+        g, index = indexed_instance(seed)
+        pairs = random_query_pairs(g.n, 120, seed=seed)
+        assert query_batch(index, pairs) == [index.query(s, t) for s, t in pairs]
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_zipf_workload_hits_row_path(self, seed):
+        g, index = indexed_instance(seed)
+        # Heavy skew on a small vertex pool forces endpoint multiplicities
+        # past the row threshold, covering the shared-row fast path.
+        pairs = zipf_query_pairs(g.n, 300, alpha=1.4, seed=seed)
+        assert query_batch(index, pairs) == [index.query(s, t) for s, t in pairs]
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_exact_distances(self, seed):
+        g, index = indexed_instance(seed)
+        pairs = random_query_pairs(g.n, 80, seed=seed) + [(2, 2), (5, 5)]
+        assert query_batch(index, pairs, exact=True) == [
+            index.distance(s, t) for s, t in pairs
+        ]
+
+    def test_unreachable_pairs_stay_infinite(self):
+        g, index = split_instance()
+        pairs = [(0, 7), (5, 9), (2, 6), (5, 9), (9, 5), (1, 4)]
+        got = query_batch(index, pairs)
+        want = [index.query(s, t) for s, t in pairs]
+        assert got == want
+        assert got[0] == INF and got[1] == INF  # ∞ survives batching
+        exact = query_batch(index, pairs, exact=True)
+        assert exact == [index.distance(s, t) for s, t in pairs]
+        assert exact[0] == INF  # cross-component: unreachable even exactly
+        assert exact[1] == 4.0  # within the landmark-free component
+
+    def test_landmark_endpoints(self):
+        g, index = indexed_instance(2, k=3)
+        lmks = sorted(index.landmarks)
+        pairs = [(lmks[0], lmks[1]), (lmks[0], 0), (0, lmks[2]), (lmks[1], lmks[1])]
+        assert query_batch(index, pairs) == [index.query(s, t) for s, t in pairs]
+        assert query_batch(index, pairs, exact=True) == [
+            index.distance(s, t) for s, t in pairs
+        ]
+
+    def test_empty_and_invalid_input(self):
+        g, index = indexed_instance(0)
+        assert query_batch(index, []) == []
+        with pytest.raises(VertexError):
+            query_batch(index, [(0, g.n)])
+
+    def test_no_landmarks_all_infinite(self):
+        g = path_graph(4)
+        index = build_hcl(g, [])
+        assert query_batch(index, [(0, 3), (1, 2)]) == [INF, INF]
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_multiprocessing_path(self, workers):
+        g, index = indexed_instance(3)
+        pairs = random_query_pairs(g.n, 150, seed=7)
+        got = query_batch(index, pairs, workers=workers, min_parallel=1)
+        assert got == [index.query(s, t) for s, t in pairs]
+
+    @pytest.mark.slow
+    def test_multiprocessing_exact_path(self):
+        g, index = indexed_instance(4)
+        pairs = random_query_pairs(g.n, 200, seed=8)
+        got = query_batch(index, pairs, workers=2, exact=True, min_parallel=1)
+        assert got == [index.distance(s, t) for s, t in pairs]
+
+
+class TestServiceBatch:
+    def make_service(self, seed: int = 1):
+        import random
+
+        g = random_graph(seed, n_lo=12, n_hi=24)
+        rng = random.Random(seed)
+        landmarks = sorted(rng.sample(range(g.n), 3))
+        return g, HCLService.build(g, landmarks)
+
+    def test_matches_per_pair_submissions(self):
+        g, svc = self.make_service()
+        pairs = random_query_pairs(g.n, 60, seed=2)
+        batched = svc.query_batch(pairs)
+        reference = HCLService.build(g, sorted(svc.landmarks))
+        from repro.service import ConstrainedDistanceRequest
+
+        assert batched == [
+            reference.submit(ConstrainedDistanceRequest(s, t)) for s, t in pairs
+        ]
+        assert svc.stats.queries == len(pairs)
+        assert isinstance(svc.audit[-1].request, BatchQueryRequest)
+
+    def test_batch_populates_the_query_cache(self):
+        g, svc = self.make_service(3)
+        pairs = random_query_pairs(g.n, 40, seed=4)
+        svc.query_batch(pairs)
+        misses_after_batch = svc.cache_stats.misses
+        # Replaying the same batch is pure cache hits …
+        svc.query_batch(pairs)
+        assert svc.cache_stats.misses == misses_after_batch
+        assert svc.cache_stats.hits >= len(pairs)
+        # … and a per-pair submit also hits.
+        from repro.service import ConstrainedDistanceRequest
+
+        s, t = pairs[0]
+        svc.submit(ConstrainedDistanceRequest(s, t))
+        assert svc.cache_stats.misses == misses_after_batch
+
+    def test_mutation_invalidates_batch_answers(self):
+        g, svc = self.make_service(5)
+        pairs = random_query_pairs(g.n, 30, seed=6)
+        before = svc.query_batch(pairs)
+        from repro.service import AddLandmarkRequest
+
+        new_lmk = next(v for v in range(g.n) if v not in svc.landmarks)
+        svc.submit(AddLandmarkRequest(new_lmk))
+        after = svc.query_batch(pairs)
+        fresh = DynamicHCL.build(g, sorted(svc.landmarks))
+        assert after == [fresh.query(s, t) for s, t in pairs]
+        # adding a landmark can only improve constrained distances
+        assert all(a <= b for a, b in zip(after, before))
+
+    def test_exact_batch_through_service(self):
+        g, svc = self.make_service(7)
+        pairs = random_query_pairs(g.n, 30, seed=8)
+        engine = CachedQueryEngine(DynamicHCL.build(g, sorted(svc.landmarks)))
+        assert svc.query_batch(pairs, exact=True) == [
+            engine.distance(s, t) for s, t in pairs
+        ]

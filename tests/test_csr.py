@@ -69,3 +69,64 @@ class TestBuildOnCSR:
         via_csr = build_hcl(CSRGraph(g), landmarks)
         assert via_csr.highway == via_adjacency.highway
         assert via_csr.labeling == via_adjacency.labeling
+
+
+class TestEmptyGraphGuard:
+    """Regression: the empty graph keeps its sentinel offset (the old
+    ``if self.n >= 0`` guard was dead code — always true)."""
+
+    def test_empty_graph_arrays(self):
+        from repro.graphs import Graph
+
+        csr = CSRGraph(Graph(0))
+        assert csr.n == 0 and csr.m == 0
+        assert csr.memory_cells() == 1  # exactly the [0] sentinel offset
+        assert list(csr.vertices()) == []
+        assert csr.average_degree == 0.0
+
+    def test_empty_graph_round_trips_through_pickle(self):
+        import pickle
+
+        from repro.graphs import Graph
+
+        csr = pickle.loads(pickle.dumps(CSRGraph(Graph(0))))
+        assert csr.n == 0
+        assert csr.memory_cells() == 1
+
+
+class TestFromArraysAndPickle:
+    """The picklable-snapshot surface the parallel build ships to workers."""
+
+    def test_from_arrays_round_trip(self):
+        g = random_graph(5)
+        csr = CSRGraph(g)
+        rebuilt = CSRGraph.from_arrays(
+            csr.n, csr.m, csr.unweighted,
+            csr._offsets, csr._targets, csr._weights,
+        )
+        assert rebuilt.n == csr.n and rebuilt.m == csr.m
+        for v in csr.vertices():
+            assert rebuilt.neighbors(v) == csr.neighbors(v)
+
+    def test_from_arrays_validates_shapes(self):
+        from array import array
+
+        with pytest.raises(GraphError):
+            CSRGraph.from_arrays(-1, 0, True, array("l", [0]), array("l"), array("d"))
+        with pytest.raises(GraphError):  # offsets must span n + 1 cells
+            CSRGraph.from_arrays(2, 0, True, array("l", [0]), array("l"), array("d"))
+        with pytest.raises(GraphError):  # targets must match offsets[-1]
+            CSRGraph.from_arrays(
+                1, 1, True, array("l", [0, 2]), array("l", [0]), array("d", [1.0])
+            )
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_pickle_preserves_structure_and_searches(self, seed):
+        import pickle
+
+        g = random_graph(seed)
+        csr = CSRGraph(g)
+        clone = pickle.loads(pickle.dumps(csr))
+        assert clone.unweighted == csr.unweighted
+        assert clone.memory_cells() == csr.memory_cells()
+        assert csr_dijkstra(clone, 0) == csr_dijkstra(csr, 0)

@@ -1,0 +1,200 @@
+"""Differential harness for the process-parallel ``BUILDHCL``.
+
+Parallel merge order is the classic source of silent canonicality bugs, so
+the parallel builder is locked to the serial one three ways:
+
+* structural equality (``assert_canonical`` level) between ``build_hcl``
+  and ``build_hcl_parallel`` over seeded random graphs — weighted and
+  unweighted — for workers in {1, 2, 4};
+* the same over degenerate inputs: 0-2 landmarks, disconnected graphs,
+  single-vertex and empty graphs;
+* byte-identical ``serialization`` output across worker counts, which pins
+  down the merge ordering exactly (see ``test_serialization_determinism``).
+
+The exhaustive sweeps are marked ``slow`` (run them with ``pytest -m
+slow``); a representative subset stays in the default tier-1 lane.
+"""
+
+from __future__ import annotations
+
+import io
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from conftest import path_graph, random_graph
+from strategies import graph_with_landmarks
+from repro.core import assert_canonical, build_hcl, build_hcl_parallel
+from repro.core.serialization import save_index_binary, save_index_json
+from repro.errors import LandmarkError, VertexError
+from repro.graphs import Graph, erdos_renyi
+
+
+def seeded_landmarks(graph: Graph, seed: int, k: int | None = None) -> list[int]:
+    """A deterministic landmark sample for a differential run."""
+    rng = random.Random(seed)
+    if k is None:
+        k = rng.randint(0, max(1, graph.n // 3))
+    k = min(k, graph.n)
+    return sorted(rng.sample(range(graph.n), k))
+
+
+def binary_bytes(index) -> bytes:
+    buf = io.BytesIO()
+    save_index_binary(index, buf)
+    return buf.getvalue()
+
+
+def disconnected_graph(weighted: bool) -> Graph:
+    """Two components, so highway cells and labels must carry ``inf``."""
+    g = Graph(9, unweighted=not weighted)
+    w = 2.0 if weighted else 1.0
+    for u, v in [(0, 1), (1, 2), (2, 3), (3, 0)]:
+        g.add_edge(u, v, w)
+    for u, v in [(4, 5), (5, 6), (6, 7), (7, 8)]:
+        g.add_edge(u, v, 1.0)
+    return g
+
+
+class TestDifferential:
+    """``build_hcl_parallel`` == ``build_hcl``, canonically."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_graphs_two_workers(self, seed):
+        g = random_graph(seed)
+        landmarks = seeded_landmarks(g, seed + 100)
+        serial = build_hcl(g, landmarks)
+        parallel = build_hcl_parallel(g, landmarks, workers=2)
+        assert parallel.structurally_equal(serial)
+        assert_canonical(parallel)
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    @pytest.mark.parametrize("weighted", [False, True], ids=["bfs", "dijkstra"])
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_graph_sweep(self, seed, weighted, workers):
+        g = random_graph(seed, weighted=weighted)
+        landmarks = seeded_landmarks(g, seed + 200)
+        serial = build_hcl(g, landmarks)
+        parallel = build_hcl_parallel(g, landmarks, workers=workers)
+        assert parallel.structurally_equal(serial)
+        assert_canonical(parallel)
+
+    @pytest.mark.slow
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(case=graph_with_landmarks())
+    def test_structured_graphs(self, case):
+        g, landmarks = case
+        serial = build_hcl(g, landmarks)
+        parallel = build_hcl_parallel(g, landmarks, workers=2)
+        assert parallel.structurally_equal(serial)
+
+
+class TestDegenerateInputs:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_no_landmarks(self, workers):
+        g = path_graph(5)
+        parallel = build_hcl_parallel(g, [], workers=workers)
+        assert parallel.structurally_equal(build_hcl(g, []))
+        assert parallel.labeling.total_entries() == 0
+
+    @pytest.mark.parametrize("k", [1, 2])
+    def test_tiny_landmark_sets(self, k):
+        g = path_graph(6, weights=[1.0, 4.0, 2.0, 1.0, 3.0])
+        landmarks = seeded_landmarks(g, 17, k=k)
+        parallel = build_hcl_parallel(g, landmarks, workers=2)
+        assert parallel.structurally_equal(build_hcl(g, landmarks))
+
+    @pytest.mark.parametrize("weighted", [False, True])
+    def test_disconnected_graph(self, weighted):
+        g = disconnected_graph(weighted)
+        landmarks = [0, 2, 5]  # landmarks straddle the two components
+        serial = build_hcl(g, landmarks)
+        parallel = build_hcl_parallel(g, landmarks, workers=2)
+        assert parallel.structurally_equal(serial)
+        assert parallel.highway.distance(0, 5) == float("inf")
+
+    def test_single_vertex_graph(self):
+        g = Graph(1)
+        for landmarks in ([], [0]):
+            parallel = build_hcl_parallel(g, landmarks, workers=2)
+            assert parallel.structurally_equal(build_hcl(g, landmarks))
+
+    def test_empty_graph(self):
+        g = Graph(0)
+        parallel = build_hcl_parallel(g, [], workers=4)
+        assert parallel.structurally_equal(build_hcl(g, []))
+
+    def test_validation_errors_raised_before_forking(self):
+        g = path_graph(4)
+        with pytest.raises(VertexError):
+            build_hcl_parallel(g, [7], workers=2)
+        with pytest.raises(LandmarkError):
+            build_hcl_parallel(g, [1, 1], workers=2)
+
+
+class TestDeterminism:
+    """Satellite: byte-identical serialization across worker counts."""
+
+    def test_serialization_determinism(self):
+        g = random_graph(11, weighted=True)
+        landmarks = seeded_landmarks(g, 42, k=max(2, g.n // 4))
+        blobs = {
+            workers: binary_bytes(build_hcl_parallel(g, landmarks, workers))
+            for workers in (1, 2, 4)
+        }
+        assert blobs[1] == blobs[2] == blobs[4]
+        assert blobs[1] == binary_bytes(build_hcl(g, landmarks))
+
+    def test_json_determinism(self):
+        g = random_graph(12, weighted=False)
+        landmarks = seeded_landmarks(g, 43, k=3)
+        texts = []
+        for workers in (1, 4):
+            buf = io.StringIO()
+            save_index_json(build_hcl_parallel(g, landmarks, workers), buf)
+            texts.append(buf.getvalue())
+        assert texts[0] == texts[1]
+
+    @pytest.mark.slow
+    def test_repeated_runs_are_stable(self):
+        g = erdos_renyi(60, 3.0, seed=9)
+        landmarks = seeded_landmarks(g, 44, k=10)
+        first = binary_bytes(build_hcl_parallel(g, landmarks, workers=4))
+        second = binary_bytes(build_hcl_parallel(g, landmarks, workers=4))
+        assert first == second
+
+
+class TestMergePrimitives:
+    """The labeling merge layer the parallel build relies on."""
+
+    def test_merge_entries_conflict_detection(self):
+        from repro.core import Labeling
+
+        lab = Labeling(4)
+        assert lab.merge_entries(1, [(0, 2.0), (2, 1.0)]) == 2
+        # identical re-merge is idempotent …
+        lab.merge_entries(1, [(0, 2.0)])
+        # … but a different distance for the same (v, r) is a merge bug
+        with pytest.raises(LandmarkError):
+            lab.merge_entries(1, [(0, 3.0)])
+        with pytest.raises(VertexError):
+            lab.merge_entries(1, [(9, 1.0)])
+
+    def test_merge_whole_labelings(self):
+        from repro.core import Labeling
+
+        a, b = Labeling(3), Labeling(3)
+        a.add_entry(0, 1, 2.0)
+        b.add_entry(2, 0, 1.5)
+        b.add_entry(0, 2, 4.0)
+        assert a.merge(b) == 2
+        assert a.label(0) == {1: 2.0, 2: 4.0}
+        assert a.label(2) == {0: 1.5}
+        with pytest.raises(VertexError):
+            a.merge(Labeling(5))
