@@ -6,7 +6,11 @@ right shape for online single queries, but bulk traffic (the paper issues
 labeling indexes generally) leaves three kinds of shared work on the table:
 
 * **Deduplication** — real workloads are skewed; the batch answers each
-  distinct unordered pair once and fans the value back out.
+  distinct pair once and fans the value back out.  Reversed duplicates
+  share the cached per-endpoint rows but keep their own orientation:
+  ``QUERY``'s float association follows argument order when the endpoint
+  labels tie in size, so collapsing ``(t, s)`` onto ``(s, t)`` could drift
+  from the per-pair loop by one ulp on float-weighted graphs.
 * **Per-endpoint landmark rows** — ``QUERY(s, t)`` is a double loop over
   ``L(s) × L(t)``.  For an endpoint ``v`` that recurs across the batch, the
   inner minimum ``g_v[r] = min_{(r_i, d_i) ∈ L(v)} d_i + δ_H(r_i, r)`` is
@@ -90,7 +94,7 @@ class _BatchSolver:
             for r in self._landmarks:
                 best = INF
                 for ri, di in label.items():
-                    d = di + hrow(ri)[r]
+                    d = di + hrow(ri).get(r, INF)
                     if d < best:
                         best = d
                 row[r] = best
@@ -111,39 +115,41 @@ class _BatchSolver:
     def constrained(self, s: int, t: int) -> float:
         """``QUERY(s, t)`` — bitwise equal to :meth:`HCLIndex.query`.
 
-        The row path computes ``min_j (min_i (d_i + δ)) + d_j``; float
-        addition is monotone, so this equals the serial double-loop minimum
-        ``min_{i,j} (d_i + δ) + d_j`` exactly, association included.
+        The serial routine scans the *smaller* label in its outer loop
+        (ties keep the first argument), associating every candidate as
+        ``(d_i + δ) + d_j`` with ``d_i`` drawn from that outer label.  The
+        memoized row collapses the outer loop, so it is only valid for the
+        endpoint the serial path would scan first; it is built and used
+        exclusively for that endpoint (falling back to the double loop
+        otherwise), keeping the association identical whichever endpoint
+        is hot.  Within that constraint the row path is exact: float
+        addition is monotone, so ``min_j (min_i (d_i + δ)) + d_j`` equals
+        the double-loop minimum ``min_{i,j} (d_i + δ) + d_j`` bitwise.
         """
         ls = self._labeling.label(s)
         lt = self._labeling.label(t)
         if not ls or not lt:
             return INF
-        threshold = self._row_threshold
-        freq = self._freq
-        if freq.get(s, 0) >= threshold or s in self._rows:
-            g = self._row(s)
-            other = lt
-        elif freq.get(t, 0) >= threshold or t in self._rows:
-            g = self._row(t)
-            other = ls
+        if len(ls) > len(lt):
+            outer_v, outer, inner = t, lt, ls
         else:
-            if len(ls) > len(lt):
-                ls, lt = lt, ls
-            row = self._highway.row
+            outer_v, outer, inner = s, ls, lt
+        if outer_v in self._rows or self._freq.get(outer_v, 0) >= self._row_threshold:
+            g = self._row(outer_v)
             best = INF
-            for ri, di in ls.items():
-                hrow = row(ri)
-                for rj, dj in lt.items():
-                    d = di + hrow.get(rj, INF) + dj
-                    if d < best:
-                        best = d
+            for rj, dj in inner.items():
+                d = g.get(rj, INF) + dj
+                if d < best:
+                    best = d
             return best
+        row = self._highway.row
         best = INF
-        for rj, dj in other.items():
-            d = g[rj] + dj
-            if d < best:
-                best = d
+        for ri, di in outer.items():
+            hrow = row(ri)
+            for rj, dj in inner.items():
+                d = di + hrow.get(rj, INF) + dj
+                if d < best:
+                    best = d
         return best
 
     def _from_landmark(self, r: int, u: int) -> float:
@@ -223,8 +229,11 @@ def query_batch(
     index:
         The index to serve from.  It must not be mutated during the call.
     pairs:
-        The query pairs; duplicates (including reversed duplicates — both
-        query kinds are symmetric on undirected graphs) are answered once.
+        The query pairs; duplicate pairs are answered once.  Reversed
+        duplicates share the batch's per-endpoint row cache but are
+        evaluated per orientation — ``QUERY``'s float association follows
+        argument order when the endpoint labels tie in size, so a merged
+        answer could differ from the per-pair loop by one ulp.
     workers:
         Pool size for fanning distinct pairs out over processes.  ``None``
         or ``<= 1`` keeps everything in-process; the pool is also skipped
@@ -249,16 +258,22 @@ def query_batch(
         if not 0 <= s < n or not 0 <= t < n:
             raise VertexError(f"query pair ({s}, {t}) out of range [0, {n})")
 
-    # Shared upper-bound cache, part one: collapse to distinct unordered
-    # pairs so every answer is computed exactly once.
-    keys = [(s, t) if s <= t else (t, s) for s, t in pair_list]
+    # Shared upper-bound cache, part one: collapse to distinct *ordered*
+    # pairs so every answer is computed exactly once.  Orientation is kept
+    # (not normalized to ``s <= t``) so each answer reproduces the serial
+    # routine's float association for its own argument order; reversed
+    # duplicates still share the memoized per-endpoint rows.
+    keys = [(s, t) for s, t in pair_list]
     order: dict[tuple[int, int], int] = {}
     for key in keys:
         if key not in order:
             order[key] = len(order)
     distinct = list(order)
 
-    csr = CSRGraph(index.graph)
+    # The CSR snapshot only backs the exact-distance refinement searches;
+    # constrained batches never touch the graph, so skip the O(n + m) walk
+    # (and its per-worker pickle) entirely.
+    csr = CSRGraph(index.graph) if exact else None
     if workers is None or workers <= 1 or len(distinct) < min_parallel:
         solver = _BatchSolver(
             index.highway, index.labeling, csr, row_threshold

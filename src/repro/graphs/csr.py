@@ -90,6 +90,11 @@ class CSRGraph:
             raise GraphError(
                 f"targets/weights must hold offsets[-1] = {offsets[-1]} cells"
             )
+        if offsets[-1] != 2 * m:
+            raise GraphError(
+                f"m = {m} inconsistent with offsets[-1] = {offsets[-1]}; "
+                "undirected snapshots store each edge in both endpoint rows"
+            )
         csr = cls.__new__(cls)
         csr.n = n
         csr.m = m

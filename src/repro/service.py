@@ -210,8 +210,9 @@ class HCLService:
         Equivalent to submitting one :class:`ConstrainedDistanceRequest`
         (or :class:`DistanceRequest` when ``exact``) per pair — same
         answers, same cache — but the distinct pairs are solved together
-        over one graph snapshot with shared per-endpoint state, and large
-        batches may fan out over ``workers`` processes (clamped to the
+        with shared per-endpoint state (exact batches add one shared graph
+        snapshot), and large batches may fan out over ``workers``
+        processes (clamped to the
         available cores; small batches stay serial).  Returns one value per
         pair in input order.
         """

@@ -16,6 +16,9 @@ import pytest
 from conftest import path_graph, random_graph
 from repro.core import DynamicHCL, build_hcl, query_batch
 from repro.core.cache import CachedQueryEngine
+from repro.core.highway import Highway
+from repro.core.index import HCLIndex
+from repro.core.labeling import Labeling
 from repro.errors import VertexError
 from repro.graphs import Graph
 from repro.service import BatchQueryRequest, HCLService
@@ -113,6 +116,75 @@ class TestQueryBatchDifferential:
         pairs = random_query_pairs(g.n, 200, seed=8)
         got = query_batch(index, pairs, workers=2, exact=True, min_parallel=1)
         assert got == [index.distance(s, t) for s, t in pairs]
+
+
+def adversarial_index(labels: dict[int, dict[int, float]]) -> HCLIndex:
+    """A 4-vertex index with landmarks {0, 1}, δ_H(0, 1) = 1, and the given
+    endpoint labels — distances chosen by hand, not derived from the graph,
+    so float-association drift is deterministic rather than seed-dependent.
+    """
+    g = Graph(4)
+    g.add_edge(0, 1, 1.0)
+    highway = Highway()
+    highway.add_landmark(0)
+    highway.add_landmark(1)
+    highway.set_distance(0, 1, 1.0)
+    labeling = Labeling(4)
+    labeling.add_entry(0, 0, 0.0)
+    labeling.add_entry(1, 1, 0.0)
+    for v, entries in labels.items():
+        for r, d in entries.items():
+            labeling.add_entry(v, r, d)
+    return HCLIndex(g, highway, labeling)
+
+
+class TestFloatAssociationRegressions:
+    """The bitwise guarantee under adversarial float labels.
+
+    ``1e16 + small`` absorbs the small addend while ``small + small +
+    1e16`` does not, so any deviation from the serial loop's
+    ``(d_i + δ) + d_j`` association (``d_i`` from the smaller label) is a
+    visible 1-ulp drift, not a rounding coincidence.
+    """
+
+    def test_hot_endpoint_with_larger_label_keeps_serial_association(self):
+        # Vertex 2 is hot (recurs past the row threshold) but holds the
+        # *larger* label; the memoized row must nevertheless collapse the
+        # smaller label L(3), exactly as HCLIndex.query's swap does.
+        index = adversarial_index({2: {0: 3.0, 1: 1.0}, 3: {0: 1e16}})
+        pairs = [(2, 3), (3, 2)] * 4
+        want = [index.query(s, t) for s, t in pairs]
+        assert query_batch(index, pairs, row_threshold=2) == want
+        assert want[0] == (1e16 + 1.0) + 1.0  # == 1e16: small terms absorbed
+
+    def test_reversed_pairs_with_tied_labels_keep_their_orientation(self):
+        # Tied label sizes: QUERY's outer loop follows argument order, so
+        # query(2, 3) and query(3, 2) legitimately differ by one ulp and
+        # the batch must not collapse one orientation onto the other.
+        index = adversarial_index({2: {0: 1e16}, 3: {1: 1.0}})
+        assert index.query(2, 3) != index.query(3, 2)  # 1-ulp apart
+        pairs = [(2, 3), (3, 2), (2, 3)]
+        got = query_batch(index, pairs)
+        assert got == [index.query(s, t) for s, t in pairs]
+
+    def test_incomplete_highway_row_matches_serial_inf(self):
+        # The serial path reads δ_H defensively (missing cell -> inf); the
+        # memoized row must do the same instead of raising KeyError.
+        index = adversarial_index({2: {0: 2.0, 1: 5.0}, 3: {0: 7.0}})
+        del index.highway._dist[0][1]  # make row(0) incomplete
+        pairs = [(3, 2)] * 3
+        want = [index.query(s, t) for s, t in pairs]
+        assert query_batch(index, pairs, row_threshold=2) == want
+
+    def test_constrained_batch_never_snapshots_the_graph(self, monkeypatch):
+        g, index = indexed_instance(1)
+
+        def boom(graph):
+            raise AssertionError("CSR snapshot built for a constrained batch")
+
+        monkeypatch.setattr("repro.core.batchquery.CSRGraph", boom)
+        pairs = random_query_pairs(g.n, 30, seed=3)
+        assert query_batch(index, pairs) == [index.query(s, t) for s, t in pairs]
 
 
 class TestServiceBatch:

@@ -119,6 +119,13 @@ class TestFromArraysAndPickle:
             CSRGraph.from_arrays(
                 1, 1, True, array("l", [0, 2]), array("l", [0]), array("d", [1.0])
             )
+        with pytest.raises(GraphError):  # m must equal offsets[-1] / 2
+            CSRGraph.from_arrays(
+                2, 3, True,
+                array("l", [0, 1, 2]),
+                array("l", [1, 0]),
+                array("d", [1.0, 1.0]),
+            )
 
     @pytest.mark.parametrize("seed", range(3))
     def test_pickle_preserves_structure_and_searches(self, seed):
