@@ -25,25 +25,30 @@ from .core import (
     HCLIndex,
     Highway,
     IndexStats,
+    IndexTransaction,
     Labeling,
     LandmarkUpdate,
     UpgradeStats,
+    WriteAheadLog,
     build_hcl,
     downgrade_landmark,
     select_landmarks,
     upgrade_landmark,
 )
 from .errors import (
+    CheckpointError,
     CoverPropertyError,
     DatasetError,
     GraphError,
     IndexStateError,
     LandmarkError,
     ParseError,
+    RecoveryError,
     ReproError,
+    TransactionError,
 )
 from .graphs import DiGraph, Graph
-from .service import HCLService
+from .service import HCLService, RecoveryReport
 
 __version__ = "1.0.0"
 
@@ -64,6 +69,9 @@ __all__ = [
     "LandmarkUpdate",
     "select_landmarks",
     "HCLService",
+    "RecoveryReport",
+    "IndexTransaction",
+    "WriteAheadLog",
     "ReproError",
     "GraphError",
     "IndexStateError",
@@ -71,4 +79,7 @@ __all__ = [
     "CoverPropertyError",
     "DatasetError",
     "ParseError",
+    "CheckpointError",
+    "RecoveryError",
+    "TransactionError",
 ]

@@ -38,11 +38,15 @@ from .paths import (
     shortest_path,
 )
 from .serialization import (
+    load_checkpoint,
     load_index_binary,
     load_index_json,
+    save_checkpoint,
     save_index_binary,
     save_index_json,
 )
+from .transaction import IndexTransaction, UndoJournal
+from .wal import WalRecord, WalScan, WriteAheadLog, scan_wal
 from .selection import (
     select_by_approx_betweenness,
     select_by_degree,
@@ -90,6 +94,14 @@ __all__ = [
     "load_index_json",
     "save_index_binary",
     "load_index_binary",
+    "save_checkpoint",
+    "load_checkpoint",
+    "IndexTransaction",
+    "UndoJournal",
+    "WriteAheadLog",
+    "WalRecord",
+    "WalScan",
+    "scan_wal",
     "IndexQualityReport",
     "coverage_histogram",
     "landmark_coverage_counts",

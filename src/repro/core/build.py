@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from typing import Iterable, Sequence
 
 from ..errors import LandmarkError, VertexError
@@ -136,15 +137,32 @@ def build_hcl(graph: Graph, landmarks: Sequence[int]) -> HCLIndex:
 # Pool workers inherit the snapshot through the initializer: it is pickled
 # once per worker process, not once per landmark task.
 _POOL_STATE: tuple[CSRGraph, tuple[int, ...], set[int]] | None = None
+_POOL_FAULT: tuple[object, int] | None = None
+
+# Fault-injection seam (see repro.testing.faults.inject_worker_fault): an
+# object whose ``fire(task_index, attempt)`` decides whether this worker
+# task dies.  Shipped to workers through the pool initializer so it works
+# under both fork and spawn start methods.  Always None in production.
+_WORKER_FAULT = None
 
 
-def _init_build_pool(csr: CSRGraph, lmk_list: tuple[int, ...]) -> None:
-    global _POOL_STATE
+def _init_build_pool(
+    csr: CSRGraph,
+    lmk_list: tuple[int, ...],
+    fault=None,
+    attempt: int = 0,
+) -> None:
+    global _POOL_STATE, _POOL_FAULT
     _POOL_STATE = (csr, lmk_list, set(lmk_list))
+    _POOL_FAULT = (fault, attempt)
 
 
 def _pool_landmark_pass(i: int):
     csr, lmk_list, lmk_set = _POOL_STATE
+    if _POOL_FAULT is not None:
+        fault, attempt = _POOL_FAULT
+        if fault is not None:
+            fault.fire(i, attempt)
     return _landmark_pass(csr, lmk_list[i], lmk_list, lmk_set)
 
 
@@ -155,22 +173,64 @@ def _pool_context():
     return multiprocessing.get_context()
 
 
+def _pool_attempt(
+    csr: CSRGraph,
+    lmk_tuple: tuple[int, ...],
+    indices: list[int],
+    pool_size: int,
+    attempt: int,
+    partials: list,
+) -> list[int]:
+    """Run one pool attempt over ``indices``; returns the failed subset.
+
+    Each landmark is its own future, so one poisoned task costs one retry
+    unit, not a whole chunk.  A worker that *dies* (``BrokenProcessPool``)
+    fails every task still in flight; a worker that *raises* fails only its
+    own task.  Both land in the returned retry list — the caller decides
+    whether to re-pool or fall back to serial execution.
+    """
+    failed: list[int] = []
+    with ProcessPoolExecutor(
+        max_workers=min(pool_size, len(indices)),
+        mp_context=_pool_context(),
+        initializer=_init_build_pool,
+        initargs=(csr, lmk_tuple, _WORKER_FAULT, attempt),
+    ) as pool:
+        futures = {pool.submit(_pool_landmark_pass, i): i for i in indices}
+        for future in as_completed(futures):
+            i = futures[future]
+            try:
+                partials[i] = future.result()
+            except Exception:
+                failed.append(i)
+    return sorted(failed)
+
+
 def build_hcl_parallel(
     graph: Graph,
     landmarks: Sequence[int],
     workers: int | None = None,
+    max_retries: int = 2,
 ) -> HCLIndex:
     """``BUILDHCL`` with the per-landmark passes fanned out over processes.
 
     Snapshots ``graph`` once as an immutable picklable
     :class:`~repro.graphs.csr.CSRGraph`, runs
-    :func:`~repro.graphs.traversal.flagged_single_source` for chunks of
-    landmarks in a ``multiprocessing`` pool, and merges the partial highway
-    rows / label entries in landmark-list order.  The merge order is fixed
-    and every unordered landmark pair is filled from the smaller id's pass,
-    so the result is structurally identical to :func:`build_hcl` — the
-    canonical index is a function of ``(G, R)`` alone — and serializes
-    byte-identically regardless of ``workers``.
+    :func:`~repro.graphs.traversal.flagged_single_source` per landmark in a
+    process pool, and merges the partial highway rows / label entries in
+    landmark-list order.  The merge order is fixed and every unordered
+    landmark pair is filled from the smaller id's pass, so the result is
+    structurally identical to :func:`build_hcl` — the canonical index is a
+    function of ``(G, R)`` alone — and serializes byte-identically
+    regardless of ``workers``.
+
+    The build survives worker failure: a pass that raises or whose worker
+    process dies (``BrokenProcessPool``) is retried in a fresh pool up to
+    ``max_retries`` times, and any passes still failing after that run
+    *serially in the coordinator process*.  Because every pass is a pure
+    function of ``(snapshot, landmark)`` and the merge order never changes,
+    retried and fallback passes produce exactly the bytes the healthy run
+    would have — resilience costs determinism nothing.
 
     Parameters
     ----------
@@ -179,6 +239,8 @@ def build_hcl_parallel(
         fewer than two landmarks) short-circuits to the serial path — the
         pool fork/pickle overhead only pays off when there are passes to
         overlap.
+    max_retries:
+        Pool attempts after the first before the serial fallback.
     """
     lmk_list = validate_landmarks(graph, landmarks)
     if workers is None:
@@ -189,23 +251,28 @@ def build_hcl_parallel(
     csr = CSRGraph(graph)
     lmk_tuple = tuple(lmk_list)
     pool_size = min(workers, len(lmk_list))
-    # Deterministic chunked assignment: a few chunks per worker balances
-    # skewed pass times without drowning in task overhead.
-    chunksize = max(1, len(lmk_list) // (pool_size * 4))
-    ctx = _pool_context()
-    with ctx.Pool(
-        pool_size, initializer=_init_build_pool, initargs=(csr, lmk_tuple)
-    ) as pool:
-        partials = pool.map(
-            _pool_landmark_pass, range(len(lmk_list)), chunksize=chunksize
+    partials: list = [None] * len(lmk_list)
+    pending = list(range(len(lmk_list)))
+    for attempt in range(1 + max(0, max_retries)):
+        pending = _pool_attempt(
+            csr, lmk_tuple, pending, pool_size, attempt, partials
         )
+        if not pending:
+            break
+    if pending:
+        # Serial fallback: the coordinator computes the stragglers itself.
+        lmk_set = set(lmk_tuple)
+        lmk_seq = list(lmk_tuple)
+        for i in pending:
+            partials[i] = _landmark_pass(csr, lmk_tuple[i], lmk_seq, lmk_set)
 
     highway = Highway()
     labeling = Labeling(graph.n)
     for r in lmk_list:
         highway.add_landmark(r)
-    # ``pool.map`` returns results in task order, so the merge below runs in
-    # landmark-list order no matter how the pool scheduled the passes.
+    # Futures may complete in any order, but ``partials`` is indexed by
+    # landmark-list position, so the merge below runs in landmark-list
+    # order no matter how (or where) each pass was computed.
     for r, (hrow, entries) in zip(lmk_list, partials):
         _merge_pass(highway, labeling, lmk_list, r, hrow, entries)
     return HCLIndex(graph, highway, labeling)

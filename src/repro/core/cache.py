@@ -4,9 +4,10 @@ Query workloads in the paper's scenarios (Table 3 issues thousands of
 queries per landmark update) are highly repetitive; a database deployment
 would memoize.  The subtlety is *invalidation*: any landmark update can
 change any landmark-constrained distance.  :class:`CachedQueryEngine`
-handles this with a version counter — the wrapped :class:`DynamicHCL`'s
-update log length — so a reconfiguration transparently flushes the cache
-without hooks into the update algorithms.
+handles this with the wrapped :class:`DynamicHCL`'s monotonic ``version``
+counter — bumped on every committed mutation *and* on every transaction
+rollback — so a reconfiguration (or an undone one) transparently flushes
+the cache without hooks into the update algorithms.
 """
 
 from __future__ import annotations
@@ -58,12 +59,12 @@ class CachedQueryEngine:
         self.dyn = dyn
         self.capacity = capacity
         self.stats = CacheStats()
-        self._version = dyn.log.count
+        self._version = dyn.version
         self._query_cache: OrderedDict[tuple[int, int], float] = OrderedDict()
         self._distance_cache: OrderedDict[tuple[int, int], float] = OrderedDict()
 
     def _check_version(self) -> None:
-        current = self.dyn.log.count
+        current = self.dyn.version
         if current != self._version:
             self._query_cache.clear()
             self._distance_cache.clear()

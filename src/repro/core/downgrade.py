@@ -35,6 +35,17 @@ INF = math.inf
 
 __all__ = ["downgrade_landmark", "DowngradeStats"]
 
+# Fault-injection seam (see repro.testing.faults.fail_at_phase): called with
+# the name of each completed phase so crash-safety tests can abort the
+# algorithm at its internal consistency boundaries.  Always None in
+# production.
+_PHASE_HOOK = None
+
+
+def _phase(name: str) -> None:
+    if _PHASE_HOOK is not None:
+        _PHASE_HOOK(name)
+
 
 @dataclass(frozen=True)
 class DowngradeStats:
@@ -144,6 +155,7 @@ def downgrade_landmark(index: HCLIndex, r: int) -> DowngradeStats:
                     heapq.heappush(heap, (nd, v))
 
     highway.remove_landmark(r)
+    _phase("sweep")
 
     # ------------------------------------------------------------------
     # Lines 23-39: re-cover sweeps, one per landmark now covering r.

@@ -14,11 +14,12 @@ import time
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
-from ..errors import LandmarkError
+from ..errors import LandmarkError, TransactionError
 from ..graphs.graph import Graph
 from .build import build_hcl
 from .downgrade import DowngradeStats, downgrade_landmark
 from .index import HCLIndex
+from .transaction import IndexTransaction
 from .upgrade import UpgradeStats, upgrade_landmark
 
 __all__ = ["DynamicHCL", "LandmarkUpdate", "UpdateRecord"]
@@ -100,6 +101,16 @@ class DynamicHCL:
     def __init__(self, index: HCLIndex):
         self.index = index
         self.log = UpdateLog()
+        # Monotonic state-change counter: bumped on every committed
+        # mutation *and* on every rollback to an earlier state, so cache
+        # layers can invalidate on any possible answer change (the log
+        # length alone moves backwards under batch rollback).
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Monotonic counter of state changes (mutations and rollbacks)."""
+        return self._version
 
     # ------------------------------------------------------------------
     # Construction
@@ -117,25 +128,60 @@ class DynamicHCL:
         """Current landmark set."""
         return self.index.landmarks
 
-    def add_landmark(self, v: int) -> UpgradeStats:
-        """Promote ``v`` via ``UPGRADE-LMK``; records timing in the log."""
+    def add_landmark(self, v: int, transactional: bool = True) -> UpgradeStats:
+        """Promote ``v`` via ``UPGRADE-LMK``; records timing in the log.
+
+        With ``transactional`` (the default) the update runs inside an
+        :class:`~repro.core.transaction.IndexTransaction`: any exception
+        rolls the index back to its pre-call state before propagating
+        (non-library exceptions arrive wrapped in
+        :class:`~repro.errors.TransactionError`).
+        """
         start = time.perf_counter()
-        stats = upgrade_landmark(self.index, v)
+        if transactional:
+            with IndexTransaction(self.index):
+                stats = upgrade_landmark(self.index, v)
+        else:
+            stats = upgrade_landmark(self.index, v)
         elapsed = time.perf_counter() - start
         self.log.records.append(
             UpdateRecord(LandmarkUpdate("add", v), elapsed, stats)
         )
+        self._version += 1
         return stats
 
-    def remove_landmark(self, v: int) -> DowngradeStats:
-        """Demote ``v`` via ``DOWNGRADE-LMK``; records timing in the log."""
+    def remove_landmark(
+        self, v: int, transactional: bool = True
+    ) -> DowngradeStats:
+        """Demote ``v`` via ``DOWNGRADE-LMK``; records timing in the log.
+
+        Transactional semantics as in :meth:`add_landmark`.
+        """
         start = time.perf_counter()
-        stats = downgrade_landmark(self.index, v)
+        if transactional:
+            with IndexTransaction(self.index):
+                stats = downgrade_landmark(self.index, v)
+        else:
+            stats = downgrade_landmark(self.index, v)
         elapsed = time.perf_counter() - start
         self.log.records.append(
             UpdateRecord(LandmarkUpdate("remove", v), elapsed, stats)
         )
+        self._version += 1
         return stats
+
+    def truncate_log(self, count: int) -> None:
+        """Drop update records past ``count`` (after a batch rollback).
+
+        Bumps the version counter so cache layers discard answers computed
+        against the now-rolled-back states.
+        """
+        if not 0 <= count <= self.log.count:
+            raise TransactionError(
+                f"cannot truncate log of {self.log.count} records to {count}"
+            )
+        del self.log.records[count:]
+        self._version += 1
 
     def replace_landmark(self, old: int, new: int) -> None:
         """Swap one landmark for another (downgrade + upgrade)."""

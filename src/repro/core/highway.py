@@ -23,12 +23,20 @@ class Highway:
 
     Distances are symmetric (undirected graphs) and ``δ_H(r, r) = 0``.
     Landmark pairs in different connected components hold ``inf``.
+
+    When a :class:`~repro.core.transaction.IndexTransaction` is active the
+    ``_journal`` attribute points at its undo journal and every mutator
+    snapshots the distance matrix (first touch only) before changing it,
+    so a failed mutation can be rolled back exactly.  Landmark insertion
+    and removal touch every row anyway, so the snapshot is the same order
+    of work as the mutation it protects.
     """
 
-    __slots__ = ("_dist",)
+    __slots__ = ("_dist", "_journal")
 
     def __init__(self):
         self._dist: dict[int, dict[int, float]] = {}
+        self._journal = None
 
     # ------------------------------------------------------------------
     # Landmark set
@@ -53,6 +61,8 @@ class Highway:
         """Register ``r`` with unknown (infinite) distances to the others."""
         if r in self._dist:
             raise LandmarkError(f"vertex {r} is already a landmark")
+        if self._journal is not None:
+            self._journal.record_highway(self)
         row = {r: 0.0}
         for r2, other_row in self._dist.items():
             row[r2] = INF
@@ -63,6 +73,8 @@ class Highway:
         """Drop ``r`` and every distance entry that mentions it."""
         if r not in self._dist:
             raise LandmarkError(f"vertex {r} is not a landmark")
+        if self._journal is not None:
+            self._journal.record_highway(self)
         del self._dist[r]
         for row in self._dist.values():
             row.pop(r, None)
@@ -74,6 +86,8 @@ class Highway:
         """Record ``δ_H(r1, r2) = δ_H(r2, r1) = d``."""
         if r1 not in self._dist or r2 not in self._dist:
             raise LandmarkError(f"({r1}, {r2}) not a landmark pair")
+        if self._journal is not None:
+            self._journal.record_highway(self)
         self._dist[r1][r2] = d
         self._dist[r2][r1] = d
 

@@ -17,14 +17,21 @@ __all__ = ["Labeling"]
 
 
 class Labeling:
-    """Per-vertex landmark labels for a graph on ``n`` vertices."""
+    """Per-vertex landmark labels for a graph on ``n`` vertices.
 
-    __slots__ = ("_labels",)
+    When a :class:`~repro.core.transaction.IndexTransaction` is active the
+    ``_journal`` attribute points at its undo journal and every mutator
+    records the touched label row (copy-on-write, first touch only) before
+    changing it, so a failed mutation can be rolled back exactly.
+    """
+
+    __slots__ = ("_labels", "_journal")
 
     def __init__(self, n: int):
         if n < 0:
             raise VertexError(f"number of vertices must be >= 0, got {n}")
         self._labels: list[dict[int, float]] = [{} for _ in range(n)]
+        self._journal = None
 
     @property
     def n(self) -> int:
@@ -41,19 +48,27 @@ class Labeling:
 
     def add_vertex(self) -> int:
         """Grow the labeling by one (empty-label) vertex; returns its id."""
+        if self._journal is not None:
+            self._journal.record_label_growth(self)
         self._labels.append({})
         return len(self._labels) - 1
 
     def add_entry(self, v: int, r: int, d: float) -> None:
         """Insert (or overwrite) entry ``(r, d)`` in ``L(v)``."""
+        if self._journal is not None:
+            self._journal.record_label(self, v)
         self._labels[v][r] = d
 
     def remove_entry(self, v: int, r: int) -> bool:
         """Delete the entry for landmark ``r`` from ``L(v)`` if present."""
+        if self._journal is not None:
+            self._journal.record_label(self, v)
         return self._labels[v].pop(r, None) is not None
 
     def clear_vertex(self, v: int) -> None:
         """Remove every entry of ``L(v)`` (paper: ``L(v) <- ∅``)."""
+        if self._journal is not None:
+            self._journal.record_label(self, v)
         self._labels[v].clear()
 
     def merge_entries(
@@ -70,6 +85,7 @@ class Labeling:
         of entries inserted.
         """
         labels = self._labels
+        journal = self._journal
         count = 0
         for v, d in entries:
             if not 0 <= v < len(labels):
@@ -79,6 +95,8 @@ class Labeling:
                 raise LandmarkError(
                     f"conflicting entries for ({v}, {r}): {old} vs {d}"
                 )
+            if journal is not None:
+                journal.record_label(self, v)
             labels[v][r] = d
             count += 1
         return count
@@ -110,6 +128,8 @@ class Labeling:
                 raise LandmarkError(
                     f"conflicting entries for ({v}, {r}): {old} vs {d}"
                 )
+        if self._journal is not None:
+            self._journal.record_label(self, v)
         label.update(entries)
         return len(entries)
 

@@ -9,6 +9,22 @@ how a deployment avoids ever paying ``BUILDHCL`` twice.  Two formats:
   little-endian records (``struct``-packed), roughly 4-6x smaller and much
   faster to parse; the format every loader validates with a magic header.
 
+The binary format doubles as the *checkpoint* format of the crash-safety
+layer, so it is written durably and defensively (format v2, magic
+``DHCL\\x02``):
+
+* the header carries a CRC32 of the payload and the payload length, so a
+  bit-flipped or truncated checkpoint is rejected with a typed
+  :class:`~repro.errors.CheckpointError` instead of producing a garbage
+  index;
+* the header records the write-ahead-log sequence number the checkpoint
+  includes (``wal_seq``), which tells recovery where replay must start;
+* path targets are written atomically — to a temporary file in the same
+  directory, fsync'd, then ``os.replace``'d over the target — so a crash
+  mid-checkpoint leaves the previous checkpoint intact, never a torn one.
+
+Readers still accept the legacy v1 format (``DHCL\\x01``, no checksum).
+
 Both formats capture the landmark set, the ``δ_H`` matrix and all label
 entries.  The graph itself is *not* serialized (store it as DIMACS via
 :mod:`repro.graphs.io`); loading takes the graph as an argument and
@@ -18,13 +34,17 @@ and indexes separately.
 
 from __future__ import annotations
 
+import io
 import json
 import math
+import os
 import struct
+import tempfile
+import zlib
 from pathlib import Path
 from typing import BinaryIO, TextIO
 
-from ..errors import ParseError, VertexError
+from ..errors import CheckpointError, ParseError, VertexError
 from ..graphs.graph import Graph
 from .highway import Highway
 from .index import HCLIndex
@@ -35,10 +55,14 @@ __all__ = [
     "load_index_json",
     "save_index_binary",
     "load_index_binary",
+    "save_checkpoint",
+    "load_checkpoint",
 ]
 
 _JSON_SCHEMA = "dyn-hcl-index/1"
-_BINARY_MAGIC = b"DHCL\x01"
+_BINARY_MAGIC_V1 = b"DHCL\x01"
+_BINARY_MAGIC = b"DHCL\x02"
+_V2_HEADER = struct.Struct("<QIQ")  # wal_seq, payload crc32, payload length
 _INF_SENTINEL = -1.0  # encodes infinity in the binary distance fields
 
 
@@ -111,56 +135,139 @@ def load_index_json(graph: Graph, source: str | Path | TextIO) -> HCLIndex:
 
 
 # ----------------------------------------------------------------------
-# Binary
+# Binary / checkpoints
 # ----------------------------------------------------------------------
-def save_index_binary(index: HCLIndex, target: str | Path | BinaryIO) -> None:
-    """Write ``index`` in the compact ``DHCL`` binary format."""
+def _pack_payload(index: HCLIndex) -> bytes:
+    """The deterministic index body shared by format v1 and v2."""
     landmarks = sorted(index.landmarks)
-    fh, should_close = _open(target, "wb")
+    out = io.BytesIO()
+    out.write(struct.pack("<II", index.graph.n, len(landmarks)))
+    out.write(struct.pack(f"<{len(landmarks)}I", *landmarks))
+    for i, a in enumerate(landmarks):
+        for b in landmarks[i + 1 :]:
+            d = index.highway.distance(a, b)
+            out.write(struct.pack("<d", _INF_SENTINEL if math.isinf(d) else d))
+    for v in range(index.graph.n):
+        label = index.labeling.label(v)
+        out.write(struct.pack("<I", len(label)))
+        for r, d in sorted(label.items()):
+            out.write(struct.pack("<Id", r, d))
+    return out.getvalue()
+
+
+def _parse_payload(graph: Graph, fh, strict_eof: bool) -> HCLIndex:
+    """Parse the index body; ``strict_eof`` rejects trailing bytes."""
+    n, k = struct.unpack("<II", fh.read(8))
+    if n != graph.n:
+        raise VertexError(
+            f"index was built for {n} vertices, graph has {graph.n}"
+        )
+    landmarks = list(struct.unpack(f"<{k}I", fh.read(4 * k))) if k else []
+    highway = Highway()
+    for r in landmarks:
+        highway.add_landmark(r)
+    for i, a in enumerate(landmarks):
+        for b in landmarks[i + 1 :]:
+            (d,) = struct.unpack("<d", fh.read(8))
+            highway.set_distance(a, b, math.inf if d == _INF_SENTINEL else d)
+    labeling = Labeling(n)
+    for v in range(n):
+        (count,) = struct.unpack("<I", fh.read(4))
+        for _ in range(count):
+            r, d = struct.unpack("<Id", fh.read(12))
+            labeling.add_entry(v, r, d)
+    if strict_eof and fh.read(1):
+        raise CheckpointError("checkpoint payload has trailing bytes")
+    return HCLIndex(graph, highway, labeling)
+
+
+def save_index_binary(
+    index: HCLIndex, target: str | Path | BinaryIO, wal_seq: int = 0
+) -> None:
+    """Write ``index`` as a ``DHCL`` v2 checkpoint.
+
+    The header records ``wal_seq`` — the last write-ahead-log sequence
+    number whose effect the checkpoint includes (0 without a WAL) — plus a
+    CRC32 and length of the payload.  Path targets are replaced
+    *atomically*: the bytes go to a temporary file in the target's
+    directory, are fsync'd, and ``os.replace`` publishes them, so readers
+    never observe a torn checkpoint.
+    """
+    payload = _pack_payload(index)
+    header = _BINARY_MAGIC + _V2_HEADER.pack(
+        wal_seq, zlib.crc32(payload), len(payload)
+    )
+    if isinstance(target, (str, Path)):
+        path = Path(target)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent or Path("."), prefix=path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(header)
+                fh.write(payload)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+    else:
+        target.write(header)
+        target.write(payload)
+
+
+#: Alias making the checkpoint role explicit at call sites.
+save_checkpoint = save_index_binary
+
+
+def load_checkpoint(
+    graph: Graph, source: str | Path | BinaryIO
+) -> tuple[HCLIndex, int]:
+    """Load a ``DHCL`` checkpoint; returns ``(index, wal_seq)``.
+
+    Accepts both the checksummed v2 format and the legacy v1 format
+    (which reports ``wal_seq = 0``).  Any corruption — bad magic, short
+    header, payload shorter than declared, CRC mismatch, trailing bytes,
+    malformed records — raises :class:`~repro.errors.CheckpointError`;
+    a checkpoint for a different graph raises
+    :class:`~repro.errors.VertexError`.
+    """
+    fh, should_close = _open(source, "rb")
     try:
-        fh.write(_BINARY_MAGIC)
-        fh.write(struct.pack("<II", index.graph.n, len(landmarks)))
-        fh.write(struct.pack(f"<{len(landmarks)}I", *landmarks))
-        for i, a in enumerate(landmarks):
-            for b in landmarks[i + 1 :]:
-                d = index.highway.distance(a, b)
-                fh.write(struct.pack("<d", _INF_SENTINEL if math.isinf(d) else d))
-        for v in range(index.graph.n):
-            label = index.labeling.label(v)
-            fh.write(struct.pack("<I", len(label)))
-            for r, d in sorted(label.items()):
-                fh.write(struct.pack("<Id", r, d))
+        magic = fh.read(len(_BINARY_MAGIC))
+        try:
+            if magic == _BINARY_MAGIC_V1:
+                return _parse_payload(graph, fh, strict_eof=False), 0
+            if magic != _BINARY_MAGIC:
+                raise CheckpointError("not a DHCL index file (bad magic)")
+            header = fh.read(_V2_HEADER.size)
+            if len(header) < _V2_HEADER.size:
+                raise CheckpointError("checkpoint header truncated")
+            wal_seq, crc, length = _V2_HEADER.unpack(header)
+            payload = fh.read(length)
+            if len(payload) < length:
+                raise CheckpointError(
+                    f"checkpoint payload truncated "
+                    f"({len(payload)} of {length} bytes)"
+                )
+            if zlib.crc32(payload) != crc:
+                raise CheckpointError("checkpoint payload failed CRC check")
+            if fh.read(1):
+                raise CheckpointError(
+                    "checkpoint has bytes past the declared payload"
+                )
+            return _parse_payload(graph, io.BytesIO(payload), True), wal_seq
+        except struct.error as exc:
+            raise CheckpointError(f"malformed checkpoint: {exc}") from exc
     finally:
         if should_close:
             fh.close()
 
 
 def load_index_binary(graph: Graph, source: str | Path | BinaryIO) -> HCLIndex:
-    """Load a ``DHCL`` binary index and bind it to ``graph``."""
-    fh, should_close = _open(source, "rb")
-    try:
-        if fh.read(len(_BINARY_MAGIC)) != _BINARY_MAGIC:
-            raise ParseError("not a DHCL index file (bad magic)")
-        n, k = struct.unpack("<II", fh.read(8))
-        if n != graph.n:
-            raise VertexError(
-                f"index was built for {n} vertices, graph has {graph.n}"
-            )
-        landmarks = list(struct.unpack(f"<{k}I", fh.read(4 * k))) if k else []
-        highway = Highway()
-        for r in landmarks:
-            highway.add_landmark(r)
-        for i, a in enumerate(landmarks):
-            for b in landmarks[i + 1 :]:
-                (d,) = struct.unpack("<d", fh.read(8))
-                highway.set_distance(a, b, math.inf if d == _INF_SENTINEL else d)
-        labeling = Labeling(n)
-        for v in range(n):
-            (count,) = struct.unpack("<I", fh.read(4))
-            for _ in range(count):
-                r, d = struct.unpack("<Id", fh.read(12))
-                labeling.add_entry(v, r, d)
-        return HCLIndex(graph, highway, labeling)
-    finally:
-        if should_close:
-            fh.close()
+    """Load a ``DHCL`` binary index (v1 or v2) and bind it to ``graph``."""
+    return load_checkpoint(graph, source)[0]

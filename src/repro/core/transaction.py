@@ -1,0 +1,154 @@
+"""Transactional (all-or-nothing) mutations of an HCL index.
+
+The dynamic algorithms (``UPGRADE-LMK`` / ``DOWNGRADE-LMK``) mutate the
+labeling and highway in place through thousands of small writes; an
+exception halfway through — a bug, an injected fault, a cancelled worker —
+would otherwise leave the index in an unspecified state that is neither the
+old nor the new configuration.  :class:`IndexTransaction` makes any such
+mutation atomic with an *undo journal*:
+
+* While a transaction is open, every :class:`~repro.core.labeling.Labeling`
+  and :class:`~repro.core.highway.Highway` mutator first records the state
+  it is about to overwrite — copy-on-write at row granularity for labels
+  (one dict copy per *touched* vertex, however many writes hit it) and a
+  single whole-matrix snapshot for the highway (landmark insertion/removal
+  touches every row anyway, so this is the same order of work as the
+  operation it protects).
+* On success the journal is simply discarded — commit is free.
+* On any exception the journal restores every touched row, leaving the
+  index *value-identical* (and therefore byte-identical under the canonical
+  binary serialization, which sorts entries) to its pre-transaction state.
+  Non-library exceptions are re-raised wrapped in
+  :class:`~repro.errors.TransactionError` with the original as cause.
+
+Transactions nest by joining: an inner :class:`IndexTransaction` opened
+while an outer one is active becomes a no-op and the outer journal keeps
+recording, so a batch-level transaction can span many per-request
+transactions and roll all of them back together.
+"""
+
+from __future__ import annotations
+
+from ..errors import ReproError, TransactionError
+from .index import HCLIndex
+
+__all__ = ["IndexTransaction", "UndoJournal"]
+
+
+class UndoJournal:
+    """Copy-on-write undo state for one index's labeling + highway."""
+
+    __slots__ = ("_label_saves", "_highway_save", "_label_count")
+
+    def __init__(self):
+        self._label_saves: dict[int, dict[int, float]] = {}
+        self._highway_save: dict[int, dict[int, float]] | None = None
+        self._label_count: int | None = None
+
+    # ------------------------------------------------------------------
+    # Recording (called by the data structures' mutators)
+    # ------------------------------------------------------------------
+    def record_label(self, labeling, v: int) -> None:
+        """Save ``L(v)`` before its first mutation in this transaction."""
+        if v not in self._label_saves:
+            self._label_saves[v] = dict(labeling._labels[v])
+
+    def record_label_growth(self, labeling) -> None:
+        """Save the vertex count before the labeling grows."""
+        if self._label_count is None:
+            self._label_count = len(labeling._labels)
+
+    def record_highway(self, highway) -> None:
+        """Snapshot the distance matrix before its first mutation."""
+        if self._highway_save is None:
+            self._highway_save = {
+                r: dict(row) for r, row in highway._dist.items()
+            }
+
+    # ------------------------------------------------------------------
+    # Rollback
+    # ------------------------------------------------------------------
+    def rollback(self, labeling, highway) -> None:
+        """Restore every recorded row; leaves the journal empty."""
+        if self._label_count is not None:
+            del labeling._labels[self._label_count :]
+        labels = labeling._labels
+        n = len(labels)
+        for v, saved in self._label_saves.items():
+            if v < n:
+                labels[v] = saved
+        if self._highway_save is not None:
+            highway._dist = self._highway_save
+        self._label_saves = {}
+        self._highway_save = None
+        self._label_count = None
+
+    @property
+    def touched_labels(self) -> int:
+        """Number of label rows saved so far (diagnostics/tests)."""
+        return len(self._label_saves)
+
+
+class IndexTransaction:
+    """Context manager making in-place index mutations all-or-nothing.
+
+    Examples
+    --------
+    >>> from repro.graphs import Graph
+    >>> from repro.core import build_hcl
+    >>> from repro.core.upgrade import upgrade_landmark
+    >>> g = Graph(4)
+    >>> for u, v in [(0, 1), (1, 2), (2, 3)]:
+    ...     g.add_edge(u, v, 1.0)
+    >>> index = build_hcl(g, [1])
+    >>> with IndexTransaction(index):
+    ...     _ = upgrade_landmark(index, 3)
+    >>> sorted(index.landmarks)
+    [1, 3]
+    """
+
+    __slots__ = ("_index", "_journal", "_nested", "_rolled_back")
+
+    def __init__(self, index: HCLIndex):
+        self._index = index
+        self._journal: UndoJournal | None = None
+        self._nested = False
+        self._rolled_back = False
+
+    @property
+    def rolled_back(self) -> bool:
+        """Whether this transaction was rolled back."""
+        return self._rolled_back
+
+    def __enter__(self) -> "IndexTransaction":
+        labeling = self._index.labeling
+        highway = self._index.highway
+        if labeling._journal is not None or highway._journal is not None:
+            # Join the enclosing transaction: its journal already records
+            # every write, and its rollback will cover ours.
+            self._nested = True
+            return self
+        self._journal = UndoJournal()
+        labeling._journal = self._journal
+        highway._journal = self._journal
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if self._nested:
+            return False
+        labeling = self._index.labeling
+        highway = self._index.highway
+        labeling._journal = None
+        highway._journal = None
+        if exc_type is None:
+            self._journal = None
+            return False
+        self._journal.rollback(labeling, highway)
+        self._journal = None
+        self._rolled_back = True
+        if isinstance(exc, Exception) and not isinstance(exc, ReproError):
+            raise TransactionError(
+                f"index mutation rolled back after "
+                f"{exc_type.__name__}: {exc}"
+            ) from exc
+        return False

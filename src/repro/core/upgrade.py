@@ -38,6 +38,17 @@ INF = math.inf
 
 __all__ = ["upgrade_landmark", "UpgradeStats"]
 
+# Fault-injection seam (see repro.testing.faults.fail_at_phase): called with
+# the name of each completed phase so crash-safety tests can abort the
+# algorithm at its internal consistency boundaries.  Always None in
+# production.
+_PHASE_HOOK = None
+
+
+def _phase(name: str) -> None:
+    if _PHASE_HOOK is not None:
+        _PHASE_HOOK(name)
+
 
 @dataclass(frozen=True)
 class UpgradeStats:
@@ -104,6 +115,7 @@ def upgrade_landmark(
             if d < best:
                 best = d
         highway.set_distance(r, r2, best)
+    _phase("highway")
 
     # ------------------------------------------------------------------
     # Lines 6-26: pruned search from r.
@@ -176,6 +188,8 @@ def upgrade_landmark(
                 if nd < dist[v]:
                     dist[v] = nd
                     heapq.heappush(heap, (nd, v))
+
+    _phase("search")
 
     # ------------------------------------------------------------------
     # Lines 27-34: drop entries made superfluous by r.

@@ -1,0 +1,243 @@
+"""Write-ahead log for committed landmark mutations.
+
+A checkpoint (see :mod:`repro.core.serialization`) captures the index at
+one instant; the WAL is the durable record of every landmark mutation
+committed *since*, so a crashed service can be reconstructed as
+``checkpoint + replay(WAL suffix)`` without re-running ``BUILDHCL``.
+
+Format
+------
+The file starts with the 5-byte magic ``DWAL\\x01``.  Each record is 17
+bytes::
+
+    <Q seq> <B op> <I vertex> <I crc32>
+
+``seq`` is a strictly increasing sequence number (the first record of a
+file may start anywhere; later records must each be exactly one higher),
+``op`` is 1 for ``add`` / 2 for ``remove``, and ``crc32`` covers the
+preceding 13 bytes.  Appends are flushed and ``fsync``'d by default, so a
+record that :meth:`WriteAheadLog.append` returned for is on disk.
+
+Crash tolerance is asymmetric by design: *writing* is strict (any OS error
+surfaces as :class:`~repro.errors.WALError`), while *reading* is tolerant —
+:func:`scan_wal` stops silently at the first truncated, checksum-corrupt,
+or out-of-sequence record, because a torn tail is exactly what a crash
+mid-append leaves behind.  Everything before the first bad record was
+acknowledged as committed and is replayed; everything after was not
+durable and is discarded.  Opening a log for append repairs such a tail by
+truncating it.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import BinaryIO, Iterable, Union
+
+from ..errors import WALError
+
+__all__ = [
+    "WriteAheadLog",
+    "WalRecord",
+    "WalScan",
+    "scan_wal",
+    "OP_ADD",
+    "OP_REMOVE",
+]
+
+_WAL_MAGIC = b"DWAL\x01"
+_RECORD = struct.Struct("<QBI")
+_CRC = struct.Struct("<I")
+_RECORD_SIZE = _RECORD.size + _CRC.size
+
+OP_ADD = 1
+OP_REMOVE = 2
+_OP_NAMES = {OP_ADD: "add", OP_REMOVE: "remove"}
+_OP_CODES = {name: code for code, name in _OP_NAMES.items()}
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One committed mutation: ``kind`` is ``"add"`` or ``"remove"``."""
+
+    seq: int
+    kind: str
+    vertex: int
+
+
+@dataclass(frozen=True)
+class WalScan:
+    """Result of reading a WAL file tolerantly.
+
+    ``truncated`` is True when the file ends in a torn/corrupt tail (the
+    bytes past ``good_bytes`` were discarded); ``records`` always holds
+    exactly the committed prefix.
+    """
+
+    records: tuple[WalRecord, ...]
+    truncated: bool
+    good_bytes: int
+
+    @property
+    def last_seq(self) -> int:
+        """Sequence number of the last committed record (0 when empty)."""
+        return self.records[-1].seq if self.records else 0
+
+
+def _scan_stream(fh: BinaryIO) -> WalScan:
+    header = fh.read(len(_WAL_MAGIC))
+    if header != _WAL_MAGIC:
+        raise WALError("not a DWAL write-ahead log (bad magic)")
+    records: list[WalRecord] = []
+    good = len(_WAL_MAGIC)
+    expected: int | None = None
+    while True:
+        blob = fh.read(_RECORD_SIZE)
+        if len(blob) < _RECORD_SIZE:
+            return WalScan(tuple(records), truncated=bool(blob), good_bytes=good)
+        body, crc_bytes = blob[: _RECORD.size], blob[_RECORD.size :]
+        (crc,) = _CRC.unpack(crc_bytes)
+        if crc != zlib.crc32(body):
+            return WalScan(tuple(records), truncated=True, good_bytes=good)
+        seq, op, vertex = _RECORD.unpack(body)
+        if op not in _OP_NAMES or (expected is not None and seq != expected):
+            return WalScan(tuple(records), truncated=True, good_bytes=good)
+        records.append(WalRecord(seq, _OP_NAMES[op], vertex))
+        expected = seq + 1
+        good += _RECORD_SIZE
+
+
+def scan_wal(source: Union[str, Path, BinaryIO]) -> WalScan:
+    """Read a WAL tolerantly: stop at the first bad record, never raise
+    for a torn tail.  A missing file scans as empty (a WAL that was never
+    written holds no committed mutations); a present-but-unreadable
+    *header* still raises :class:`~repro.errors.WALError`."""
+    if isinstance(source, (str, Path)):
+        try:
+            fh = open(source, "rb")
+        except FileNotFoundError:
+            return WalScan((), truncated=False, good_bytes=0)
+        with fh:
+            return _scan_stream(fh)
+    return _scan_stream(source)
+
+
+class WriteAheadLog:
+    """Append-only, fsync'd log of committed landmark mutations.
+
+    Opening an existing file scans it, repairs a torn tail by truncation,
+    and continues the sequence numbering; opening a fresh path writes the
+    header.  ``sync=False`` trades durability for speed (flush without
+    fsync) — useful in tests and acceptable where the filesystem journals.
+
+    Examples
+    --------
+    >>> import tempfile, os
+    >>> path = os.path.join(tempfile.mkdtemp(), "index.wal")
+    >>> wal = WriteAheadLog(path)
+    >>> wal.append("add", 7)
+    1
+    >>> wal.append("remove", 7)
+    2
+    >>> wal.close()
+    >>> [ (r.kind, r.vertex) for r in scan_wal(path).records ]
+    [('add', 7), ('remove', 7)]
+    """
+
+    def __init__(self, path: str | Path, sync: bool = True):
+        self.path = Path(path)
+        self.sync = sync
+        self._closed = False
+        try:
+            if self.path.exists() and self.path.stat().st_size > 0:
+                scan = scan_wal(self.path)
+                self._seq = scan.last_seq
+                self._fh = open(self.path, "r+b")
+                self._fh.truncate(scan.good_bytes)  # repair any torn tail
+                self._fh.seek(scan.good_bytes)
+            else:
+                self._seq = 0
+                self._fh = open(self.path, "wb")
+                self._fh.write(_WAL_MAGIC)
+                self._flush()
+        except OSError as exc:
+            raise WALError(f"cannot open WAL at {self.path}: {exc}") from exc
+
+    # ------------------------------------------------------------------
+    # Appending
+    # ------------------------------------------------------------------
+    @property
+    def last_seq(self) -> int:
+        """Sequence number of the last appended record (0 when empty)."""
+        return self._seq
+
+    def append(self, kind: str, vertex: int) -> int:
+        """Durably append one mutation; returns its sequence number."""
+        if self._closed:
+            raise WALError(f"WAL at {self.path} is closed")
+        op = _OP_CODES.get(kind)
+        if op is None:
+            raise WALError(f"unknown WAL operation {kind!r}")
+        seq = self._seq + 1
+        body = _RECORD.pack(seq, op, vertex)
+        try:
+            self._fh.write(body + _CRC.pack(zlib.crc32(body)))
+            self._flush()
+        except OSError as exc:
+            raise WALError(f"cannot append to WAL at {self.path}: {exc}") from exc
+        self._seq = seq
+        return seq
+
+    def append_all(self, records: Iterable[tuple[str, int]]) -> int:
+        """Append many mutations; returns the last sequence number."""
+        for kind, vertex in records:
+            self.append(kind, vertex)
+        return self._seq
+
+    def _flush(self) -> None:
+        self._fh.flush()
+        if self.sync:
+            os.fsync(self._fh.fileno())
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Drop all records (after a checkpoint); sequence keeps rising.
+
+        The next record still gets ``last_seq + 1``: a scanner accepts any
+        starting sequence, and monotonicity is what ties records to the
+        ``wal_seq`` stored in checkpoints.
+        """
+        if self._closed:
+            raise WALError(f"WAL at {self.path} is closed")
+        try:
+            self._fh.seek(len(_WAL_MAGIC))
+            self._fh.truncate(len(_WAL_MAGIC))
+            self._flush()
+        except OSError as exc:
+            raise WALError(f"cannot reset WAL at {self.path}: {exc}") from exc
+
+    def scan(self) -> WalScan:
+        """Tolerant scan of this log's file (committed records only)."""
+        self._fh.flush()
+        return scan_wal(self.path)
+
+    def close(self) -> None:
+        """Flush and close the underlying file."""
+        if not self._closed:
+            self._flush()
+            self._fh.close()
+            self._closed = True
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"WriteAheadLog(path={str(self.path)!r}, last_seq={self._seq})"

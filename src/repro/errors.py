@@ -50,3 +50,46 @@ class DatasetError(ReproError):
 
 class ParseError(ReproError):
     """A graph file could not be parsed."""
+
+
+class TransactionError(ReproError):
+    """A transactional index mutation failed and was rolled back.
+
+    Raised after the undo journal has restored the index to its
+    pre-operation state; the original exception is chained as
+    ``__cause__``.
+    """
+
+
+class CheckpointError(ParseError):
+    """A checkpoint file is corrupt, truncated, or otherwise unreadable.
+
+    Subclasses :class:`ParseError` so pre-existing ``except ParseError``
+    handlers around index loading keep working.
+    """
+
+
+class RecoveryError(ReproError):
+    """Crash recovery could not reconstruct a consistent index.
+
+    Examples: a committed WAL record does not apply to the checkpointed
+    index (add of an existing landmark), or the WAL disagrees with the
+    checkpoint's recorded sequence number.
+    """
+
+
+class WALError(ReproError):
+    """A write-ahead log could not be opened or appended to."""
+
+
+class RequestError(ReproError):
+    """A service request carries invalid parameters (bad worker count, ...)."""
+
+
+class ServiceError(ReproError):
+    """A service request failed with an unexpected (non-library) error.
+
+    Wraps exceptions that are not :class:`ReproError` so the service
+    boundary only ever raises the library hierarchy; the original
+    exception is chained as ``__cause__``.
+    """

@@ -1,10 +1,26 @@
-"""A small operational layer: typed requests, audit log, snapshots.
+"""A small operational layer: typed requests, audit log, durable snapshots.
 
 :class:`HCLService` wraps a :class:`~repro.core.dynhcl.DynamicHCL` the way
 a deployment would embed it behind an API: operations arrive as typed
-request objects, every mutation is audited, query answers flow through the
+request objects, every outcome — success or failure, library error or
+foreign exception — is audited, query answers flow through the
 version-invalidated cache, and the whole index can be checkpointed to /
 restored from disk (binary format) without rebuilding.
+
+Crash safety spans three mechanisms:
+
+* **Transactional mutations** — landmark requests are all-or-nothing; an
+  exception mid-``UPGRADE-LMK``/``DOWNGRADE-LMK`` rolls the index back to
+  its pre-request state (see :mod:`repro.core.transaction`).
+  :meth:`HCLService.submit_batch` extends this to whole batches with
+  ``on_error="rollback"``.
+* **Durability** — an optional :class:`~repro.core.wal.WriteAheadLog`
+  records every committed mutation; :meth:`HCLService.checkpoint` writes
+  atomic, checksummed snapshots that embed the WAL position they include.
+* **Recovery** — :meth:`HCLService.recover` rebuilds a service from
+  ``checkpoint + WAL suffix``, tolerates a torn WAL tail, probes the
+  cover property on a sample, and returns a typed
+  :class:`RecoveryReport`.
 
 This layer adds no algorithmics — it exists so the library is adoptable as
 a component, and it doubles as an end-to-end exercise of the public API in
@@ -21,8 +37,22 @@ from typing import BinaryIO, Union
 
 from .core.cache import CachedQueryEngine
 from .core.dynhcl import DynamicHCL
-from .core.serialization import load_index_binary, save_index_binary
-from .errors import ReproError
+from .core.invariants import check_cover_property
+from .core.serialization import (
+    load_checkpoint,
+    load_index_binary,
+    save_index_binary,
+)
+from .core.transaction import IndexTransaction
+from .core.wal import WalScan, WriteAheadLog, scan_wal
+from .errors import (
+    CoverPropertyError,
+    RecoveryError,
+    ReproError,
+    RequestError,
+    ServiceError,
+    VertexError,
+)
 from .graphs.graph import Graph
 
 __all__ = [
@@ -33,6 +63,7 @@ __all__ = [
     "AddLandmarkRequest",
     "RemoveLandmarkRequest",
     "AuditRecord",
+    "RecoveryReport",
 ]
 
 
@@ -61,7 +92,8 @@ class BatchQueryRequest:
     :class:`ConstrainedDistanceRequest` / :class:`DistanceRequest`
     submissions would return, pair for pair.  ``workers`` bounds the
     process pool used for large batches; it is clamped to the machine's
-    core count so an over-asked deployment never oversubscribes.
+    core count so an over-asked deployment never oversubscribes, and
+    rejected with :class:`~repro.errors.RequestError` when non-positive.
     """
 
     pairs: tuple[tuple[int, int], ...]
@@ -112,8 +144,40 @@ class ServiceStats:
     failures: int = 0
 
 
+@dataclass(frozen=True)
+class RecoveryReport:
+    """Typed health report of one :meth:`HCLService.recover` run.
+
+    ``wal_records_seen`` counts the committed records found in the log
+    (after any torn tail was discarded); ``wal_records_applied`` the
+    subset past the checkpoint's ``wal_seq`` that replay re-executed.
+    ``probe_ok`` reports the sampled cover-property probe; a ``False``
+    value comes with the violation in ``probe_error``.
+    """
+
+    service: "HCLService"
+    checkpoint_wal_seq: int
+    wal_records_seen: int
+    wal_records_applied: int
+    wal_tail_truncated: bool
+    probe_ok: bool
+    probe_error: str | None
+    landmarks: tuple[int, ...]
+
+
 class HCLService:
     """Request-oriented facade over a dynamic HCL index.
+
+    Parameters
+    ----------
+    dyn:
+        The index to serve.
+    cache_capacity:
+        LRU capacity of the query cache.
+    wal:
+        Optional write-ahead log (a :class:`~repro.core.wal.WriteAheadLog`
+        or a path to open one at) recording committed landmark mutations
+        for crash recovery.
 
     Examples
     --------
@@ -129,16 +193,30 @@ class HCLService:
     [1, 3]
     """
 
-    def __init__(self, dyn: DynamicHCL, cache_capacity: int = 65536):
+    def __init__(
+        self,
+        dyn: DynamicHCL,
+        cache_capacity: int = 65536,
+        wal: WriteAheadLog | str | Path | None = None,
+    ):
         self._dyn = dyn
         self._engine = CachedQueryEngine(dyn, capacity=cache_capacity)
+        if isinstance(wal, (str, Path)):
+            wal = WriteAheadLog(wal)
+        self._wal = wal
+        self._wal_buffer: list[tuple[str, int]] | None = None
         self.audit: list[AuditRecord] = []
         self.stats = ServiceStats()
 
     @classmethod
-    def build(cls, graph: Graph, landmarks) -> "HCLService":
+    def build(
+        cls,
+        graph: Graph,
+        landmarks,
+        wal: WriteAheadLog | str | Path | None = None,
+    ) -> "HCLService":
         """Build the underlying index and wrap it."""
-        return cls(DynamicHCL.build(graph, landmarks))
+        return cls(DynamicHCL.build(graph, landmarks), wal=wal)
 
     # ------------------------------------------------------------------
     # Request processing
@@ -153,50 +231,155 @@ class HCLService:
         """Hit/miss counters of the query cache."""
         return self._engine.stats
 
+    @property
+    def wal(self) -> WriteAheadLog | None:
+        """The attached write-ahead log, if any."""
+        return self._wal
+
+    def _validate_vertex(self, v, what: str = "vertex") -> None:
+        n = self._dyn.index.graph.n
+        if not isinstance(v, int) or not 0 <= v < n:
+            raise VertexError(f"{what} {v!r} out of range [0, {n})")
+
+    def _record_mutation(self, kind: str, vertex: int) -> None:
+        """Log one committed mutation (buffered inside rollback batches)."""
+        if self._wal_buffer is not None:
+            self._wal_buffer.append((kind, vertex))
+        elif self._wal is not None:
+            self._wal.append(kind, vertex)
+
+    def _execute(self, request: Request):
+        """Validate and run one request (no auditing here)."""
+        if isinstance(request, DistanceRequest):
+            self._validate_vertex(request.s, "source")
+            self._validate_vertex(request.t, "target")
+            result = self._engine.distance(request.s, request.t)
+            self.stats.queries += 1
+        elif isinstance(request, ConstrainedDistanceRequest):
+            self._validate_vertex(request.s, "source")
+            self._validate_vertex(request.t, "target")
+            result = self._engine.query(request.s, request.t)
+            self.stats.queries += 1
+        elif isinstance(request, BatchQueryRequest):
+            workers = request.workers
+            if workers is not None:
+                if workers <= 0:
+                    raise RequestError(
+                        f"workers must be positive, got {workers}"
+                    )
+                workers = min(workers, os.cpu_count() or 1)
+            n = self._dyn.index.graph.n
+            for i, (s, t) in enumerate(request.pairs):
+                if not (0 <= s < n and 0 <= t < n):
+                    raise VertexError(
+                        f"pair {i} = ({s}, {t}) out of range [0, {n})"
+                    )
+            result = self._engine.batch(
+                request.pairs, workers=workers, exact=request.exact
+            )
+            self.stats.queries += len(request.pairs)
+        elif isinstance(request, AddLandmarkRequest):
+            self._validate_vertex(request.vertex)
+            result = self._engine.add_landmark(request.vertex)
+            self.stats.mutations += 1
+            self._record_mutation("add", request.vertex)
+        elif isinstance(request, RemoveLandmarkRequest):
+            self._validate_vertex(request.vertex)
+            result = self._engine.remove_landmark(request.vertex)
+            self.stats.mutations += 1
+            self._record_mutation("remove", request.vertex)
+        else:
+            raise RequestError(f"unknown request type {type(request).__name__}")
+        return result
+
     def submit(self, request: Request):
-        """Process one request; raises on failure after auditing it."""
+        """Process one request; raises on failure after auditing it.
+
+        *Every* outcome is audited and counted, including exceptions that
+        are not part of the library hierarchy; those are re-raised wrapped
+        in :class:`~repro.errors.ServiceError` (with the original as
+        ``__cause__``) so callers only ever see ``ReproError`` subclasses.
+        Mutations are transactional: a failed one has already been rolled
+        back by the time the exception reaches the caller.
+        """
         start = time.perf_counter()
         try:
-            if isinstance(request, DistanceRequest):
-                result = self._engine.distance(request.s, request.t)
-                self.stats.queries += 1
-            elif isinstance(request, ConstrainedDistanceRequest):
-                result = self._engine.query(request.s, request.t)
-                self.stats.queries += 1
-            elif isinstance(request, BatchQueryRequest):
-                workers = request.workers
-                if workers is not None:
-                    workers = min(workers, os.cpu_count() or 1)
-                result = self._engine.batch(
-                    request.pairs, workers=workers, exact=request.exact
-                )
-                self.stats.queries += len(request.pairs)
-            elif isinstance(request, AddLandmarkRequest):
-                result = self._engine.add_landmark(request.vertex)
-                self.stats.mutations += 1
-            elif isinstance(request, RemoveLandmarkRequest):
-                result = self._engine.remove_landmark(request.vertex)
-                self.stats.mutations += 1
-            else:
-                raise ReproError(f"unknown request type {type(request).__name__}")
-        except ReproError as exc:
+            result = self._execute(request)
+        except Exception as exc:
             self.stats.failures += 1
             self.audit.append(
                 AuditRecord(
-                    request, None, time.perf_counter() - start, False, str(exc)
+                    request,
+                    None,
+                    time.perf_counter() - start,
+                    False,
+                    f"{type(exc).__name__}: {exc}",
                 )
             )
-            raise
+            if isinstance(exc, ReproError):
+                raise
+            raise ServiceError(
+                f"{type(request).__name__} failed unexpectedly: {exc}"
+            ) from exc
         self.audit.append(
             AuditRecord(request, result, time.perf_counter() - start, True)
         )
         return result
 
-    def submit_batch(self, requests) -> list[AuditRecord]:
-        """Process requests in order; stops at the first failure."""
+    def submit_batch(self, requests, on_error: str = "stop") -> list[AuditRecord]:
+        """Process requests in order with explicit failure semantics.
+
+        ``on_error`` selects what a failing request does to the batch:
+
+        * ``"stop"`` (default) — stop at the first failure and re-raise it;
+          earlier requests keep their effects.
+        * ``"rollback"`` — all-or-nothing: the whole batch runs inside one
+          index transaction, so a failure anywhere undoes *every* mutation
+          the batch already committed (update log and caches included),
+          then re-raises.  WAL writes are buffered and only flushed when
+          the batch commits, so the log never records undone mutations.
+        * ``"continue"`` — audit the failure and keep going; inspect the
+          returned records (``ok`` / ``error``) for the per-request
+          outcomes.
+
+        Returns the audit records of the processed requests.
+        """
+        if on_error not in ("stop", "rollback", "continue"):
+            raise RequestError(
+                f'on_error must be "stop", "rollback" or "continue", '
+                f"got {on_error!r}"
+            )
         before = len(self.audit)
-        for request in requests:
-            self.submit(request)
+        if on_error == "stop":
+            for request in requests:
+                self.submit(request)
+        elif on_error == "continue":
+            for request in requests:
+                try:
+                    self.submit(request)
+                except ReproError:
+                    pass  # audited by submit; batch keeps going
+        else:  # rollback
+            requests = list(requests)
+            log_before = self._dyn.log.count
+            mutations_before = self.stats.mutations
+            outer_buffer = self._wal_buffer
+            self._wal_buffer = []
+            try:
+                with IndexTransaction(self._dyn.index):
+                    for request in requests:
+                        self.submit(request)
+            except Exception:
+                # The transaction already restored the index; undo the
+                # bookkeeping of mutations that committed inside the batch.
+                self._wal_buffer = outer_buffer
+                self._dyn.truncate_log(log_before)
+                self.stats.mutations = mutations_before
+                raise
+            buffered = self._wal_buffer
+            self._wal_buffer = outer_buffer
+            for kind, vertex in buffered:
+                self._record_mutation(kind, vertex)
         return self.audit[before:]
 
     def query_batch(
@@ -221,16 +404,112 @@ class HCLService:
         )
 
     # ------------------------------------------------------------------
-    # Checkpointing
+    # Checkpointing & recovery
     # ------------------------------------------------------------------
-    def checkpoint(self, target: str | Path | BinaryIO) -> None:
-        """Persist the current index (binary format)."""
-        save_index_binary(self._dyn.index, target)
+    def checkpoint(
+        self, target: str | Path | BinaryIO, reset_wal: bool = False
+    ) -> None:
+        """Persist the current index (atomic, checksummed binary format).
+
+        The checkpoint header records the WAL position it includes, so a
+        later :meth:`recover` replays exactly the mutations committed
+        after this call.  ``reset_wal`` drops the now-redundant WAL
+        records once the checkpoint is safely on disk (sequence numbers
+        keep rising, so older checkpoints remain usable only up to their
+        own position).
+        """
+        wal_seq = self._wal.last_seq if self._wal is not None else 0
+        save_index_binary(self._dyn.index, target, wal_seq=wal_seq)
+        if reset_wal and self._wal is not None:
+            self._wal.reset()
 
     @classmethod
     def restore(
-        cls, graph: Graph, source: str | Path | BinaryIO
+        cls,
+        graph: Graph,
+        source: str | Path | BinaryIO,
+        wal: WriteAheadLog | str | Path | None = None,
     ) -> "HCLService":
-        """Recreate a service from a checkpoint, skipping BUILDHCL."""
+        """Recreate a service from a checkpoint, skipping BUILDHCL.
+
+        Plain restore: the checkpoint is loaded as-is and no WAL replay
+        happens — use :meth:`recover` to also re-apply mutations
+        committed after the checkpoint.
+        """
         index = load_index_binary(graph, source)
-        return cls(DynamicHCL(index))
+        return cls(DynamicHCL(index), wal=wal)
+
+    @classmethod
+    def recover(
+        cls,
+        graph: Graph,
+        checkpoint: str | Path | BinaryIO,
+        wal: WriteAheadLog | str | Path | None = None,
+        probe_pairs: int = 40,
+        probe_seed: int = 0,
+    ) -> RecoveryReport:
+        """Reconstruct a service from ``checkpoint + WAL`` after a crash.
+
+        Loads the checkpoint (corruption raises
+        :class:`~repro.errors.CheckpointError`, a wrong graph
+        :class:`~repro.errors.VertexError`), then replays the committed
+        WAL suffix — records with sequence numbers past the checkpoint's
+        ``wal_seq``.  A truncated or corrupt WAL *tail* is tolerated:
+        replay stops at the first bad record, exactly the
+        committed-prefix semantics fsync'd appends guarantee.  A committed
+        record that fails to re-apply means checkpoint and WAL disagree
+        and raises :class:`~repro.errors.RecoveryError`.
+
+        After replay a sampled cover-property probe (reusing
+        :func:`repro.core.invariants.check_cover_property`) grades the
+        recovered index; its verdict lands in the returned
+        :class:`RecoveryReport` together with replay statistics.  When
+        ``wal`` is given as a path, the recovered service continues
+        logging to it (the torn tail, if any, is repaired on open).
+        """
+        index, ckpt_seq = load_checkpoint(graph, checkpoint)
+        dyn = DynamicHCL(index)
+
+        if wal is None:
+            scan = WalScan((), truncated=False, good_bytes=0)
+        elif isinstance(wal, WriteAheadLog):
+            scan = wal.scan()
+        else:
+            scan = scan_wal(wal)
+
+        applied = 0
+        for record in scan.records:
+            if record.seq <= ckpt_seq:
+                continue
+            try:
+                if record.kind == "add":
+                    dyn.add_landmark(record.vertex)
+                else:
+                    dyn.remove_landmark(record.vertex)
+            except Exception as exc:
+                raise RecoveryError(
+                    f"WAL record seq={record.seq} "
+                    f"({record.kind} {record.vertex}) does not apply to "
+                    f"the checkpoint: {exc}"
+                ) from exc
+            applied += 1
+
+        probe_ok, probe_error = True, None
+        try:
+            check_cover_property(index, sample=probe_pairs, seed=probe_seed)
+        except CoverPropertyError as exc:
+            probe_ok, probe_error = False, str(exc)
+
+        if wal is not None and not isinstance(wal, WriteAheadLog):
+            wal = WriteAheadLog(wal)
+        service = cls(dyn, wal=wal)
+        return RecoveryReport(
+            service=service,
+            checkpoint_wal_seq=ckpt_seq,
+            wal_records_seen=len(scan.records),
+            wal_records_applied=applied,
+            wal_tail_truncated=scan.truncated,
+            probe_ok=probe_ok,
+            probe_error=probe_error,
+            landmarks=tuple(sorted(index.landmarks)),
+        )

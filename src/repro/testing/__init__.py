@@ -1,0 +1,27 @@
+"""Deterministic fault injection for crash-safety testing.
+
+This package is part of the *library*, not the test suite: downstream
+users embedding :mod:`repro` behind a service are expected to drive the
+same harness against their own deployment code, and every future change
+to the update algorithms is expected to keep passing under it.
+"""
+
+from .faults import (
+    InjectedFault,
+    WorkerFault,
+    corrupt_byte,
+    fail_at_label_write,
+    fail_at_phase,
+    inject_worker_fault,
+    truncate_tail,
+)
+
+__all__ = [
+    "InjectedFault",
+    "WorkerFault",
+    "corrupt_byte",
+    "fail_at_label_write",
+    "fail_at_phase",
+    "inject_worker_fault",
+    "truncate_tail",
+]

@@ -1,0 +1,208 @@
+"""Deterministic fault injection for the crash-safety layer.
+
+Failure handling that is only exercised by real crashes is failure
+handling that silently rots.  This module turns the interesting crash
+sites into *repeatable* test inputs:
+
+* :func:`fail_at_label_write` — raise on the N-th label write, anywhere in
+  the process: mid-``UPGRADE-LMK``, mid-``DOWNGRADE-LMK``, mid-merge.
+  This is the workhorse for proving transactional rollback.
+* :func:`fail_at_phase` — raise exactly at a named internal phase boundary
+  of Algorithm 1/2 (``"highway"``/``"search"`` in upgrade, ``"sweep"`` in
+  downgrade), the nastiest partial states the algorithms pass through.
+* :class:`WorkerFault` + :func:`inject_worker_fault` — make a chosen
+  parallel-build task raise, or kill its worker process outright
+  (``BrokenProcessPool``), on chosen attempts only, to drive the
+  retry/serial-fallback machinery of
+  :func:`~repro.core.build.build_hcl_parallel`.
+* :func:`corrupt_byte` / :func:`truncate_tail` — bit-flip or truncate
+  on-disk artifacts (checkpoints, WALs) the way dying disks and dying
+  processes do.
+
+All injection is scoped by context managers that restore the patched seam
+on exit, so a failing assertion cannot leak a fault into the next test.
+Faults raise :class:`InjectedFault`, which is deliberately *not* a
+:class:`~repro.errors.ReproError`: it exercises the foreign-exception
+paths (wrapping, auditing) that real bugs take.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterator
+
+__all__ = [
+    "InjectedFault",
+    "WorkerFault",
+    "corrupt_byte",
+    "fail_at_label_write",
+    "fail_at_phase",
+    "inject_worker_fault",
+    "truncate_tail",
+]
+
+
+class InjectedFault(Exception):
+    """A deliberately injected failure.
+
+    Intentionally outside the ``ReproError`` hierarchy so tests observe
+    how the library treats exceptions it does not own.
+    """
+
+
+# ----------------------------------------------------------------------
+# In-process faults
+# ----------------------------------------------------------------------
+@contextmanager
+def fail_at_label_write(
+    nth: int, exc: Callable[[str], Exception] = InjectedFault
+) -> Iterator[dict]:
+    """Raise on the ``nth`` (1-based) label write inside the block.
+
+    Counts every :meth:`~repro.core.labeling.Labeling.add_entry` and
+    :meth:`~repro.core.labeling.Labeling.remove_entry` call on *any*
+    labeling, so the fault lands mid-algorithm wherever the count says —
+    sweep ``nth`` over a range to march a crash through an entire update.
+    Yields the counter state dict (key ``"writes"``) for assertions.
+    """
+    from ..core.labeling import Labeling
+
+    if nth < 1:
+        raise ValueError(f"nth must be >= 1, got {nth}")
+    state = {"writes": 0}
+    orig_add = Labeling.add_entry
+    orig_remove = Labeling.remove_entry
+
+    def counting(orig):
+        def wrapper(self, *args, **kwargs):
+            state["writes"] += 1
+            if state["writes"] == nth:
+                raise exc(f"injected fault at label write {nth}")
+            return orig(self, *args, **kwargs)
+
+        return wrapper
+
+    Labeling.add_entry = counting(orig_add)
+    Labeling.remove_entry = counting(orig_remove)
+    try:
+        yield state
+    finally:
+        Labeling.add_entry = orig_add
+        Labeling.remove_entry = orig_remove
+
+
+@contextmanager
+def fail_at_phase(
+    phase: str, exc: Callable[[str], Exception] = InjectedFault
+) -> Iterator[None]:
+    """Raise when Algorithm 1/2 reports the named phase boundary.
+
+    Valid names: ``"highway"`` and ``"search"`` (``UPGRADE-LMK``),
+    ``"sweep"`` (``DOWNGRADE-LMK``).  The exception fires *after* the
+    phase completes — precisely the partial-yet-internally-consistent
+    states a crash would freeze.
+    """
+    from ..core import downgrade, upgrade
+
+    def hook(name: str) -> None:
+        if name == phase:
+            raise exc(f"injected fault at phase boundary {phase!r}")
+
+    old_up, old_down = upgrade._PHASE_HOOK, downgrade._PHASE_HOOK
+    upgrade._PHASE_HOOK = hook
+    downgrade._PHASE_HOOK = hook
+    try:
+        yield
+    finally:
+        upgrade._PHASE_HOOK = old_up
+        downgrade._PHASE_HOOK = old_down
+
+
+# ----------------------------------------------------------------------
+# Parallel-build worker faults
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class WorkerFault:
+    """Kill or fail one parallel-build task on selected attempts.
+
+    ``kind`` is ``"raise"`` (the task raises :class:`InjectedFault` in the
+    worker; the pool survives) or ``"kill"`` (the worker process exits
+    hard via ``os._exit``, poisoning the pool — the ``BrokenProcessPool``
+    path).  ``index`` is the position in the landmark list, ``attempts``
+    the pool attempts (0-based) on which the fault fires — the default
+    ``(0,)`` fails the first attempt and lets retries succeed; use
+    ``attempts=range(100)`` to defeat every retry and force the serial
+    fallback.
+    """
+
+    kind: str
+    index: int
+    attempts: tuple[int, ...] = (0,)
+
+    def __post_init__(self):
+        if self.kind not in ("raise", "kill"):
+            raise ValueError(f"unknown worker fault kind {self.kind!r}")
+        object.__setattr__(self, "attempts", tuple(self.attempts))
+
+    def fire(self, task_index: int, attempt: int) -> None:
+        """Called inside the worker for every task; faults if matched."""
+        if task_index != self.index or attempt not in self.attempts:
+            return
+        if self.kind == "raise":
+            raise InjectedFault(
+                f"injected worker fault: task {task_index}, "
+                f"attempt {attempt}"
+            )
+        os._exit(17)  # "kill": die without cleanup, as a crash would
+
+
+@contextmanager
+def inject_worker_fault(fault: WorkerFault) -> Iterator[None]:
+    """Arm ``fault`` for :func:`~repro.core.build.build_hcl_parallel`.
+
+    The fault object travels to pool workers through the pool initializer,
+    so it works under both ``fork`` and ``spawn`` start methods.
+    """
+    from ..core import build
+
+    old = build._WORKER_FAULT
+    build._WORKER_FAULT = fault
+    try:
+        yield
+    finally:
+        build._WORKER_FAULT = old
+
+
+# ----------------------------------------------------------------------
+# On-disk corruption
+# ----------------------------------------------------------------------
+def corrupt_byte(path: str | Path, offset: int, xor: int = 0xFF) -> None:
+    """Flip bits of the byte at ``offset`` (negative offsets count from
+    the end), simulating silent media corruption."""
+    path = Path(path)
+    size = path.stat().st_size
+    if offset < 0:
+        offset += size
+    if not 0 <= offset < size:
+        raise ValueError(f"offset {offset} outside file of {size} bytes")
+    if not 1 <= xor <= 0xFF:
+        raise ValueError(f"xor mask must be in [1, 255], got {xor}")
+    with open(path, "r+b") as fh:
+        fh.seek(offset)
+        byte = fh.read(1)[0]
+        fh.seek(offset)
+        fh.write(bytes([byte ^ xor]))
+
+
+def truncate_tail(path: str | Path, nbytes: int) -> None:
+    """Chop the last ``nbytes`` bytes off a file, simulating a torn write
+    (a crash mid-append leaves exactly this)."""
+    path = Path(path)
+    size = path.stat().st_size
+    if not 0 <= nbytes <= size:
+        raise ValueError(f"cannot drop {nbytes} bytes of a {size}-byte file")
+    with open(path, "r+b") as fh:
+        fh.truncate(size - nbytes)

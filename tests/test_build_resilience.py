@@ -1,0 +1,88 @@
+"""Parallel-build resilience: retries and serial fallback stay byte-exact."""
+
+import io
+
+import pytest
+
+from conftest import grid_graph, random_graph
+from repro.core import build_hcl
+from repro.core.build import build_hcl_parallel
+from repro.core.serialization import save_index_binary
+from repro.testing import WorkerFault, inject_worker_fault
+
+
+def serialized(index) -> bytes:
+    buf = io.BytesIO()
+    save_index_binary(index, buf)
+    return buf.getvalue()
+
+
+@pytest.fixture(scope="module")
+def workload():
+    g = grid_graph(5, 6)
+    landmarks = [0, 7, 14, 21, 29]
+    return g, landmarks, serialized(build_hcl(g, landmarks))
+
+
+class TestFaultFreePath:
+    def test_parallel_matches_serial_bytes(self, workload):
+        g, landmarks, expected = workload
+        index = build_hcl_parallel(g, landmarks, workers=3)
+        assert serialized(index) == expected
+
+    def test_single_worker_short_circuits(self, workload):
+        g, landmarks, expected = workload
+        assert serialized(build_hcl_parallel(g, landmarks, workers=1)) == expected
+
+
+class TestInjectedWorkerFaults:
+    def test_raising_task_is_retried(self, workload):
+        g, landmarks, expected = workload
+        with inject_worker_fault(WorkerFault("raise", index=2)):
+            index = build_hcl_parallel(g, landmarks, workers=3)
+        assert serialized(index) == expected
+
+    def test_killed_worker_is_retried(self, workload):
+        g, landmarks, expected = workload
+        with inject_worker_fault(WorkerFault("kill", index=1)):
+            index = build_hcl_parallel(g, landmarks, workers=3)
+        assert serialized(index) == expected
+
+    def test_raise_on_every_attempt_falls_back_to_serial(self, workload):
+        g, landmarks, expected = workload
+        fault = WorkerFault("raise", index=3, attempts=tuple(range(100)))
+        with inject_worker_fault(fault):
+            index = build_hcl_parallel(g, landmarks, workers=3)
+        assert serialized(index) == expected
+
+    def test_kill_on_every_attempt_falls_back_to_serial(self, workload):
+        g, landmarks, expected = workload
+        fault = WorkerFault("kill", index=0, attempts=tuple(range(100)))
+        with inject_worker_fault(fault):
+            index = build_hcl_parallel(g, landmarks, workers=3)
+        assert serialized(index) == expected
+
+    def test_zero_retries_still_completes_serially(self, workload):
+        g, landmarks, expected = workload
+        fault = WorkerFault("raise", index=2, attempts=tuple(range(100)))
+        with inject_worker_fault(fault):
+            index = build_hcl_parallel(
+                g, landmarks, workers=3, max_retries=0
+            )
+        assert serialized(index) == expected
+
+
+@pytest.mark.slow
+class TestFaultSweep:
+    """Heavier sweep: every task index, both fault kinds, random graphs."""
+
+    @pytest.mark.parametrize("kind", ["raise", "kill"])
+    @pytest.mark.parametrize("seed", [1, 2])
+    def test_every_task_position(self, kind, seed):
+        g = random_graph(seed + 200, n_lo=20, n_hi=30)
+        landmarks = sorted({0, g.n // 3, g.n // 2, g.n - 1})
+        expected = serialized(build_hcl(g, landmarks))
+        for i in range(len(landmarks)):
+            with inject_worker_fault(WorkerFault(kind, index=i)):
+                index = build_hcl_parallel(g, landmarks, workers=2)
+            assert serialized(index) == expected, (kind, i)

@@ -1,0 +1,173 @@
+"""Checkpoint format tests: atomicity, checksums, edge-case round-trips."""
+
+import io
+import random
+
+import pytest
+
+from conftest import grid_graph, path_graph, random_graph
+from repro.core import build_hcl, load_checkpoint, save_checkpoint
+from repro.core.serialization import (
+    _BINARY_MAGIC,
+    _BINARY_MAGIC_V1,
+    _pack_payload,
+    load_index_binary,
+)
+from repro.errors import CheckpointError, ParseError, VertexError
+from repro.graphs import Graph
+from repro.testing import corrupt_byte, truncate_tail
+
+
+def float_path(n: int, seed: int = 0) -> Graph:
+    rng = random.Random(seed)
+    return path_graph(n, weights=[rng.uniform(0.1, 10.0) for _ in range(n - 1)])
+
+
+class TestRoundTrip:
+    def test_path_round_trip_with_wal_seq(self, tmp_path):
+        g = grid_graph(3, 4)
+        index = build_hcl(g, [0, 11])
+        target = tmp_path / "index.ckpt"
+        save_checkpoint(index, target, wal_seq=42)
+        loaded, seq = load_checkpoint(g, target)
+        assert seq == 42
+        assert loaded.structurally_equal(index)
+
+    def test_empty_landmark_set(self, tmp_path):
+        g = grid_graph(3, 3)
+        index = build_hcl(g, [])
+        target = tmp_path / "empty.ckpt"
+        save_checkpoint(index, target)
+        loaded, seq = load_checkpoint(g, target)
+        assert seq == 0
+        assert loaded.landmarks == set()
+        assert loaded.structurally_equal(index)
+
+    def test_float_weights_bit_exact(self, tmp_path):
+        g = float_path(9, seed=3)
+        index = build_hcl(g, [0, 4, 8])
+        target = tmp_path / "float.ckpt"
+        save_checkpoint(index, target)
+        loaded, _ = load_checkpoint(g, target)
+        # float distances must survive the round trip bit-for-bit
+        for v in range(g.n):
+            assert loaded.labeling.label(v) == index.labeling.label(v)
+        assert loaded.structurally_equal(index)
+
+    def test_in_memory_binary_io(self):
+        g = random_graph(11)
+        index = build_hcl(g, [0, g.n - 1])
+        buf = io.BytesIO()
+        save_checkpoint(index, buf, wal_seq=7)
+        buf.seek(0)
+        loaded, seq = load_checkpoint(g, buf)
+        assert seq == 7
+        assert loaded.structurally_equal(index)
+
+    def test_restore_into_wrong_graph_raises(self, tmp_path):
+        g = grid_graph(3, 4)
+        index = build_hcl(g, [0])
+        target = tmp_path / "index.ckpt"
+        save_checkpoint(index, target)
+        with pytest.raises(VertexError):
+            load_checkpoint(grid_graph(3, 5), target)
+
+    def test_v1_format_still_loads(self, tmp_path):
+        g = grid_graph(3, 3)
+        index = build_hcl(g, [0, 8])
+        legacy = tmp_path / "legacy.bin"
+        legacy.write_bytes(_BINARY_MAGIC_V1 + _pack_payload(index))
+        loaded, seq = load_checkpoint(g, legacy)
+        assert seq == 0  # v1 carries no WAL position
+        assert loaded.structurally_equal(index)
+        assert load_index_binary(g, legacy).structurally_equal(index)
+
+    def test_deterministic_bytes(self, tmp_path):
+        # Same (G, R) -> same file, independent of insertion history.
+        g = random_graph(17)
+        a = build_hcl(g, [0, 1, g.n - 1])
+        b = build_hcl(g, [g.n - 1, 1, 0])
+        pa, pb = tmp_path / "a.ckpt", tmp_path / "b.ckpt"
+        save_checkpoint(a, pa)
+        save_checkpoint(b, pb)
+        assert pa.read_bytes() == pb.read_bytes()
+
+
+class TestCorruption:
+    @pytest.fixture
+    def ckpt(self, tmp_path):
+        g = grid_graph(4, 4)
+        index = build_hcl(g, [0, 5, 15])
+        target = tmp_path / "index.ckpt"
+        save_checkpoint(index, target, wal_seq=3)
+        return g, target
+
+    def test_flipped_payload_byte_raises(self, ckpt):
+        g, target = ckpt
+        corrupt_byte(target, 40)  # somewhere in the payload
+        with pytest.raises(CheckpointError, match="CRC"):
+            load_checkpoint(g, target)
+
+    def test_flipped_tail_byte_raises(self, ckpt):
+        g, target = ckpt
+        corrupt_byte(target, -1)
+        with pytest.raises(CheckpointError):
+            load_checkpoint(g, target)
+
+    def test_flipped_magic_raises_parse_error(self, ckpt):
+        g, target = ckpt
+        corrupt_byte(target, 0)
+        with pytest.raises(ParseError):
+            load_checkpoint(g, target)
+
+    def test_truncated_header_raises(self, ckpt):
+        g, target = ckpt
+        size = target.stat().st_size
+        truncate_tail(target, size - 10)  # keep magic + header fragment
+        with pytest.raises(CheckpointError):
+            load_checkpoint(g, target)
+
+    def test_truncated_payload_raises(self, ckpt):
+        g, target = ckpt
+        truncate_tail(target, 12)
+        with pytest.raises(CheckpointError):
+            load_checkpoint(g, target)
+
+    def test_trailing_garbage_raises(self, ckpt):
+        g, target = ckpt
+        with open(target, "ab") as fh:
+            fh.write(b"\x00\x01\x02")
+        with pytest.raises(CheckpointError):
+            load_checkpoint(g, target)
+
+    def test_checkpoint_error_is_a_parse_error(self):
+        # Pre-existing `except ParseError` handlers keep catching
+        # checkpoint corruption.
+        assert issubclass(CheckpointError, ParseError)
+
+
+class TestAtomicity:
+    def test_failed_save_leaves_old_checkpoint_intact(self, tmp_path, monkeypatch):
+        g = grid_graph(3, 3)
+        index = build_hcl(g, [0])
+        target = tmp_path / "index.ckpt"
+        save_checkpoint(index, target, wal_seq=1)
+        good = target.read_bytes()
+
+        import repro.core.serialization as ser
+
+        def exploding_replace(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(ser.os, "replace", exploding_replace)
+        with pytest.raises(OSError):
+            save_checkpoint(build_hcl(g, [0, 8]), target, wal_seq=2)
+        # the old checkpoint is untouched and no temp litter remains
+        assert target.read_bytes() == good
+        assert [p.name for p in tmp_path.iterdir()] == ["index.ckpt"]
+
+    def test_new_magic_is_v2(self, tmp_path):
+        g = grid_graph(3, 3)
+        target = tmp_path / "index.ckpt"
+        save_checkpoint(build_hcl(g, [0]), target)
+        assert target.read_bytes()[: len(_BINARY_MAGIC)] == _BINARY_MAGIC

@@ -1,0 +1,105 @@
+"""Regression coverage for the float-weight minimality gap.
+
+On float-weighted graphs the dynamic algorithms' strict-``<`` pruning is
+ulp-sensitive: summed path weights that are mathematically equal can
+differ in the last bit depending on summation order, so
+``UPGRADE-LMK`` occasionally *keeps* a label entry that a from-scratch
+``BUILDHCL`` prunes (see the ROADMAP note).  The kept entries are true
+distances — queries stay exact — the index is merely non-minimal by a few
+entries.
+
+The seeds below were found by exhaustive search: each produces a
+float-weighted graph where the upgraded index differs *exactly* from the
+rebuild but matches under ``structurally_equal(..., rel_tol=1e-9)``.  The
+xfail case documents the exact-mode gap; if it ever XPASSes, the pruning
+was made tolerance-aware and the ROADMAP entry can be closed.
+"""
+
+import random
+
+import pytest
+
+from repro.core import build_hcl, upgrade_landmark
+from repro.graphs import Graph, erdos_renyi
+
+# (seed, expected_n) pairs where upgrade-vs-rebuild diverges exactly.
+DIVERGING_SEEDS = [(5, 31), (7, 22), (8, 19), (9, 26), (10, 30)]
+
+
+def float_graph(seed: int, n_lo: int = 12, n_hi: int = 40) -> Graph:
+    rng = random.Random(seed)
+    n = rng.randint(n_lo, n_hi)
+    base = erdos_renyi(n, rng.uniform(2.0, 5.0), seed=seed)
+    g = Graph(base.n, unweighted=False)
+    for u, v, _ in base.edges():
+        g.add_edge(u, v, rng.uniform(0.1, 10.0))
+    return g
+
+
+def upgrade_scenario(seed: int):
+    """Build the (upgraded, rebuilt) index pair for one seed."""
+    g = float_graph(seed)
+    rng = random.Random(seed + 10**6)
+    verts = list(range(g.n))
+    rng.shuffle(verts)
+    k = rng.randint(2, max(2, g.n // 4))
+    initial, new = verts[:k], verts[k]
+    upgraded = build_hcl(g, sorted(initial))
+    upgrade_landmark(upgraded, new)
+    rebuilt = build_hcl(g, sorted(initial + [new]))
+    return g, upgraded, rebuilt
+
+
+@pytest.mark.parametrize("seed,n", DIVERGING_SEEDS)
+class TestFloatUpgrade:
+    def test_matches_rebuild_within_tolerance(self, seed, n):
+        g, upgraded, rebuilt = upgrade_scenario(seed)
+        assert g.n == n  # the scenario is the one the search found
+        assert upgraded.structurally_equal(rebuilt, rel_tol=1e-9)
+        assert rebuilt.structurally_equal(upgraded, rel_tol=1e-9)
+
+    @pytest.mark.xfail(
+        reason="known gap: strict-< pruning is ulp-sensitive on float "
+        "weights, so UPGRADE-LMK keeps entries a fresh BUILDHCL prunes "
+        "(ROADMAP: float-weight minimality)",
+        strict=True,
+    )
+    def test_matches_rebuild_exactly(self, seed, n):
+        _, upgraded, rebuilt = upgrade_scenario(seed)
+        assert upgraded.structurally_equal(rebuilt)
+
+    def test_queries_stay_exact_despite_extra_entries(self, seed, n):
+        # The surplus entries are true distances: every landmark-constrained
+        # answer of the upgraded index equals the rebuilt index's.
+        g, upgraded, rebuilt = upgrade_scenario(seed)
+        rng = random.Random(seed)
+        for _ in range(50):
+            s, t = rng.randrange(g.n), rng.randrange(g.n)
+            assert upgraded.query(s, t) == pytest.approx(
+                rebuilt.query(s, t), rel=1e-9
+            )
+
+
+class TestToleranceModeIsNotALoophole:
+    def test_wrong_distance_still_fails(self):
+        g, upgraded, rebuilt = upgrade_scenario(5)
+        v = next(
+            v for v in range(g.n)
+            if not rebuilt.is_landmark(v) and rebuilt.labeling.label(v)
+        )
+        r, d = next(iter(rebuilt.labeling.label(v).items()))
+        rebuilt.labeling.add_entry(v, r, d * 1.5)  # genuinely wrong entry
+        assert not upgraded.structurally_equal(rebuilt, rel_tol=1e-9)
+
+    def test_different_landmark_sets_fail(self):
+        g = float_graph(5)
+        a = build_hcl(g, [0, 1])
+        b = build_hcl(g, [0, 2])
+        assert not a.structurally_equal(b, rel_tol=1e-9)
+
+    def test_exact_mode_unchanged_for_identical_indexes(self):
+        g = float_graph(7)
+        a = build_hcl(g, [0, 1, 2])
+        b = build_hcl(g, [2, 1, 0])
+        assert a.structurally_equal(b)
+        assert a.structurally_equal(b, rel_tol=1e-9)

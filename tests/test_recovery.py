@@ -1,0 +1,150 @@
+"""End-to-end crash-recovery tests: checkpoint + WAL replay."""
+
+import pytest
+
+from conftest import grid_graph, random_graph
+from repro.core import build_hcl
+from repro.core.wal import WriteAheadLog, scan_wal
+from repro.errors import CheckpointError, RecoveryError, VertexError
+from repro.service import (
+    AddLandmarkRequest,
+    HCLService,
+    RemoveLandmarkRequest,
+)
+from repro.testing import corrupt_byte, truncate_tail
+
+
+@pytest.fixture
+def crashed_deployment(tmp_path):
+    """A service that checkpointed, committed more mutations, then died.
+
+    Returns ``(graph, ckpt_path, wal_path, final_landmarks)`` where
+    ``final_landmarks`` is the landmark set after every committed
+    mutation.
+    """
+    g = grid_graph(4, 5)
+    ckpt, wal = tmp_path / "index.ckpt", tmp_path / "index.wal"
+    svc = HCLService.build(g, [0, 19], wal=wal)
+    svc.submit(AddLandmarkRequest(7))
+    svc.checkpoint(ckpt)  # checkpoint includes seq 1
+    svc.submit(AddLandmarkRequest(12))
+    svc.submit(RemoveLandmarkRequest(7))
+    svc.submit(AddLandmarkRequest(3))
+    svc.wal.close()  # the "crash"
+    return g, ckpt, wal, {0, 3, 12, 19}
+
+
+class TestRecover:
+    def test_full_replay(self, crashed_deployment):
+        g, ckpt, wal, final = crashed_deployment
+        report = HCLService.recover(g, ckpt, wal)
+        assert report.checkpoint_wal_seq == 1
+        assert report.wal_records_seen == 4
+        assert report.wal_records_applied == 3  # seq 2..4
+        assert not report.wal_tail_truncated
+        assert report.probe_ok and report.probe_error is None
+        assert set(report.landmarks) == final
+        # recovered state is byte-identical to a from-scratch build
+        recovered = report.service._dyn.index
+        assert recovered.structurally_equal(build_hcl(g, sorted(final)))
+
+    def test_truncated_tail_replays_committed_prefix(self, crashed_deployment):
+        g, ckpt, wal, _ = crashed_deployment
+        truncate_tail(wal, 5)  # tear the last record (add 3)
+        report = HCLService.recover(g, ckpt, wal)
+        assert report.wal_tail_truncated
+        assert report.wal_records_seen == 3
+        assert report.wal_records_applied == 2
+        assert set(report.landmarks) == {0, 12, 19}
+        assert report.service._dyn.index.structurally_equal(
+            build_hcl(g, [0, 12, 19])
+        )
+
+    def test_corrupt_wal_record_stops_replay_there(self, crashed_deployment):
+        g, ckpt, wal, _ = crashed_deployment
+        # corrupt the third record's body: replay stops after seq 2
+        corrupt_byte(wal, 5 + 2 * 17 + 3)
+        report = HCLService.recover(g, ckpt, wal)
+        assert report.wal_tail_truncated
+        assert report.wal_records_applied == 1  # only seq 2
+        assert set(report.landmarks) == {0, 7, 12, 19}
+
+    def test_corrupt_checkpoint_raises_typed_error(self, crashed_deployment):
+        g, ckpt, wal, _ = crashed_deployment
+        corrupt_byte(ckpt, 30)
+        with pytest.raises(CheckpointError):
+            HCLService.recover(g, ckpt, wal)
+
+    def test_wrong_graph_raises(self, crashed_deployment):
+        _, ckpt, wal, _ = crashed_deployment
+        with pytest.raises(VertexError):
+            HCLService.recover(grid_graph(5, 5), ckpt, wal)
+
+    def test_missing_wal_recovers_checkpoint_only(self, crashed_deployment):
+        g, ckpt, wal, _ = crashed_deployment
+        wal.unlink()
+        report = HCLService.recover(g, ckpt, wal)
+        assert report.wal_records_seen == 0
+        assert set(report.landmarks) == {0, 7, 19}
+
+    def test_no_wal_argument(self, crashed_deployment):
+        g, ckpt, _, _ = crashed_deployment
+        report = HCLService.recover(g, ckpt)
+        assert report.wal_records_applied == 0
+        assert set(report.landmarks) == {0, 7, 19}
+
+    def test_inapplicable_record_raises_recovery_error(self, tmp_path):
+        g = grid_graph(3, 4)
+        ckpt, wal_path = tmp_path / "c.ckpt", tmp_path / "w.wal"
+        svc = HCLService.build(g, [0], wal=wal_path)
+        svc.checkpoint(ckpt)
+        # Forge a committed record that contradicts the checkpoint:
+        # removing a vertex that is not a landmark cannot replay.
+        svc.wal.append("remove", 5)
+        svc.wal.close()
+        with pytest.raises(RecoveryError, match="seq=1"):
+            HCLService.recover(g, ckpt, wal_path)
+
+    def test_recovered_service_keeps_logging(self, crashed_deployment, tmp_path):
+        g, ckpt, wal, _ = crashed_deployment
+        report = HCLService.recover(g, ckpt, wal)
+        svc = report.service
+        assert svc.wal is not None
+        svc.submit(RemoveLandmarkRequest(12))
+        svc.wal.close()
+        scan = scan_wal(wal)
+        assert [r.seq for r in scan.records] == [1, 2, 3, 4, 5]
+        assert (scan.records[-1].kind, scan.records[-1].vertex) == ("remove", 12)
+
+    def test_recover_after_checkpoint_with_reset(self, tmp_path):
+        g = grid_graph(4, 4)
+        ckpt, wal_path = tmp_path / "c.ckpt", tmp_path / "w.wal"
+        svc = HCLService.build(g, [0], wal=wal_path)
+        svc.submit(AddLandmarkRequest(5))
+        svc.checkpoint(ckpt, reset_wal=True)
+        svc.submit(AddLandmarkRequest(10))
+        svc.wal.close()
+        report = HCLService.recover(g, ckpt, wal_path)
+        assert report.checkpoint_wal_seq == 1
+        assert report.wal_records_seen == 1  # reset dropped seq 1
+        assert report.wal_records_applied == 1  # seq 2 replays
+        assert set(report.landmarks) == {0, 5, 10}
+
+    def test_probe_detects_sabotage(self, tmp_path):
+        g = random_graph(23, n_lo=15, n_hi=25)
+        ckpt = tmp_path / "c.ckpt"
+        svc = HCLService.build(g, [0, g.n - 1])
+        svc.checkpoint(ckpt)
+        report = HCLService.recover(g, ckpt)
+        # sabotage the recovered labeling, then re-probe via a fresh recover
+        idx = report.service._dyn.index
+        victim = next(
+            v for v in range(g.n) if not idx.is_landmark(v)
+            and idx.labeling.label(v)
+        )
+        idx.labeling.clear_vertex(victim)
+        svc2 = HCLService(report.service._dyn)
+        svc2.checkpoint(ckpt)
+        damaged = HCLService.recover(g, ckpt, probe_pairs=500, probe_seed=3)
+        assert not damaged.probe_ok
+        assert damaged.probe_error is not None

@@ -1,0 +1,197 @@
+"""Tests for transactional (all-or-nothing) index mutations."""
+
+import io
+
+import pytest
+
+from conftest import cycle_graph, grid_graph, random_graph
+from repro.core import DynamicHCL, build_hcl
+from repro.core.serialization import save_index_binary
+from repro.core.transaction import IndexTransaction
+from repro.core.upgrade import upgrade_landmark
+from repro.errors import LandmarkError, TransactionError
+from repro.testing import InjectedFault, fail_at_label_write, fail_at_phase
+
+
+def serialized(index) -> bytes:
+    buf = io.BytesIO()
+    save_index_binary(index, buf)
+    return buf.getvalue()
+
+
+class TestIndexTransaction:
+    def test_commit_keeps_changes(self):
+        g = cycle_graph(8)
+        index = build_hcl(g, [0])
+        with IndexTransaction(index):
+            upgrade_landmark(index, 4)
+        assert index.landmarks == {0, 4}
+        assert serialized(index) == serialized(build_hcl(g, [0, 4]))
+
+    def test_rollback_restores_bytes(self):
+        g = grid_graph(4, 5)
+        index = build_hcl(g, [0, 7])
+        before = serialized(index)
+        with pytest.raises(TransactionError):
+            with IndexTransaction(index):
+                with fail_at_label_write(5):
+                    upgrade_landmark(index, 13)
+        assert serialized(index) == before
+
+    def test_library_errors_keep_their_type(self):
+        g = cycle_graph(6)
+        index = build_hcl(g, [0])
+        with pytest.raises(LandmarkError):
+            with IndexTransaction(index):
+                upgrade_landmark(index, 0)  # already a landmark
+
+    def test_foreign_errors_wrapped_with_cause(self):
+        g = cycle_graph(6)
+        index = build_hcl(g, [0])
+        try:
+            with IndexTransaction(index):
+                upgrade_landmark(index, 3)
+                raise ValueError("boom")
+        except TransactionError as exc:
+            assert isinstance(exc.__cause__, ValueError)
+        else:  # pragma: no cover
+            pytest.fail("expected TransactionError")
+        # the committed-inside-the-block upgrade was rolled back too
+        assert index.landmarks == {0}
+
+    def test_nested_transaction_joins_outer(self):
+        g = cycle_graph(10)
+        index = build_hcl(g, [0])
+        before = serialized(index)
+        with pytest.raises(TransactionError):
+            with IndexTransaction(index):
+                with IndexTransaction(index):  # no-op: joins the outer txn
+                    upgrade_landmark(index, 5)
+                raise InjectedFault("outer fails after inner committed")
+        assert serialized(index) == before
+
+    def test_journal_detached_after_exit(self):
+        g = cycle_graph(6)
+        index = build_hcl(g, [0])
+        with IndexTransaction(index):
+            upgrade_landmark(index, 2)
+        assert index.labeling._journal is None
+        assert index.highway._journal is None
+        # post-transaction mutations are not journaled (and don't leak)
+        upgrade_landmark(index, 4)
+        assert index.landmarks == {0, 2, 4}
+
+
+class TestMarchingFaults:
+    """Sweep an injected crash through every write of an update."""
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_upgrade_rolls_back_at_every_write(self, seed):
+        g = random_graph(seed, n_lo=10, n_hi=18)
+        landmarks = [0, g.n - 1]
+        new = g.n // 2
+        nth = 0
+        while True:
+            nth += 1
+            index = build_hcl(g, landmarks)
+            before = serialized(index)
+            try:
+                with fail_at_label_write(nth) as state:
+                    with IndexTransaction(index):
+                        upgrade_landmark(index, new)
+            except TransactionError:
+                assert serialized(index) == before
+                continue
+            # fault count exceeded the update's writes: it ran clean
+            assert state["writes"] < nth
+            assert serialized(index) == serialized(
+                build_hcl(g, sorted(landmarks + [new]))
+            )
+            break
+        assert nth > 1  # the sweep exercised at least one failing position
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_downgrade_rolls_back_at_every_write(self, seed):
+        g = random_graph(seed + 50, n_lo=10, n_hi=18)
+        landmarks = sorted({0, g.n // 3, g.n - 1})
+        victim = landmarks[1]
+        nth = 0
+        while True:
+            nth += 1
+            dyn = DynamicHCL.build(g, landmarks)
+            before = serialized(dyn.index)
+            try:
+                with fail_at_label_write(nth):
+                    dyn.remove_landmark(victim)
+            except TransactionError:
+                assert serialized(dyn.index) == before
+                assert dyn.log.count == 0  # failed update leaves no record
+                continue
+            remaining = [r for r in landmarks if r != victim]
+            assert serialized(dyn.index) == serialized(build_hcl(g, remaining))
+            break
+        assert nth > 1
+
+    @pytest.mark.parametrize("phase", ["highway", "search"])
+    def test_upgrade_phase_boundary_rolls_back(self, phase):
+        g = grid_graph(4, 4)
+        dyn = DynamicHCL.build(g, [0, 15])
+        before = serialized(dyn.index)
+        with pytest.raises(TransactionError):
+            with fail_at_phase(phase):
+                dyn.add_landmark(9)
+        assert serialized(dyn.index) == before
+        assert dyn.landmarks == {0, 15}
+
+    def test_downgrade_phase_boundary_rolls_back(self):
+        g = grid_graph(4, 4)
+        dyn = DynamicHCL.build(g, [0, 5, 15])
+        before = serialized(dyn.index)
+        with pytest.raises(TransactionError):
+            with fail_at_phase("sweep"):
+                dyn.remove_landmark(5)
+        assert serialized(dyn.index) == before
+        assert dyn.landmarks == {0, 5, 15}
+
+
+class TestDynamicHCLTransactions:
+    def test_failed_update_appends_no_log_record(self):
+        g = cycle_graph(8)
+        dyn = DynamicHCL.build(g, [0])
+        with pytest.raises(TransactionError):
+            with fail_at_label_write(2):
+                dyn.add_landmark(4)
+        assert dyn.log.count == 0
+        dyn.add_landmark(4)
+        assert dyn.log.count == 1
+
+    def test_version_bumps_on_commit_only(self):
+        g = cycle_graph(8)
+        dyn = DynamicHCL.build(g, [0])
+        v0 = dyn.version
+        with pytest.raises(TransactionError):
+            with fail_at_label_write(2):
+                dyn.add_landmark(4)
+        assert dyn.version == v0  # rolled back to the identical state
+        dyn.add_landmark(4)
+        assert dyn.version == v0 + 1
+
+    def test_truncate_log_bumps_version(self):
+        g = cycle_graph(8)
+        dyn = DynamicHCL.build(g, [0])
+        dyn.add_landmark(4)
+        v = dyn.version
+        dyn.truncate_log(0)
+        assert dyn.log.count == 0
+        assert dyn.version == v + 1
+        with pytest.raises(TransactionError):
+            dyn.truncate_log(5)
+
+    def test_non_transactional_opt_out(self):
+        g = cycle_graph(8)
+        dyn = DynamicHCL.build(g, [0])
+        dyn.add_landmark(4, transactional=False)
+        assert dyn.landmarks == {0, 4}
+        with pytest.raises(InjectedFault):  # raw fault, no rollback wrapper
+            with fail_at_label_write(2):
+                dyn.remove_landmark(4, transactional=False)

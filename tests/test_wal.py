@@ -1,0 +1,128 @@
+"""Tests for the write-ahead log: format, tolerance, crash repair."""
+
+import pytest
+
+from repro.core.wal import (
+    OP_ADD,
+    OP_REMOVE,
+    WriteAheadLog,
+    scan_wal,
+)
+from repro.errors import WALError
+from repro.testing import corrupt_byte, truncate_tail
+
+_HEADER = 5  # len(magic)
+_RECORD = 17  # 13-byte body + 4-byte crc
+
+
+@pytest.fixture
+def wal_path(tmp_path):
+    return tmp_path / "mutations.wal"
+
+
+def write_ops(path, ops):
+    with WriteAheadLog(path, sync=False) as wal:
+        for kind, v in ops:
+            wal.append(kind, v)
+        return wal.last_seq
+
+
+class TestAppendScan:
+    def test_round_trip(self, wal_path):
+        write_ops(wal_path, [("add", 3), ("remove", 3), ("add", 7)])
+        scan = scan_wal(wal_path)
+        assert [(r.kind, r.vertex) for r in scan.records] == [
+            ("add", 3),
+            ("remove", 3),
+            ("add", 7),
+        ]
+        assert [r.seq for r in scan.records] == [1, 2, 3]
+        assert not scan.truncated
+        assert scan.good_bytes == _HEADER + 3 * _RECORD
+
+    def test_empty_wal(self, wal_path):
+        write_ops(wal_path, [])
+        scan = scan_wal(wal_path)
+        assert scan.records == ()
+        assert scan.last_seq == 0
+        assert not scan.truncated
+
+    def test_missing_file_scans_empty(self, wal_path):
+        scan = scan_wal(wal_path)
+        assert scan.records == () and not scan.truncated
+
+    def test_seq_continues_across_reopen(self, wal_path):
+        assert write_ops(wal_path, [("add", 1), ("add", 2)]) == 2
+        with WriteAheadLog(wal_path, sync=False) as wal:
+            assert wal.last_seq == 2
+            wal.append("remove", 1)
+        assert [r.seq for r in scan_wal(wal_path).records] == [1, 2, 3]
+
+    def test_reset_keeps_seq_counter(self, wal_path):
+        with WriteAheadLog(wal_path, sync=False) as wal:
+            wal.append("add", 4)
+            wal.append("add", 5)
+            wal.reset()
+            assert wal.last_seq == 2  # monotonic across resets
+            wal.append("remove", 4)
+        scan = scan_wal(wal_path)
+        assert [(r.seq, r.kind, r.vertex) for r in scan.records] == [
+            (3, "remove", 4)
+        ]
+
+    def test_unknown_kind_rejected(self, wal_path):
+        with WriteAheadLog(wal_path, sync=False) as wal:
+            with pytest.raises(WALError):
+                wal.append("upsert", 1)
+
+    def test_append_all(self, wal_path):
+        with WriteAheadLog(wal_path, sync=False) as wal:
+            wal.append_all([("add", 1), ("remove", 1)])
+        assert len(scan_wal(wal_path).records) == 2
+
+
+class TestTornAndCorruptTails:
+    def test_truncated_tail_stops_at_committed_prefix(self, wal_path):
+        write_ops(wal_path, [("add", 1), ("add", 2), ("add", 3)])
+        truncate_tail(wal_path, 5)  # torn final record
+        scan = scan_wal(wal_path)
+        assert [r.vertex for r in scan.records] == [1, 2]
+        assert scan.truncated
+        assert scan.good_bytes == _HEADER + 2 * _RECORD
+
+    def test_corrupt_tail_record_dropped(self, wal_path):
+        write_ops(wal_path, [("add", 1), ("add", 2)])
+        corrupt_byte(wal_path, -3)  # inside the last record's crc
+        scan = scan_wal(wal_path)
+        assert [r.vertex for r in scan.records] == [1]
+        assert scan.truncated
+
+    def test_corrupt_middle_record_drops_suffix(self, wal_path):
+        write_ops(wal_path, [("add", 1), ("add", 2), ("add", 3)])
+        corrupt_byte(wal_path, _HEADER + _RECORD + 2)
+        scan = scan_wal(wal_path)
+        assert [r.vertex for r in scan.records] == [1]
+        assert scan.truncated
+
+    def test_bad_magic_raises(self, wal_path):
+        write_ops(wal_path, [("add", 1)])
+        corrupt_byte(wal_path, 0)
+        with pytest.raises(WALError):
+            scan_wal(wal_path)
+
+    def test_reopen_repairs_torn_tail(self, wal_path):
+        write_ops(wal_path, [("add", 1), ("add", 2)])
+        truncate_tail(wal_path, 7)
+        with WriteAheadLog(wal_path, sync=False) as wal:
+            assert wal.last_seq == 1  # torn record discarded
+            wal.append("remove", 9)
+        scan = scan_wal(wal_path)
+        assert [(r.seq, r.vertex) for r in scan.records] == [(1, 1), (2, 9)]
+        assert not scan.truncated  # the repair removed the bad bytes
+
+
+class TestRecordConstants:
+    def test_op_codes_are_stable(self):
+        # On-disk format constants: changing them breaks old WAL files.
+        assert OP_ADD == 1
+        assert OP_REMOVE == 2
