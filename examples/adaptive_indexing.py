@@ -47,7 +47,7 @@ def main() -> None:
     for s, t in uniform:
         svc.submit(ConstrainedDistanceRequest(s, t))
     print(f"served {svc.stats.queries} uniform queries "
-          f"(cache hit rate {svc.cache_stats.hit_rate:.0%})")
+          f"(cache hit rate {svc.metrics()['gauges']['cache.hit_rate']:.0%})")
 
     # Phase 2: the workload shifts to a hot corner of the map.
     hot = [

@@ -38,6 +38,7 @@ from ..errors import LandmarkError, VertexError
 from ..graphs.csr import CSRGraph
 from ..graphs.graph import Graph
 from ..graphs.traversal import flagged_single_source
+from ..obs import OBS
 from .highway import Highway
 from .index import HCLIndex
 from .labeling import Labeling
@@ -125,9 +126,15 @@ def build_hcl(graph: Graph, landmarks: Sequence[int]) -> HCLIndex:
         highway.add_landmark(r)
 
     lmk_set = set(lmk_list)
-    for r in lmk_list:
-        hrow, entries = _landmark_pass(graph, r, lmk_list, lmk_set)
-        _merge_pass(highway, labeling, lmk_list, r, hrow, entries)
+    with OBS.span("build_hcl"):
+        for r in lmk_list:
+            hrow, entries = _landmark_pass(graph, r, lmk_list, lmk_set)
+            _merge_pass(highway, labeling, lmk_list, r, hrow, entries)
+    if OBS.enabled:
+        reg = OBS.registry
+        reg.counter("build.calls").inc()
+        reg.counter("build.landmark_passes").inc(len(lmk_list))
+        reg.counter("build.label_writes").inc(labeling.total_entries())
     return HCLIndex(graph, highway, labeling)
 
 

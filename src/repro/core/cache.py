@@ -15,6 +15,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from dataclasses import dataclass
 
+from ..obs import OBS
 from .dynhcl import DynamicHCL
 
 __all__ = ["CachedQueryEngine", "CacheStats"]
@@ -66,10 +67,14 @@ class CachedQueryEngine:
     def _check_version(self) -> None:
         current = self.dyn.version
         if current != self._version:
+            # Only the cached answers flush; self.stats survives the
+            # version bump so long-run hit rates stay meaningful.
             self._query_cache.clear()
             self._distance_cache.clear()
             self._version = current
             self.stats.invalidations += 1
+            if OBS.enabled:
+                OBS.registry.counter("cache.invalidations").inc()
 
     def _lookup(self, cache: OrderedDict, key, compute) -> float:
         self._check_version()
@@ -77,12 +82,16 @@ class CachedQueryEngine:
         if value is not None:
             cache.move_to_end(key)
             self.stats.hits += 1
+            if OBS.enabled:
+                OBS.registry.counter("cache.hits").inc()
             return value
         value = compute(*key)
         cache[key] = value
         if len(cache) > self.capacity:
             cache.popitem(last=False)
         self.stats.misses += 1
+        if OBS.enabled:
+            OBS.registry.counter("cache.misses").inc()
         return value
 
     def query(self, s: int, t: int) -> float:
@@ -134,6 +143,10 @@ class CachedQueryEngine:
                 cache[key] = value
                 if len(cache) > self.capacity:
                     cache.popitem(last=False)
+        if OBS.enabled:
+            reg = OBS.registry
+            reg.counter("cache.hits").inc(len(pair_list) - len(misses))
+            reg.counter("cache.misses").inc(len(misses))
         return results
 
     # Update operations pass straight through; the version bump does the rest.

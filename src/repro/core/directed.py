@@ -28,6 +28,7 @@ from typing import Callable
 from ..errors import LandmarkError, VertexError
 from ..graphs.digraph import DiGraph
 from ..graphs.traversal import flagged_single_source
+from ..tolerance import PRUNE_SCALE
 
 INF = math.inf
 
@@ -137,18 +138,24 @@ class DirectedHCLIndex:
         return best
 
     def query_below_out(self, r: int, u: int, bound: float) -> bool:
-        """Early-exit test ``QUERY(r, u) < bound`` over ``L_out(u)``."""
+        """Tolerant early-exit test ``QUERY(r, u) < bound`` over ``L_out(u)``.
+
+        Tolerance-aware like :meth:`repro.core.index.HCLIndex.query_below`:
+        an ulp-level tie with ``bound`` does not count as strictly below.
+        """
+        cut = bound * PRUNE_SCALE
         hrow = self._h[r]
         for rj, dj in self._out[u].items():
-            if hrow.get(rj, INF) + dj < bound:
+            if hrow.get(rj, INF) + dj < cut:
                 return True
         return False
 
     def query_below_in(self, u: int, r: int, bound: float) -> bool:
-        """Early-exit test ``QUERY(u, r) < bound`` over ``L_in(u)``."""
+        """Tolerant early-exit test ``QUERY(u, r) < bound`` over ``L_in(u)``."""
+        cut = bound * PRUNE_SCALE
         h = self._h
         for ri, di in self._in[u].items():
-            if di + h[ri].get(r, INF) < bound:
+            if di + h[ri].get(r, INF) < cut:
                 return True
         return False
 

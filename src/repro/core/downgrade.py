@@ -29,6 +29,8 @@ from collections import deque
 from dataclasses import dataclass
 
 from ..errors import LandmarkError
+from ..obs import OBS, SIZE_BOUNDS
+from ..tolerance import PRUNE_SCALE
 from .index import HCLIndex
 
 INF = math.inf
@@ -56,6 +58,10 @@ class DowngradeStats:
     entries_removed: int
     entries_added: int
     recover_searches: int
+    # Vertices a re-cover sweep dequeued but rejected via the pruning
+    # tests (existing closer entry, or QUERY(l, u) < δ).  Appended with a
+    # default so pickled/star-unpacked stats stay valid.
+    pruned: int = 0
 
 
 def downgrade_landmark(index: HCLIndex, r: int) -> DowngradeStats:
@@ -118,7 +124,10 @@ def downgrade_landmark(index: HCLIndex, r: int) -> DowngradeStats:
             u = queue.popleft()
             delta = dist[u]
             if u in remaining:
-                if row_r.get(u, INF) < delta:
+                # Tolerant optimality test: an ulp-level undercut of delta is
+                # a float-summation artifact, not a shorter path, so u still
+                # covers r (repro.tolerance).
+                if row_r.get(u, INF) < delta * PRUNE_SCALE:
                     continue
                 reached_ent.append((u, delta))
                 add_entry(r, u, delta)
@@ -139,7 +148,7 @@ def downgrade_landmark(index: HCLIndex, r: int) -> DowngradeStats:
             if delta > dist[u]:
                 continue
             if u in remaining:
-                if row_r.get(u, INF) < delta:
+                if row_r.get(u, INF) < delta * PRUNE_SCALE:
                     continue
                 reached_ent.append((u, delta))
                 add_entry(r, u, delta)
@@ -162,6 +171,7 @@ def downgrade_landmark(index: HCLIndex, r: int) -> DowngradeStats:
     # ------------------------------------------------------------------
     query_below = index.query_below
     entries_added = 0
+    pruned = 0
 
     label_of = labeling.label
     for l, rho in reached_ent:
@@ -177,11 +187,14 @@ def downgrade_landmark(index: HCLIndex, r: int) -> DowngradeStats:
                     if not hole[u]:
                         continue
                     # Cheap pre-test: an existing closer l-entry already
-                    # proves QUERY(l, u) < delta.
+                    # proves QUERY(l, u) < delta (tolerance-aware, matching
+                    # query_below).
                     dl = label_of(u).get(l)
-                    if dl is not None and dl < delta:
+                    if dl is not None and dl < delta * PRUNE_SCALE:
+                        pruned += 1
                         continue
                     if query_below(l, u, delta):
+                        pruned += 1
                         continue
                 add_entry(u, l, delta)
                 entries_added += 1
@@ -200,9 +213,11 @@ def downgrade_landmark(index: HCLIndex, r: int) -> DowngradeStats:
                     if not hole[u]:
                         continue
                     dl = label_of(u).get(l)
-                    if dl is not None and dl < delta:
+                    if dl is not None and dl < delta * PRUNE_SCALE:
+                        pruned += 1
                         continue
                     if query_below(l, u, delta):
+                        pruned += 1
                         continue
                 add_entry(u, l, delta)
                 entries_added += 1
@@ -212,10 +227,31 @@ def downgrade_landmark(index: HCLIndex, r: int) -> DowngradeStats:
                         sweep_dist[v] = nd
                         heapq.heappush(heap, (nd, v))
 
+    if OBS.enabled:
+        # One recording per run; the sweeps themselves only pay the
+        # `pruned` add on prune branches.  `swept` is the affected set of
+        # the erasure sweep, `recover_searches` the resume-set size.
+        reg = OBS.registry
+        reg.counter("downgrade.calls").inc()
+        reg.counter("downgrade.swept").inc(swept)
+        reg.counter("downgrade.pruned").inc(pruned)
+        reg.counter("downgrade.pruning_tests").inc(
+            entries_added + pruned - len(reached_ent)
+        )
+        reg.counter("downgrade.label_writes").inc(entries_added)
+        reg.counter("downgrade.entries_removed").inc(entries_removed)
+        reg.histogram("downgrade.affected_set_size", SIZE_BOUNDS).observe(
+            swept
+        )
+        reg.histogram("downgrade.resume_set_size", SIZE_BOUNDS).observe(
+            len(reached_ent)
+        )
+
     return DowngradeStats(
         removed_landmark=r,
         swept=swept,
         entries_removed=entries_removed,
         entries_added=entries_added,
         recover_searches=len(reached_ent),
+        pruned=pruned,
     )

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from ..errors import LandmarkError, VertexError
 from ..graphs.graph import Graph
 from ..graphs.traversal import bounded_bidirectional_distance
+from ..tolerance import PRUNE_SCALE, REL_TOL
 from .highway import Highway
 from .labeling import Labeling
 
@@ -126,16 +127,21 @@ class HCLIndex:
         return best
 
     def query_below(self, r: int, u: int, bound: float) -> bool:
-        """Whether ``QUERY(r, u) < bound`` for a landmark ``r``.
+        """Whether ``QUERY(r, u)`` is below ``bound`` beyond float tolerance.
 
-        Early-exits on the first witnessing entry, which makes the pruning
-        tests of Algorithms 1 and 2 (strict ``<`` against the search
-        priority) cheaper than materializing the full minimum on densely
-        covered vertices.
+        The pruning test of Algorithms 1 and 2.  Early-exits on the first
+        witnessing entry, which is cheaper than materializing the full
+        minimum on densely covered vertices.  The comparison is
+        tolerance-aware (:data:`repro.tolerance.REL_TOL`): a
+        landmark-through path that ties ``bound`` only in the last float
+        bits does *not* count as strictly shorter, which keeps the dynamic
+        algorithms' keep/prune decisions aligned with ``BUILDHCL``'s
+        tie-tolerant coverage flags on float-weighted graphs.
         """
+        cut = bound * PRUNE_SCALE
         hrow = self.highway.row(r)
         for rj, dj in self.labeling.label(u).items():
-            if hrow.get(rj, INF) + dj < bound:
+            if hrow.get(rj, INF) + dj < cut:
                 return True
         return False
 
@@ -187,7 +193,7 @@ class HCLIndex:
     def structurally_equal(
         self,
         other: "HCLIndex",
-        rel_tol: float = 0.0,
+        rel_tol: float = REL_TOL,
         abs_tol: float = 0.0,
     ) -> bool:
         """Equality of landmark sets, ``δ_H`` and all labels.
@@ -195,16 +201,20 @@ class HCLIndex:
         The paper's minimality + order-invariance lemmas imply the index is
         a *canonical function of* ``(G, R)``; this predicate is what the
         test suite uses to compare dynamically-updated indexes against
-        from-scratch rebuilds.  The default is exact (bitwise) equality.
+        from-scratch rebuilds.
 
-        With ``rel_tol``/``abs_tol`` set, comparison is tolerance-aware for
-        float-weighted graphs, where the dynamic algorithms' strict-``<``
-        pruning is ulp-sensitive: matching entries and highway cells must
-        agree within :func:`math.isclose`, and an entry present on one side
-        only is accepted iff its distance is reproduced (within tolerance)
-        by the *other* side's landmark-constrained query — i.e. it is a
-        true distance the other index merely pruned at a floating-point
-        tie.  A genuinely wrong or missing-coverage entry still fails.
+        The default is tolerance-aware at the library-wide
+        :data:`repro.tolerance.REL_TOL`: matching entries and highway cells
+        must agree within :func:`math.isclose`, and an entry present on one
+        side only is accepted iff its distance is reproduced (within
+        tolerance) by the *other* side's landmark-constrained query — i.e.
+        it is a true distance the other index merely pruned at a
+        floating-point tie.  A genuinely wrong or missing-coverage entry
+        still fails.  The tolerant default exists because a highway cell
+        composed as ``δ_H(r, r̂) + δ_H(r̂, r')`` by ``UPGRADE-LMK`` and the
+        same value accumulated edge-by-edge by ``BUILDHCL`` can differ in
+        the last float bit; bitwise-identical indexes always compare
+        ``True``.  Pass ``rel_tol=0.0`` for exact (bitwise) comparison.
         """
         if rel_tol == 0.0 and abs_tol == 0.0:
             return (

@@ -32,6 +32,8 @@ from collections import deque
 from dataclasses import dataclass
 
 from ..errors import LandmarkError, VertexError
+from ..obs import OBS, SIZE_BOUNDS
+from ..tolerance import PRUNE_SCALE, TIE_HI
 from .index import HCLIndex
 
 INF = math.inf
@@ -59,6 +61,10 @@ class UpgradeStats:
     entries_added: int
     entries_removed: int
     reached_landmarks: int
+    # Vertices the pruned search dequeued but rejected because a strictly
+    # shorter landmark-through path exists (the QUERY(r, u) < δ test).
+    # Appended with a default so pickled/star-unpacked stats stay valid.
+    pruned: int = 0
 
 
 def upgrade_landmark(
@@ -134,6 +140,7 @@ def upgrade_landmark(
     dist = [INF] * graph.n
     dist[r] = 0.0
     settled = 0
+    pruned = 0
     entries_added = 0
 
     # Candidate filter for the cleanup phase: an entry (r', ρ) of a settled
@@ -153,10 +160,12 @@ def upgrade_landmark(
                     reached_lan.add(u)
                     continue
                 if query_below(r, u, delta):
+                    pruned += 1
                     continue
             settled += 1
             for r2, d2 in label_of(u).items():
-                if d2 == row_r.get(r2, INF) + delta:
+                x = row_r.get(r2, INF) + delta
+                if x * PRUNE_SCALE <= d2 <= x * TIE_HI:
                     reached_ver.setdefault(r2, []).append(u)
             add_entry(u, r, delta)
             entries_added += 1
@@ -176,10 +185,12 @@ def upgrade_landmark(
                     reached_lan.add(u)
                     continue
                 if query_below(r, u, delta):
+                    pruned += 1
                     continue
             settled += 1
             for r2, d2 in label_of(u).items():
-                if d2 == row_r.get(r2, INF) + delta:
+                x = row_r.get(r2, INF) + delta
+                if x * PRUNE_SCALE <= d2 <= x * TIE_HI:
                     reached_ver.setdefault(r2, []).append(u)
             add_entry(u, r, delta)
             entries_added += 1
@@ -211,12 +222,37 @@ def upgrade_landmark(
             keep = False
             for w, weight in neighbors(u):
                 dw = label_of(w).get(r2)
-                if dw is not None and dw + weight == rho:
+                if dw is None:
+                    continue
+                y = dw + weight
+                # Tolerant certificate: the two sides sum the same edges in
+                # different orders, so a genuine shortest-path witness may
+                # land an ulp off rho (repro.tolerance).
+                if y * PRUNE_SCALE <= rho <= y * TIE_HI:
                     keep = True
                     break
             if not keep:
                 remove_entry(u, r2)
                 entries_removed += 1
+
+    if OBS.enabled:
+        # Recorded once per run, never inside the search loops; the only
+        # in-loop cost is the `pruned` add on the (already cold) prune
+        # branch, from which pruning_tests is derived for free: every
+        # dequeued non-landmark other than r took exactly one test.
+        reg = OBS.registry
+        reg.counter("upgrade.calls").inc()
+        reg.counter("upgrade.settled").inc(settled)
+        reg.counter("upgrade.pruned").inc(pruned)
+        reg.counter("upgrade.pruning_tests").inc(settled + pruned - 1)
+        reg.counter("upgrade.label_writes").inc(entries_added)
+        reg.counter("upgrade.entries_removed").inc(entries_removed)
+        reg.histogram("upgrade.affected_set_size", SIZE_BOUNDS).observe(
+            settled
+        )
+        reg.histogram("upgrade.reached_landmarks", SIZE_BOUNDS).observe(
+            len(reached_lan)
+        )
 
     return UpgradeStats(
         new_landmark=r,
@@ -224,4 +260,5 @@ def upgrade_landmark(
         entries_added=entries_added,
         entries_removed=entries_removed,
         reached_landmarks=len(reached_lan),
+        pruned=pruned,
     )

@@ -32,12 +32,14 @@ from __future__ import annotations
 
 import os
 import struct
+import time
 import zlib
 from dataclasses import dataclass
 from pathlib import Path
 from typing import BinaryIO, Iterable, Union
 
 from ..errors import WALError
+from ..obs import OBS
 
 __all__ = [
     "WriteAheadLog",
@@ -183,11 +185,18 @@ class WriteAheadLog:
             raise WALError(f"unknown WAL operation {kind!r}")
         seq = self._seq + 1
         body = _RECORD.pack(seq, op, vertex)
+        start = time.perf_counter() if OBS.enabled else 0.0
         try:
             self._fh.write(body + _CRC.pack(zlib.crc32(body)))
             self._flush()
         except OSError as exc:
             raise WALError(f"cannot append to WAL at {self.path}: {exc}") from exc
+        if OBS.enabled:
+            reg = OBS.registry
+            reg.counter("wal.appends").inc()
+            reg.histogram("wal.append.seconds").observe(
+                time.perf_counter() - start
+            )
         self._seq = seq
         return seq
 
@@ -200,7 +209,15 @@ class WriteAheadLog:
     def _flush(self) -> None:
         self._fh.flush()
         if self.sync:
-            os.fsync(self._fh.fileno())
+            if OBS.enabled:
+                start = time.perf_counter()
+                os.fsync(self._fh.fileno())
+                OBS.registry.histogram("wal.fsync.seconds").observe(
+                    time.perf_counter() - start
+                )
+                OBS.registry.counter("wal.fsyncs").inc()
+            else:
+                os.fsync(self._fh.fileno())
 
     # ------------------------------------------------------------------
     # Maintenance

@@ -17,6 +17,8 @@ from __future__ import annotations
 import heapq
 from typing import Hashable
 
+from ..obs import OBS
+
 __all__ = ["AddressableHeap", "LazyHeap"]
 
 
@@ -59,6 +61,8 @@ class AddressableHeap:
         """Insert ``item`` with ``priority``; the item must be absent."""
         if item in self._pos:
             raise KeyError(f"item {item!r} already in heap")
+        if OBS.enabled:
+            OBS.registry.counter("pqueue.enqueues").inc()
         self._heap.append((priority, item))
         self._pos[item] = len(self._heap) - 1
         self._sift_up(len(self._heap) - 1)
@@ -69,6 +73,8 @@ class AddressableHeap:
         old, _ = self._heap[i]
         if priority > old:
             raise ValueError(f"decrease_key would increase priority: {old} -> {priority}")
+        if OBS.enabled:
+            OBS.registry.counter("pqueue.decrease_keys").inc()
         self._heap[i] = (priority, item)
         self._sift_up(i)
 
@@ -87,6 +93,8 @@ class AddressableHeap:
 
     def dequeue_min(self) -> tuple[Hashable, float]:
         """Remove and return the minimum ``(item, priority)``."""
+        if OBS.enabled:
+            OBS.registry.counter("pqueue.dequeues").inc()
         priority, item = self._heap[0]
         last = self._heap.pop()
         del self._pos[item]
@@ -161,6 +169,8 @@ class LazyHeap:
         best = self._best.get(item)
         if best is not None and best <= priority:
             return
+        if OBS.enabled:
+            OBS.registry.counter("pqueue.enqueues").inc()
         self._best[item] = priority
         heapq.heappush(self._heap, (priority, item))
 
@@ -171,6 +181,8 @@ class LazyHeap:
         while heap:
             priority, item = heapq.heappop(heap)
             if best.get(item) == priority:
+                if OBS.enabled:
+                    OBS.registry.counter("pqueue.dequeues").inc()
                 del best[item]
                 return item, priority
         return None

@@ -21,6 +21,8 @@ import math
 from collections import deque
 from typing import Collection, Sequence
 
+from ..obs import OBS
+from ..tolerance import PRUNE_SCALE
 from .graph import Graph
 
 INF = math.inf
@@ -40,6 +42,10 @@ __all__ = [
 
 def dijkstra_distances(g: Graph, source: int) -> list[float]:
     """Exact distances from ``source`` to every vertex (Dijkstra)."""
+    # Dual-path dispatch: the production loop below carries zero
+    # instrumentation; counting variants run only under an enabled tracer.
+    if OBS.enabled:
+        return _dijkstra_distances_obs(g, source)
     dist = [INF] * g.n
     dist[source] = 0.0
     heap: list[tuple[float, int]] = [(0.0, source)]
@@ -58,6 +64,8 @@ def dijkstra_distances(g: Graph, source: int) -> list[float]:
 
 def bfs_distances(g: Graph, source: int) -> list[float]:
     """Exact distances from ``source`` assuming unit weights (BFS)."""
+    if OBS.enabled:
+        return _bfs_distances_obs(g, source)
     dist = [INF] * g.n
     dist[source] = 0.0
     queue: deque[int] = deque([source])
@@ -92,6 +100,8 @@ def flagged_single_source(
     ``blocked = R \\ {r}`` and ``source = r``, vertex ``v`` is covered by
     landmark ``r`` exactly when ``clear[v]`` holds.
     """
+    if OBS.enabled:
+        return _flagged_single_source_obs(g, source, blocked)
     blocked_mask = [False] * g.n
     for b in blocked:
         blocked_mask[b] = True
@@ -133,10 +143,13 @@ def flagged_single_source(
                 dist[v] = nd
                 clear[v] = extend
                 heapq.heappush(heap, (nd, v))
-            elif nd == dist[v] and extend and not clear[v]:
-                # u settled strictly before v (positive weights), so this
-                # tie-join happens before v is dequeued: clear[v] is final by
-                # the time v settles.
+            elif extend and not clear[v] and nd * PRUNE_SCALE <= dist[v]:
+                # Tie join, tolerant on float weights: two summation orders
+                # of the same edge multiset can land an ulp apart, and such
+                # a near-tie is a tie (repro.tolerance).  u settled strictly
+                # before v (positive weights, tolerance << any edge weight),
+                # so the join happens before v is dequeued: clear[v] is
+                # final by the time v settles.
                 clear[v] = True
     return dist, clear
 
@@ -214,6 +227,10 @@ def bounded_bidirectional_distance_masked(
     serving constructs it once per landmark-set version and reuses it for
     every pair in the batch.
     """
+    if OBS.enabled:
+        return _bounded_bidirectional_masked_obs(
+            g, s, t, upper_bound, excluded_mask
+        )
     if s == t:
         return 0.0
     if excluded_mask[s] or excluded_mask[t]:
@@ -300,3 +317,174 @@ def reconstruct_path(parent: Sequence[int], t: int) -> list[int]:
 
 
 __all__.append("reconstruct_path")
+
+
+# ----------------------------------------------------------------------
+# Instrumented kernel variants (repro.obs).  Each mirrors its production
+# twin exactly — same relaxation order, same tie handling, same returned
+# values — plus work counters recorded once at the end.  Keeping them
+# separate is what makes disabled tracing free: the loops above carry no
+# counter updates and no per-iteration enabled checks.
+# ----------------------------------------------------------------------
+
+
+def _record_search(settled: int, edges: int, pushes: int) -> None:
+    reg = OBS.registry
+    reg.counter("search.calls").inc()
+    reg.counter("search.settled").inc(settled)
+    reg.counter("search.edges_scanned").inc(edges)
+    reg.counter("search.heap_pushes").inc(pushes)
+
+
+def _dijkstra_distances_obs(g: Graph, source: int) -> list[float]:
+    dist = [INF] * g.n
+    dist[source] = 0.0
+    heap: list[tuple[float, int]] = [(0.0, source)]
+    neighbors = g.neighbors
+    settled = edges = 0
+    pushes = 1
+    while heap:
+        d, u = heapq.heappop(heap)
+        if d > dist[u]:
+            continue
+        settled += 1
+        for v, w in neighbors(u):
+            edges += 1
+            nd = d + w
+            if nd < dist[v]:
+                dist[v] = nd
+                heapq.heappush(heap, (nd, v))
+                pushes += 1
+    _record_search(settled, edges, pushes)
+    return dist
+
+
+def _bfs_distances_obs(g: Graph, source: int) -> list[float]:
+    dist = [INF] * g.n
+    dist[source] = 0.0
+    queue: deque[int] = deque([source])
+    neighbors = g.neighbors
+    settled = edges = 0
+    pushes = 1
+    while queue:
+        u = queue.popleft()
+        settled += 1
+        nd = dist[u] + 1.0
+        for v, _ in neighbors(u):
+            edges += 1
+            if dist[v] == INF:
+                dist[v] = nd
+                queue.append(v)
+                pushes += 1
+    _record_search(settled, edges, pushes)
+    return dist
+
+
+def _flagged_single_source_obs(
+    g: Graph, source: int, blocked: Collection[int]
+) -> tuple[list[float], list[bool]]:
+    blocked_mask = [False] * g.n
+    for b in blocked:
+        blocked_mask[b] = True
+
+    dist = [INF] * g.n
+    clear = [False] * g.n
+    dist[source] = 0.0
+    clear[source] = True
+    neighbors = g.neighbors
+    settled = edges = tie_joins = 0
+    pushes = 1
+
+    if g.unweighted:
+        queue: deque[int] = deque([source])
+        while queue:
+            u = queue.popleft()
+            settled += 1
+            du = dist[u]
+            extend = clear[u] and (u == source or not blocked_mask[u])
+            nd = du + 1.0
+            for v, _ in neighbors(u):
+                edges += 1
+                if dist[v] == INF:
+                    dist[v] = nd
+                    clear[v] = extend
+                    queue.append(v)
+                    pushes += 1
+                elif dist[v] == nd and extend and not clear[v]:
+                    clear[v] = True
+                    tie_joins += 1
+    else:
+        heap: list[tuple[float, int]] = [(0.0, source)]
+        while heap:
+            d, u = heapq.heappop(heap)
+            if d > dist[u]:
+                continue
+            settled += 1
+            extend = clear[u] and (u == source or not blocked_mask[u])
+            for v, w in neighbors(u):
+                edges += 1
+                nd = d + w
+                if nd < dist[v]:
+                    dist[v] = nd
+                    clear[v] = extend
+                    heapq.heappush(heap, (nd, v))
+                    pushes += 1
+                elif extend and not clear[v] and nd * PRUNE_SCALE <= dist[v]:
+                    clear[v] = True
+                    tie_joins += 1
+    _record_search(settled, edges, pushes)
+    OBS.registry.counter("search.tie_joins").inc(tie_joins)
+    return dist, clear
+
+
+def _bounded_bidirectional_masked_obs(
+    g: Graph,
+    s: int,
+    t: int,
+    upper_bound: float,
+    excluded_mask: Sequence[bool],
+) -> float:
+    OBS.registry.counter("search.bidirectional.calls").inc()
+    if s == t:
+        return 0.0
+    if excluded_mask[s] or excluded_mask[t]:
+        return upper_bound
+
+    dist_f = {s: 0.0}
+    dist_b = {t: 0.0}
+    heap_f: list[tuple[float, int]] = [(0.0, s)]
+    heap_b: list[tuple[float, int]] = [(0.0, t)]
+    best = upper_bound
+    neighbors = g.neighbors
+    settled = edges = 0
+    pushes = 2
+
+    while heap_f and heap_b:
+        if heap_f[0][0] + heap_b[0][0] >= best:
+            break
+        if heap_f[0][0] <= heap_b[0][0]:
+            heap, dist, other = heap_f, dist_f, dist_b
+        else:
+            heap, dist, other = heap_b, dist_b, dist_f
+        d, u = heapq.heappop(heap)
+        if d > dist.get(u, INF):
+            continue
+        if d >= best:
+            continue
+        settled += 1
+        for v, w in neighbors(u):
+            edges += 1
+            if excluded_mask[v]:
+                continue
+            nd = d + w
+            if nd >= best and v not in other:
+                continue
+            if nd < dist.get(v, INF):
+                dist[v] = nd
+                heapq.heappush(heap, (nd, v))
+                pushes += 1
+            dv_other = other.get(v)
+            if dv_other is not None and dist[v] + dv_other < best:
+                best = dist[v] + dv_other
+    _record_search(settled, edges, pushes)
+    return best

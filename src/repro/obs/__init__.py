@@ -1,0 +1,92 @@
+"""``repro.obs`` — zero-dependency observability for the HCL library.
+
+Three primitives (:class:`Counter` / :class:`Gauge` / :class:`Histogram`)
+live in a :class:`MetricsRegistry`; a :class:`Tracer` layers nested
+context-manager :class:`Span` timing on top.  The module-level
+:data:`OBS` tracer is the hook every hot path in the library checks —
+Dijkstra kernels, the UPGRADE-LMK / DOWNGRADE-LMK algorithms, the query
+cache and the WAL all record into ``OBS.registry`` when (and only when)
+tracing is on.
+
+Tracing is **disabled by default** and costs one attribute test per
+guarded site when off (<2% on the gated segments of
+``benchmarks/bench_obs.py``).  Turn it on for a scope with::
+
+    from repro import obs
+
+    with obs.observed() as registry:
+        index = build_hcl(graph, landmarks)
+        upgrade_landmark(index, 42)
+    print(obs.render_prometheus(registry.snapshot()))
+
+or process-wide with :func:`enable` / :func:`disable`.
+:class:`repro.service.HCLService` additionally keeps an always-on
+registry of its own (request latencies, batch sizes, cache hit rates)
+exposed through ``HCLService.metrics()`` regardless of :data:`OBS`.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from .export import merge_snapshots, render_json, render_prometheus
+from .registry import (
+    LATENCY_BOUNDS,
+    SIZE_BOUNDS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Span,
+    Tracer,
+)
+
+__all__ = [
+    "LATENCY_BOUNDS",
+    "SIZE_BOUNDS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "OBS",
+    "enable",
+    "disable",
+    "observed",
+    "render_prometheus",
+    "render_json",
+    "merge_snapshots",
+]
+
+#: The global tracer all library hot paths consult.  Disabled by default.
+OBS = Tracer()
+
+
+def enable(registry: MetricsRegistry | None = None) -> MetricsRegistry:
+    """Turn on global tracing; returns the active registry."""
+    return OBS.enable(registry)
+
+
+def disable() -> None:
+    """Turn off global tracing (the registry and its data are kept)."""
+    OBS.disable()
+
+
+@contextmanager
+def observed(registry: MetricsRegistry | None = None):
+    """Scope-limited tracing: enable :data:`OBS` on ``registry`` (a fresh
+    one when omitted), yield it, and restore the previous tracer state on
+    exit — exception-safe, so benchmarks and tests cannot leak an enabled
+    tracer into later code.
+    """
+    active = registry if registry is not None else MetricsRegistry()
+    prev_registry = OBS.registry
+    prev_enabled = OBS.enabled
+    OBS.registry = active
+    OBS.enabled = True
+    try:
+        yield active
+    finally:
+        OBS.enabled = prev_enabled
+        OBS.registry = prev_registry

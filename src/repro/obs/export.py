@@ -1,0 +1,123 @@
+"""Snapshot exporters: Prometheus text format and canonical JSON.
+
+Both render the plain-dict snapshots produced by
+:meth:`repro.obs.MetricsRegistry.snapshot` — they never touch live
+metric objects, so a snapshot can be merged, shipped across a process
+boundary, or diffed before rendering.
+
+The Prometheus renderer follows the text exposition format: dotted
+metric names become underscore-separated with a ``repro_`` prefix,
+counters gain the ``_total`` suffix, histograms expand into
+``_bucket{le="..."}`` / ``_sum`` / ``_count`` series.  Output is fully
+deterministic (sorted names, fixed float formatting), which is what the
+golden-file tests in ``tests/test_obs.py`` pin.
+"""
+
+from __future__ import annotations
+
+import json
+
+__all__ = ["render_prometheus", "render_json", "merge_snapshots"]
+
+_PREFIX = "repro_"
+
+
+def _series_name(name: str) -> str:
+    return _PREFIX + name.replace(".", "_").replace("-", "_")
+
+
+def _fmt(value: float) -> str:
+    """Deterministic number formatting (integers without a trailing .0)."""
+    if isinstance(value, int):
+        return str(value)
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return format(value, ".10g")
+
+
+def render_prometheus(snapshot: dict) -> str:
+    """Render a snapshot in the Prometheus text exposition format."""
+    lines: list[str] = []
+    for name, value in snapshot.get("counters", {}).items():
+        series = _series_name(name) + "_total"
+        lines.append(f"# TYPE {series} counter")
+        lines.append(f"{series} {_fmt(value)}")
+    for name, value in snapshot.get("gauges", {}).items():
+        series = _series_name(name)
+        lines.append(f"# TYPE {series} gauge")
+        lines.append(f"{series} {_fmt(value)}")
+    for name, hist in snapshot.get("histograms", {}).items():
+        series = _series_name(name)
+        lines.append(f"# TYPE {series} histogram")
+        for le, cumulative in hist["buckets"]:
+            le_txt = le if isinstance(le, str) else _fmt(le)
+            lines.append(
+                f'{series}_bucket{{le="{le_txt}"}} {_fmt(cumulative)}'
+            )
+        lines.append(f"{series}_sum {_fmt(hist['sum'])}")
+        lines.append(f"{series}_count {_fmt(hist['count'])}")
+    return "\n".join(lines) + "\n"
+
+
+def render_json(snapshot: dict) -> str:
+    """Render a snapshot as stable, human-diffable JSON."""
+    return json.dumps(snapshot, indent=2, sort_keys=True) + "\n"
+
+
+def merge_snapshots(base: dict, extra: dict) -> dict:
+    """Combine two snapshots: counters add, gauges last-write-wins,
+    histograms merge bucket-by-bucket (matched on ``le``).
+
+    Used by :meth:`repro.service.HCLService.metrics` to fold the global
+    tracer's registry into the service's own when both are active.
+    """
+    out = {
+        "counters": dict(base.get("counters", {})),
+        "gauges": dict(base.get("gauges", {})),
+        "histograms": {
+            name: {
+                "count": h["count"],
+                "sum": h["sum"],
+                "buckets": [list(b) for b in h["buckets"]],
+            }
+            for name, h in base.get("histograms", {}).items()
+        },
+    }
+    for name, value in extra.get("counters", {}).items():
+        out["counters"][name] = out["counters"].get(name, 0) + value
+    for name, value in extra.get("gauges", {}).items():
+        out["gauges"][name] = value
+    for name, h in extra.get("histograms", {}).items():
+        mine = out["histograms"].get(name)
+        if mine is None:
+            out["histograms"][name] = {
+                "count": h["count"],
+                "sum": h["sum"],
+                "buckets": [list(b) for b in h["buckets"]],
+            }
+            continue
+        # Cumulative pairs -> per-bucket deltas, summed by le, re-cumulated.
+        deltas: dict = {}
+        for pairs in (mine["buckets"], h["buckets"]):
+            prev = 0
+            for le, cumulative in pairs:
+                key = le if isinstance(le, str) else float(le)
+                deltas[key] = deltas.get(key, 0) + (cumulative - prev)
+                prev = cumulative
+        finite = sorted(k for k in deltas if not isinstance(k, str))
+        acc = 0
+        buckets: list[list] = []
+        for le in finite:
+            acc += deltas[le]
+            buckets.append([le, acc])
+        total = mine["count"] + h["count"]
+        buckets.append(["+Inf", total])
+        out["histograms"][name] = {
+            "count": total,
+            "sum": mine["sum"] + h["sum"],
+            "buckets": buckets,
+        }
+    out["counters"] = dict(sorted(out["counters"].items()))
+    out["gauges"] = dict(sorted(out["gauges"].items()))
+    out["histograms"] = dict(sorted(out["histograms"].items()))
+    return out

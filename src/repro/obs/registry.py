@@ -1,0 +1,277 @@
+"""Metric primitives: counters, gauges, histograms, spans, and the tracer.
+
+Everything here is dependency-free and built for one dominant use case:
+instrumentation that is *free when disabled*.  The global tracer
+(:data:`repro.obs.OBS`) starts disabled; hot code guards every recording
+with a single attribute test (``if OBS.enabled:``) and the kernels in
+:mod:`repro.graphs.traversal` go further, dispatching to a separate
+instrumented variant so the production loops carry no extra branches at
+all.
+
+Counters and gauges are plain slotted objects (an ``inc`` is one integer
+add).  Histograms bucket observations against fixed log-scaled bounds —
+:data:`LATENCY_BOUNDS` spans ~1 µs to ~2 min in powers of two, which is
+the whole useful range for per-operation timings, and
+:data:`SIZE_BOUNDS` covers set/batch sizes up to 2^24.  Spans nest: each
+records its wall duration into ``span.<name>.seconds`` and exposes
+``duration`` / ``self_seconds`` (wall minus child spans) so callers such
+as the experiment harness can decompose a phase into its parts without
+double counting.
+"""
+
+from __future__ import annotations
+
+import time
+from bisect import bisect_left
+from typing import Sequence
+
+__all__ = [
+    "LATENCY_BOUNDS",
+    "SIZE_BOUNDS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+]
+
+# Powers of two from 2^-20 (~0.95 µs) to 2^7 (128 s): per-operation
+# latencies from a single fsync-free WAL append up to a full rebuild.
+LATENCY_BOUNDS: tuple[float, ...] = tuple(2.0**e for e in range(-20, 8))
+
+# Powers of four from 1 to 2^24: affected-set, resume-set and batch sizes.
+SIZE_BOUNDS: tuple[float, ...] = tuple(4.0**e for e in range(0, 13))
+
+
+class Counter:
+    """Monotonic integer counter."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """Last-write-wins numeric gauge."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Fixed-bound bucketed histogram with total count and sum.
+
+    Bucket ``i`` counts observations ``v <= bounds[i]``; values above the
+    last bound land in the implicit ``+Inf`` bucket.
+    """
+
+    __slots__ = ("bounds", "bucket_counts", "count", "sum")
+
+    def __init__(self, bounds: Sequence[float] = LATENCY_BOUNDS) -> None:
+        self.bounds = tuple(bounds)
+        self.bucket_counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        self.bucket_counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.sum += value
+
+    def cumulative_buckets(self) -> list[tuple[float, int]]:
+        """``(le, cumulative_count)`` pairs; the last ``le`` is ``inf``."""
+        out = []
+        acc = 0
+        for le, n in zip(self.bounds, self.bucket_counts):
+            acc += n
+            out.append((le, acc))
+        out.append((float("inf"), self.count))
+        return out
+
+
+class MetricsRegistry:
+    """Named metric store with get-or-create accessors and snapshots.
+
+    Metric names are dotted paths (``upgrade.settled``,
+    ``wal.fsync.seconds``); the exporters in :mod:`repro.obs.export` map
+    them to their output conventions.  A name permanently belongs to the
+    first kind (counter/gauge/histogram) it was created as.
+    """
+
+    __slots__ = ("_counters", "_gauges", "_histograms")
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        c = self._counters.get(name)
+        if c is None:
+            c = self._counters[name] = Counter()
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self._gauges.get(name)
+        if g is None:
+            g = self._gauges[name] = Gauge()
+        return g
+
+    def histogram(
+        self, name: str, bounds: Sequence[float] | None = None
+    ) -> Histogram:
+        h = self._histograms.get(name)
+        if h is None:
+            h = self._histograms[name] = Histogram(
+                bounds if bounds is not None else LATENCY_BOUNDS
+            )
+        return h
+
+    def snapshot(self) -> dict:
+        """Deterministic plain-dict view of every metric (sorted names).
+
+        Histogram buckets are rendered cumulatively and sparsely: a
+        ``(le, cumulative)`` pair appears only where the bucket itself is
+        non-empty, plus the final ``+Inf`` total.  ``le`` is a float
+        except the last, which is the string ``"+Inf"`` so the snapshot
+        round-trips through JSON.
+        """
+        histograms = {}
+        for name in sorted(self._histograms):
+            h = self._histograms[name]
+            buckets: list[list] = []
+            acc = 0
+            for le, n in zip(h.bounds, h.bucket_counts):
+                if n:
+                    acc += n
+                    buckets.append([le, acc])
+            buckets.append(["+Inf", h.count])
+            histograms[name] = {
+                "count": h.count,
+                "sum": h.sum,
+                "buckets": buckets,
+            }
+        return {
+            "counters": {
+                name: self._counters[name].value
+                for name in sorted(self._counters)
+            },
+            "gauges": {
+                name: self._gauges[name].value
+                for name in sorted(self._gauges)
+            },
+            "histograms": histograms,
+        }
+
+
+class _NullSpan:
+    """Shared do-nothing span handed out by disabled tracers."""
+
+    __slots__ = ()
+    duration = 0.0
+    self_seconds = 0.0
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Span:
+    """One timed region; nests via the owning tracer's span stack.
+
+    On exit the wall duration goes into the ``span.<name>.seconds``
+    histogram of the tracer's registry, and ``duration`` /
+    ``self_seconds`` (duration minus directly-enclosed child spans)
+    become readable on the object.
+    """
+
+    __slots__ = ("name", "_tracer", "_start", "_child_seconds", "duration", "self_seconds")
+
+    def __init__(self, name: str, tracer: "Tracer") -> None:
+        self.name = name
+        self._tracer = tracer
+        self._child_seconds = 0.0
+        self.duration = 0.0
+        self.self_seconds = 0.0
+
+    def __enter__(self) -> "Span":
+        self._tracer._stack.append(self)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.duration = time.perf_counter() - self._start
+        self.self_seconds = self.duration - self._child_seconds
+        stack = self._tracer._stack
+        stack.pop()
+        if stack:
+            stack[-1]._child_seconds += self.duration
+        registry = self._tracer.registry
+        if registry is not None:
+            registry.histogram(f"span.{self.name}.seconds").observe(
+                self.duration
+            )
+        return False
+
+
+class Tracer:
+    """Span factory + gated recording facade over a registry.
+
+    ``enabled`` is the one attribute hot paths test.  While disabled,
+    :meth:`span` returns a shared no-op span and :meth:`count` /
+    :meth:`observe` return immediately, so instrumentation costs one
+    attribute load and one branch — measured under 2% on the repo's
+    gated benchmark segments (``benchmarks/bench_obs.py``).
+    """
+
+    __slots__ = ("enabled", "registry", "_stack")
+
+    def __init__(
+        self, registry: MetricsRegistry | None = None, enabled: bool = False
+    ) -> None:
+        self.registry = registry
+        self.enabled = enabled and registry is not None
+        self._stack: list[Span] = []
+
+    def enable(self, registry: MetricsRegistry | None = None) -> MetricsRegistry:
+        """Turn recording on (creating a fresh registry if none exists)."""
+        if registry is not None:
+            self.registry = registry
+        elif self.registry is None:
+            self.registry = MetricsRegistry()
+        self.enabled = True
+        return self.registry
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def span(self, name: str):
+        """A context-manager span, or the shared no-op when disabled."""
+        if not self.enabled:
+            return _NULL_SPAN
+        return Span(name, self)
+
+    def count(self, name: str, n: int = 1) -> None:
+        if self.enabled:
+            self.registry.counter(name).inc(n)
+
+    def observe(
+        self, name: str, value: float, bounds: Sequence[float] | None = None
+    ) -> None:
+        if self.enabled:
+            self.registry.histogram(name, bounds).observe(value)

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import os
 import time
+import warnings
 from dataclasses import dataclass
 from pathlib import Path
 from typing import BinaryIO, Union
@@ -54,6 +55,14 @@ from .errors import (
     VertexError,
 )
 from .graphs.graph import Graph
+from .obs import (
+    OBS,
+    SIZE_BOUNDS,
+    MetricsRegistry,
+    merge_snapshots,
+    render_json,
+    render_prometheus,
+)
 
 __all__ = [
     "HCLService",
@@ -207,6 +216,11 @@ class HCLService:
         self._wal_buffer: list[tuple[str, int]] | None = None
         self.audit: list[AuditRecord] = []
         self.stats = ServiceStats()
+        # Always-on service metrics (request latencies, batch sizes,
+        # mutation affected sets).  Independent of the global repro.obs
+        # tracer: a deployment gets operational numbers without paying for
+        # library-internal tracing.
+        self._registry = MetricsRegistry()
 
     @classmethod
     def build(
@@ -228,7 +242,20 @@ class HCLService:
 
     @property
     def cache_stats(self):
-        """Hit/miss counters of the query cache."""
+        """Hit/miss counters of the query cache.
+
+        .. deprecated::
+            Use :meth:`metrics` — cache counters are reported there as
+            ``cache.hits`` / ``cache.misses`` / ``cache.invalidations``
+            alongside every other service metric.  This accessor remains
+            as an alias and returns the same live ``CacheStats`` object.
+        """
+        warnings.warn(
+            "HCLService.cache_stats is deprecated; read cache.* from "
+            "HCLService.metrics() instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return self._engine.stats
 
     @property
@@ -306,12 +333,14 @@ class HCLService:
         try:
             result = self._execute(request)
         except Exception as exc:
+            elapsed = time.perf_counter() - start
             self.stats.failures += 1
+            self._record_request(request, None, elapsed, ok=False)
             self.audit.append(
                 AuditRecord(
                     request,
                     None,
-                    time.perf_counter() - start,
+                    elapsed,
                     False,
                     f"{type(exc).__name__}: {exc}",
                 )
@@ -321,10 +350,37 @@ class HCLService:
             raise ServiceError(
                 f"{type(request).__name__} failed unexpectedly: {exc}"
             ) from exc
-        self.audit.append(
-            AuditRecord(request, result, time.perf_counter() - start, True)
-        )
+        elapsed = time.perf_counter() - start
+        self._record_request(request, result, elapsed, ok=True)
+        self.audit.append(AuditRecord(request, result, elapsed, True))
         return result
+
+    def _record_request(
+        self, request: Request, result, elapsed: float, ok: bool
+    ) -> None:
+        """Fold one processed request into the service registry."""
+        reg = self._registry
+        reg.counter("service.requests").inc()
+        if not ok:
+            reg.counter("service.request_failures").inc()
+        reg.histogram("service.request.seconds").observe(elapsed)
+        kind = type(request).__name__
+        reg.histogram(f"service.request.{kind}.seconds").observe(elapsed)
+        if isinstance(request, BatchQueryRequest):
+            reg.histogram("service.batch_size", SIZE_BOUNDS).observe(
+                len(request.pairs)
+            )
+        elif ok and isinstance(
+            request, (AddLandmarkRequest, RemoveLandmarkRequest)
+        ):
+            # UpgradeStats.settled / DowngradeStats.swept: the size of the
+            # vertex set the mutation touched (paper Table 2's work measure).
+            affected = getattr(result, "settled", None)
+            if affected is None:
+                affected = getattr(result, "swept", 0)
+            reg.histogram(
+                "service.mutation.affected_set_size", SIZE_BOUNDS
+            ).observe(affected)
 
     def submit_batch(self, requests, on_error: str = "stop") -> list[AuditRecord]:
         """Process requests in order with explicit failure semantics.
@@ -402,6 +458,61 @@ class HCLService:
         return self.submit(
             BatchQueryRequest(tuple(pairs), exact=exact, workers=workers)
         )
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+    def metrics(self) -> dict:
+        """One merged snapshot of everything observable about this service.
+
+        Combines, in order:
+
+        * the service's always-on registry (request latencies per type,
+          batch sizes, mutation affected-set sizes);
+        * the global :data:`repro.obs.OBS` registry, when tracing is
+          enabled on a registry other than the service's own (search
+          counters, WAL timings, algorithm work counters);
+        * authoritative cache counters from the query engine
+          (``cache.hits`` / ``cache.misses`` / ``cache.invalidations``
+          plus the ``cache.hit_rate`` gauge) — these *overwrite* any
+          merged ``cache.*`` series so the same event is never counted
+          twice;
+        * the session totals (``service.queries`` / ``service.mutations``
+          / ``service.failures``).
+
+        The result is a plain dict (see
+        :meth:`repro.obs.MetricsRegistry.snapshot`) ready for
+        :func:`repro.obs.render_prometheus` / :func:`repro.obs.render_json`
+        or the :meth:`metrics_prometheus` / :meth:`metrics_json`
+        conveniences.
+        """
+        snap = self._registry.snapshot()
+        if (
+            OBS.enabled
+            and OBS.registry is not None
+            and OBS.registry is not self._registry
+        ):
+            snap = merge_snapshots(snap, OBS.registry.snapshot())
+        cs = self._engine.stats
+        counters = snap["counters"]
+        counters["cache.hits"] = cs.hits
+        counters["cache.misses"] = cs.misses
+        counters["cache.invalidations"] = cs.invalidations
+        counters["service.queries"] = self.stats.queries
+        counters["service.mutations"] = self.stats.mutations
+        counters["service.failures"] = self.stats.failures
+        snap["gauges"]["cache.hit_rate"] = cs.hit_rate
+        snap["counters"] = dict(sorted(counters.items()))
+        snap["gauges"] = dict(sorted(snap["gauges"].items()))
+        return snap
+
+    def metrics_prometheus(self) -> str:
+        """:meth:`metrics` rendered in the Prometheus text format."""
+        return render_prometheus(self.metrics())
+
+    def metrics_json(self) -> str:
+        """:meth:`metrics` rendered as stable JSON."""
+        return render_json(self.metrics())
 
     # ------------------------------------------------------------------
     # Checkpointing & recovery

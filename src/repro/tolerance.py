@@ -1,0 +1,51 @@
+"""The library-wide floating-point comparison policy.
+
+On float-weighted graphs, summed path weights that are mathematically
+equal can differ in the last bits depending on summation order (a highway
+row composes ``δ_H(r, r̂) + δ_H(r̂, r')`` while a search accumulates the
+same edges one by one).  Every strict comparison that decides *structure*
+— keep vs. prune a label entry, tie vs. no tie on the shortest-path DAG —
+must therefore treat values within a relative tolerance as equal, or the
+dynamic algorithms and ``BUILDHCL`` drift apart by a handful of entries
+(the ROADMAP's former float-weight minimality gap).
+
+``REL_TOL`` is the single source of truth: the pruning tests of
+Algorithms 1 and 2, the tie propagation of
+:func:`repro.graphs.traversal.flagged_single_source`, and the
+tolerance-aware mode of :meth:`repro.core.index.HCLIndex.structurally_equal`
+all use it.  It is deliberately far above 1 ulp (~2e-16 relative) and far
+below any genuine weight difference the supported workloads produce
+(integer weights compare exactly for magnitudes up to ``1/REL_TOL``).
+
+Hot loops inline the multiplicative forms instead of calling
+:func:`math.isclose` (for nonnegative finite operands they are
+equivalent, and a multiply is several times cheaper than a function
+call):
+
+* *strictly below* ``b`` by more than tolerance:  ``a < b * PRUNE_SCALE``
+* *ties* ``b`` from above (``a >= b``):           ``a * PRUNE_SCALE <= b``
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["REL_TOL", "PRUNE_SCALE", "TIE_HI", "close", "strictly_less"]
+
+REL_TOL = 1e-9
+
+# a < b * PRUNE_SCALE  <=>  b - a > REL_TOL * b  (for finite 0 <= a, b).
+PRUNE_SCALE = 1.0 - REL_TOL
+
+# b * PRUNE_SCALE <= a <= b * TIE_HI  <=>  a ties b within tolerance.
+TIE_HI = 1.0 + REL_TOL
+
+
+def close(a: float, b: float, rel_tol: float = REL_TOL) -> bool:
+    """Tolerant equality; exact matches (including ``inf``) short-circuit."""
+    return a == b or math.isclose(a, b, rel_tol=rel_tol, abs_tol=0.0)
+
+
+def strictly_less(a: float, b: float, rel_tol: float = REL_TOL) -> bool:
+    """``a < b`` by more than the tolerance (never true for near-ties)."""
+    return a < b and not math.isclose(a, b, rel_tol=rel_tol, abs_tol=0.0)

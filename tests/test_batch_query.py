@@ -213,17 +213,18 @@ class TestServiceBatch:
         g, svc = self.make_service(3)
         pairs = random_query_pairs(g.n, 40, seed=4)
         svc.query_batch(pairs)
-        misses_after_batch = svc.cache_stats.misses
+        misses_after_batch = svc.metrics()["counters"]["cache.misses"]
         # Replaying the same batch is pure cache hits …
         svc.query_batch(pairs)
-        assert svc.cache_stats.misses == misses_after_batch
-        assert svc.cache_stats.hits >= len(pairs)
+        metrics = svc.metrics()["counters"]
+        assert metrics["cache.misses"] == misses_after_batch
+        assert metrics["cache.hits"] >= len(pairs)
         # … and a per-pair submit also hits.
         from repro.service import ConstrainedDistanceRequest
 
         s, t = pairs[0]
         svc.submit(ConstrainedDistanceRequest(s, t))
-        assert svc.cache_stats.misses == misses_after_batch
+        assert svc.metrics()["counters"]["cache.misses"] == misses_after_batch
 
     def test_mutation_invalidates_batch_answers(self):
         g, svc = self.make_service(5)

@@ -66,6 +66,22 @@ class TestInvalidation:
         engine.remove_landmark(4)
         assert engine.query(3, 5) == 6.0
 
+    def test_stats_survive_version_flush(self):
+        # A version bump clears the cached *answers*, never the counters:
+        # long-run hit rates must span reconfigurations.
+        g = cycle_graph(8)
+        engine = CachedQueryEngine(DynamicHCL.build(g, [0]))
+        engine.query(3, 5)
+        engine.query(3, 5)
+        hits, misses = engine.stats.hits, engine.stats.misses
+        assert (hits, misses) == (1, 1)
+        engine.add_landmark(4)
+        engine.query(3, 5)  # recompute after the flush
+        assert engine.stats.hits == hits
+        assert engine.stats.misses == misses + 1
+        assert engine.stats.invalidations == 1
+        assert len(engine) == 1  # answers were flushed, counters were not
+
 
 class TestEviction:
     def test_lru_respects_capacity(self):

@@ -1,0 +1,348 @@
+"""Tests for :mod:`repro.obs`: primitives, spans, exporters, and the
+guarantee that matters most — instrumentation that is invisible when off.
+
+The determinism class pins the strongest form of "invisible": with the
+global tracer disabled, a build + reconfiguration + batch-query run
+produces byte-identical serialized indexes and identical answers whether
+or not an observed run happened in between.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import math
+
+import pytest
+
+from conftest import cycle_graph, path_graph, random_graph
+from repro import obs
+from repro.core import DynamicHCL, build_hcl, query_batch
+from repro.core.serialization import save_index_binary
+from repro.obs import (
+    LATENCY_BOUNDS,
+    SIZE_BOUNDS,
+    Histogram,
+    MetricsRegistry,
+    Tracer,
+    merge_snapshots,
+    render_json,
+    render_prometheus,
+)
+from repro.workloads import random_query_pairs
+
+
+class TestRegistry:
+    def test_counter_and_gauge(self):
+        reg = MetricsRegistry()
+        reg.counter("a.b").inc()
+        reg.counter("a.b").inc(4)
+        reg.gauge("g").set(0.25)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"a.b": 5}
+        assert snap["gauges"] == {"g": 0.25}
+
+    def test_get_or_create_returns_same_object(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+        assert reg.histogram("h") is reg.histogram("h", SIZE_BOUNDS)
+        assert reg.histogram("h").bounds == LATENCY_BOUNDS  # first wins
+
+    def test_histogram_bucketing(self):
+        h = Histogram(bounds=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.0, 3.0, 100.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.sum == pytest.approx(104.5)
+        # v <= bound lands in that bucket; 100.0 overflows to +Inf.
+        assert h.bucket_counts == [2, 0, 1, 1]
+        assert h.cumulative_buckets() == [
+            (1.0, 2),
+            (2.0, 2),
+            (4.0, 3),
+            (math.inf, 4),
+        ]
+
+    def test_snapshot_sparse_buckets_round_trip_json(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", (1.0, 2.0, 4.0)).observe(0.5)
+        reg.histogram("h").observe(8.0)
+        snap = reg.snapshot()
+        # Only non-empty buckets appear, plus the +Inf total.
+        assert snap["histograms"]["h"]["buckets"] == [[1.0, 1], ["+Inf", 2]]
+        assert json.loads(json.dumps(snap)) == snap
+
+
+class TestSpans:
+    def test_disabled_tracer_hands_out_shared_null_span(self):
+        tracer = Tracer()  # disabled: no registry
+        a = tracer.span("x")
+        b = tracer.span("y")
+        assert a is b  # one shared object: zero allocation when off
+        with a as sp:
+            pass
+        assert sp.duration == 0.0 and sp.self_seconds == 0.0
+
+    def test_disabled_tracer_records_nothing(self):
+        reg = MetricsRegistry()
+        tracer = Tracer(reg, enabled=False)
+        tracer.count("c")
+        tracer.observe("h", 1.0)
+        with tracer.span("s"):
+            pass
+        snap = reg.snapshot()
+        assert snap["counters"] == {} and snap["histograms"] == {}
+
+    def test_nested_spans_decompose_wall_clock(self):
+        tracer = Tracer(MetricsRegistry(), enabled=True)
+        with tracer.span("outer") as outer:
+            with tracer.span("child") as c1:
+                sum(range(1000))
+            with tracer.span("child") as c2:
+                sum(range(1000))
+        assert outer.duration > 0.0
+        assert 0.0 <= outer.self_seconds <= outer.duration
+        parts = c1.duration + c2.duration + outer.self_seconds
+        assert math.isclose(parts, outer.duration, rel_tol=1e-12)
+        hist = tracer.registry.snapshot()["histograms"]
+        assert hist["span.outer.seconds"]["count"] == 1
+        assert hist["span.child.seconds"]["count"] == 2
+
+    def test_observed_scope_restores_previous_state(self):
+        assert not obs.OBS.enabled
+        with pytest.raises(RuntimeError):
+            with obs.observed() as reg:
+                assert obs.OBS.enabled and obs.OBS.registry is reg
+                raise RuntimeError("boom")
+        assert not obs.OBS.enabled  # exception-safe restore
+
+
+class TestKernelCounters:
+    def test_build_and_reconfigure_populate_counters(self):
+        g = random_graph(3, n_lo=30, n_hi=40)
+        with obs.observed() as reg:
+            dyn = DynamicHCL.build(g, [0, 5, 9])
+            dyn.add_landmark(2)
+            dyn.remove_landmark(5)
+        snap = reg.snapshot()
+        c = snap["counters"]
+        assert c["build.calls"] == 1
+        assert c["build.label_writes"] > 0
+        assert c["upgrade.calls"] == 1 and c["upgrade.settled"] > 0
+        assert c["downgrade.calls"] == 1 and c["downgrade.swept"] > 0
+        assert c["search.settled"] > 0 and c["search.heap_pushes"] > 0
+        assert snap["histograms"]["span.build_hcl.seconds"]["count"] == 1
+
+    def test_pqueue_counters(self):
+        from repro.graphs import AddressableHeap, LazyHeap
+
+        with obs.observed() as reg:
+            heap = AddressableHeap()
+            heap.enqueue(1, 5.0)
+            heap.enqueue(2, 3.0)
+            heap.decrease_key(1, 1.0)
+            assert heap.dequeue_min()[0] == 1
+            lazy = LazyHeap()
+            lazy.enqueue_or_decrease(7, 2.0)
+            lazy.enqueue_or_decrease(7, 1.0)  # stale entry, one live pop
+            assert lazy.dequeue_min()[0] == 7
+        c = reg.snapshot()["counters"]
+        assert c["pqueue.enqueues"] == 4
+        assert c["pqueue.decrease_keys"] == 1
+        assert c["pqueue.dequeues"] == 2  # stale pops are not counted
+
+    def test_downgrade_affected_set_is_strict_subset_of_v(self):
+        # Paper claim (Table 2's intuition): DOWNGRADE-LMK touches only the
+        # vertices whose labels actually reference the removed landmark —
+        # a strict subset of V on any graph where coverage is shared.
+        g = random_graph(11, n_lo=40, n_hi=60)
+        dyn = DynamicHCL.build(g, [0, 7, 13, 21])
+        with obs.observed() as reg:
+            dyn.remove_landmark(13)
+        snap = reg.snapshot()
+        swept = snap["counters"]["downgrade.swept"]
+        assert 0 < swept < g.n
+        hist = snap["histograms"]["downgrade.affected_set_size"]
+        assert hist["count"] == 1 and hist["sum"] == swept
+
+    def test_pruning_counters_are_consistent(self):
+        g = random_graph(5, n_lo=30, n_hi=40)
+        dyn = DynamicHCL.build(g, [0, 3])
+        with obs.observed() as reg:
+            dyn.add_landmark(8)
+        c = reg.snapshot()["counters"]
+        assert c["upgrade.pruning_tests"] == (
+            c["upgrade.settled"] + c["upgrade.pruned"] - 1
+        )
+
+
+GOLDEN_PROMETHEUS = """\
+# TYPE repro_cache_hits_total counter
+repro_cache_hits_total 3
+# TYPE repro_cache_hit_rate gauge
+repro_cache_hit_rate 0.75
+# TYPE repro_wal_fsync_seconds histogram
+repro_wal_fsync_seconds_bucket{le="0.001"} 2
+repro_wal_fsync_seconds_bucket{le="+Inf"} 3
+repro_wal_fsync_seconds_sum 2.5005
+repro_wal_fsync_seconds_count 3
+"""
+
+GOLDEN_JSON = """\
+{
+  "counters": {
+    "cache.hits": 3
+  },
+  "gauges": {
+    "cache.hit_rate": 0.75
+  },
+  "histograms": {
+    "wal.fsync.seconds": {
+      "buckets": [
+        [
+          0.001,
+          2
+        ],
+        [
+          "+Inf",
+          3
+        ]
+      ],
+      "count": 3,
+      "sum": 2.5005
+    }
+  }
+}
+"""
+
+
+def golden_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("cache.hits").inc(3)
+    reg.gauge("cache.hit_rate").set(0.75)
+    h = reg.histogram("wal.fsync.seconds", (0.001, 0.1))
+    h.observe(0.0002)
+    h.observe(0.0003)
+    h.observe(2.5)
+    return reg
+
+
+class TestExporters:
+    def test_prometheus_golden(self):
+        assert render_prometheus(golden_registry().snapshot()) == GOLDEN_PROMETHEUS
+
+    def test_json_golden(self):
+        assert render_json(golden_registry().snapshot()) == GOLDEN_JSON
+
+    def test_rendering_is_deterministic(self):
+        a, b = golden_registry(), golden_registry()
+        assert render_prometheus(a.snapshot()) == render_prometheus(b.snapshot())
+        assert render_json(a.snapshot()) == render_json(b.snapshot())
+
+    def test_merge_snapshots(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("c").inc(2)
+        b.counter("c").inc(3)
+        b.counter("only_b").inc(1)
+        a.gauge("g").set(1.0)
+        b.gauge("g").set(9.0)
+        a.histogram("h", (1.0, 2.0)).observe(0.5)
+        b.histogram("h", (1.0, 2.0)).observe(1.5)
+        b.histogram("h").observe(99.0)
+        merged = merge_snapshots(a.snapshot(), b.snapshot())
+        assert merged["counters"] == {"c": 5, "only_b": 1}
+        assert merged["gauges"]["g"] == 9.0  # last write wins
+        h = merged["histograms"]["h"]
+        assert h["count"] == 3
+        assert h["sum"] == pytest.approx(101.0)
+        assert h["buckets"] == [[1.0, 1], [2.0, 2], ["+Inf", 3]]
+
+
+def reference_run(g, landmarks, to_remove, pairs):
+    """Build → upgrade → downgrade → batch query; return (bytes, answers)."""
+    dyn = DynamicHCL.build(g, landmarks)
+    dyn.add_landmark(to_remove + 1)
+    dyn.remove_landmark(to_remove)
+    buf = io.BytesIO()
+    save_index_binary(dyn.index, buf)
+    return buf.getvalue(), query_batch(dyn.index, pairs)
+
+
+class TestDisabledTracingDeterminism:
+    def test_observed_run_leaves_disabled_runs_bit_identical(self):
+        g = random_graph(9, n_lo=30, n_hi=50)
+        landmarks, victim = [0, 4, 11], 4
+        pairs = random_query_pairs(g.n, 80, seed=1)
+        before_bytes, before_answers = reference_run(g, landmarks, victim, pairs)
+        # An observed run in between must not perturb later disabled runs.
+        with obs.observed():
+            reference_run(g, landmarks, victim, pairs)
+        after_bytes, after_answers = reference_run(g, landmarks, victim, pairs)
+        assert after_bytes == before_bytes  # byte-identical checkpoint
+        assert after_answers == before_answers
+
+    def test_observed_run_computes_the_same_index(self):
+        # Instrumented kernel twins must be behaviourally identical to the
+        # fast-path originals, not just "close".
+        g = random_graph(12, n_lo=30, n_hi=50)
+        pairs = random_query_pairs(g.n, 60, seed=2)
+        plain_bytes, plain_answers = reference_run(g, [1, 6, 17], 6, pairs)
+        with obs.observed():
+            obs_bytes, obs_answers = reference_run(g, [1, 6, 17], 6, pairs)
+        assert obs_bytes == plain_bytes
+        assert obs_answers == plain_answers
+
+
+class TestHarnessDecomposition:
+    def test_g2_parts_sum_to_wall_clock(self):
+        from repro.experiments.harness import run_g2
+
+        g = cycle_graph(40)
+        r = run_g2(g, "cycle40", landmark_count=4, queries=50, seed=0)
+        assert r.cmt_fdyn > 0 and r.cmt_chgsp > 0
+        assert math.isclose(
+            r.cmt_fdyn,
+            r.t_build + r.t_maintain + r.t_queries + r.t_overhead,
+            rel_tol=1e-9,
+        )
+        assert math.isclose(
+            r.cmt_chgsp,
+            r.t_chgsp_pre
+            + r.t_chgsp_maintain
+            + r.t_chgsp_queries
+            + r.t_chgsp_overhead,
+            rel_tol=1e-9,
+        )
+        assert r.t_overhead >= 0.0 and r.t_chgsp_overhead >= 0.0
+
+
+class TestServiceMetrics:
+    def test_mixed_workload_yields_nontrivial_metrics(self):
+        from repro.service import (
+            AddLandmarkRequest,
+            BatchQueryRequest,
+            ConstrainedDistanceRequest,
+            HCLService,
+        )
+
+        g = path_graph(12)
+        svc = HCLService.build(g, [3])
+        svc.submit(ConstrainedDistanceRequest(0, 9))
+        svc.submit(ConstrainedDistanceRequest(0, 9))  # cache hit
+        svc.submit(AddLandmarkRequest(7))
+        svc.submit(BatchQueryRequest(((0, 9), (1, 4), (2, 11))))
+        snap = svc.metrics()
+        c = snap["counters"]
+        assert c["service.requests"] == 4
+        assert c["service.queries"] == 5  # 2 per-pair + 3 batched
+        assert c["service.mutations"] == 1
+        assert c["cache.hits"] >= 1 and c["cache.misses"] >= 1
+        assert c["cache.invalidations"] == 1
+        assert 0.0 < snap["gauges"]["cache.hit_rate"] < 1.0
+        assert snap["histograms"]["service.request.seconds"]["count"] == 4
+        assert snap["histograms"]["service.batch_size"]["sum"] == 3
+        # Both export formats render the same snapshot non-trivially.
+        text = svc.metrics_prometheus()
+        assert "repro_service_requests_total 4" in text
+        parsed = json.loads(svc.metrics_json())
+        assert parsed["counters"]["service.requests"] == 4

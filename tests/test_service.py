@@ -74,7 +74,14 @@ class TestCacheIntegration:
         svc = HCLService.build(path_graph(5), [2])
         svc.submit(DistanceRequest(0, 4))
         svc.submit(DistanceRequest(0, 4))
-        assert svc.cache_stats.hits == 1
+        assert svc.metrics()["counters"]["cache.hits"] == 1
+
+    def test_cache_stats_accessor_is_deprecated_alias(self):
+        svc = HCLService.build(path_graph(5), [2])
+        svc.submit(DistanceRequest(0, 4))
+        with pytest.warns(DeprecationWarning):
+            stats = svc.cache_stats
+        assert stats.misses == 1  # same live CacheStats object
 
 
 class TestCheckpointing:
