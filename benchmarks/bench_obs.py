@@ -10,7 +10,14 @@ recorded from the pre-instrumentation tree.  Two gates:
   (default 20%) over the baseline fails;
 * **disabled-tracing overhead**: the same comparison at
   ``--tol-overhead`` (default 2%) — the observability seams must be free
-  when off.
+  when off.  The same gate covers the *budget* seams: every gated
+  segment runs with ``budget=None`` (the production configuration), so
+  the deadline checkpoints threaded through the query and update paths
+  must also be free when unarmed.  ``distance_exact`` pins the exact
+  serving path (constrained bound + bounded bidirectional refinement)
+  where the budgeted-twin dispatch lives; the budgeted variant is
+  re-run with an unlimited budget and reported (ungated) as the cost of
+  *arming* a budget.
 
 Wall-clock numbers are not portable between machines, so every timing is
 normalized by an in-run *calibration* score (a fixed arithmetic loop) the
@@ -42,6 +49,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+from repro.budget import Budget  # noqa: E402
 from repro.core import (  # noqa: E402
     DynamicHCL,
     build_hcl,
@@ -67,12 +75,19 @@ except ImportError:  # pragma: no cover
     obs = None
 
 REPS = 3
-GATED_SEGMENTS = ("build", "query_batch", "upgrade", "downgrade")
+GATED_SEGMENTS = (
+    "build",
+    "query_batch",
+    "distance_exact",
+    "upgrade",
+    "downgrade",
+)
 
 # Pinned workload: a ~20k-vertex power-law graph, 32 landmarks.
 GRAPH_N, GRAPH_M, GRAPH_SEED = 20000, 3, 11
 LANDMARKS, LANDMARK_SEED = 32, 1
 QUERY_PAIRS, QUERY_SEED = 60000, 3
+EXACT_PAIRS = 3000
 UPDATES = 6
 
 
@@ -128,6 +143,21 @@ def run_workload() -> dict[str, float]:
         answers = query_batch(index, pairs, workers=1)
         record("query_batch", time.perf_counter() - start)
     assert len(answers) == len(pairs)
+
+    exact_pairs = pairs[:EXACT_PAIRS]
+    for _ in range(REPS):
+        distance = index.distance
+        start = time.perf_counter()
+        for s, t in exact_pairs:
+            distance(s, t)
+        record("distance_exact", time.perf_counter() - start)
+    for _ in range(REPS):
+        budget = Budget()  # armed but unlimited: the budgeted-twin cost
+        distance = index.distance
+        start = time.perf_counter()
+        for s, t in exact_pairs:
+            distance(s, t, budget=budget)
+        record("distance_exact_budgeted", time.perf_counter() - start)
 
     for _ in range(REPS):
         work = index.copy()
@@ -243,6 +273,12 @@ def main(argv=None) -> int:
     payload = result_payload(segments, calibration)
     for name, seconds in segments.items():
         print(f"[bench_obs] measured {name}: {seconds:.3f}s")
+    if "distance_exact" in segments:
+        ratio = segments["distance_exact_budgeted"] / segments["distance_exact"]
+        print(
+            f"[bench_obs] armed-budget cost on the exact path: "
+            f"{ratio:.3f}x (ungated; production serves budget=None)"
+        )
 
     status = 0
     if args.write_baseline:

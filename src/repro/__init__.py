@@ -19,11 +19,14 @@ Quickstart
 2.0
 """
 
+from .breaker import CircuitBreaker
+from .budget import Budget, DegradedResult
 from .core import (
     DowngradeStats,
     DynamicHCL,
     HCLIndex,
     Highway,
+    IndexAuditor,
     IndexStats,
     IndexTransaction,
     Labeling,
@@ -36,12 +39,17 @@ from .core import (
     upgrade_landmark,
 )
 from .errors import (
+    AuditError,
     CheckpointError,
+    CircuitOpenError,
     CoverPropertyError,
     DatasetError,
+    DeadlineExceeded,
     GraphError,
+    GraphFormatError,
     IndexStateError,
     LandmarkError,
+    Overloaded,
     ParseError,
     RecoveryError,
     ReproError,
@@ -72,6 +80,10 @@ __all__ = [
     "RecoveryReport",
     "IndexTransaction",
     "WriteAheadLog",
+    "Budget",
+    "DegradedResult",
+    "CircuitBreaker",
+    "IndexAuditor",
     "ReproError",
     "GraphError",
     "IndexStateError",
@@ -79,7 +91,12 @@ __all__ = [
     "CoverPropertyError",
     "DatasetError",
     "ParseError",
+    "GraphFormatError",
     "CheckpointError",
     "RecoveryError",
     "TransactionError",
+    "DeadlineExceeded",
+    "Overloaded",
+    "CircuitOpenError",
+    "AuditError",
 ]

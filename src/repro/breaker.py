@@ -1,0 +1,191 @@
+"""Circuit breaker isolating index mutations from infrastructure faults.
+
+A deployment serving queries while applying landmark reconfigurations has
+an asymmetric failure story: a *query* failure is one bad answer, but a
+*mutation* failure (:class:`~repro.errors.TransactionError` /
+:class:`~repro.errors.WALError`) means the write path — the undo journal,
+the WAL device — is unhealthy, and retrying in a tight loop just burns the
+same fault again while churning rollbacks.  :class:`CircuitBreaker`
+implements the classic three-state machine around that write path:
+
+* **closed** — normal operation; consecutive infrastructure failures are
+  counted and any success resets the count.
+* **open** — after ``threshold`` consecutive failures.  Mutations are
+  rejected up front with :class:`~repro.errors.CircuitOpenError` (queries
+  are unaffected: the last-good index keeps serving), until a backoff
+  delay elapses.  The delay grows exponentially with each consecutive
+  open, capped at ``max_delay``, and is jittered so a fleet of replicas
+  does not probe a shared faulty disk in lockstep.
+* **half-open** — after the backoff, exactly one probe mutation is
+  admitted.  Success closes the breaker; failure re-opens it with the
+  next (longer) delay.
+
+Both the clock and the jitter RNG are injectable, so tests drive exact
+open/half-open/close schedules with :class:`repro.testing.FakeClock` and
+a seeded :class:`random.Random` — no sleeping, no flakes.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from .errors import CircuitOpenError, RequestError
+
+__all__ = ["CircuitBreaker"]
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker with jittered exponential backoff.
+
+    Parameters
+    ----------
+    threshold:
+        Consecutive failures that trip the breaker open.
+    base_delay:
+        Backoff before the first half-open probe, in seconds.  Each
+        consecutive re-open doubles it, up to ``max_delay``.
+    max_delay:
+        Backoff ceiling in seconds.
+    jitter:
+        Relative jitter amplitude: the delay is scaled by a factor drawn
+        uniformly from ``[1 - jitter, 1 + jitter]``.
+    clock:
+        Zero-argument callable returning seconds
+        (:func:`time.monotonic` by default); inject a
+        :class:`repro.testing.FakeClock` for deterministic tests.
+    rng:
+        :class:`random.Random` used for jitter; seed one for determinism.
+
+    Examples
+    --------
+    >>> from repro.testing import FakeClock
+    >>> clock = FakeClock()
+    >>> br = CircuitBreaker(threshold=2, base_delay=1.0, jitter=0.0, clock=clock)
+    >>> br.record_failure(); br.state
+    'closed'
+    >>> br.record_failure(); br.state
+    'open'
+    >>> br.allow()
+    False
+    >>> clock.advance(1.0)
+    >>> br.allow(), br.state          # backoff elapsed: one probe admitted
+    (True, 'half_open')
+    >>> br.record_success(); br.state
+    'closed'
+    """
+
+    def __init__(
+        self,
+        threshold: int = 5,
+        base_delay: float = 1.0,
+        max_delay: float = 60.0,
+        jitter: float = 0.1,
+        clock=None,
+        rng: random.Random | None = None,
+    ):
+        if threshold < 1:
+            raise RequestError(f"breaker threshold must be >= 1, got {threshold}")
+        if base_delay <= 0 or max_delay < base_delay:
+            raise RequestError(
+                f"breaker delays must satisfy 0 < base_delay <= max_delay, "
+                f"got base_delay={base_delay}, max_delay={max_delay}"
+            )
+        if not 0.0 <= jitter < 1.0:
+            raise RequestError(f"breaker jitter must be in [0, 1), got {jitter}")
+        self.threshold = threshold
+        self.base_delay = base_delay
+        self.max_delay = max_delay
+        self.jitter = jitter
+        self._clock = clock if clock is not None else time.monotonic
+        self._rng = rng if rng is not None else random.Random()
+        self._state = "closed"
+        self._failures = 0  # consecutive, while closed
+        self._opens = 0  # consecutive opens without an intervening close
+        self._opened_at = 0.0
+        self._delay = 0.0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        """``"closed"``, ``"open"`` or ``"half_open"`` — as of the last call.
+
+        Reading the state does not consult the clock; an elapsed backoff
+        shows up as ``half_open`` only once :meth:`allow` admits the probe.
+        """
+        return self._state
+
+    @property
+    def consecutive_failures(self) -> int:
+        """Failures since the last success (while closed)."""
+        return self._failures
+
+    def retry_after(self) -> float:
+        """Seconds until the next half-open probe (0 unless open)."""
+        if self._state != "open":
+            return 0.0
+        return max(0.0, self._opened_at + self._delay - self._clock())
+
+    # ------------------------------------------------------------------
+    # State machine
+    # ------------------------------------------------------------------
+    def allow(self) -> bool:
+        """Whether a mutation may proceed now.
+
+        Transitions ``open -> half_open`` when the backoff has elapsed;
+        the call that makes the transition is the single admitted probe
+        (subsequent ``allow()`` calls return ``False`` until the probe
+        reports back via :meth:`record_success` / :meth:`record_failure`).
+        """
+        if self._state == "closed":
+            return True
+        if self._state == "open":
+            if self._clock() >= self._opened_at + self._delay:
+                self._state = "half_open"
+                return True
+            return False
+        return False  # half_open: the probe is already in flight
+
+    def guard(self, what: str = "mutation") -> None:
+        """Raise :class:`~repro.errors.CircuitOpenError` unless admitted."""
+        if not self.allow():
+            raise CircuitOpenError(
+                f"{what} rejected: circuit breaker is {self._state} "
+                f"after {self.threshold} consecutive infrastructure "
+                f"failures; retry in {self.retry_after():.3f}s",
+                retry_after=self.retry_after(),
+            )
+
+    def record_success(self) -> None:
+        """Note a successful mutation; closes a half-open breaker."""
+        self._state = "closed"
+        self._failures = 0
+        self._opens = 0
+
+    def record_failure(self) -> None:
+        """Note an infrastructure failure; may trip or re-open the breaker."""
+        if self._state == "half_open":
+            self._open()
+            return
+        self._failures += 1
+        if self._state == "closed" and self._failures >= self.threshold:
+            self._open()
+
+    def _open(self) -> None:
+        self._opens += 1
+        delay = min(self.max_delay, self.base_delay * (2 ** (self._opens - 1)))
+        if self.jitter:
+            delay *= 1.0 + self.jitter * (2.0 * self._rng.random() - 1.0)
+        self._state = "open"
+        self._failures = 0
+        self._opened_at = self._clock()
+        self._delay = delay
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CircuitBreaker(state={self._state!r}, "
+            f"failures={self._failures}/{self.threshold}, "
+            f"retry_after={self.retry_after():.3f})"
+        )

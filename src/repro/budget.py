@@ -1,0 +1,206 @@
+"""Per-request work budgets and anytime degraded answers.
+
+The ROADMAP's serving scenario — heavy traffic, millions of users — means
+no single query may hold a worker hostage.  The paper's ``QUERY`` routine
+is an anytime algorithm in disguise: the landmark-constrained upper bound
+``d_L(s, t)`` costs only ``O(|L(s)| · |L(t)|)`` label work, *before* the
+bounded bidirectional refinement search on ``G[V \\ R]`` even starts.  A
+:class:`Budget` makes that structure operational:
+
+* it bounds a request by **wall clock** (a deadline) and/or by **settled
+  vertices** (a machine-independent step budget — the same work measure
+  the paper's cost model counts);
+* hot loops charge it cheaply (one integer add per settled vertex; the
+  clock is consulted only every :data:`CHECK_INTERVAL` charges);
+* once exceeded it stays exceeded (sticky), so one budget can span a
+  whole batch and every later pair degrades instead of re-arming.
+
+When a budget expires mid-refinement the query stack returns the
+already-computed landmark upper bound as a :class:`DegradedResult` —
+a ``float`` subclass flagged ``is_upper_bound=True`` — instead of
+raising; ``strict=True`` opts back into a hard
+:class:`~repro.errors.DeadlineExceeded`.  Mutations
+(``UPGRADE-LMK``/``DOWNGRADE-LMK``) cannot return partial answers, so
+their budget checkpoints always raise; the surrounding
+:class:`~repro.core.transaction.IndexTransaction` rolls the index back,
+turning a deadline into a clean, retriable cancellation.
+
+The clock is injectable (``clock=...``) so the deterministic
+:class:`repro.testing.FakeClock` can drive deadline schedules in tests
+without sleeping.  With no budget passed (``budget=None``, the default
+everywhere) every code path is byte-identical to the unbudgeted engine:
+the kernels dispatch to separate budgeted twins, exactly like the
+:mod:`repro.obs` instrumentation twins.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+from .errors import DeadlineExceeded, RequestError
+
+__all__ = ["Budget", "DegradedResult", "CHECK_INTERVAL"]
+
+#: Settled-vertex charges between wall-clock consultations.  Budget checks
+#: must be cheap enough to sit in a search loop; one ``perf_counter`` call
+#: per settled vertex is not, one per 64 is noise.
+CHECK_INTERVAL = 64
+
+
+class DegradedResult(float):
+    """An anytime answer returned when a budget expired mid-query.
+
+    A ``float`` subclass, so callers that only care about the value keep
+    working unchanged (comparisons, arithmetic, formatting); callers that
+    care about exactness test ``isinstance(x, DegradedResult)`` or the
+    ``is_upper_bound`` flag.  The value is always **sound**: an upper
+    bound on (and frequently equal to) the true distance, never below it.
+
+    ``reason`` records which limit expired (``"wall_clock"`` or
+    ``"steps"``) for observability.
+    """
+
+    __slots__ = ("is_upper_bound", "reason")
+
+    def __new__(cls, value: float, is_upper_bound: bool = True, reason: str = ""):
+        self = super().__new__(cls, value)
+        self.is_upper_bound = is_upper_bound
+        self.reason = reason
+        return self
+
+    @property
+    def value(self) -> float:
+        """The bound as a plain float."""
+        return float(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DegradedResult({float(self)!r}, "
+            f"is_upper_bound={self.is_upper_bound}, reason={self.reason!r})"
+        )
+
+
+class Budget:
+    """Wall-clock + step budget charged by the serving and update paths.
+
+    Parameters
+    ----------
+    seconds:
+        Wall-clock allowance from construction time (``None`` = no
+        deadline).  Measured on ``clock``, which defaults to
+        :func:`time.monotonic`.
+    max_settled:
+        Total settled-vertex allowance across every search this budget is
+        threaded through (``None`` = unlimited).  Settled vertices are the
+        paper's machine-independent work measure, so a step budget means
+        the same thing on every machine.
+    clock:
+        Zero-argument callable returning seconds.  Inject a
+        :class:`repro.testing.FakeClock` for deterministic tests.
+
+    Examples
+    --------
+    >>> b = Budget(max_settled=10)
+    >>> b.charge(4), b.exceeded
+    (False, False)
+    >>> b.charge(10), b.exceeded
+    (True, True)
+    >>> b.charge(0)     # sticky: once exceeded, always exceeded
+    True
+    """
+
+    __slots__ = ("deadline", "max_settled", "settled", "exceeded", "reason", "_clock", "_countdown")
+
+    def __init__(
+        self,
+        seconds: float | None = None,
+        max_settled: int | None = None,
+        clock=None,
+    ):
+        if seconds is not None and not (seconds >= 0 and math.isfinite(seconds)):
+            raise RequestError(f"budget seconds must be finite and >= 0, got {seconds!r}")
+        if max_settled is not None and max_settled < 0:
+            raise RequestError(f"budget max_settled must be >= 0, got {max_settled!r}")
+        self._clock = clock if clock is not None else time.monotonic
+        self.deadline = self._clock() + seconds if seconds is not None else None
+        self.max_settled = max_settled
+        self.settled = 0
+        self.exceeded = False
+        self.reason = ""
+        self._countdown = CHECK_INTERVAL
+
+    @property
+    def unlimited(self) -> bool:
+        """Whether this budget can never expire."""
+        return self.deadline is None and self.max_settled is None
+
+    def _expire(self, reason: str) -> None:
+        self.exceeded = True
+        self.reason = reason
+
+    def check(self) -> bool:
+        """Consult both limits now; returns (and latches) ``exceeded``.
+
+        Used at coarse checkpoints — phase boundaries, per-pair batch
+        steps — where the cost of a clock read does not matter.
+        """
+        if self.exceeded:
+            return True
+        if self.max_settled is not None and self.settled > self.max_settled:
+            self._expire("steps")
+            return True
+        if self.deadline is not None and self._clock() >= self.deadline:
+            self._expire("wall_clock")
+            return True
+        return False
+
+    def charge(self, n: int = 1) -> bool:
+        """Add ``n`` settled vertices; returns ``True`` once exceeded.
+
+        The step limit is enforced on every call (one compare); the wall
+        clock only every :data:`CHECK_INTERVAL` charges, keeping the cost
+        per settled vertex at an integer add on the happy path.
+        """
+        if self.exceeded:
+            return True
+        self.settled += n
+        if self.max_settled is not None and self.settled > self.max_settled:
+            self._expire("steps")
+            return True
+        if self.deadline is not None:
+            self._countdown -= n
+            if self._countdown <= 0:
+                self._countdown = CHECK_INTERVAL
+                if self._clock() >= self.deadline:
+                    self._expire("wall_clock")
+                    return True
+        return False
+
+    def remaining_seconds(self) -> float:
+        """Seconds until the deadline (``inf`` without one, floored at 0)."""
+        if self.deadline is None:
+            return math.inf
+        return max(0.0, self.deadline - self._clock())
+
+    def raise_if_exceeded(self, what: str = "operation") -> None:
+        """Raise :class:`~repro.errors.DeadlineExceeded` once exceeded.
+
+        The cancellation checkpoint used by the mutation algorithms, where
+        a partial answer is not an option.
+        """
+        if self.check():
+            raise DeadlineExceeded(
+                f"{what} exceeded its budget "
+                f"({self.reason or 'expired'}; settled={self.settled})"
+            )
+
+    def degrade(self, value: float) -> DegradedResult:
+        """Wrap an anytime upper bound in a flagged :class:`DegradedResult`."""
+        return DegradedResult(value, is_upper_bound=True, reason=self.reason)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Budget(deadline={self.deadline}, max_settled={self.max_settled}, "
+            f"settled={self.settled}, exceeded={self.exceeded})"
+        )

@@ -1,5 +1,6 @@
 """HCL core: the paper's contribution plus the static HCL substrate."""
 
+from .auditor import AuditFinding, AuditTickReport, IndexAuditor
 from .batch import BatchResult, batch_reconfigure
 from .batchquery import query_batch
 from .cache import CachedQueryEngine, CacheStats
@@ -16,11 +17,16 @@ from .dynhcl import DynamicHCL, LandmarkUpdate, UpdateRecord
 from .highway import Highway
 from .index import HCLIndex, IndexStats
 from .invariants import (
+    CoverViolation,
+    HighwayViolation,
     assert_canonical,
     canonical_index,
     check_cover_property,
     check_highway_exact,
     check_minimality,
+    find_cover_violations,
+    find_highway_violations,
+    sample_vertex_pairs,
 )
 from .labeling import Labeling
 from .metrics import (
@@ -86,6 +92,14 @@ __all__ = [
     "check_cover_property",
     "check_highway_exact",
     "check_minimality",
+    "find_cover_violations",
+    "find_highway_violations",
+    "sample_vertex_pairs",
+    "CoverViolation",
+    "HighwayViolation",
+    "IndexAuditor",
+    "AuditFinding",
+    "AuditTickReport",
     "batch_reconfigure",
     "BatchResult",
     "CachedQueryEngine",

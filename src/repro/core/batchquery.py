@@ -37,7 +37,8 @@ import math
 import multiprocessing
 from typing import Iterable, Sequence
 
-from ..errors import VertexError
+from ..budget import Budget
+from ..errors import DeadlineExceeded, VertexError
 from ..graphs.csr import CSRGraph
 from ..graphs.traversal import bounded_bidirectional_distance_masked
 from .index import HCLIndex
@@ -162,11 +163,19 @@ class _BatchSolver:
                 best = d
         return best
 
-    def exact(self, s: int, t: int) -> float:
+    def exact(
+        self,
+        s: int,
+        t: int,
+        budget: Budget | None = None,
+        strict: bool = False,
+    ) -> float:
         """Exact distance — value-equal to :meth:`HCLIndex.distance`.
 
         Same branch structure; the refinement search runs on the shared CSR
-        snapshot with the shared exclusion mask.
+        snapshot with the shared exclusion mask.  Budget semantics mirror
+        :meth:`HCLIndex.distance`: the constrained bound is always
+        computed, and only the refinement degrades.
         """
         if s == t:
             return 0.0
@@ -180,15 +189,54 @@ class _BatchSolver:
         if t_is_lmk:
             return self._from_landmark(t, s)
         ub = self.constrained(s, t)
-        return bounded_bidirectional_distance_masked(
-            self._csr, s, t, ub, self._exclusion_mask()
+        if budget is None:
+            return bounded_bidirectional_distance_masked(
+                self._csr, s, t, ub, self._exclusion_mask()
+            )
+        if budget.check():
+            if strict:
+                raise DeadlineExceeded(
+                    f"batch distance({s}, {t}) exceeded its budget before "
+                    f"refinement ({budget.reason})"
+                )
+            return budget.degrade(ub)
+        best = bounded_bidirectional_distance_masked(
+            self._csr, s, t, ub, self._exclusion_mask(), budget
         )
+        if budget.exceeded:
+            if strict:
+                raise DeadlineExceeded(
+                    f"batch distance({s}, {t}) exceeded its budget "
+                    f"mid-refinement ({budget.reason})"
+                )
+            return budget.degrade(best)
+        return best
 
-    def solve(self, keys: Sequence[tuple[int, int]], exact: bool) -> list[float]:
+    def solve(
+        self,
+        keys: Sequence[tuple[int, int]],
+        exact: bool,
+        budget: Budget | None = None,
+        strict: bool = False,
+    ) -> list[float]:
         """Answer the given distinct pairs in order."""
         self.note_endpoints(keys)
-        evaluate = self.exact if exact else self.constrained
-        return [evaluate(s, t) for s, t in keys]
+        if budget is None:
+            evaluate = self.exact if exact else self.constrained
+            return [evaluate(s, t) for s, t in keys]
+        if exact:
+            return [self.exact(s, t, budget, strict) for s, t in keys]
+        # Constrained answers are the anytime floor themselves: each one is
+        # still computed exactly, but the label work is charged so a shared
+        # step budget spanning mixed traffic stays meaningful.
+        out = []
+        for s, t in keys:
+            ls = self._labeling.label(s)
+            lt = self._labeling.label(t)
+            if ls and lt:
+                budget.charge(min(len(ls), len(lt)))
+            out.append(self.constrained(s, t))
+        return out
 
 
 # ----------------------------------------------------------------------
@@ -221,6 +269,8 @@ def query_batch(
     exact: bool = False,
     min_parallel: int = MIN_PARALLEL,
     row_threshold: int = ROW_THRESHOLD,
+    budget: Budget | None = None,
+    strict: bool = False,
 ) -> list[float]:
     """Answer many ``(s, t)`` queries against a frozen index at once.
 
@@ -242,6 +292,17 @@ def query_batch(
         ``False`` (default) answers the paper's landmark-constrained
         ``QUERY``; ``True`` answers exact distances (constrained bound +
         bounded bidirectional refinement).
+    budget:
+        Optional :class:`~repro.budget.Budget` shared by the whole batch.
+        Once it expires, every remaining exact pair skips (or aborts) its
+        refinement search and returns its constrained bound as a flagged
+        :class:`~repro.budget.DegradedResult` — the batch always returns
+        one sound answer per pair instead of stalling.  Budgeted batches
+        stay in-process (a live budget cannot span pool workers), so
+        ``workers`` is ignored when ``budget`` is given.
+    strict:
+        With ``budget``: raise :class:`~repro.errors.DeadlineExceeded` at
+        the first degradation instead of returning flagged bounds.
 
     Returns
     -------
@@ -274,11 +335,16 @@ def query_batch(
     # constrained batches never touch the graph, so skip the O(n + m) walk
     # (and its per-worker pickle) entirely.
     csr = CSRGraph(index.graph) if exact else None
-    if workers is None or workers <= 1 or len(distinct) < min_parallel:
+    if (
+        budget is not None
+        or workers is None
+        or workers <= 1
+        or len(distinct) < min_parallel
+    ):
         solver = _BatchSolver(
             index.highway, index.labeling, csr, row_threshold
         )
-        values = solver.solve(distinct, exact)
+        values = solver.solve(distinct, exact, budget, strict)
     else:
         pool_size = min(workers, len(distinct))
         chunksize = max(1, len(distinct) // (pool_size * 4))

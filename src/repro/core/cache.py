@@ -15,6 +15,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from dataclasses import dataclass
 
+from ..budget import Budget, DegradedResult
 from ..obs import OBS
 from .dynhcl import DynamicHCL
 
@@ -76,7 +77,7 @@ class CachedQueryEngine:
             if OBS.enabled:
                 OBS.registry.counter("cache.invalidations").inc()
 
-    def _lookup(self, cache: OrderedDict, key, compute) -> float:
+    def _lookup(self, cache: OrderedDict, key, compute, **kwargs) -> float:
         self._check_version()
         value = cache.get(key)
         if value is not None:
@@ -85,27 +86,57 @@ class CachedQueryEngine:
             if OBS.enabled:
                 OBS.registry.counter("cache.hits").inc()
             return value
-        value = compute(*key)
-        cache[key] = value
-        if len(cache) > self.capacity:
-            cache.popitem(last=False)
+        value = compute(*key, **kwargs)
+        if not isinstance(value, DegradedResult):
+            # Degraded bounds are never memoized: a later unconstrained
+            # call must get (and then cache) the exact answer, not inherit
+            # some earlier request's deadline.
+            cache[key] = value
+            if len(cache) > self.capacity:
+                cache.popitem(last=False)
         self.stats.misses += 1
         if OBS.enabled:
             OBS.registry.counter("cache.misses").inc()
         return value
 
-    def query(self, s: int, t: int) -> float:
+    def query(
+        self, s: int, t: int, budget: Budget | None = None, strict: bool = False
+    ) -> float:
         """Memoized landmark-constrained distance (symmetric key)."""
         key = (s, t) if s <= t else (t, s)
-        return self._lookup(self._query_cache, key, self.dyn.query)
+        if budget is None:
+            return self._lookup(self._query_cache, key, self.dyn.query)
+        return self._lookup(
+            self._query_cache, key, self.dyn.query, budget=budget
+        )
 
-    def distance(self, s: int, t: int) -> float:
-        """Memoized exact distance (symmetric key)."""
+    def distance(
+        self, s: int, t: int, budget: Budget | None = None, strict: bool = False
+    ) -> float:
+        """Memoized exact distance (symmetric key).
+
+        A cache hit beats any budget — the stored answer is exact and
+        free, so budgeted requests happily consume it.  Only misses pay
+        (and potentially degrade under) the budget.
+        """
         key = (s, t) if s <= t else (t, s)
-        return self._lookup(self._distance_cache, key, self.dyn.distance)
+        if budget is None:
+            return self._lookup(self._distance_cache, key, self.dyn.distance)
+        return self._lookup(
+            self._distance_cache,
+            key,
+            self.dyn.distance,
+            budget=budget,
+            strict=strict,
+        )
 
     def batch(
-        self, pairs, workers: int | None = None, exact: bool = False
+        self,
+        pairs,
+        workers: int | None = None,
+        exact: bool = False,
+        budget: Budget | None = None,
+        strict: bool = False,
     ) -> list[float]:
         """Answer many pairs at once, through the cache.
 
@@ -134,12 +165,19 @@ class CachedQueryEngine:
                 miss_at.append(i)
         if misses:
             computed = query_batch(
-                self.dyn.index, misses, workers=workers, exact=exact
+                self.dyn.index,
+                misses,
+                workers=workers,
+                exact=exact,
+                budget=budget,
+                strict=strict,
             )
             for i, key, value in zip(miss_at, misses, computed):
                 results[i] = value
                 if key not in cache:
                     self.stats.misses += 1
+                if isinstance(value, DegradedResult):
+                    continue  # sound but inexact: never memoized
                 cache[key] = value
                 if len(cache) > self.capacity:
                     cache.popitem(last=False)
@@ -150,13 +188,13 @@ class CachedQueryEngine:
         return results
 
     # Update operations pass straight through; the version bump does the rest.
-    def add_landmark(self, v: int):
+    def add_landmark(self, v: int, budget: Budget | None = None):
         """Promote ``v``; cached answers are invalidated lazily."""
-        return self.dyn.add_landmark(v)
+        return self.dyn.add_landmark(v, budget=budget)
 
-    def remove_landmark(self, v: int):
+    def remove_landmark(self, v: int, budget: Budget | None = None):
         """Demote ``v``; cached answers are invalidated lazily."""
-        return self.dyn.remove_landmark(v)
+        return self.dyn.remove_landmark(v, budget=budget)
 
     def __len__(self) -> int:
         return len(self._query_cache) + len(self._distance_cache)

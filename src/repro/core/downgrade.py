@@ -64,7 +64,7 @@ class DowngradeStats:
     pruned: int = 0
 
 
-def downgrade_landmark(index: HCLIndex, r: int) -> DowngradeStats:
+def downgrade_landmark(index: HCLIndex, r: int, budget=None) -> DowngradeStats:
     """Remove landmark ``r`` from ``index``, updating it in place.
 
     Parameters
@@ -73,6 +73,14 @@ def downgrade_landmark(index: HCLIndex, r: int) -> DowngradeStats:
         A canonical HCL index covering its graph. Modified in place.
     r:
         Landmark to demote; must currently be a landmark.
+    budget:
+        Optional :class:`~repro.budget.Budget` cancellation budget.  One
+        step is charged per swept/re-covered vertex; the budget is checked
+        at every settle and phase boundary and expiry raises
+        :class:`~repro.errors.DeadlineExceeded` mid-flight.  A mutation
+        cannot return a partial answer, so always run budgeted downgrades
+        inside an :class:`~repro.core.transaction.IndexTransaction` (the
+        :class:`~repro.core.dynhcl.DynamicHCL` facade does).
 
     Returns
     -------
@@ -89,6 +97,11 @@ def downgrade_landmark(index: HCLIndex, r: int) -> DowngradeStats:
     labeling = index.labeling
     if r not in highway:
         raise LandmarkError(f"vertex {r} is not a landmark")
+    # Hoisted once: the per-settle checkpoint below costs one local-None
+    # test when no budget is threaded (bench_obs gates this at <2%).
+    charge = budget.charge if budget is not None else None
+    if budget is not None:
+        budget.raise_if_exceeded("DOWNGRADE-LMK")
 
     remaining = highway.landmarks
     remaining.discard(r)  # R' = R \ {r}
@@ -133,6 +146,8 @@ def downgrade_landmark(index: HCLIndex, r: int) -> DowngradeStats:
                 add_entry(r, u, delta)
                 continue
             swept += 1
+            if charge is not None and charge():
+                budget.raise_if_exceeded("DOWNGRADE-LMK (sweep)")
             if remove_entry(u, r):
                 entries_removed += 1
                 hole[u] = True
@@ -154,6 +169,8 @@ def downgrade_landmark(index: HCLIndex, r: int) -> DowngradeStats:
                 add_entry(r, u, delta)
                 continue
             swept += 1
+            if charge is not None and charge():
+                budget.raise_if_exceeded("DOWNGRADE-LMK (sweep)")
             if remove_entry(u, r):
                 entries_removed += 1
                 hole[u] = True
@@ -165,6 +182,8 @@ def downgrade_landmark(index: HCLIndex, r: int) -> DowngradeStats:
 
     highway.remove_landmark(r)
     _phase("sweep")
+    if budget is not None:
+        budget.raise_if_exceeded("DOWNGRADE-LMK (sweep phase)")
 
     # ------------------------------------------------------------------
     # Lines 23-39: re-cover sweeps, one per landmark now covering r.
@@ -196,6 +215,8 @@ def downgrade_landmark(index: HCLIndex, r: int) -> DowngradeStats:
                     if query_below(l, u, delta):
                         pruned += 1
                         continue
+                if charge is not None and charge():
+                    budget.raise_if_exceeded("DOWNGRADE-LMK (re-cover)")
                 add_entry(u, l, delta)
                 entries_added += 1
                 nd = delta + 1.0
@@ -219,6 +240,8 @@ def downgrade_landmark(index: HCLIndex, r: int) -> DowngradeStats:
                     if query_below(l, u, delta):
                         pruned += 1
                         continue
+                if charge is not None and charge():
+                    budget.raise_if_exceeded("DOWNGRADE-LMK (re-cover)")
                 add_entry(u, l, delta)
                 entries_added += 1
                 for v, w in neighbors(u):

@@ -79,6 +79,34 @@ class UpdateLog:
         rank = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
         return ordered[rank]
 
+    # Aggregate work counters: the paper's cost model measures updates by
+    # affected-set size and pruning-test count, which are machine
+    # independent where the ``seconds`` fields are not.  ``settled`` only
+    # exists on UpgradeStats and ``swept`` only on DowngradeStats, hence
+    # the getattr defaults.
+
+    @property
+    def settled(self) -> int:
+        """Total ``UPGRADE-LMK`` affected-set size (vertices settled)."""
+        return sum(getattr(rec.stats, "settled", 0) for rec in self.records)
+
+    @property
+    def swept(self) -> int:
+        """Total ``DOWNGRADE-LMK`` sweep size (vertices swept)."""
+        return sum(getattr(rec.stats, "swept", 0) for rec in self.records)
+
+    @property
+    def pruned(self) -> int:
+        """Total pruning-test rejections across all updates."""
+        return sum(getattr(rec.stats, "pruned", 0) for rec in self.records)
+
+    @property
+    def mean_work(self) -> float:
+        """Mean vertices processed per update (settled + swept + pruned)."""
+        if not self.records:
+            return 0.0
+        return (self.settled + self.swept + self.pruned) / self.count
+
 
 class DynamicHCL:
     """An HCL index kept current under landmark reconfigurations.
@@ -112,6 +140,16 @@ class DynamicHCL:
         """Monotonic counter of state changes (mutations and rollbacks)."""
         return self._version
 
+    def bump_version(self) -> None:
+        """Invalidate caches after an out-of-band index mutation.
+
+        The landmark operations bump the counter themselves; this is for
+        components that rewrite index rows directly — the
+        :class:`~repro.core.auditor.IndexAuditor`'s repairs — so cached
+        answers computed against the corrupt state are discarded.
+        """
+        self._version += 1
+
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
@@ -128,21 +166,26 @@ class DynamicHCL:
         """Current landmark set."""
         return self.index.landmarks
 
-    def add_landmark(self, v: int, transactional: bool = True) -> UpgradeStats:
+    def add_landmark(
+        self, v: int, transactional: bool = True, budget=None
+    ) -> UpgradeStats:
         """Promote ``v`` via ``UPGRADE-LMK``; records timing in the log.
 
         With ``transactional`` (the default) the update runs inside an
         :class:`~repro.core.transaction.IndexTransaction`: any exception
         rolls the index back to its pre-call state before propagating
         (non-library exceptions arrive wrapped in
-        :class:`~repro.errors.TransactionError`).
+        :class:`~repro.errors.TransactionError`).  A ``budget``
+        (:class:`~repro.budget.Budget`) cancels the update mid-flight with
+        :class:`~repro.errors.DeadlineExceeded`; combined with the default
+        transaction the index is left exactly as before the call.
         """
         start = time.perf_counter()
         if transactional:
             with IndexTransaction(self.index):
-                stats = upgrade_landmark(self.index, v)
+                stats = upgrade_landmark(self.index, v, budget=budget)
         else:
-            stats = upgrade_landmark(self.index, v)
+            stats = upgrade_landmark(self.index, v, budget=budget)
         elapsed = time.perf_counter() - start
         self.log.records.append(
             UpdateRecord(LandmarkUpdate("add", v), elapsed, stats)
@@ -151,18 +194,18 @@ class DynamicHCL:
         return stats
 
     def remove_landmark(
-        self, v: int, transactional: bool = True
+        self, v: int, transactional: bool = True, budget=None
     ) -> DowngradeStats:
         """Demote ``v`` via ``DOWNGRADE-LMK``; records timing in the log.
 
-        Transactional semantics as in :meth:`add_landmark`.
+        Transactional and ``budget`` semantics as in :meth:`add_landmark`.
         """
         start = time.perf_counter()
         if transactional:
             with IndexTransaction(self.index):
-                stats = downgrade_landmark(self.index, v)
+                stats = downgrade_landmark(self.index, v, budget=budget)
         else:
-            stats = downgrade_landmark(self.index, v)
+            stats = downgrade_landmark(self.index, v, budget=budget)
         elapsed = time.perf_counter() - start
         self.log.records.append(
             UpdateRecord(LandmarkUpdate("remove", v), elapsed, stats)
@@ -206,13 +249,13 @@ class DynamicHCL:
     # ------------------------------------------------------------------
     # Queries (delegation)
     # ------------------------------------------------------------------
-    def query(self, s: int, t: int) -> float:
+    def query(self, s: int, t: int, budget=None) -> float:
         """Landmark-constrained distance (``QUERY``)."""
-        return self.index.query(s, t)
+        return self.index.query(s, t, budget)
 
-    def distance(self, s: int, t: int) -> float:
-        """Exact distance."""
-        return self.index.distance(s, t)
+    def distance(self, s: int, t: int, budget=None, strict: bool = False) -> float:
+        """Exact distance (optionally budgeted; see :meth:`HCLIndex.distance`)."""
+        return self.index.distance(s, t, budget=budget, strict=strict)
 
     def rebuild(self) -> HCLIndex:
         """Fresh ``BUILDHCL`` over the current landmark set (baseline)."""

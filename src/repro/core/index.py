@@ -11,7 +11,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from ..errors import LandmarkError, VertexError
+from ..budget import Budget
+from ..errors import DeadlineExceeded, LandmarkError, VertexError
 from ..graphs.graph import Graph
 from ..graphs.traversal import bounded_bidirectional_distance
 from ..tolerance import PRUNE_SCALE, REL_TOL
@@ -87,18 +88,27 @@ class HCLIndex:
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
-    def query(self, s: int, t: int) -> float:
+    def query(self, s: int, t: int, budget: Budget | None = None) -> float:
         """Landmark-constrained distance — the paper's ``QUERY(s,t,H,L)``.
 
         Returns the weight of the shortest ``s``–``t`` path passing through
         at least one landmark (``inf`` when no such path exists).  This is
         an upper bound on ``d(s, t)`` and the exact beer distance when the
         landmarks are beer vertices.
+
+        ``QUERY`` is the *anytime floor* of the serving stack: it is what a
+        budget-expired :meth:`distance` falls back to, so it never degrades
+        itself.  A ``budget`` is still accepted (and charged with the label
+        work performed) so step budgets account for the whole request.
         """
         ls = self.labeling.label(s)
         lt = self.labeling.label(t)
         if not ls or not lt:
             return INF
+        if budget is not None:
+            # The scan cost is |L(s)|·|L(t)| label-pair examinations; charge
+            # the outer loop so step budgets see query work at all.
+            budget.charge(min(len(ls), len(lt)))
         if len(ls) > len(lt):
             ls, lt = lt, ls
         row = self.highway.row
@@ -145,13 +155,27 @@ class HCLIndex:
                 return True
         return False
 
-    def distance(self, s: int, t: int) -> float:
+    def distance(
+        self,
+        s: int,
+        t: int,
+        budget: Budget | None = None,
+        strict: bool = False,
+    ) -> float:
         """Exact distance ``d(s, t)``.
 
         Combines the landmark-constrained upper bound with a
         distance-bounded bidirectional search on the subgraph induced by
         non-landmark vertices (paper §2).  When either endpoint is a
         landmark the bound is already exact.
+
+        With a :class:`~repro.budget.Budget`, the refinement search is the
+        part that degrades: once the budget expires the best bound found so
+        far (at worst the landmark-constrained upper bound, which is always
+        computed first) is returned as a flagged
+        :class:`~repro.budget.DegradedResult` — or, with ``strict=True``,
+        :class:`~repro.errors.DeadlineExceeded` is raised instead.  Without
+        a budget the code path is byte-identical to the unbudgeted engine.
         """
         if s == t:
             return 0.0
@@ -163,10 +187,31 @@ class HCLIndex:
             return self.query_from_landmark(s, t)
         if t_is_lmk:
             return self.query_from_landmark(t, s)
-        ub = self.query(s, t)
-        return bounded_bidirectional_distance(
-            self.graph, s, t, ub, excluded=self.highway.landmarks
+        ub = self.query(s, t, budget)
+        if budget is None:
+            return bounded_bidirectional_distance(
+                self.graph, s, t, ub, excluded=self.highway.landmarks
+            )
+        if budget.check():
+            # Expired before refinement: the constrained bound is the
+            # anytime answer (paper QUERY, computed above in label work).
+            if strict:
+                raise DeadlineExceeded(
+                    f"distance({s}, {t}) exceeded its budget before "
+                    f"refinement ({budget.reason})"
+                )
+            return budget.degrade(ub)
+        best = bounded_bidirectional_distance(
+            self.graph, s, t, ub, excluded=self.highway.landmarks, budget=budget
         )
+        if budget.exceeded:
+            if strict:
+                raise DeadlineExceeded(
+                    f"distance({s}, {t}) exceeded its budget mid-refinement "
+                    f"({budget.reason})"
+                )
+            return budget.degrade(best)
+        return best
 
     def covering_landmarks(self, v: int) -> set[int]:
         """The landmarks covering ``v`` (those with an entry in ``L(v)``)."""

@@ -20,6 +20,7 @@ from __future__ import annotations
 import itertools
 import math
 import random
+from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from ..errors import CoverPropertyError
@@ -37,7 +38,71 @@ __all__ = [
     "assert_canonical",
     "canonical_index",
     "brute_force_landmark_constrained",
+    "CoverViolation",
+    "HighwayViolation",
+    "sample_vertex_pairs",
+    "find_cover_violations",
+    "find_highway_violations",
 ]
+
+
+@dataclass(frozen=True)
+class CoverViolation:
+    """One failed cover-property decode: pair, landmark, both values."""
+
+    s: int
+    t: int
+    landmark: int
+    got: float
+    expected: float
+
+    def __str__(self) -> str:
+        return (
+            f"{self.landmark}-constrained distance for ({self.s}, {self.t}): "
+            f"index gives {self.got}, brute force gives {self.expected}"
+        )
+
+
+@dataclass(frozen=True)
+class HighwayViolation:
+    """One highway cell that disagrees with the true landmark distance."""
+
+    r1: int
+    r2: int
+    stored: float
+    expected: float
+
+    def __str__(self) -> str:
+        return (
+            f"δ_H({self.r1}, {self.r2}) = {self.stored} "
+            f"but d({self.r1}, {self.r2}) = {self.expected}"
+        )
+
+
+def sample_vertex_pairs(
+    index: HCLIndex,
+    sample: int = 50,
+    seed: int = 0,
+    rng: random.Random | None = None,
+) -> list[tuple[int, int]]:
+    """Sample non-landmark vertex pairs for a cover-property probe.
+
+    The single sampling path shared by :func:`check_cover_property`, the
+    service's crash-recovery probe and the background
+    :class:`~repro.core.auditor.IndexAuditor` — all three grade the index
+    on pairs drawn the same way, so their verdicts are comparable.  Pass
+    ``rng`` to continue an existing stream (the auditor does, so each
+    tick draws fresh pairs deterministically); ``seed`` otherwise.
+    """
+    non_landmarks = [v for v in index.graph.vertices() if not index.is_landmark(v)]
+    if len(non_landmarks) < 2:
+        return []
+    if rng is None:
+        rng = random.Random(seed)
+    all_pairs = list(itertools.combinations(non_landmarks, 2))
+    if len(all_pairs) > sample:
+        return rng.sample(all_pairs, sample)
+    return all_pairs
 
 
 def canonical_index(graph: Graph, landmarks: Iterable[int]) -> HCLIndex:
@@ -47,16 +112,36 @@ def canonical_index(graph: Graph, landmarks: Iterable[int]) -> HCLIndex:
 
 def check_highway_exact(index: HCLIndex) -> None:
     """Raise :class:`CoverPropertyError` unless ``δ_H`` is exact."""
+    violations = find_highway_violations(index, max_violations=1)
+    if violations:
+        raise CoverPropertyError(str(violations[0]))
+
+
+def find_highway_violations(
+    index: HCLIndex,
+    landmarks: Iterable[int] | None = None,
+    max_violations: int | None = None,
+) -> list[HighwayViolation]:
+    """Compare ``δ_H`` rows against ground-truth single-source distances.
+
+    ``landmarks`` restricts which rows are recomputed (the auditor checks
+    a few per tick); each restricted row is still compared against *all*
+    landmarks.  Returns the disagreements instead of raising, capped at
+    ``max_violations`` when given.
+    """
     graph = index.graph
     lmks = sorted(index.landmarks)
-    for r in lmks:
+    rows = lmks if landmarks is None else sorted(set(landmarks))
+    violations: list[HighwayViolation] = []
+    for r in rows:
         dist = single_source_distances(graph, r)
         for r2 in lmks:
             stored = index.highway.distance(r, r2)
             if stored != dist[r2]:
-                raise CoverPropertyError(
-                    f"δ_H({r}, {r2}) = {stored} but d({r}, {r2}) = {dist[r2]}"
-                )
+                violations.append(HighwayViolation(r, r2, stored, dist[r2]))
+                if max_violations is not None and len(violations) >= max_violations:
+                    return violations
+    return violations
 
 
 def brute_force_landmark_constrained(
@@ -87,23 +172,42 @@ def check_cover_property(
     ``r_i = r`` or ``r_j = r`` is the special case where ``r`` itself
     covers an endpoint.)
     """
+    violations = find_cover_violations(
+        index, pairs=pairs, sample=sample, seed=seed, max_violations=1
+    )
+    if violations:
+        raise CoverPropertyError(str(violations[0]))
+
+
+def find_cover_violations(
+    index: HCLIndex,
+    pairs: Sequence[tuple[int, int]] | None = None,
+    sample: int = 50,
+    seed: int = 0,
+    landmarks: Iterable[int] | None = None,
+    max_violations: int | None = None,
+) -> list[CoverViolation]:
+    """The checks of :func:`check_cover_property`, returned instead of raised.
+
+    Runs the same per-pair, per-landmark decode against ground-truth
+    single-source distances, but collects every disagreement (up to
+    ``max_violations``) as structured :class:`CoverViolation` records —
+    the form the background auditor and the recovery probe consume.
+    ``landmarks`` restricts which constrained distances are graded (and
+    therefore which ground-truth searches run), bounding a tick's cost.
+    """
     graph = index.graph
     lmks = sorted(index.landmarks)
+    if landmarks is not None:
+        lmks = sorted(set(landmarks) & set(lmks))
     if not lmks:
-        return
+        return []
     dist_from = {r: single_source_distances(graph, r) for r in lmks}
 
     if pairs is None:
-        non_landmarks = [v for v in graph.vertices() if not index.is_landmark(v)]
-        if len(non_landmarks) < 2:
-            return
-        rng = random.Random(seed)
-        all_pairs = list(itertools.combinations(non_landmarks, 2))
-        if len(all_pairs) > sample:
-            pairs = rng.sample(all_pairs, sample)
-        else:
-            pairs = all_pairs
+        pairs = sample_vertex_pairs(index, sample=sample, seed=seed)
 
+    violations: list[CoverViolation] = []
     labeling = index.labeling
     highway = index.highway
     for s, t in pairs:
@@ -125,10 +229,10 @@ def check_cover_property(
             )
             got = to_r + from_r
             if got != expected:
-                raise CoverPropertyError(
-                    f"{r}-constrained distance for ({s}, {t}): "
-                    f"index gives {got}, brute force gives {expected}"
-                )
+                violations.append(CoverViolation(s, t, r, got, expected))
+                if max_violations is not None and len(violations) >= max_violations:
+                    return violations
+    return violations
 
 
 def check_minimality(index: HCLIndex) -> None:

@@ -68,7 +68,7 @@ class UpgradeStats:
 
 
 def upgrade_landmark(
-    index: HCLIndex, r: int, remove_superfluous: bool = True
+    index: HCLIndex, r: int, remove_superfluous: bool = True, budget=None
 ) -> UpgradeStats:
     """Add ``r`` to the landmark set of ``index``, updating it in place.
 
@@ -82,6 +82,15 @@ def upgrade_landmark(
         Run the cleanup phase (lines 27-34). Disabling it keeps the index
         *correct* (the cover property still holds) but no longer minimal /
         order-invariant; exposed for the ablation study only.
+    budget:
+        Optional :class:`~repro.budget.Budget` cancellation budget.  The
+        algorithm charges one step per settled vertex and checks the
+        budget at every settle and phase boundary; on expiry it raises
+        :class:`~repro.errors.DeadlineExceeded` mid-flight.  A mutation
+        cannot return a partial answer, so always run budgeted upgrades
+        inside an :class:`~repro.core.transaction.IndexTransaction` (the
+        :class:`~repro.core.dynhcl.DynamicHCL` facade does) — the
+        rollback turns the deadline into a clean, retriable cancellation.
 
     Returns
     -------
@@ -100,6 +109,11 @@ def upgrade_landmark(
         raise VertexError(f"vertex {r} out of range [0, {graph.n})")
     if r in highway:
         raise LandmarkError(f"vertex {r} is already a landmark")
+    # Hoisted once: the per-settle checkpoint below costs one local-None
+    # test when no budget is threaded (bench_obs gates this at <2%).
+    charge = budget.charge if budget is not None else None
+    if budget is not None:
+        budget.raise_if_exceeded("UPGRADE-LMK")
 
     old_landmarks = highway.landmarks
 
@@ -122,6 +136,8 @@ def upgrade_landmark(
                 best = d
         highway.set_distance(r, r2, best)
     _phase("highway")
+    if budget is not None:
+        budget.raise_if_exceeded("UPGRADE-LMK (highway phase)")
 
     # ------------------------------------------------------------------
     # Lines 6-26: pruned search from r.
@@ -163,6 +179,8 @@ def upgrade_landmark(
                     pruned += 1
                     continue
             settled += 1
+            if charge is not None and charge():
+                budget.raise_if_exceeded("UPGRADE-LMK (search)")
             for r2, d2 in label_of(u).items():
                 x = row_r.get(r2, INF) + delta
                 if x * PRUNE_SCALE <= d2 <= x * TIE_HI:
@@ -188,6 +206,8 @@ def upgrade_landmark(
                     pruned += 1
                     continue
             settled += 1
+            if charge is not None and charge():
+                budget.raise_if_exceeded("UPGRADE-LMK (search)")
             for r2, d2 in label_of(u).items():
                 x = row_r.get(r2, INF) + delta
                 if x * PRUNE_SCALE <= d2 <= x * TIE_HI:
@@ -201,6 +221,8 @@ def upgrade_landmark(
                     heapq.heappush(heap, (nd, v))
 
     _phase("search")
+    if budget is not None:
+        budget.raise_if_exceeded("UPGRADE-LMK (search phase)")
 
     # ------------------------------------------------------------------
     # Lines 27-34: drop entries made superfluous by r.
@@ -210,6 +232,8 @@ def upgrade_landmark(
     if not remove_superfluous:
         reached_lan = set()
     for r2 in reached_lan:
+        if budget is not None:
+            budget.raise_if_exceeded("UPGRADE-LMK (cleanup)")
         candidates = reached_ver.get(r2)
         if not candidates:
             continue

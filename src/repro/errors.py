@@ -52,6 +52,20 @@ class ParseError(ReproError):
     """A graph file could not be parsed."""
 
 
+class GraphFormatError(ParseError):
+    """A graph input file is malformed at a specific line.
+
+    Carries the 1-based ``line`` number (and the offending ``text`` when
+    available) so operators can fix the input instead of spelunking a
+    raw ``ValueError`` out of ``int()``/``float()``.
+    """
+
+    def __init__(self, message: str, line: int | None = None, text: str | None = None):
+        super().__init__(message)
+        self.line = line
+        self.text = text
+
+
 class TransactionError(ReproError):
     """A transactional index mutation failed and was rolled back.
 
@@ -84,6 +98,55 @@ class WALError(ReproError):
 
 class RequestError(ReproError):
     """A service request carries invalid parameters (bad worker count, ...)."""
+
+
+class DeadlineExceeded(ReproError):
+    """A budgeted operation ran out of wall clock or step budget.
+
+    Queries only raise this in ``strict`` mode — by default they return
+    the anytime landmark upper bound as a
+    :class:`~repro.budget.DegradedResult` instead.  Budgeted mutations
+    always raise it (there is no partial mutation to return); the
+    transaction machinery has already rolled the index back by the time
+    the exception reaches the caller, so the operation is safely
+    retriable with a larger budget.
+    """
+
+
+class Overloaded(ReproError):
+    """The service shed this request at admission time.
+
+    Raised before any work happens when the bounded in-flight budget is
+    full.  ``retriable`` is always ``True``: nothing about the request
+    was wrong, the deployment was momentarily saturated.
+    """
+
+    retriable = True
+
+
+class CircuitOpenError(ReproError):
+    """A mutation was rejected because the service's circuit breaker is open.
+
+    After ``K`` consecutive infrastructure failures
+    (:class:`TransactionError` / :class:`WALError`) the service stops
+    attempting mutations and serves queries from the last-good index.
+    ``retriable`` is ``True``; ``retry_after`` (seconds) hints when the
+    breaker will next admit a half-open probe.
+    """
+
+    retriable = True
+
+    def __init__(self, message: str, retry_after: float | None = None):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class AuditError(ReproError):
+    """The background auditor could not repair a corrupted label row.
+
+    The offending landmark stays quarantined (reported via
+    ``HCLService.health()``) and the repair is retried on the next tick.
+    """
 
 
 class ServiceError(ReproError):

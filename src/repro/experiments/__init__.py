@@ -18,7 +18,13 @@ from .harness import (
     run_g2,
     run_parallel,
 )
-from .reporting import fmt_amortized, fmt_seconds, fmt_speedup, render_table
+from .reporting import (
+    fmt_amortized,
+    fmt_count,
+    fmt_seconds,
+    fmt_speedup,
+    render_table,
+)
 from .table1 import run_table1
 from .table2 import run_table2
 from .table3 import run_table3
@@ -42,6 +48,7 @@ __all__ = [
     "G2Result",
     "ParallelResult",
     "render_table",
+    "fmt_count",
     "fmt_seconds",
     "fmt_speedup",
     "fmt_amortized",

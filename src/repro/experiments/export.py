@@ -26,6 +26,12 @@ G1_COLUMNS = (
     "speedup",
     "label_entries_dyn",
     "label_entries_rebuilt",
+    # Machine-independent work counters (the paper's cost model):
+    # affected-set sizes and pruning-test rejections over the σ updates.
+    "settled",
+    "swept",
+    "pruned",
+    "work_per_update",
 )
 
 G2_COLUMNS = (
@@ -37,6 +43,9 @@ G2_COLUMNS = (
     "cmt_chgsp",
     "amr_fdyn",
     "amr_chgsp",
+    "settled",
+    "swept",
+    "pruned",
 )
 
 
@@ -52,6 +61,10 @@ def g1_rows(results: Iterable[G1Result]) -> list[dict]:
             "speedup": r.speedup,
             "label_entries_dyn": r.label_entries_dyn,
             "label_entries_rebuilt": r.label_entries_rebuilt,
+            "settled": r.settled,
+            "swept": r.swept,
+            "pruned": r.pruned,
+            "work_per_update": r.work_per_update,
         }
         for r in results
     ]
@@ -69,6 +82,9 @@ def g2_rows(results: Iterable[G2Result]) -> list[dict]:
             "cmt_chgsp": r.cmt_chgsp,
             "amr_fdyn": r.amr_fdyn,
             "amr_chgsp": r.amr_chgsp,
+            "settled": r.settled,
+            "swept": r.swept,
+            "pruned": r.pruned,
         }
         for r in results
     ]

@@ -45,7 +45,14 @@ def _tracer() -> Tracer:
 
 @dataclass(frozen=True)
 class G1Result:
-    """One Table 2 cell group: dynamic maintenance vs full rebuild."""
+    """One Table 2 cell group: dynamic maintenance vs full rebuild.
+
+    The ``settled``/``swept``/``pruned`` work counters are the paper's
+    cost model in machine-independent units: total ``UPGRADE-LMK``
+    affected-set size, total ``DOWNGRADE-LMK`` sweep size, and total
+    pruning-test rejections over the whole update sequence.  They were
+    appended with defaults so pre-existing constructions stay valid.
+    """
 
     dataset: str
     landmarks: int
@@ -54,11 +61,22 @@ class G1Result:
     t_fdyn: float  # mean per-update time of UPGRADE/DOWNGRADE-LMK
     label_entries_dyn: int
     label_entries_rebuilt: int
+    settled: int = 0
+    swept: int = 0
+    pruned: int = 0
 
     @property
     def speedup(self) -> float:
         """The paper's SPEED-UP column: ``T_BUILD / T_FDYN``."""
         return self.t_build / self.t_fdyn if self.t_fdyn > 0 else float("inf")
+
+    @property
+    def work_per_update(self) -> float:
+        """Mean vertices processed per update — the machine-independent
+        companion of ``t_fdyn`` (settled + swept + pruned, over σ)."""
+        if self.sigma <= 0:
+            return 0.0
+        return (self.settled + self.swept + self.pruned) / self.sigma
 
 
 @dataclass(frozen=True)
@@ -77,6 +95,10 @@ class G2Result:
     warm-up, result collection) that earlier versions silently dropped
     from the reported totals.  The decomposition fields were appended
     with defaults, so pre-existing constructions remain valid.
+
+    ``settled``/``swept``/``pruned`` are the maintenance phase's work
+    counters (see :class:`G1Result`) — the machine-independent
+    companions of ``t_maintain``.
     """
 
     dataset: str
@@ -93,6 +115,9 @@ class G2Result:
     t_chgsp_maintain: float = 0.0
     t_chgsp_queries: float = 0.0
     t_chgsp_overhead: float = 0.0
+    settled: int = 0
+    swept: int = 0
+    pruned: int = 0
 
     @property
     def amr_fdyn(self) -> float:
@@ -132,6 +157,9 @@ def run_g1(
         t_fdyn=log.mean_seconds,
         label_entries_dyn=dyn.index.labeling.total_entries(),
         label_entries_rebuilt=rebuilt.labeling.total_entries(),
+        settled=log.settled,
+        swept=log.swept,
+        pruned=log.pruned,
     )
 
 
@@ -290,4 +318,7 @@ def run_g2(
         t_chgsp_maintain=sp_gsp_maintain.duration,
         t_chgsp_queries=sp_gsp_queries.duration,
         t_chgsp_overhead=sp_gsp.self_seconds,
+        settled=log.settled,
+        swept=log.swept,
+        pruned=log.pruned,
     )

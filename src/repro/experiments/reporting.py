@@ -10,7 +10,13 @@ from __future__ import annotations
 import math
 from typing import Sequence
 
-__all__ = ["render_table", "fmt_seconds", "fmt_speedup", "fmt_amortized"]
+__all__ = [
+    "render_table",
+    "fmt_count",
+    "fmt_seconds",
+    "fmt_speedup",
+    "fmt_amortized",
+]
 
 
 def fmt_seconds(value: float, threshold: float = 0.01) -> str:
@@ -20,6 +26,13 @@ def fmt_seconds(value: float, threshold: float = 0.01) -> str:
     if 0 < value < threshold:
         return f"<{threshold:g}"
     return f"{value:.2f}"
+
+
+def fmt_count(value: float) -> str:
+    """Work counters (vertex counts) with a thousands separator."""
+    if value != value or value == math.inf:
+        return "-"
+    return f"{value:,.0f}"
 
 
 def fmt_speedup(value: float) -> str:

@@ -193,6 +193,7 @@ def bounded_bidirectional_distance(
     t: int,
     upper_bound: float,
     excluded: Collection[int] = (),
+    budget=None,
 ) -> float:
     """Exact ``s``–``t`` distance on ``G[V \\ excluded]``, capped by a bound.
 
@@ -210,7 +211,7 @@ def bounded_bidirectional_distance(
     for x in excluded:
         excluded_mask[x] = True
     return bounded_bidirectional_distance_masked(
-        g, s, t, upper_bound, excluded_mask
+        g, s, t, upper_bound, excluded_mask, budget
     )
 
 
@@ -220,13 +221,26 @@ def bounded_bidirectional_distance_masked(
     t: int,
     upper_bound: float,
     excluded_mask: Sequence[bool],
+    budget=None,
 ) -> float:
     """:func:`bounded_bidirectional_distance` with a prebuilt exclusion mask.
 
     Building the O(n) mask dominates small bounded searches, so batch query
     serving constructs it once per landmark-set version and reuses it for
     every pair in the batch.
+
+    With a :class:`~repro.budget.Budget` the search runs in a budgeted
+    twin that charges one step per settled vertex and abandons the
+    refinement once the budget is exceeded, returning the best bound
+    found so far — an anytime answer that is always >= the true distance
+    (``best`` only ever shrinks from the sound ``upper_bound``).  Callers
+    inspect ``budget.exceeded`` to learn whether the returned value is
+    certified exact.
     """
+    if budget is not None:
+        return _bounded_bidirectional_masked_budgeted(
+            g, s, t, upper_bound, excluded_mask, budget
+        )
     if OBS.enabled:
         return _bounded_bidirectional_masked_obs(
             g, s, t, upper_bound, excluded_mask
@@ -435,6 +449,83 @@ def _flagged_single_source_obs(
     _record_search(settled, edges, pushes)
     OBS.registry.counter("search.tie_joins").inc(tie_joins)
     return dist, clear
+
+
+# Fault-injection seam (see repro.testing.faults.slow_search): called with
+# each vertex settled by the *budgeted* bidirectional kernel so tests can
+# advance a fake clock mid-search on an exact schedule.  Only the budgeted
+# twin consults it — the production and obs loops stay hook-free.
+_SETTLE_HOOK = None
+
+
+def _bounded_bidirectional_masked_budgeted(
+    g: Graph,
+    s: int,
+    t: int,
+    upper_bound: float,
+    excluded_mask: Sequence[bool],
+    budget,
+) -> float:
+    """Budgeted twin of the bounded bidirectional search.
+
+    Identical relaxation order and tie handling, plus one ``charge()``
+    per settled vertex; aborts (returning the current sound bound) as
+    soon as the budget reports exceeded.  A pre-exceeded budget returns
+    ``upper_bound`` untouched without expanding anything.
+    """
+    if s == t:
+        return 0.0
+    if excluded_mask[s] or excluded_mask[t]:
+        return upper_bound
+    if budget.check():
+        return upper_bound
+
+    dist_f = {s: 0.0}
+    dist_b = {t: 0.0}
+    heap_f: list[tuple[float, int]] = [(0.0, s)]
+    heap_b: list[tuple[float, int]] = [(0.0, t)]
+    best = upper_bound
+    neighbors = g.neighbors
+    settle_hook = _SETTLE_HOOK
+    settled = edges = 0
+    pushes = 2
+
+    while heap_f and heap_b:
+        if heap_f[0][0] + heap_b[0][0] >= best:
+            break
+        if heap_f[0][0] <= heap_b[0][0]:
+            heap, dist, other = heap_f, dist_f, dist_b
+        else:
+            heap, dist, other = heap_b, dist_b, dist_f
+        d, u = heapq.heappop(heap)
+        if d > dist.get(u, INF):
+            continue
+        if d >= best:
+            continue
+        settled += 1
+        if settle_hook is not None:
+            settle_hook(u)
+        if budget.charge():
+            break
+        for v, w in neighbors(u):
+            edges += 1
+            if excluded_mask[v]:
+                continue
+            nd = d + w
+            if nd >= best and v not in other:
+                continue
+            if nd < dist.get(v, INF):
+                dist[v] = nd
+                heapq.heappush(heap, (nd, v))
+                pushes += 1
+            dv_other = other.get(v)
+            if dv_other is not None and dist[v] + dv_other < best:
+                best = dist[v] + dv_other
+    if OBS.enabled:
+        _record_search(settled, edges, pushes)
+        if budget.exceeded:
+            OBS.registry.counter("search.budget_aborts").inc()
+    return best
 
 
 def _bounded_bidirectional_masked_obs(

@@ -36,9 +36,12 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import BinaryIO, Union
 
+from .breaker import CircuitBreaker
+from .budget import Budget, DegradedResult
+from .core.auditor import IndexAuditor
 from .core.cache import CachedQueryEngine
 from .core.dynhcl import DynamicHCL
-from .core.invariants import check_cover_property
+from .core.invariants import find_cover_violations, sample_vertex_pairs
 from .core.serialization import (
     load_checkpoint,
     load_index_binary,
@@ -47,12 +50,14 @@ from .core.serialization import (
 from .core.transaction import IndexTransaction
 from .core.wal import WalScan, WriteAheadLog, scan_wal
 from .errors import (
-    CoverPropertyError,
+    Overloaded,
     RecoveryError,
     ReproError,
     RequestError,
     ServiceError,
+    TransactionError,
     VertexError,
+    WALError,
 )
 from .graphs.graph import Graph
 from .obs import (
@@ -151,6 +156,10 @@ class ServiceStats:
     queries: int = 0
     mutations: int = 0
     failures: int = 0
+    # Requests refused at admission time (in-flight budget full).
+    shed: int = 0
+    # Answers returned as flagged DegradedResult upper bounds (per pair).
+    degraded: int = 0
 
 
 @dataclass(frozen=True)
@@ -207,7 +216,14 @@ class HCLService:
         dyn: DynamicHCL,
         cache_capacity: int = 65536,
         wal: WriteAheadLog | str | Path | None = None,
+        max_inflight: int | None = None,
+        breaker: CircuitBreaker | None = None,
+        auditor: IndexAuditor | None = None,
     ):
+        if max_inflight is not None and max_inflight < 1:
+            raise RequestError(
+                f"max_inflight must be >= 1 or None, got {max_inflight}"
+            )
         self._dyn = dyn
         self._engine = CachedQueryEngine(dyn, capacity=cache_capacity)
         if isinstance(wal, (str, Path)):
@@ -221,6 +237,29 @@ class HCLService:
         # tracer: a deployment gets operational numbers without paying for
         # library-internal tracing.
         self._registry = MetricsRegistry()
+        # Admission control: requests beyond this many concurrently active
+        # ones are shed with a retriable Overloaded instead of queueing.
+        self._max_inflight = max_inflight
+        self._inflight = 0
+        # Fault isolation: K consecutive infrastructure failures on the
+        # mutation path trip the breaker; queries keep serving the
+        # last-good index while mutations are rejected as retriable.
+        self.breaker = breaker if breaker is not None else CircuitBreaker()
+        # Background self-healing: tick from an ops loop (or call
+        # audit_tick()); findings surface in health() and metrics().  A
+        # caller-supplied auditor (custom sampling rates) is adopted: it
+        # inherits the service's breaker and registry unless it brought
+        # its own, so health() and metrics() stay complete either way.
+        if auditor is None:
+            auditor = IndexAuditor(
+                dyn, breaker=self.breaker, registry=self._registry
+            )
+        else:
+            if auditor._breaker is None:
+                auditor._breaker = self.breaker
+            if auditor._registry is None:
+                auditor._registry = self._registry
+        self.auditor = auditor
 
     @classmethod
     def build(
@@ -275,17 +314,39 @@ class HCLService:
         elif self._wal is not None:
             self._wal.append(kind, vertex)
 
-    def _execute(self, request: Request):
-        """Validate and run one request (no auditing here)."""
+    def _execute(
+        self,
+        request: Request,
+        budget: Budget | None = None,
+        strict: bool = False,
+    ):
+        """Validate and run one request (no auditing here).
+
+        With no ``budget`` the engine calls are exactly the unbudgeted
+        ones — same positional signatures as before budgets existed — so
+        the undegraded hot path (and anything monkeypatching the engine)
+        is untouched.
+        """
+        unbudgeted = budget is None and not strict
         if isinstance(request, DistanceRequest):
             self._validate_vertex(request.s, "source")
             self._validate_vertex(request.t, "target")
-            result = self._engine.distance(request.s, request.t)
+            if unbudgeted:
+                result = self._engine.distance(request.s, request.t)
+            else:
+                result = self._engine.distance(
+                    request.s, request.t, budget=budget, strict=strict
+                )
             self.stats.queries += 1
         elif isinstance(request, ConstrainedDistanceRequest):
             self._validate_vertex(request.s, "source")
             self._validate_vertex(request.t, "target")
-            result = self._engine.query(request.s, request.t)
+            if unbudgeted:
+                result = self._engine.query(request.s, request.t)
+            else:
+                result = self._engine.query(
+                    request.s, request.t, budget=budget, strict=strict
+                )
             self.stats.queries += 1
         elif isinstance(request, BatchQueryRequest):
             workers = request.workers
@@ -301,25 +362,76 @@ class HCLService:
                     raise VertexError(
                         f"pair {i} = ({s}, {t}) out of range [0, {n})"
                     )
-            result = self._engine.batch(
-                request.pairs, workers=workers, exact=request.exact
-            )
+            if unbudgeted:
+                result = self._engine.batch(
+                    request.pairs, workers=workers, exact=request.exact
+                )
+            else:
+                result = self._engine.batch(
+                    request.pairs,
+                    workers=workers,
+                    exact=request.exact,
+                    budget=budget,
+                    strict=strict,
+                )
             self.stats.queries += len(request.pairs)
         elif isinstance(request, AddLandmarkRequest):
             self._validate_vertex(request.vertex)
-            result = self._engine.add_landmark(request.vertex)
+            if budget is None:
+                result = self._engine.add_landmark(request.vertex)
+            else:
+                result = self._engine.add_landmark(
+                    request.vertex, budget=budget
+                )
             self.stats.mutations += 1
             self._record_mutation("add", request.vertex)
         elif isinstance(request, RemoveLandmarkRequest):
             self._validate_vertex(request.vertex)
-            result = self._engine.remove_landmark(request.vertex)
+            if budget is None:
+                result = self._engine.remove_landmark(request.vertex)
+            else:
+                result = self._engine.remove_landmark(
+                    request.vertex, budget=budget
+                )
             self.stats.mutations += 1
             self._record_mutation("remove", request.vertex)
         else:
             raise RequestError(f"unknown request type {type(request).__name__}")
         return result
 
-    def submit(self, request: Request):
+    def _shed(self, request: Request) -> None:
+        """Refuse one request at admission time (no work performed)."""
+        self.stats.shed += 1
+        self._registry.counter("service.shed").inc()
+        message = (
+            f"{type(request).__name__} shed: {self._inflight} requests "
+            f"in flight >= max_inflight={self._max_inflight}"
+        )
+        self.audit.append(
+            AuditRecord(request, None, 0.0, False, f"Overloaded: {message}")
+        )
+        raise Overloaded(message)
+
+    def _count_degraded(self, result) -> None:
+        """Fold flagged anytime answers into stats (per degraded pair)."""
+        if isinstance(result, DegradedResult):
+            degraded = 1
+        elif isinstance(result, list):
+            degraded = sum(
+                1 for value in result if isinstance(value, DegradedResult)
+            )
+        else:
+            return
+        if degraded:
+            self.stats.degraded += degraded
+            self._registry.counter("service.degraded").inc(degraded)
+
+    def submit(
+        self,
+        request: Request,
+        budget: Budget | None = None,
+        strict: bool = False,
+    ):
         """Process one request; raises on failure after auditing it.
 
         *Every* outcome is audited and counted, including exceptions that
@@ -328,13 +440,59 @@ class HCLService:
         ``__cause__``) so callers only ever see ``ReproError`` subclasses.
         Mutations are transactional: a failed one has already been rolled
         back by the time the exception reaches the caller.
+
+        Operating under load:
+
+        * ``budget`` bounds the request by wall clock and/or settled
+          vertices; an expired query returns its anytime upper bound as a
+          flagged :class:`~repro.budget.DegradedResult` (counted in
+          ``service.degraded``), or raises
+          :class:`~repro.errors.DeadlineExceeded` with ``strict=True``.
+          An expired *mutation* always raises after rolling back.
+        * With ``max_inflight`` configured, requests beyond the bound are
+          shed up front with a retriable :class:`~repro.errors.Overloaded`.
+        * Mutations pass through the circuit breaker: after ``threshold``
+          consecutive :class:`~repro.errors.TransactionError` /
+          :class:`~repro.errors.WALError` failures they are rejected with
+          :class:`~repro.errors.CircuitOpenError` until a backed-off
+          half-open probe succeeds.  Queries never touch the breaker.
         """
+        if (
+            self._max_inflight is not None
+            and self._inflight >= self._max_inflight
+        ):
+            self._shed(request)
+        is_mutation = isinstance(
+            request, (AddLandmarkRequest, RemoveLandmarkRequest)
+        )
+        if is_mutation and not self.breaker.allow():
+            self._registry.counter("service.breaker_rejections").inc()
+            try:
+                self.breaker.guard(type(request).__name__)
+            except ReproError as exc:
+                self.audit.append(
+                    AuditRecord(
+                        request, None, 0.0, False,
+                        f"{type(exc).__name__}: {exc}",
+                    )
+                )
+                raise
         start = time.perf_counter()
+        self._inflight += 1
         try:
-            result = self._execute(request)
+            result = self._execute(request, budget, strict)
         except Exception as exc:
             elapsed = time.perf_counter() - start
             self.stats.failures += 1
+            if is_mutation:
+                if isinstance(exc, (TransactionError, WALError)):
+                    self.breaker.record_failure()
+                elif self.breaker.state == "half_open":
+                    # The probe failed for a non-infrastructure reason
+                    # (validation, budget): the write path itself worked,
+                    # so the probe closes the breaker rather than wedging
+                    # it half-open.
+                    self.breaker.record_success()
             self._record_request(request, None, elapsed, ok=False)
             self.audit.append(
                 AuditRecord(
@@ -350,7 +508,12 @@ class HCLService:
             raise ServiceError(
                 f"{type(request).__name__} failed unexpectedly: {exc}"
             ) from exc
+        finally:
+            self._inflight -= 1
+        if is_mutation:
+            self.breaker.record_success()
         elapsed = time.perf_counter() - start
+        self._count_degraded(result)
         self._record_request(request, result, elapsed, ok=True)
         self.audit.append(AuditRecord(request, result, elapsed, True))
         return result
@@ -382,8 +545,18 @@ class HCLService:
                 "service.mutation.affected_set_size", SIZE_BOUNDS
             ).observe(affected)
 
-    def submit_batch(self, requests, on_error: str = "stop") -> list[AuditRecord]:
+    def submit_batch(
+        self,
+        requests,
+        on_error: str = "stop",
+        budget: Budget | None = None,
+        strict: bool = False,
+    ) -> list[AuditRecord]:
         """Process requests in order with explicit failure semantics.
+
+        A ``budget`` is shared by the whole batch (it is sticky: once the
+        first request exhausts it, every later query degrades immediately
+        and every later mutation is cancelled up front).
 
         ``on_error`` selects what a failing request does to the batch:
 
@@ -408,11 +581,11 @@ class HCLService:
         before = len(self.audit)
         if on_error == "stop":
             for request in requests:
-                self.submit(request)
+                self.submit(request, budget=budget, strict=strict)
         elif on_error == "continue":
             for request in requests:
                 try:
-                    self.submit(request)
+                    self.submit(request, budget=budget, strict=strict)
                 except ReproError:
                     pass  # audited by submit; batch keeps going
         else:  # rollback
@@ -424,7 +597,7 @@ class HCLService:
             try:
                 with IndexTransaction(self._dyn.index):
                     for request in requests:
-                        self.submit(request)
+                        self.submit(request, budget=budget, strict=strict)
             except Exception:
                 # The transaction already restored the index; undo the
                 # bookkeeping of mutations that committed inside the batch.
@@ -443,6 +616,8 @@ class HCLService:
         pairs,
         workers: int | None = None,
         exact: bool = False,
+        budget: Budget | None = None,
+        strict: bool = False,
     ) -> list[float]:
         """Serve many queries as one audited batch.
 
@@ -454,9 +629,18 @@ class HCLService:
         processes (clamped to the
         available cores; small batches stay serial).  Returns one value per
         pair in input order.
+
+        A ``budget`` spans the whole batch (the batch runs serially then —
+        pool workers cannot share a live budget) and is sticky: once it
+        expires, the current and all remaining exact pairs come back as
+        flagged :class:`~repro.budget.DegradedResult` upper bounds, or
+        ``strict=True`` aborts the batch with
+        :class:`~repro.errors.DeadlineExceeded`.
         """
         return self.submit(
-            BatchQueryRequest(tuple(pairs), exact=exact, workers=workers)
+            BatchQueryRequest(tuple(pairs), exact=exact, workers=workers),
+            budget=budget,
+            strict=strict,
         )
 
     # ------------------------------------------------------------------
@@ -501,10 +685,78 @@ class HCLService:
         counters["service.queries"] = self.stats.queries
         counters["service.mutations"] = self.stats.mutations
         counters["service.failures"] = self.stats.failures
+        counters["service.shed"] = self.stats.shed
+        counters["service.degraded"] = self.stats.degraded
         snap["gauges"]["cache.hit_rate"] = cs.hit_rate
+        # Breaker state as a gauge (0 closed, 1 half-open, 2 open) so a
+        # scraper can alert on it without parsing strings.
+        snap["gauges"]["service.breaker_state"] = {
+            "closed": 0,
+            "half_open": 1,
+            "open": 2,
+        }[self.breaker.state]
+        snap["gauges"]["service.inflight"] = self._inflight
+        snap["gauges"]["audit.quarantined"] = len(self.auditor.quarantined)
         snap["counters"] = dict(sorted(counters.items()))
         snap["gauges"] = dict(sorted(snap["gauges"].items()))
         return snap
+
+    # ------------------------------------------------------------------
+    # Health & self-healing
+    # ------------------------------------------------------------------
+    def audit_tick(self):
+        """Run one increment of the background index auditor.
+
+        A deployment calls this from its maintenance loop (a thread, a
+        cron tick, an idle callback); each call samples fresh vertex
+        pairs, checks a rotating window of landmark rows against
+        ground-truth searches, and repairs what it can.  Returns the
+        :class:`~repro.core.auditor.AuditTickReport`; cumulative findings
+        surface in :meth:`health` and :meth:`metrics`.
+        """
+        return self.auditor.tick()
+
+    def health(self) -> dict:
+        """One structured verdict on whether this service is fit to serve.
+
+        Combines the circuit breaker (write-path health), WAL liveness,
+        the auditor's cumulative findings (read-path integrity), and the
+        load-shedding counters.  ``status`` is the roll-up:
+
+        * ``"ok"`` — breaker closed, nothing quarantined;
+        * ``"degraded"`` — breaker half-open (probing after failures) or
+          label rows are quarantined awaiting repair: answers are served
+          but something needs attention;
+        * ``"failed"`` — breaker open: mutations are being rejected and
+          queries run on the last-good index.
+        """
+        breaker_state = self.breaker.state
+        auditor = self.auditor.summary()
+        if breaker_state == "open":
+            status = "failed"
+        elif breaker_state == "half_open" or auditor["quarantined"]:
+            status = "degraded"
+        else:
+            status = "ok"
+        return {
+            "status": status,
+            "breaker": {
+                "state": breaker_state,
+                "consecutive_failures": self.breaker.consecutive_failures,
+                "retry_after": self.breaker.retry_after(),
+            },
+            "wal": {
+                "attached": self._wal is not None,
+                "last_seq": self._wal.last_seq if self._wal else None,
+            },
+            "auditor": auditor,
+            "inflight": self._inflight,
+            "max_inflight": self._max_inflight,
+            "shed": self.stats.shed,
+            "degraded_answers": self.stats.degraded,
+            "landmarks": len(self._dyn.landmarks),
+            "version": self._dyn.version,
+        }
 
     def metrics_prometheus(self) -> str:
         """:meth:`metrics` rendered in the Prometheus text format."""
@@ -571,11 +823,16 @@ class HCLService:
         record that fails to re-apply means checkpoint and WAL disagree
         and raises :class:`~repro.errors.RecoveryError`.
 
-        After replay a sampled cover-property probe (reusing
-        :func:`repro.core.invariants.check_cover_property`) grades the
-        recovered index; its verdict lands in the returned
-        :class:`RecoveryReport` together with replay statistics.  When
-        ``wal`` is given as a path, the recovered service continues
+        After replay a sampled cover-property probe grades the recovered
+        index; its verdict lands in the returned :class:`RecoveryReport`
+        together with replay statistics.  The probe draws its pairs and
+        grades them through the same
+        :func:`repro.core.invariants.sample_vertex_pairs` /
+        :func:`repro.core.invariants.find_cover_violations` path the
+        background :class:`~repro.core.auditor.IndexAuditor` ticks over,
+        so ``RecoveryReport.probe_ok`` and a subsequent
+        :meth:`health` report cannot disagree about what a violation is.
+        When ``wal`` is given as a path, the recovered service continues
         logging to it (the torn tail, if any, is repaired on open).
         """
         index, ckpt_seq = load_checkpoint(graph, checkpoint)
@@ -605,11 +862,10 @@ class HCLService:
                 ) from exc
             applied += 1
 
-        probe_ok, probe_error = True, None
-        try:
-            check_cover_property(index, sample=probe_pairs, seed=probe_seed)
-        except CoverPropertyError as exc:
-            probe_ok, probe_error = False, str(exc)
+        probe = sample_vertex_pairs(index, sample=probe_pairs, seed=probe_seed)
+        violations = find_cover_violations(index, pairs=probe, max_violations=1)
+        probe_ok = not violations
+        probe_error = str(violations[0]) if violations else None
 
         if wal is not None and not isinstance(wal, WriteAheadLog):
             wal = WriteAheadLog(wal)

@@ -7,21 +7,25 @@ to the update algorithms is expected to keep passing under it.
 """
 
 from .faults import (
+    FakeClock,
     InjectedFault,
     WorkerFault,
     corrupt_byte,
     fail_at_label_write,
     fail_at_phase,
     inject_worker_fault,
+    slow_search,
     truncate_tail,
 )
 
 __all__ = [
+    "FakeClock",
     "InjectedFault",
     "WorkerFault",
     "corrupt_byte",
     "fail_at_label_write",
     "fail_at_phase",
     "inject_worker_fault",
+    "slow_search",
     "truncate_tail",
 ]

@@ -18,6 +18,11 @@ sites into *repeatable* test inputs:
 * :func:`corrupt_byte` / :func:`truncate_tail` — bit-flip or truncate
   on-disk artifacts (checkpoints, WALs) the way dying disks and dying
   processes do.
+* :class:`FakeClock` + :func:`slow_search` — a deterministic clock to
+  inject into :class:`~repro.budget.Budget` /
+  :class:`~repro.breaker.CircuitBreaker`, and a fault that advances it by
+  a fixed amount per settled vertex of the budgeted refinement search, so
+  deadline expiry lands on an exact, machine-independent schedule.
 
 All injection is scoped by context managers that restore the patched seam
 on exit, so a failing assertion cannot leak a fault into the next test.
@@ -35,12 +40,14 @@ from pathlib import Path
 from typing import Callable, Iterator
 
 __all__ = [
+    "FakeClock",
     "InjectedFault",
     "WorkerFault",
     "corrupt_byte",
     "fail_at_label_write",
     "fail_at_phase",
     "inject_worker_fault",
+    "slow_search",
     "truncate_tail",
 ]
 
@@ -51,6 +58,44 @@ class InjectedFault(Exception):
     Intentionally outside the ``ReproError`` hierarchy so tests observe
     how the library treats exceptions it does not own.
     """
+
+
+class FakeClock:
+    """A manually-advanced monotonic clock for deterministic time tests.
+
+    Drop-in for the ``clock`` parameter of
+    :class:`~repro.budget.Budget` and
+    :class:`~repro.breaker.CircuitBreaker`: calling the instance returns
+    the current fake time; :meth:`advance` moves it forward.  Tests
+    script deadline expiries and breaker backoff schedules exactly,
+    without sleeping.
+
+    Examples
+    --------
+    >>> clock = FakeClock()
+    >>> clock()
+    0.0
+    >>> clock.advance(1.5)
+    >>> clock()
+    1.5
+    """
+
+    __slots__ = ("now",)
+
+    def __init__(self, start: float = 0.0):
+        self.now = float(start)
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        """Move the clock forward by ``seconds`` (must be >= 0)."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance a clock by {seconds}")
+        self.now += seconds
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FakeClock(now={self.now})"
 
 
 # ----------------------------------------------------------------------
@@ -119,6 +164,39 @@ def fail_at_phase(
     finally:
         upgrade._PHASE_HOOK = old_up
         downgrade._PHASE_HOOK = old_down
+
+
+@contextmanager
+def slow_search(
+    clock: FakeClock, seconds_per_settle: float
+) -> Iterator[FakeClock]:
+    """Make every settled vertex of the budgeted search cost fake time.
+
+    Arms the settle seam of the *budgeted* bidirectional kernel
+    (:data:`repro.graphs.traversal._SETTLE_HOOK`) to advance ``clock`` by
+    ``seconds_per_settle`` per settled vertex.  Pair it with a
+    ``Budget(seconds=..., clock=clock)`` and the wall-clock deadline
+    expires after a precise number of settles on every machine — the
+    deterministic stand-in for "this query hit a slow region of the
+    graph".  Unbudgeted searches are untouched: the production kernels
+    never consult the seam.
+    """
+    from ..graphs import traversal
+
+    if seconds_per_settle < 0:
+        raise ValueError(
+            f"seconds_per_settle must be >= 0, got {seconds_per_settle}"
+        )
+
+    def hook(_u: int) -> None:
+        clock.advance(seconds_per_settle)
+
+    old = traversal._SETTLE_HOOK
+    traversal._SETTLE_HOOK = hook
+    try:
+        yield clock
+    finally:
+        traversal._SETTLE_HOOK = old
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,719 @@
+"""Operating under load: budgets, degraded answers, breaker, auditor.
+
+The contract under test, end to end:
+
+* a non-strict budgeted query returns either the exact answer or a
+  flagged :class:`~repro.budget.DegradedResult` that is a sound upper
+  bound on the true distance — never a silent wrong answer;
+* with no budget every result is byte-identical to the unbudgeted
+  engine;
+* budgeted mutations cancel cleanly (rollback, retriable error);
+* admission control sheds, the circuit breaker isolates write-path
+  faults on an exact schedule, and the background auditor detects,
+  quarantines and repairs silent index corruption.
+"""
+
+import io
+import random
+from contextlib import contextmanager
+
+import pytest
+
+from conftest import grid_graph, path_graph, random_graph
+from repro.breaker import CircuitBreaker
+from repro.budget import Budget, DegradedResult
+from repro.core import IndexAuditor, build_hcl
+from repro.core.dynhcl import DynamicHCL
+from repro.core.invariants import find_cover_violations
+from repro.core.serialization import save_index_binary
+from repro.errors import (
+    CircuitOpenError,
+    DeadlineExceeded,
+    LandmarkError,
+    Overloaded,
+    RequestError,
+    TransactionError,
+)
+from repro.graphs import single_source_distances
+from repro.service import (
+    AddLandmarkRequest,
+    DistanceRequest,
+    HCLService,
+    RemoveLandmarkRequest,
+)
+from repro.testing import FakeClock, fail_at_label_write, slow_search
+from repro.testing.faults import InjectedFault
+
+
+@contextmanager
+def label_device_down():
+    """Every label write fails, for as long as the context is active.
+
+    Unlike :func:`fail_at_label_write` (which fires once, so the
+    auditor's same-tick escalation retry would succeed), this keeps the
+    write path down — the shape of a genuinely unhealthy device.
+    """
+    from repro.core.labeling import Labeling
+
+    orig = Labeling.add_entry
+
+    def boom(self, *args, **kwargs):
+        raise InjectedFault("label device down")
+
+    Labeling.add_entry = boom
+    try:
+        yield
+    finally:
+        Labeling.add_entry = orig
+
+
+def serialized(index) -> bytes:
+    buf = io.BytesIO()
+    save_index_binary(index, buf)
+    return buf.getvalue()
+
+
+def corrupt_label(index, value: float = 0.25) -> tuple[int, int]:
+    """Silently corrupt one label entry; returns (vertex, landmark)."""
+    for v in range(index.graph.n):
+        if v in index.highway:
+            continue
+        for r, d in index.labeling.label(v).items():
+            if d > value:
+                index.labeling._labels[v][r] = value
+                return v, r
+    raise AssertionError("no corruptible label entry found")
+
+
+@pytest.fixture
+def dyn():
+    return DynamicHCL.build(grid_graph(4, 5), [0, 19])
+
+
+@pytest.fixture
+def svc():
+    return HCLService.build(grid_graph(4, 5), [0, 19])
+
+
+# ----------------------------------------------------------------------
+# Budget object
+# ----------------------------------------------------------------------
+class TestBudget:
+    def test_validation(self):
+        with pytest.raises(RequestError):
+            Budget(seconds=-1.0)
+        with pytest.raises(RequestError):
+            Budget(seconds=float("nan"))
+        with pytest.raises(RequestError):
+            Budget(max_settled=-5)
+
+    def test_unlimited_never_expires(self):
+        b = Budget()
+        assert b.unlimited
+        assert not b.charge(10**9)
+        assert not b.check()
+        assert b.remaining_seconds() == float("inf")
+
+    def test_step_budget_is_sticky(self):
+        b = Budget(max_settled=3)
+        assert not b.charge(3)
+        assert b.charge(1)
+        assert b.exceeded and b.reason == "steps"
+        # once exceeded, always exceeded — even a zero charge reports it
+        assert b.charge(0)
+        with pytest.raises(DeadlineExceeded, match="steps"):
+            b.raise_if_exceeded("UPGRADE-LMK")
+
+    def test_wall_clock_with_fake_clock(self):
+        clock = FakeClock()
+        b = Budget(seconds=2.0, clock=clock)
+        assert not b.check()
+        assert b.remaining_seconds() == 2.0
+        clock.advance(2.0)
+        assert b.check()
+        assert b.reason == "wall_clock"
+        assert b.remaining_seconds() == 0.0
+
+    def test_degrade_wraps_reason(self):
+        b = Budget(max_settled=0)
+        b.charge()
+        out = b.degrade(7.5)
+        assert isinstance(out, DegradedResult)
+        assert out == 7.5 and out.value == 7.5
+        assert out.is_upper_bound and out.reason == "steps"
+
+    def test_degraded_result_behaves_like_float(self):
+        d = DegradedResult(3.0, reason="steps")
+        assert d + 1 == 4.0
+        assert d < 3.5
+        assert f"{d:.1f}" == "3.0"
+
+
+# ----------------------------------------------------------------------
+# Degradation soundness (differential against ground truth)
+# ----------------------------------------------------------------------
+class TestDegradedSoundness:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_budgeted_answers_are_exact_or_sound_upper_bounds(self, seed):
+        g = random_graph(seed, n_lo=10, n_hi=25)
+        rng = random.Random(seed)
+        landmarks = rng.sample(range(g.n), 2)
+        dyn = DynamicHCL.build(g, landmarks)
+        truth = {s: single_source_distances(g, s) for s in range(g.n)}
+        for s in range(g.n):
+            for t in range(s + 1, g.n):
+                exact = dyn.distance(s, t)
+                assert exact == truth[s][t]
+                for max_settled in (0, 1, 3, 10):
+                    got = dyn.distance(
+                        s, t, budget=Budget(max_settled=max_settled)
+                    )
+                    if isinstance(got, DegradedResult):
+                        assert got.is_upper_bound
+                        assert got.reason == "steps"
+                        assert float(got) >= exact
+                    else:
+                        assert got == exact
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_generous_budget_matches_unbudgeted_exactly(self, seed):
+        g = random_graph(seed + 50, n_lo=10, n_hi=25)
+        dyn = DynamicHCL.build(g, [0, g.n - 1])
+        big = Budget(max_settled=10**9)
+        for s in range(0, g.n, 3):
+            for t in range(1, g.n, 4):
+                got = dyn.distance(s, t, budget=big)
+                assert not isinstance(got, DegradedResult)
+                assert got == dyn.distance(s, t)
+
+    def test_strict_budget_raises_instead_of_degrading(self, dyn):
+        with pytest.raises(DeadlineExceeded):
+            dyn.distance(2, 17, budget=Budget(max_settled=0), strict=True)
+        # the same exhausted budget degrades when not strict
+        got = dyn.distance(2, 17, budget=Budget(max_settled=0))
+        assert isinstance(got, DegradedResult)
+
+    def test_query_is_the_anytime_floor_and_never_degrades(self, dyn):
+        b = Budget(max_settled=0)
+        got = dyn.query(2, 17, budget=b)
+        assert not isinstance(got, DegradedResult)
+        assert got == dyn.query(2, 17)
+        assert b.settled > 0  # the label scan was still charged
+
+    def test_degraded_value_is_the_constrained_bound(self, dyn):
+        # budget exhausted before refinement: the answer is exactly QUERY
+        b = Budget(max_settled=0)
+        b.charge()
+        got = dyn.distance(2, 17, budget=b)
+        assert isinstance(got, DegradedResult)
+        assert float(got) == dyn.query(2, 17)
+
+    def test_batched_budget_is_shared_and_sound(self, svc):
+        pairs = [(s, t) for s in range(4) for t in range(10, 14)]
+        # ground truth straight from the index: going through the service
+        # first would warm the cache and leave the budget nothing to do
+        exact = [svc._dyn.distance(s, t) for s, t in pairs]
+        degraded = svc.query_batch(
+            pairs, exact=True, budget=Budget(max_settled=5)
+        )
+        assert len(degraded) == len(pairs)
+        n_degraded = 0
+        for (s, t), got, want in zip(pairs, degraded, exact):
+            if isinstance(got, DegradedResult):
+                n_degraded += 1
+                assert float(got) >= want
+            else:
+                assert got == want
+        # a 5-step budget over 16 refinement searches must degrade some
+        assert n_degraded > 0
+        assert svc.stats.degraded == n_degraded
+        assert svc.metrics()["counters"]["service.degraded"] == n_degraded
+
+    def test_batch_strict_aborts(self, svc):
+        with pytest.raises(DeadlineExceeded):
+            svc.query_batch(
+                [(1, 17), (2, 16)],
+                exact=True,
+                budget=Budget(max_settled=0),
+                strict=True,
+            )
+
+    def test_degraded_answers_never_poison_the_cache(self, svc):
+        got = svc.submit(DistanceRequest(2, 17), budget=Budget(max_settled=0))
+        assert isinstance(got, DegradedResult)
+        again = svc.submit(DistanceRequest(2, 17))
+        assert not isinstance(again, DegradedResult)
+        assert again == svc._dyn.index.distance(2, 17)
+
+
+# ----------------------------------------------------------------------
+# Wall-clock deadlines on a deterministic schedule
+# ----------------------------------------------------------------------
+class TestWallClockDeadline:
+    def test_slow_search_expires_mid_refinement(self):
+        # 100-vertex grid: the bidirectional refinement settles far more
+        # than CHECK_INTERVAL vertices, so the in-loop clock check fires.
+        g = grid_graph(10, 10)
+        dyn = DynamicHCL.build(g, [0, 99])
+        clock = FakeClock()
+        budget = Budget(seconds=10.0, clock=clock)
+        with slow_search(clock, seconds_per_settle=1.0):
+            got = dyn.distance(11, 88, budget=budget)
+        assert isinstance(got, DegradedResult)
+        assert got.reason == "wall_clock"
+        assert budget.exceeded
+        assert float(got) >= dyn.distance(11, 88)
+
+    def test_unbudgeted_search_ignores_the_settle_seam(self, dyn):
+        clock = FakeClock()
+        with slow_search(clock, seconds_per_settle=1.0):
+            got = dyn.distance(2, 17)
+        assert clock() == 0.0  # production kernel never consulted the seam
+        assert not isinstance(got, DegradedResult)
+
+    def test_expired_deadline_degrades_before_refinement(self, dyn):
+        clock = FakeClock()
+        budget = Budget(seconds=1.0, clock=clock)
+        clock.advance(5.0)
+        got = dyn.distance(2, 17, budget=budget)
+        assert isinstance(got, DegradedResult)
+        assert got.reason == "wall_clock"
+        assert float(got) == dyn.query(2, 17)
+
+
+# ----------------------------------------------------------------------
+# Budgeted mutations: clean, retriable cancellation
+# ----------------------------------------------------------------------
+class TestBudgetedMutations:
+    def test_cancelled_upgrade_rolls_back(self, svc):
+        before = serialized(svc._dyn.index)
+        with pytest.raises(DeadlineExceeded):
+            svc.submit(AddLandmarkRequest(9), budget=Budget(max_settled=1))
+        assert serialized(svc._dyn.index) == before
+        assert svc.audit[-1].error.startswith("DeadlineExceeded:")
+        # the retry without a budget lands the canonical index
+        svc.submit(AddLandmarkRequest(9))
+        assert serialized(svc._dyn.index) == serialized(
+            build_hcl(svc._dyn.index.graph, [0, 9, 19])
+        )
+
+    def test_cancelled_downgrade_rolls_back(self, svc):
+        before = serialized(svc._dyn.index)
+        with pytest.raises(DeadlineExceeded):
+            svc.submit(RemoveLandmarkRequest(19), budget=Budget(max_settled=1))
+        assert serialized(svc._dyn.index) == before
+
+    def test_deadline_is_not_an_infrastructure_failure(self, svc):
+        # budget cancellations must not march the breaker toward open
+        for _ in range(CircuitBreaker().threshold + 1):
+            with pytest.raises(DeadlineExceeded):
+                svc.submit(
+                    AddLandmarkRequest(9), budget=Budget(max_settled=0)
+                )
+        assert svc.breaker.state == "closed"
+
+    def test_generous_budget_mutation_is_canonical(self, svc):
+        svc.submit(AddLandmarkRequest(9), budget=Budget(max_settled=10**9))
+        assert serialized(svc._dyn.index) == serialized(
+            build_hcl(svc._dyn.index.graph, [0, 9, 19])
+        )
+
+
+# ----------------------------------------------------------------------
+# Admission control
+# ----------------------------------------------------------------------
+class TestAdmissionControl:
+    def test_max_inflight_validation(self, dyn):
+        with pytest.raises(RequestError):
+            HCLService(dyn, max_inflight=0)
+
+    def test_overload_sheds_with_retriable_error(self, dyn, monkeypatch):
+        svc = HCLService(dyn, max_inflight=1)
+        inner: list[Exception] = []
+
+        def reentrant(s, t):
+            # a second request arriving while this one is in flight
+            try:
+                svc.submit(DistanceRequest(1, 2))
+            except Exception as exc:  # noqa: BLE001 - recorded for asserts
+                inner.append(exc)
+                raise
+            return 0.0
+
+        monkeypatch.setattr(svc._engine, "distance", reentrant)
+        with pytest.raises(Overloaded):
+            svc.submit(DistanceRequest(2, 17))
+        assert len(inner) == 1 and isinstance(inner[0], Overloaded)
+        assert inner[0].retriable
+        assert svc.stats.shed == 1
+        shed_records = [
+            r
+            for r in svc.audit
+            if r.error and r.error.startswith("Overloaded") and "shed" in r.error
+        ]
+        assert len(shed_records) >= 1
+        assert svc.metrics()["counters"]["service.shed"] == 1
+        # the service is drained again: the next request is admitted
+        monkeypatch.undo()
+        assert svc.submit(DistanceRequest(2, 17)) == svc._dyn.distance(2, 17)
+        assert svc.metrics()["gauges"]["service.inflight"] == 0
+
+    def test_unbounded_by_default(self, svc):
+        assert svc._max_inflight is None
+        assert svc.health()["max_inflight"] is None
+
+
+# ----------------------------------------------------------------------
+# Circuit breaker
+# ----------------------------------------------------------------------
+class TestCircuitBreakerUnit:
+    def test_exact_open_halfopen_close_schedule(self):
+        clock = FakeClock()
+        br = CircuitBreaker(
+            threshold=3, base_delay=2.0, max_delay=60.0, jitter=0.0,
+            clock=clock,
+        )
+        br.record_failure()
+        br.record_failure()
+        assert br.state == "closed" and br.consecutive_failures == 2
+        br.record_failure()
+        assert br.state == "open"
+        assert br.retry_after() == 2.0
+        assert not br.allow()
+        clock.advance(1.999)
+        assert not br.allow()
+        clock.advance(0.001)
+        assert br.allow()  # the single admitted probe
+        assert br.state == "half_open"
+        assert not br.allow()  # second caller is still rejected
+        br.record_success()
+        assert br.state == "closed"
+        assert br.retry_after() == 0.0
+
+    def test_reopen_doubles_backoff_up_to_cap(self):
+        clock = FakeClock()
+        br = CircuitBreaker(
+            threshold=1, base_delay=1.0, max_delay=4.0, jitter=0.0,
+            clock=clock,
+        )
+        delays = []
+        for _ in range(4):
+            br.record_failure()
+            assert br.state == "open"
+            delays.append(br.retry_after())
+            clock.advance(br.retry_after())
+            assert br.allow() and br.state == "half_open"
+        assert delays == [1.0, 2.0, 4.0, 4.0]
+        br.record_success()
+        br.record_failure()
+        assert br.retry_after() == 1.0  # a close resets the backoff ladder
+
+    def test_jitter_stays_within_band(self):
+        clock = FakeClock()
+        for seed in range(20):
+            br = CircuitBreaker(
+                threshold=1, base_delay=10.0, jitter=0.25, clock=clock,
+                rng=random.Random(seed),
+            )
+            br.record_failure()
+            assert 7.5 <= br.retry_after() <= 12.5
+
+    def test_validation(self):
+        with pytest.raises(RequestError):
+            CircuitBreaker(threshold=0)
+        with pytest.raises(RequestError):
+            CircuitBreaker(base_delay=0.0)
+        with pytest.raises(RequestError):
+            CircuitBreaker(base_delay=2.0, max_delay=1.0)
+        with pytest.raises(RequestError):
+            CircuitBreaker(jitter=1.0)
+
+
+class TestCircuitBreakerService:
+    @pytest.fixture
+    def broken(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            threshold=2, base_delay=1.0, jitter=0.0, clock=clock
+        )
+        svc = HCLService(
+            DynamicHCL.build(grid_graph(4, 5), [0, 19]), breaker=breaker
+        )
+        return svc, clock
+
+    def trip(self, svc):
+        for _ in range(svc.breaker.threshold):
+            with pytest.raises(TransactionError):
+                with fail_at_label_write(1):
+                    svc.submit(AddLandmarkRequest(9))
+
+    def test_mutation_faults_open_the_breaker(self, broken):
+        svc, clock = broken
+        before = serialized(svc._dyn.index)
+        self.trip(svc)
+        assert svc.breaker.state == "open"
+        assert svc.health()["status"] == "failed"
+        assert svc.metrics()["gauges"]["service.breaker_state"] == 2
+        # mutations are rejected up front, retriably, without touching
+        # the index...
+        with pytest.raises(CircuitOpenError) as info:
+            svc.submit(AddLandmarkRequest(9))
+        assert info.value.retriable
+        assert info.value.retry_after == pytest.approx(1.0)
+        assert serialized(svc._dyn.index) == before
+        # ...while queries keep serving the last-good index
+        assert svc.submit(DistanceRequest(2, 17)) == svc._dyn.distance(2, 17)
+
+    def test_halfopen_probe_success_closes(self, broken):
+        svc, clock = broken
+        self.trip(svc)
+        clock.advance(1.0)
+        result = svc.submit(AddLandmarkRequest(9))  # the probe, admitted
+        assert result is not None
+        assert svc.breaker.state == "closed"
+        assert svc.health()["status"] == "ok"
+        assert 9 in svc.landmarks
+
+    def test_halfopen_probe_failure_reopens_with_longer_backoff(self, broken):
+        svc, clock = broken
+        self.trip(svc)
+        clock.advance(1.0)
+        with pytest.raises(TransactionError):
+            with fail_at_label_write(1):
+                svc.submit(AddLandmarkRequest(9))
+        assert svc.breaker.state == "open"
+        assert svc.breaker.retry_after() == pytest.approx(2.0)
+
+    def test_noninfra_probe_failure_closes_instead_of_wedging(self, broken):
+        # a probe rejected for a non-infrastructure reason (here: the
+        # vertex is already a landmark) proves the write path is healthy;
+        # the breaker must close, not stay half-open forever.
+        svc, clock = broken
+        self.trip(svc)
+        clock.advance(1.0)
+        with pytest.raises(LandmarkError):
+            svc.submit(AddLandmarkRequest(0))
+        assert svc.breaker.state == "closed"
+
+    def test_breaker_rejections_are_audited_and_counted(self, broken):
+        svc, clock = broken
+        self.trip(svc)
+        with pytest.raises(CircuitOpenError):
+            svc.submit(RemoveLandmarkRequest(19))
+        assert svc.audit[-1].error.startswith("CircuitOpenError:")
+        counters = svc.metrics()["counters"]
+        assert counters["service.breaker_rejections"] == 1
+
+
+# ----------------------------------------------------------------------
+# Self-healing auditor
+# ----------------------------------------------------------------------
+class TestAuditor:
+    def make(self, **kw):
+        dyn = DynamicHCL.build(grid_graph(4, 5), [0, 19])
+        kw.setdefault("pairs_per_tick", 500)  # small graph: sample all pairs
+        return dyn, IndexAuditor(dyn, **kw)
+
+    def test_clean_index_audits_clean(self):
+        dyn, auditor = self.make()
+        for _ in range(3):
+            report = auditor.tick()
+            assert report.clean
+            assert report.pairs_checked > 0
+        assert auditor.violations_found == 0
+        assert auditor.summary()["quarantined"] == ()
+
+    def test_window_rotates_through_all_rows(self):
+        dyn = DynamicHCL.build(grid_graph(4, 5), [0, 7, 12, 19])
+        auditor = IndexAuditor(dyn, landmarks_per_tick=1, pairs_per_tick=2)
+        seen = set()
+        for _ in range(4):
+            seen.update(auditor.tick().landmarks_checked)
+        assert seen == {0, 7, 12, 19}
+
+    def test_corruption_is_detected_and_repaired(self):
+        dyn, auditor = self.make()
+        index = dyn.index
+        v, r = corrupt_label(index)
+        version_before = dyn.version
+        report = auditor.tick()
+        assert report.violations > 0
+        assert r in report.repaired
+        assert report.quarantined == ()
+        assert serialized(index) == serialized(
+            build_hcl(index.graph, sorted(index.landmarks))
+        )
+        assert dyn.version > version_before  # caches invalidate
+        assert not find_cover_violations(index)
+        assert auditor.findings[-1].repaired
+
+    def test_highway_corruption_is_detected_and_repaired(self):
+        dyn, auditor = self.make()
+        index = dyn.index
+        true_cell = index.highway.distance(0, 19)
+        index.highway.set_distance(0, 19, true_cell + 3.0)
+        report = auditor.tick()
+        assert report.violations > 0
+        assert index.highway.distance(0, 19) == true_cell
+        assert serialized(index) == serialized(
+            build_hcl(index.graph, sorted(index.landmarks))
+        )
+
+    def test_failed_repair_quarantines_and_retries(self):
+        dyn, auditor = self.make()
+        index = dyn.index
+        v, r = corrupt_label(index)
+        with label_device_down():
+            report = auditor.tick()
+        assert not report.clean
+        assert r in report.quarantined
+        assert auditor.repair_failures >= 1
+        # quarantined rows are re-verified on the very next tick
+        report = auditor.tick()
+        assert r in report.repaired
+        assert report.quarantined == ()
+        assert not find_cover_violations(index)
+
+    def test_unrepairable_rows_feed_the_breaker(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=1, jitter=0.0, clock=clock)
+        dyn = DynamicHCL.build(grid_graph(4, 5), [0, 19])
+        auditor = IndexAuditor(dyn, pairs_per_tick=500, breaker=breaker)
+        corrupt_label(dyn.index)
+        with label_device_down():
+            auditor.tick()
+        assert breaker.state == "open"
+
+    def test_tick_never_raises(self):
+        dyn, auditor = self.make()
+        corrupt_label(dyn.index)
+        with label_device_down():
+            report = auditor.tick()  # repair fault is absorbed, not raised
+        assert report.violations > 0
+
+    def test_empty_landmark_set_ticks_clean(self):
+        g = path_graph(5)
+        dyn = DynamicHCL.build(g, [0])
+        dyn.remove_landmark(0)
+        report = IndexAuditor(dyn).tick()
+        assert report.clean and report.pairs_checked == 0
+
+
+class TestAuditorThroughService:
+    def test_audit_tick_surfaces_in_health_and_metrics(self):
+        dyn = DynamicHCL.build(grid_graph(4, 5), [0, 19])
+        svc = HCLService(
+            dyn, auditor=IndexAuditor(dyn, pairs_per_tick=500)
+        )
+        assert svc.health()["status"] == "ok"
+        corrupt_label(dyn.index)
+        with label_device_down():
+            svc.audit_tick()
+        health = svc.health()
+        assert health["status"] == "degraded"
+        assert health["auditor"]["quarantined"] != ()
+        assert svc.metrics()["gauges"]["audit.quarantined"] == 1
+        svc.audit_tick()
+        health = svc.health()
+        assert health["status"] == "ok"
+        assert health["auditor"]["repairs"] >= 1
+        counters = svc.metrics()["counters"]
+        assert counters["audit.ticks"] == 2
+        assert counters["audit.violations"] >= 1
+        assert counters["audit.repairs"] >= 1
+
+    def test_repair_invalidates_the_query_cache(self):
+        dyn = DynamicHCL.build(grid_graph(4, 5), [0, 19])
+        svc = HCLService(dyn, auditor=IndexAuditor(dyn, pairs_per_tick=500))
+        truth = svc.submit(DistanceRequest(1, 2))
+        v, r = corrupt_label(dyn.index)
+        svc.audit_tick()
+        # a stale cache would replay the pre-repair answer; the version
+        # bump forces re-resolution against the healed index
+        assert svc.submit(DistanceRequest(1, 2)) == truth
+
+    def test_recover_probe_agrees_with_auditor(self, tmp_path):
+        g = path_graph(8)
+        dyn = DynamicHCL.build(g, [0, 7])
+        corrupt_label(dyn.index)
+        ckpt = tmp_path / "index.ckpt"
+        HCLService(dyn).checkpoint(ckpt)
+        report = HCLService.recover(g, ckpt)
+        assert not report.probe_ok
+        assert "constrained distance" in report.probe_error
+        # the auditor grades the same corruption the same way, then heals
+        svc = report.service
+        svc.auditor.pairs_per_tick = 500
+        tick = svc.audit_tick()
+        assert tick.violations > 0
+        assert svc.health()["status"] == "ok"
+        # a post-repair checkpoint recovers clean
+        healed = tmp_path / "healed.ckpt"
+        svc.checkpoint(healed)
+        assert HCLService.recover(g, healed).probe_ok
+
+
+# ----------------------------------------------------------------------
+# Randomized fault sweep (nightly chaos lane)
+# ----------------------------------------------------------------------
+@pytest.mark.chaos
+@pytest.mark.parametrize("seed", range(5))
+def test_chaos_faults_never_corrupt_answers(seed):
+    g = random_graph(seed, n_lo=12, n_hi=24)
+    rng = random.Random(seed * 7919)
+    dyn = DynamicHCL.build(g, rng.sample(range(g.n), 2))
+    svc = HCLService(
+        dyn,
+        breaker=CircuitBreaker(threshold=10**9),  # keep mutations flowing
+        auditor=IndexAuditor(dyn, pairs_per_tick=500),
+    )
+    truth = {s: single_source_distances(g, s) for s in range(g.n)}
+
+    for _ in range(60):
+        op = rng.random()
+        s, t = rng.randrange(g.n), rng.randrange(g.n)
+        if op < 0.45:
+            assert svc.submit(DistanceRequest(s, t)) == truth[s][t]
+        elif op < 0.65:
+            got = svc.submit(
+                DistanceRequest(s, t),
+                budget=Budget(max_settled=rng.randrange(0, 20)),
+            )
+            if isinstance(got, DegradedResult):
+                assert float(got) >= truth[s][t]
+            else:
+                assert got == truth[s][t]
+        elif op < 0.85:
+            v = rng.randrange(g.n)
+            is_add = v not in svc.landmarks
+            request = (
+                AddLandmarkRequest(v) if is_add else RemoveLandmarkRequest(v)
+            )
+            if len(svc.landmarks) <= 1 and not is_add:
+                continue
+            if rng.random() < 0.5:
+                # the fault may land past the mutation's last label write,
+                # in which case the mutation simply commits — both
+                # outcomes must leave a consistent index
+                before = serialized(dyn.index)
+                try:
+                    with fail_at_label_write(rng.randrange(1, 6)):
+                        svc.submit(request)
+                except TransactionError:
+                    assert serialized(dyn.index) == before
+            else:
+                svc.submit(request)
+        else:
+            if rng.random() < 0.5:
+                corrupt_label(dyn.index)
+            assert svc.audit_tick() is not None
+            svc.audit_tick()
+            assert not find_cover_violations(dyn.index)
+
+    # whatever the fault schedule did, the surviving index is canonical
+    assert serialized(dyn.index) == serialized(
+        build_hcl(g, sorted(svc.landmarks))
+    )
+    for s in range(0, g.n, 3):
+        for t in range(1, g.n, 3):
+            assert svc.submit(DistanceRequest(s, t)) == truth[s][t]

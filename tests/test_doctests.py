@@ -10,6 +10,8 @@ import pytest
 
 import repro
 import repro.baselines.pll
+import repro.breaker
+import repro.budget
 import repro.core.build
 import repro.core.cache
 import repro.core.dynhcl
@@ -20,9 +22,13 @@ import repro.graphs.pqueue
 import repro.beer.queries
 import repro.baselines.ch.gsp
 import repro.service
+import repro.testing.faults
 
 MODULES = [
     repro,
+    repro.budget,
+    repro.breaker,
+    repro.testing.faults,
     repro.graphs.graph,
     repro.graphs.pqueue,
     repro.core.build,

@@ -92,3 +92,24 @@ class TestLogStatistics:
         dyn = DynamicHCL.build(cycle_graph(4), [0])
         assert dyn.log.max_seconds == 0.0
         assert dyn.log.percentile_seconds(0.9) == 0.0
+        assert dyn.log.settled == 0
+        assert dyn.log.swept == 0
+        assert dyn.log.mean_work == 0.0
+
+    def test_work_counters_aggregate_per_kind(self):
+        dyn = DynamicHCL.build(cycle_graph(10), [0])
+        dyn.add_landmark(5)
+        dyn.remove_landmark(0)
+        log = dyn.log
+        # totals match a by-hand sum over the per-update stats
+        assert log.settled == sum(
+            getattr(rec.stats, "settled", 0) for rec in log.records
+        )
+        assert log.swept == sum(
+            getattr(rec.stats, "swept", 0) for rec in log.records
+        )
+        assert log.settled > 0  # the upgrade settled some affected set
+        assert log.swept > 0  # the downgrade swept some vertices
+        assert log.mean_work == pytest.approx(
+            (log.settled + log.swept + log.pruned) / log.count
+        )

@@ -58,6 +58,14 @@ class TestRunners:
         assert res.speedup == pytest.approx(res.t_build / res.t_fdyn)
         # space parity (Lemmas 3.2/3.6)
         assert res.label_entries_dyn == res.label_entries_rebuilt
+        # machine-independent work counters: the σ = 2 mixed updates must
+        # have done *some* upgrade and downgrade work
+        assert res.settled > 0
+        assert res.swept > 0
+        assert res.pruned >= 0
+        assert res.work_per_update == pytest.approx(
+            (res.settled + res.swept + res.pruned) / res.sigma
+        )
 
     def test_g2_result_fields(self):
         g = make_dataset("LUX", scale=0.08, seed=0)
@@ -66,6 +74,7 @@ class TestRunners:
         assert res.cmt_fdyn > 0
         assert res.cmt_chgsp > 0
         assert res.amr_fdyn == pytest.approx(res.cmt_fdyn / 50)
+        assert res.settled > 0 and res.swept > 0
 
     def test_table1_text(self):
         out = run_table1(scale=0.05)
@@ -75,6 +84,7 @@ class TestRunners:
     def test_table2_text(self):
         out = run_table2(scale=0.08, datasets=["LUX"], include_large=False)
         assert "SPEEDUP@20" in out
+        assert "WORK@20" in out  # work counts next to the wall-clock columns
         assert "LUX" in out
 
     def test_table3_text(self):
@@ -95,6 +105,7 @@ class TestRunners:
     def test_figure2_text(self):
         out = run_figure2(scale=0.08, queries=20, landmark_count=8, datasets=["LUX"])
         assert "CMT_FDYN" in out
+        assert "DYN WORK" in out
 
     def test_ablations_text(self):
         cleanup = run_ablation_cleanup(scale=0.05, datasets=("LUX",), k=6)

@@ -54,6 +54,31 @@ class TestRows:
         assert row["amr_fdyn"] == pytest.approx(0.0015)
         assert row["amr_chgsp"] == pytest.approx(0.045)
 
+    def test_g1_work_counters_exported(self):
+        res = G1Result(
+            dataset="LUX",
+            landmarks=40,
+            sigma=10,
+            t_build=2.0,
+            t_fdyn=0.01,
+            label_entries_dyn=1,
+            label_entries_rebuilt=1,
+            settled=300,
+            swept=150,
+            pruned=50,
+        )
+        (row,) = g1_rows([res])
+        assert row["settled"] == 300
+        assert row["swept"] == 150
+        assert row["pruned"] == 50
+        assert row["work_per_update"] == pytest.approx(50.0)
+
+    def test_g2_work_counters_exported(self, g2_result):
+        # counter fields were appended with defaults — old constructions
+        # like the fixture still export, as zeroes
+        (row,) = g2_rows([g2_result])
+        assert row["settled"] == 0 and row["swept"] == 0 and row["pruned"] == 0
+
 
 class TestWriters:
     def test_csv_roundtrip(self, g1_result, tmp_path):

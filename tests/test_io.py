@@ -1,10 +1,11 @@
 """Tests for graph file I/O (DIMACS and edge lists)."""
 
 import io
+from pathlib import Path
 
 import pytest
 
-from repro.errors import ParseError
+from repro.errors import GraphFormatError, ParseError
 from repro.graphs import (
     Graph,
     read_dimacs,
@@ -101,3 +102,77 @@ class TestEdgeList:
         assert g.m == 2
         with pytest.raises(ParseError):
             graph_from_string("0 1", fmt="nope")
+
+
+class TestGraphFormatError:
+    """Malformed input raises a typed error pinned to its 1-based line."""
+
+    FIXTURES = Path(__file__).parent / "data"
+
+    def test_is_a_parse_error(self):
+        assert issubclass(GraphFormatError, ParseError)
+
+    def test_bad_arc_weight_names_line_and_text(self):
+        with pytest.raises(GraphFormatError) as info:
+            graph_from_string("p sp 3 2\na 1 2 1\na 2 3 fast\n", fmt="dimacs")
+        err = info.value
+        assert err.line == 3
+        assert err.text == "a 2 3 fast"
+        assert "line 3" in str(err)
+        assert "'fast'" in str(err)
+
+    def test_bad_vertex_count(self):
+        with pytest.raises(GraphFormatError) as info:
+            graph_from_string("p sp many 2\n", fmt="dimacs")
+        assert info.value.line == 1
+        with pytest.raises(GraphFormatError, match="negative"):
+            graph_from_string("p sp -4 2\n", fmt="dimacs")
+
+    def test_arc_before_problem_line(self):
+        with pytest.raises(GraphFormatError, match="before problem line") as info:
+            graph_from_string("c comment\na 1 2 1\n", fmt="dimacs")
+        assert info.value.line == 2
+
+    def test_unknown_record_type(self):
+        with pytest.raises(GraphFormatError, match="unknown record") as info:
+            graph_from_string("p sp 2 1\nz 1 2 1\n", fmt="dimacs")
+        assert info.value.line == 2
+
+    def test_missing_problem_line_is_not_line_pinned(self):
+        # no single line is at fault, so the error stays a plain ParseError
+        with pytest.raises(ParseError) as info:
+            graph_from_string("c only comments\n", fmt="dimacs")
+        assert not isinstance(info.value, GraphFormatError)
+
+    def test_edge_list_bad_endpoint(self):
+        with pytest.raises(GraphFormatError) as info:
+            graph_from_string("0 1\n1 two\n")
+        err = info.value
+        assert err.line == 2
+        assert err.text == "1 two"
+        assert "integer" in str(err)
+
+    def test_edge_list_line_numbers_count_comments_and_blanks(self):
+        with pytest.raises(GraphFormatError) as info:
+            graph_from_string("# header\n\n0 1\n0 1 2 3\n")
+        assert info.value.line == 4
+
+    def test_corrupt_dimacs_fixture(self):
+        with pytest.raises(GraphFormatError) as info:
+            read_dimacs(self.FIXTURES / "corrupt_weight.gr")
+        err = info.value
+        assert err.line == 5
+        assert "'1.O'" in str(err)
+        assert err.text == "a 3 4 1.O"
+
+    def test_out_of_range_dimacs_fixture(self):
+        with pytest.raises(GraphFormatError, match="out of range") as info:
+            read_dimacs(self.FIXTURES / "corrupt_out_of_range.gr")
+        assert info.value.line == 4
+
+    def test_corrupt_edge_list_fixture(self):
+        with pytest.raises(GraphFormatError) as info:
+            read_edge_list(self.FIXTURES / "corrupt_endpoint.edgelist")
+        err = info.value
+        assert err.line == 3
+        assert err.text == "2 x 1.5"
