@@ -19,6 +19,14 @@ recorded from the pre-instrumentation tree.  Two gates:
   re-run with an unlimited budget and reported (ungated) as the cost of
   *arming* a budget.
 
+The compiled-plan serving path gets its own segments
+(``query_batch_plan``, ``distance_plan``, and the ungated
+``plan_compile`` amortization cost) measured on the same index and query
+pairs as their dict twins.  Besides the absolute baseline gates, each
+plan segment must beat its dict twin *within the same run* by
+``PLAN_SPEEDUP_MIN`` — a machine-independent relative gate, so the
+speedup the plan exists for can never silently rot away.
+
 Wall-clock numbers are not portable between machines, so every timing is
 normalized by an in-run *calibration* score (a fixed arithmetic loop) the
 baseline also stores; the gates compare normalized values.  Fsync-bound
@@ -81,7 +89,19 @@ GATED_SEGMENTS = (
     "distance_exact",
     "upgrade",
     "downgrade",
+    "query_batch_plan",
+    "distance_plan",
 )
+
+# Relative gate: the compiled-plan serving path must actually beat its
+# dict twin *within the same run* (machine-independent, so it needs no
+# baseline entry).  Measured headroom is ~1.75x / ~1.58x; the gate is
+# set conservatively below that so CI noise cannot flake it.
+PLAN_TWINS = {
+    "query_batch_plan": "query_batch",
+    "distance_plan": "distance_exact",
+}
+PLAN_SPEEDUP_MIN = 1.25
 
 # Pinned workload: a ~20k-vertex power-law graph, 32 landmarks.
 GRAPH_N, GRAPH_M, GRAPH_SEED = 20000, 3, 11
@@ -136,11 +156,15 @@ def run_workload() -> dict[str, float]:
         start = time.perf_counter()
         index = build_hcl(graph, landmarks)
         record("build", time.perf_counter() - start)
+    # Pin every dict-path segment: the baseline numbers predate the
+    # compiled plan, so auto-compilation mid-segment would compare a
+    # different algorithm against them.  The plan gets its own segments.
+    index.plan_mode = "off"
     ups = update_vertices(graph, landmarks)
 
     for _ in range(REPS):
         start = time.perf_counter()
-        answers = query_batch(index, pairs, workers=1)
+        answers = query_batch(index, pairs, workers=1, plan="off")
         record("query_batch", time.perf_counter() - start)
     assert len(answers) == len(pairs)
 
@@ -182,6 +206,28 @@ def run_workload() -> dict[str, float]:
         for request in requests:
             svc.submit(request)
         record("service", time.perf_counter() - start)
+
+    # Compiled-plan serving path, on the same index and pairs as the
+    # dict twins above so the PLAN_TWINS gate is apples-to-apples.
+    plan = None
+    for _ in range(REPS):
+        start = time.perf_counter()
+        plan = index.compile_plan()
+        record("plan_compile", time.perf_counter() - start)
+
+    for _ in range(REPS):
+        start = time.perf_counter()
+        plan_answers = query_batch(index, pairs, workers=1, plan=plan)
+        record("query_batch_plan", time.perf_counter() - start)
+    assert plan_answers == answers  # bitwise-identical serving
+
+    index.plan_mode = "auto"  # adopt the compiled plan for distance()
+    for _ in range(REPS):
+        distance = index.distance
+        start = time.perf_counter()
+        for s, t in exact_pairs:
+            distance(s, t)
+        record("distance_plan", time.perf_counter() - start)
 
     return {name: min(vals) for name, vals in times.items()}
 
@@ -227,6 +273,15 @@ def result_payload(segments: dict[str, float], calibration: float) -> dict:
     }
 
 
+def plan_speedups(segments: dict[str, float]) -> dict[str, float]:
+    """dict-twin time / plan time for every measured plan segment."""
+    return {
+        plan_name: segments[twin] / segments[plan_name]
+        for plan_name, twin in PLAN_TWINS.items()
+        if plan_name in segments and twin in segments
+    }
+
+
 def check(baseline: dict, current: dict, tol_reg: float, tol_over: float) -> int:
     scale = current["calibration_seconds"] / baseline["calibration_seconds"]
     failures = []
@@ -249,6 +304,16 @@ def check(baseline: dict, current: dict, tol_reg: float, tol_over: float) -> int
             f"[bench_obs] {name}: {t_cur:.3f}s vs baseline "
             f"{t_base:.3f}s -> normalized {norm:.3f} "
             f"({'gated' if gated else 'ungated'}) {verdict}"
+        )
+    for plan_name, speedup in plan_speedups(current["segments"]).items():
+        twin = PLAN_TWINS[plan_name]
+        verdict = "ok"
+        if speedup < PLAN_SPEEDUP_MIN:
+            verdict = f"TOO SLOW (< {PLAN_SPEEDUP_MIN:.2f}x)"
+            failures.append(plan_name)
+        print(
+            f"[bench_obs] {plan_name}: {speedup:.2f}x over {twin} "
+            f"(relative gate, >= {PLAN_SPEEDUP_MIN:.2f}x) {verdict}"
         )
     if failures:
         print(f"[bench_obs] FAILED segments: {', '.join(failures)}")
@@ -278,6 +343,11 @@ def main(argv=None) -> int:
         print(
             f"[bench_obs] armed-budget cost on the exact path: "
             f"{ratio:.3f}x (ungated; production serves budget=None)"
+        )
+    for plan_name, speedup in plan_speedups(segments).items():
+        print(
+            f"[bench_obs] plan speedup {plan_name}: {speedup:.2f}x over "
+            f"{PLAN_TWINS[plan_name]}"
         )
 
     status = 0

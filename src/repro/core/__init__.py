@@ -37,6 +37,7 @@ from .metrics import (
     uncovered_vertices,
 )
 from .multicategory import MultiCategoryHCL
+from .plan import QueryPlan, SearchWorkspace
 from .paths import (
     highway_path,
     label_path,
@@ -73,6 +74,8 @@ __all__ = [
     "Labeling",
     "HCLIndex",
     "IndexStats",
+    "QueryPlan",
+    "SearchWorkspace",
     "build_hcl",
     "build_hcl_parallel",
     "query_batch",

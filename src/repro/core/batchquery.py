@@ -38,10 +38,11 @@ import multiprocessing
 from typing import Iterable, Sequence
 
 from ..budget import Budget
-from ..errors import DeadlineExceeded, VertexError
+from ..errors import DeadlineExceeded, RequestError, VertexError
 from ..graphs.csr import CSRGraph
 from ..graphs.traversal import bounded_bidirectional_distance_masked
 from .index import HCLIndex
+from .plan import QueryPlan
 
 INF = math.inf
 
@@ -55,6 +56,12 @@ ROW_THRESHOLD = 8
 
 #: Distinct-pair count below which the pool is never engaged.
 MIN_PARALLEL = 512
+
+#: Distinct-pair count from which ``plan="auto"`` compiles a
+#: :class:`~repro.core.plan.QueryPlan` for the batch when the index does
+#: not already hold a valid one (one compile amortizes over this many
+#: answers comfortably; smaller batches only use a plan that exists).
+PLAN_MIN_BATCH = 256
 
 
 class _BatchSolver:
@@ -89,12 +96,12 @@ class _BatchSolver:
         """``g_v : r -> min_i d_i + δ_H(r_i, r)`` over ``L(v)``, memoized."""
         row = self._rows.get(v)
         if row is None:
-            label = self._labeling.label(v)
+            label = self._labeling.row_items(v)
             hrow = self._highway.row
             row = {}
             for r in self._landmarks:
                 best = INF
-                for ri, di in label.items():
+                for ri, di in label:
                     d = di + hrow(ri).get(r, INF)
                     if d < best:
                         best = d
@@ -127,8 +134,8 @@ class _BatchSolver:
         addition is monotone, so ``min_j (min_i (d_i + δ)) + d_j`` equals
         the double-loop minimum ``min_{i,j} (d_i + δ) + d_j`` bitwise.
         """
-        ls = self._labeling.label(s)
-        lt = self._labeling.label(t)
+        ls = self._labeling.row_items(s)
+        lt = self._labeling.row_items(t)
         if not ls or not lt:
             return INF
         if len(ls) > len(lt):
@@ -138,16 +145,16 @@ class _BatchSolver:
         if outer_v in self._rows or self._freq.get(outer_v, 0) >= self._row_threshold:
             g = self._row(outer_v)
             best = INF
-            for rj, dj in inner.items():
+            for rj, dj in inner:
                 d = g.get(rj, INF) + dj
                 if d < best:
                     best = d
             return best
         row = self._highway.row
         best = INF
-        for ri, di in outer.items():
+        for ri, di in outer:
             hrow = row(ri)
-            for rj, dj in inner.items():
+            for rj, dj in inner:
                 d = di + hrow.get(rj, INF) + dj
                 if d < best:
                     best = d
@@ -157,7 +164,7 @@ class _BatchSolver:
         """Mirror of :meth:`HCLIndex.query_from_landmark`."""
         hrow = self._highway.row(r)
         best = INF
-        for rj, dj in self._labeling.label(u).items():
+        for rj, dj in self._labeling.row_items(u):
             d = hrow.get(rj, INF) + dj
             if d < best:
                 best = d
@@ -231,24 +238,127 @@ class _BatchSolver:
         # step budget spanning mixed traffic stays meaningful.
         out = []
         for s, t in keys:
-            ls = self._labeling.label(s)
-            lt = self._labeling.label(t)
+            ls = self._labeling.row_items(s)
+            lt = self._labeling.row_items(t)
             if ls and lt:
                 budget.charge(min(len(ls), len(lt)))
             out.append(self.constrained(s, t))
         return out
 
 
+class _PlanBatchSolver:
+    """Plan-backed twin of :class:`_BatchSolver` (bitwise-equal answers).
+
+    Serves every pair from a compiled
+    :class:`~repro.core.plan.QueryPlan`: the constrained double loop runs
+    over flat slot-interned rows with dense ``δ_H`` loads, the memoized
+    per-endpoint rows live on the plan (seeded with the batch's endpoint
+    multiplicities), and exact refinements run in the plan's reusable
+    :class:`~repro.core.plan.SearchWorkspace` over its landmark-free
+    compiled adjacency.  In-process the adjacency derives from the live
+    graph; in pool workers from the shipped CSR snapshot — identical
+    neighbor content and order either way, so identical answers.
+
+    Budget semantics mirror :class:`_BatchSolver` exactly: exact pairs
+    charge refinement steps only (not label work), constrained batches
+    charge the outer-loop label scan per pair.
+    """
+
+    def __init__(self, plan: QueryPlan, graph=None):
+        self._plan = plan
+        if graph is not None:
+            plan.attach_graph(graph)
+
+    def constrained(self, s: int, t: int) -> float:
+        return self._plan.query(s, t)
+
+    def exact(
+        self,
+        s: int,
+        t: int,
+        budget: Budget | None = None,
+        strict: bool = False,
+    ) -> float:
+        plan = self._plan
+        if budget is None:
+            return plan.distance(s, t)
+        if s == t:
+            return 0.0
+        mask = plan.mask
+        s_is_lmk = mask[s]
+        t_is_lmk = mask[t]
+        if s_is_lmk and t_is_lmk:
+            slot_of = plan.slot_of
+            return plan._hwrows[slot_of[s]][slot_of[t]]
+        if s_is_lmk:
+            return plan.query_from_landmark(s, t)
+        if t_is_lmk:
+            return plan.query_from_landmark(t, s)
+        # Like _BatchSolver.exact, the batch twin does not charge label
+        # work against the budget — only refinement steps.
+        ub = plan.query(s, t)
+        if budget.check():
+            if strict:
+                raise DeadlineExceeded(
+                    f"batch distance({s}, {t}) exceeded its budget before "
+                    f"refinement ({budget.reason})"
+                )
+            return budget.degrade(ub)
+        best = bounded_bidirectional_distance_masked(
+            plan._graph, s, t, ub, mask, budget
+        )
+        if budget.exceeded:
+            if strict:
+                raise DeadlineExceeded(
+                    f"batch distance({s}, {t}) exceeded its budget "
+                    f"mid-refinement ({budget.reason})"
+                )
+            return budget.degrade(best)
+        return best
+
+    def solve(
+        self,
+        keys: Sequence[tuple[int, int]],
+        exact: bool,
+        budget: Budget | None = None,
+        strict: bool = False,
+    ) -> list[float]:
+        """Answer the given distinct pairs in order."""
+        plan = self._plan
+        plan.note_endpoints(keys)
+        if budget is None:
+            evaluate = self.exact if exact else self.constrained
+            return [evaluate(s, t) for s, t in keys]
+        if exact:
+            return [self.exact(s, t, budget, strict) for s, t in keys]
+        rows = plan._rows
+        out = []
+        for s, t in keys:
+            rs = rows[s]
+            rt = rows[t]
+            if rs and rt:
+                budget.charge(min(len(rs), len(rt)))
+            out.append(plan.query(s, t))
+        return out
+
+
 # ----------------------------------------------------------------------
 # Pool plumbing
 # ----------------------------------------------------------------------
-_POOL_SOLVER: _BatchSolver | None = None
+_POOL_SOLVER: _BatchSolver | _PlanBatchSolver | None = None
 _POOL_EXACT = False
 
 
-def _init_query_pool(highway, labeling, csr, row_threshold, exact) -> None:
+def _init_query_pool(
+    highway, labeling, csr, row_threshold, exact, plan=None
+) -> None:
     global _POOL_SOLVER, _POOL_EXACT
-    _POOL_SOLVER = _BatchSolver(highway, labeling, csr, row_threshold)
+    if plan is not None:
+        # The plan arrives rebuilt from its canonical arrays; the CSR
+        # snapshot (when present) backs its refinement adjacency.
+        _POOL_SOLVER = _PlanBatchSolver(plan, csr)
+    else:
+        _POOL_SOLVER = _BatchSolver(highway, labeling, csr, row_threshold)
     _POOL_EXACT = exact
 
 
@@ -271,6 +381,7 @@ def query_batch(
     row_threshold: int = ROW_THRESHOLD,
     budget: Budget | None = None,
     strict: bool = False,
+    plan: QueryPlan | str = "auto",
 ) -> list[float]:
     """Answer many ``(s, t)`` queries against a frozen index at once.
 
@@ -303,6 +414,15 @@ def query_batch(
     strict:
         With ``budget``: raise :class:`~repro.errors.DeadlineExceeded` at
         the first degradation instead of returning flagged bounds.
+    plan:
+        Compiled serving plan policy.  ``"auto"`` (default) serves from
+        the index's valid :class:`~repro.core.plan.QueryPlan` when one
+        exists, compiling one for batches of at least
+        :data:`PLAN_MIN_BATCH` distinct pairs (``plan_mode="off"`` on the
+        index disables this); ``"off"`` forces the dict path; passing a
+        :class:`~repro.core.plan.QueryPlan` serves from exactly that plan
+        (the caller vouches it reflects ``index``).  Every mode returns
+        bitwise-identical answers.
 
     Returns
     -------
@@ -331,19 +451,43 @@ def query_batch(
             order[key] = len(order)
     distinct = list(order)
 
-    # The CSR snapshot only backs the exact-distance refinement searches;
-    # constrained batches never touch the graph, so skip the O(n + m) walk
-    # (and its per-worker pickle) entirely.
-    csr = CSRGraph(index.graph) if exact else None
-    if (
-        budget is not None
-        or workers is None
-        or workers <= 1
-        or len(distinct) < min_parallel
-    ):
-        solver = _BatchSolver(
-            index.highway, index.labeling, csr, row_threshold
+    if isinstance(plan, QueryPlan):
+        plan_obj: QueryPlan | None = plan
+    elif plan == "auto":
+        mode = index.plan_mode
+        plan_obj = index.plan() if mode != "off" else None
+        if plan_obj is None and mode != "off" and (
+            mode == "eager" or len(distinct) >= PLAN_MIN_BATCH
+        ):
+            plan_obj = index.compile_plan()
+    elif plan == "off":
+        plan_obj = None
+    else:
+        raise RequestError(
+            f"plan must be 'auto', 'off' or a QueryPlan, got {plan!r}"
         )
+
+    use_pool = (
+        budget is None
+        and workers is not None
+        and workers > 1
+        and len(distinct) >= min_parallel
+    )
+    # The CSR snapshot only backs the exact-distance refinement searches;
+    # constrained batches never touch the graph, and an in-process plan
+    # refines on its own compiled adjacency, so the O(n + m) walk (and
+    # its per-worker pickle) is skipped whenever nothing needs it.
+    need_csr = exact and (use_pool or plan_obj is None)
+    csr = CSRGraph(index.graph) if need_csr else None
+    if not use_pool:
+        if plan_obj is not None:
+            solver: _BatchSolver | _PlanBatchSolver = _PlanBatchSolver(
+                plan_obj, index.graph
+            )
+        else:
+            solver = _BatchSolver(
+                index.highway, index.labeling, csr, row_threshold
+            )
         values = solver.solve(distinct, exact, budget, strict)
     else:
         pool_size = min(workers, len(distinct))
@@ -352,17 +496,24 @@ def query_batch(
             distinct[i : i + chunksize]
             for i in range(0, len(distinct), chunksize)
         ]
-        ctx = _pool_context()
-        with ctx.Pool(
-            pool_size,
-            initializer=_init_query_pool,
-            initargs=(
+        if plan_obj is not None:
+            # The plan replaces the dict structures wholesale: workers
+            # receive its canonical arrays plus the CSR snapshot.
+            initargs = (None, None, csr, row_threshold, exact, plan_obj)
+        else:
+            initargs = (
                 index.highway,
                 index.labeling,
                 csr,
                 row_threshold,
                 exact,
-            ),
+                None,
+            )
+        ctx = _pool_context()
+        with ctx.Pool(
+            pool_size,
+            initializer=_init_query_pool,
+            initargs=initargs,
         ) as pool:
             values = [
                 v for chunk in pool.map(_pool_solve_chunk, chunks) for v in chunk

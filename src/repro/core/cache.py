@@ -8,6 +8,12 @@ handles this with the wrapped :class:`DynamicHCL`'s monotonic ``version``
 counter — bumped on every committed mutation *and* on every transaction
 rollback — so a reconfiguration (or an undone one) transparently flushes
 the cache without hooks into the update algorithms.
+
+Cache misses resolve through ``HCLIndex.query``/``distance``/
+``query_batch``, so they are served from the compiled
+:class:`~repro.core.plan.QueryPlan` whenever one is valid — the plan
+revalidates itself against the structure revision counters, independent
+of (and consistent with) this cache's version-based flushing.
 """
 
 from __future__ import annotations

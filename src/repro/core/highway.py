@@ -32,11 +32,15 @@ class Highway:
     of work as the mutation it protects.
     """
 
-    __slots__ = ("_dist", "_journal")
+    __slots__ = ("_dist", "_journal", "_rev")
 
     def __init__(self):
         self._dist: dict[int, dict[int, float]] = {}
         self._journal = None
+        # Revision counter: bumped by every mutator (and by transaction
+        # rollback) so compiled read views (repro.core.plan.QueryPlan)
+        # and cached exclusion masks can check validity in O(1).
+        self._rev = 0
 
     # ------------------------------------------------------------------
     # Landmark set
@@ -68,6 +72,7 @@ class Highway:
             row[r2] = INF
             other_row[r] = INF
         self._dist[r] = row
+        self._rev += 1
 
     def remove_landmark(self, r: int) -> None:
         """Drop ``r`` and every distance entry that mentions it."""
@@ -78,6 +83,7 @@ class Highway:
         del self._dist[r]
         for row in self._dist.values():
             row.pop(r, None)
+        self._rev += 1
 
     # ------------------------------------------------------------------
     # Distances
@@ -90,6 +96,7 @@ class Highway:
             self._journal.record_highway(self)
         self._dist[r1][r2] = d
         self._dist[r2][r1] = d
+        self._rev += 1
 
     def distance(self, r1: int, r2: int) -> float:
         """``δ_H(r1, r2)``; raises for non-landmark arguments."""

@@ -14,14 +14,22 @@ from dataclasses import dataclass
 from ..budget import Budget
 from ..errors import DeadlineExceeded, LandmarkError, VertexError
 from ..graphs.graph import Graph
-from ..graphs.traversal import bounded_bidirectional_distance
+from ..graphs.traversal import bounded_bidirectional_distance_masked
+from ..obs import OBS
 from ..tolerance import PRUNE_SCALE, REL_TOL
 from .highway import Highway
 from .labeling import Labeling
+from .plan import QueryPlan
 
 INF = math.inf
 
 __all__ = ["HCLIndex", "IndexStats"]
+
+#: In ``plan_mode="auto"`` a :class:`~repro.core.plan.QueryPlan` is
+#: compiled once this many queries have been served against one index
+#: revision — enough repeats to amortize compilation, while an index
+#: alternating mutation and the odd query never compiles at all.
+PLAN_COMPILE_AFTER = 8
 
 
 @dataclass(frozen=True)
@@ -57,9 +65,27 @@ class HCLIndex:
         The :class:`~repro.core.highway.Highway` ``(R, δ_H)``.
     labeling:
         The :class:`~repro.core.labeling.Labeling` ``L``.
+    plan_mode:
+        How the compiled serving plan is managed: ``"auto"`` (default)
+        compiles lazily once the index has served
+        :data:`PLAN_COMPILE_AFTER` queries without a mutation in
+        between, ``"eager"`` compiles on the first query, ``"off"``
+        serves every query from the authoritative dicts.  The dicts stay
+        authoritative in every mode; the plan revalidates against the
+        structure revision counters on each use and is dropped the
+        moment anything mutated.
     """
 
-    __slots__ = ("graph", "highway", "labeling")
+    __slots__ = (
+        "graph",
+        "highway",
+        "labeling",
+        "plan_mode",
+        "_plan",
+        "_plan_queries",
+        "_mask",
+        "_mask_stamp",
+    )
 
     def __init__(self, graph: Graph, highway: Highway, labeling: Labeling):
         if labeling.n != graph.n:
@@ -72,6 +98,11 @@ class HCLIndex:
         self.graph = graph
         self.highway = highway
         self.labeling = labeling
+        self.plan_mode = "auto"
+        self._plan: QueryPlan | None = None
+        self._plan_queries = 0
+        self._mask: list[bool] | None = None
+        self._mask_stamp = None
 
     # ------------------------------------------------------------------
     # Landmark set
@@ -84,6 +115,64 @@ class HCLIndex:
     def is_landmark(self, v: int) -> bool:
         """Whether ``v`` is currently a landmark."""
         return v in self.highway
+
+    # ------------------------------------------------------------------
+    # Compiled serving plan
+    # ------------------------------------------------------------------
+    def plan(self) -> QueryPlan | None:
+        """The current *valid* compiled plan, or ``None``.
+
+        Never compiles; a plan made stale by a mutation is dropped.
+        """
+        plan = self._plan
+        if plan is not None and plan.matches(self):
+            return plan
+        return None
+
+    def compile_plan(self) -> QueryPlan:
+        """Compile (and adopt) a fresh plan from the current dict state."""
+        plan = QueryPlan.compile(self)
+        self._plan = plan
+        self._plan_queries = 0
+        return plan
+
+    def _serving_plan(self) -> QueryPlan | None:
+        """Valid plan for the next query, compiling lazily per ``plan_mode``."""
+        mode = self.plan_mode
+        if mode == "off":
+            # "off" pins the dict path even when a compiled plan is still
+            # valid — it must mean *off*, or the benchmark dict twins
+            # (and any operator escape hatch) silently measure the plan.
+            return None
+        plan = self._plan
+        if plan is not None:
+            if plan.matches(self):
+                return plan
+            self._plan = None
+            self._plan_queries = 0
+            if OBS.enabled:
+                OBS.registry.counter("plan.invalidations").inc()
+        queries = self._plan_queries + 1
+        if mode == "eager" or queries > PLAN_COMPILE_AFTER:
+            return self.compile_plan()
+        self._plan_queries = queries
+        return None
+
+    def _exclusion_mask(self) -> list[bool]:
+        """The landmark exclusion mask, cached across single-pair queries.
+
+        Rebuilt only when the landmark set (highway revision) or vertex
+        count changed — repeated ``distance`` calls stop paying the O(n)
+        mask construction the batch path already amortizes.
+        """
+        stamp = (self.highway._rev, self.graph.n)
+        if self._mask_stamp != stamp:
+            mask = [False] * self.graph.n
+            for r in self.highway._dist:
+                mask[r] = True
+            self._mask = mask
+            self._mask_stamp = stamp
+        return self._mask
 
     # ------------------------------------------------------------------
     # Queries
@@ -100,9 +189,16 @@ class HCLIndex:
         budget-expired :meth:`distance` falls back to, so it never degrades
         itself.  A ``budget`` is still accepted (and charged with the label
         work performed) so step budgets account for the whole request.
+
+        Served from the compiled :class:`~repro.core.plan.QueryPlan` when
+        one is valid (bitwise-identical answers, see ``repro.core.plan``);
+        otherwise from the authoritative dicts.
         """
-        ls = self.labeling.label(s)
-        lt = self.labeling.label(t)
+        plan = self._serving_plan()
+        if plan is not None:
+            return plan.query(s, t, budget)
+        ls = self.labeling.row_items(s)
+        lt = self.labeling.row_items(t)
         if not ls or not lt:
             return INF
         if budget is not None:
@@ -113,9 +209,9 @@ class HCLIndex:
             ls, lt = lt, ls
         row = self.highway.row
         best = INF
-        for ri, di in ls.items():
+        for ri, di in ls:
             hrow = row(ri)
-            for rj, dj in lt.items():
+            for rj, dj in lt:
                 d = di + hrow.get(rj, INF) + dj
                 if d < best:
                     best = d
@@ -130,7 +226,7 @@ class HCLIndex:
         """
         hrow = self.highway.row(r)
         best = INF
-        for rj, dj in self.labeling.label(u).items():
+        for rj, dj in self.labeling.row_items(u):
             d = hrow.get(rj, INF) + dj
             if d < best:
                 best = d
@@ -150,7 +246,7 @@ class HCLIndex:
         """
         cut = bound * PRUNE_SCALE
         hrow = self.highway.row(r)
-        for rj, dj in self.labeling.label(u).items():
+        for rj, dj in self.labeling.row_items(u):
             if hrow.get(rj, INF) + dj < cut:
                 return True
         return False
@@ -179,6 +275,9 @@ class HCLIndex:
         """
         if s == t:
             return 0.0
+        plan = self._serving_plan()
+        if plan is not None:
+            return plan.distance(s, t, budget, strict)
         s_is_lmk = s in self.highway
         t_is_lmk = t in self.highway
         if s_is_lmk and t_is_lmk:
@@ -189,8 +288,8 @@ class HCLIndex:
             return self.query_from_landmark(t, s)
         ub = self.query(s, t, budget)
         if budget is None:
-            return bounded_bidirectional_distance(
-                self.graph, s, t, ub, excluded=self.highway.landmarks
+            return bounded_bidirectional_distance_masked(
+                self.graph, s, t, ub, self._exclusion_mask()
             )
         if budget.check():
             # Expired before refinement: the constrained bound is the
@@ -201,8 +300,8 @@ class HCLIndex:
                     f"refinement ({budget.reason})"
                 )
             return budget.degrade(ub)
-        best = bounded_bidirectional_distance(
-            self.graph, s, t, ub, excluded=self.highway.landmarks, budget=budget
+        best = bounded_bidirectional_distance_masked(
+            self.graph, s, t, ub, self._exclusion_mask(), budget
         )
         if budget.exceeded:
             if strict:
@@ -232,8 +331,15 @@ class HCLIndex:
         )
 
     def copy(self) -> "HCLIndex":
-        """Deep copy (shares the graph, copies highway and labeling)."""
-        return HCLIndex(self.graph, self.highway.copy(), self.labeling.copy())
+        """Deep copy (shares the graph, copies highway and labeling).
+
+        The compiled plan and cached mask are *not* carried over — they
+        are cheap derived state tied to the copied-from structures; the
+        copy recompiles on its own schedule.  ``plan_mode`` is inherited.
+        """
+        out = HCLIndex(self.graph, self.highway.copy(), self.labeling.copy())
+        out.plan_mode = self.plan_mode
+        return out
 
     def structurally_equal(
         self,

@@ -9,7 +9,8 @@ per vertex, matching the ``|L(v)| <= |R|`` assumption of Theorem 3.4.
 
 from __future__ import annotations
 
-from typing import Iterable
+from types import MappingProxyType
+from typing import Iterable, ItemsView, Mapping
 
 from ..errors import LandmarkError, VertexError
 
@@ -25,32 +26,47 @@ class Labeling:
     changing it, so a failed mutation can be rolled back exactly.
     """
 
-    __slots__ = ("_labels", "_journal")
+    __slots__ = ("_labels", "_journal", "_rev")
 
     def __init__(self, n: int):
         if n < 0:
             raise VertexError(f"number of vertices must be >= 0, got {n}")
         self._labels: list[dict[int, float]] = [{} for _ in range(n)]
         self._journal = None
+        # Revision counter: bumped by every mutator (and by transaction
+        # rollback, which restores rows directly) so compiled read views
+        # (repro.core.plan.QueryPlan) can check validity in O(1).
+        self._rev = 0
 
     @property
     def n(self) -> int:
         """Number of vertices the labeling spans."""
         return len(self._labels)
 
-    def label(self, v: int) -> dict[int, float]:
-        """The label ``L(v)`` as a ``landmark -> distance`` dict.
+    def label(self, v: int) -> Mapping[int, float]:
+        """The label ``L(v)`` as a read-only ``landmark -> distance`` view.
 
-        This is the internal mapping; treat it as read-only and use the
-        mutator methods below for changes.
+        The view is live (it reflects later mutations) but cannot be
+        written through — use the mutator methods below for changes.  It
+        compares equal to a plain dict with the same entries.
         """
-        return self._labels[v]
+        return MappingProxyType(self._labels[v])
+
+    def row_items(self, v: int) -> ItemsView[int, float]:
+        """``L(v).items()`` without the read-only-proxy allocation.
+
+        The items view supports ``len()``, truthiness and iteration — all
+        the hot query loops need — and is what ``QUERY`` and the batch
+        solver use to scan labels without handing out the mutable dict.
+        """
+        return self._labels[v].items()
 
     def add_vertex(self) -> int:
         """Grow the labeling by one (empty-label) vertex; returns its id."""
         if self._journal is not None:
             self._journal.record_label_growth(self)
         self._labels.append({})
+        self._rev += 1
         return len(self._labels) - 1
 
     def add_entry(self, v: int, r: int, d: float) -> None:
@@ -58,11 +74,13 @@ class Labeling:
         if self._journal is not None:
             self._journal.record_label(self, v)
         self._labels[v][r] = d
+        self._rev += 1
 
     def remove_entry(self, v: int, r: int) -> bool:
         """Delete the entry for landmark ``r`` from ``L(v)`` if present."""
         if self._journal is not None:
             self._journal.record_label(self, v)
+        self._rev += 1
         return self._labels[v].pop(r, None) is not None
 
     def clear_vertex(self, v: int) -> None:
@@ -70,6 +88,7 @@ class Labeling:
         if self._journal is not None:
             self._journal.record_label(self, v)
         self._labels[v].clear()
+        self._rev += 1
 
     def merge_entries(
         self, r: int, entries: Iterable[tuple[int, float]]
@@ -99,6 +118,7 @@ class Labeling:
                 journal.record_label(self, v)
             labels[v][r] = d
             count += 1
+        self._rev += 1
         return count
 
     def merge(self, other: "Labeling") -> int:
@@ -131,6 +151,7 @@ class Labeling:
         if self._journal is not None:
             self._journal.record_label(self, v)
         label.update(entries)
+        self._rev += 1
         return len(entries)
 
     def entry(self, v: int, r: int) -> float | None:

@@ -1,0 +1,554 @@
+"""Compiled, read-optimized query plans for an HCL index.
+
+The dict-backed :class:`~repro.core.labeling.Labeling` /
+:class:`~repro.core.highway.Highway` pair is the *authoritative*
+representation: transactional, journaled, cheap to mutate entry-by-entry
+— exactly what ``UPGRADE-LMK`` / ``DOWNGRADE-LMK`` need.  It is also the
+wrong shape for serving: every ``QUERY(s, t)`` hashes landmark ids in the
+inner double loop, and every exact-distance refinement allocates two
+fresh dicts plus an O(n) exclusion mask.  Hub-labeling practice separates
+the mutable build-time structure from a frozen, cache-friendly serving
+representation (Storandt 2022; BatchHL makes the same split for
+batch-dynamic labelings), and :class:`QueryPlan` is that second
+representation here:
+
+* per-vertex label rows flattened into CSR-style parallel arrays
+  (``array('l')`` offsets + ``array('q')`` landmark slots +
+  ``array('d')`` distances, slot-sorted within each row);
+* landmark ids interned into dense slots ``0..k-1`` (sorted id order);
+* ``δ_H`` materialized as a dense ``k × k`` ``array('d')`` row-major
+  matrix — an indexed load instead of two dict probes;
+* the landmark exclusion mask prebuilt once;
+* an epoch-stamped :class:`SearchWorkspace` whose preallocated
+  distance/generation arrays replace the per-query dict pair of
+  :func:`~repro.graphs.traversal.bounded_bidirectional_distance_masked`
+  (a generation counter makes "reset" an integer bump, not an O(n)
+  clear);
+* a landmark-free compiled adjacency ``adj[v] = ((w, u), ...)`` over
+  non-landmark neighbors, so the refinement search stops re-testing the
+  mask on every edge scan (and never even sees the high-degree
+  landmark hubs).
+
+Every plan answer is **bitwise-equal** to the dict path, not just close:
+
+* ``QUERY`` minimizes over the same candidate set with the same float
+  association ``(d_i + δ) + d_j`` — ``min`` is order-independent over a
+  fixed value set, so iterating rows in slot order instead of dict
+  insertion order cannot change the result;
+* the memoized per-endpoint row ``g_v[slot] = min_i (d_i + δ)`` is only
+  built/used for the endpoint the serial loop scans *outer* (the smaller
+  label, ties keeping the first argument), the same guarantee
+  ``repro.core.batchquery`` documents: float addition is monotone, so
+  ``min_j (min_i (d_i + δ)) + d_j`` equals the double-loop minimum
+  bitwise;
+* the workspace refinement kernel mirrors the dict kernel's control flow
+  statement for statement (``gen[v] != epoch`` plays ``v not in dist``),
+  and filtering landmarks out of the compiled adjacency only removes
+  edge scans the dict kernel skips anyway.
+
+Budgeted and observed queries dispatch to the *existing* twin kernels
+(:func:`_bounded_bidirectional_masked_budgeted` /
+``_obs``) with the plan's prebuilt mask, so ``DegradedResult`` semantics,
+fault-injection hooks and search counters are inherited rather than
+re-implemented.
+
+Plans are immutable snapshots.  Validity is a revision-stamp compare:
+``Labeling``, ``Highway`` and ``Graph`` each carry a ``_rev`` counter
+bumped by every mutator (and by transaction rollback), and
+:meth:`QueryPlan.matches` checks all three in O(1).  ``HCLIndex``
+recompiles lazily — the authoritative dicts never wait on the plan.
+"""
+
+from __future__ import annotations
+
+import math
+from array import array
+from heapq import heappop, heappush
+from typing import TYPE_CHECKING
+
+from ..budget import Budget
+from ..errors import DeadlineExceeded
+from ..graphs.traversal import (
+    _bounded_bidirectional_masked_budgeted,
+    _bounded_bidirectional_masked_obs,
+)
+from ..obs import OBS
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .index import HCLIndex
+
+INF = math.inf
+
+__all__ = ["QueryPlan", "SearchWorkspace"]
+
+#: Build a memoized ``g_v`` row for an endpoint once it has appeared in
+#: this many plan queries (the row costs ``|L(v)| · k`` float ops and
+#: saves ``|L(s)| · |L(t)| - |L(t)|`` per reuse; Zipf-skewed workloads
+#: break even after a handful of repeats).
+ROW_HOT_THRESHOLD = 4
+
+#: Memoized-row cache bound: on overflow both the rows and the frequency
+#: counts are dropped, so a long-lived plan serving an adversarially wide
+#: endpoint distribution stays O(cap · k) instead of O(n · k).
+G_ROW_CACHE_CAP = 8192
+
+
+class SearchWorkspace:
+    """Preallocated state for the bounded bidirectional refinement.
+
+    ``dist_f``/``dist_b`` are dense float arrays; an entry is only
+    meaningful when the matching ``gen_f``/``gen_b`` cell equals the
+    current ``epoch``, so "clearing" the workspace between queries is one
+    integer increment.  (After ~2**63 queries the epoch would wrap; at a
+    billion queries per second that is three centuries of uptime.)
+    """
+
+    __slots__ = ("n", "epoch", "dist_f", "dist_b", "gen_f", "gen_b")
+
+    def __init__(self, n: int):
+        self.n = n
+        self.epoch = 0
+        self.dist_f = [INF] * n
+        self.dist_b = [INF] * n
+        self.gen_f = [0] * n
+        self.gen_b = [0] * n
+
+
+def _refine_ws(adj, mask, ws, s, t, upper_bound):
+    """Workspace twin of ``bounded_bidirectional_distance_masked``.
+
+    Statement-for-statement mirror of the dict kernel in
+    ``repro.graphs.traversal`` — same alternation rule, same skip tests,
+    same meeting update — with three representation swaps: ``gen[v] ==
+    epoch`` replaces ``v in dist``, the preallocated workspace replaces
+    the two fresh dicts, and the landmark-filtered compiled adjacency
+    replaces the per-edge ``excluded_mask[v]`` test (it skips exactly the
+    edges the mask test skips).  Each swap preserves the relaxation
+    order, so the returned float is bitwise-identical.
+    """
+    if s == t:
+        return 0.0
+    if mask[s] or mask[t]:
+        return upper_bound
+
+    ws.epoch = epoch = ws.epoch + 1
+    dist_f = ws.dist_f
+    dist_b = ws.dist_b
+    gen_f = ws.gen_f
+    gen_b = ws.gen_b
+    dist_f[s] = 0.0
+    gen_f[s] = epoch
+    dist_b[t] = 0.0
+    gen_b[t] = epoch
+    heap_f = [(0.0, s)]
+    heap_b = [(0.0, t)]
+    best = upper_bound
+
+    while heap_f and heap_b:
+        if heap_f[0][0] + heap_b[0][0] >= best:
+            break
+        if heap_f[0][0] <= heap_b[0][0]:
+            heap, dist, gen, odist, ogen = heap_f, dist_f, gen_f, dist_b, gen_b
+        else:
+            heap, dist, gen, odist, ogen = heap_b, dist_b, gen_b, dist_f, gen_f
+        d, u = heappop(heap)
+        if d > dist[u]:  # stale heap entry (u was pushed, so gen[u] == epoch)
+            continue
+        if d >= best:
+            continue
+        for w, v in adj[u]:
+            nd = d + w
+            in_other = ogen[v] == epoch
+            if nd >= best and not in_other:
+                continue
+            if gen[v] != epoch:
+                gen[v] = epoch
+                dist[v] = nd
+                heappush(heap, (nd, v))
+            elif nd < dist[v]:
+                dist[v] = nd
+                heappush(heap, (nd, v))
+            if in_other:
+                total = dist[v] + odist[v]
+                if total < best:
+                    best = total
+    return best
+
+
+class QueryPlan:
+    """A frozen, flat compilation of one ``HCLIndex`` snapshot.
+
+    Build with :meth:`compile` (or ``HCLIndex.compile_plan()``).  The
+    canonical state is the parallel-array form (picklable, shipped to
+    pool workers); the per-vertex row tuples, highway row lists and
+    compiled adjacency are interpreter-friendly views derived from it.
+    """
+
+    __slots__ = (
+        # canonical arrays (pickled)
+        "n",
+        "k",
+        "landmark_ids",
+        "label_offsets",
+        "label_slots",
+        "label_dists",
+        "hw",
+        # derived read views
+        "slot_of",
+        "mask",
+        "_rows",
+        "_hwrows",
+        # lazy serving state
+        "_adj",
+        "_ws",
+        "_g_rows",
+        "_g_freq",
+        # validity stamp (source objects + their revisions)
+        "_graph",
+        "_labeling",
+        "_highway",
+        "_stamp",
+    )
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def __init__(self, n, k, landmark_ids, offsets, slots, dists, hw):
+        self.n = n
+        self.k = k
+        self.landmark_ids = landmark_ids
+        self.label_offsets = offsets
+        self.label_slots = slots
+        self.label_dists = dists
+        self.hw = hw
+        self._graph = None
+        self._labeling = None
+        self._highway = None
+        self._stamp = None
+        self._build_views()
+
+    def _build_views(self) -> None:
+        """Derive the interpreter-friendly views from the canonical arrays.
+
+        The hot loops read Python lists and tuples, not the arrays: an
+        ``array('d')`` getitem boxes a fresh float object per access,
+        which erases the layout win in CPython (measured), while list
+        entries are already boxed once at compile time.
+        """
+        k = self.k
+        self.slot_of = {r: i for i, r in enumerate(self.landmark_ids)}
+        mask = [False] * self.n
+        for r in self.landmark_ids:
+            mask[r] = True
+        self.mask = mask
+        offsets = self.label_offsets
+        slots = self.label_slots
+        dists = self.label_dists
+        rows = []
+        for v in range(self.n):
+            lo, hi = offsets[v], offsets[v + 1]
+            rows.append(
+                tuple((dists[i], slots[i]) for i in range(lo, hi))
+            )
+        self._rows = rows
+        hwlist = self.hw.tolist()
+        self._hwrows = [hwlist[i * k : (i + 1) * k] for i in range(k)]
+        self._adj = None
+        self._ws = None
+        self._g_rows = {}
+        self._g_freq = {}
+
+    @classmethod
+    def compile(cls, index: "HCLIndex") -> "QueryPlan":
+        """Compile a plan from the index's current dict state."""
+        if OBS.enabled:
+            with OBS.span("plan.compile"):
+                plan = cls._compile(index)
+            OBS.registry.counter("plan.compiles").inc()
+            OBS.registry.gauge("plan.landmarks").set(plan.k)
+            return plan
+        return cls._compile(index)
+
+    @classmethod
+    def _compile(cls, index: "HCLIndex") -> "QueryPlan":
+        labeling = index.labeling
+        highway = index.highway
+        graph = index.graph
+        n = labeling.n
+        landmark_ids = sorted(highway.landmarks)
+        k = len(landmark_ids)
+        slot_of = {r: i for i, r in enumerate(landmark_ids)}
+
+        offsets = array("l", [0])
+        slots = array("q")
+        dists = array("d")
+        for v in range(n):
+            row = sorted(
+                (slot_of[r], d) for r, d in labeling.row_items(v)
+            )
+            for s, d in row:
+                slots.append(s)
+                dists.append(d)
+            offsets.append(len(slots))
+
+        hw = array("d", [INF]) * (k * k)
+        for i, r in enumerate(landmark_ids):
+            row = highway.row(r)
+            base = i * k
+            for j, r2 in enumerate(landmark_ids):
+                hw[base + j] = row.get(r2, INF)
+
+        plan = cls(n, k, array("q", landmark_ids), offsets, slots, dists, hw)
+        plan._graph = graph
+        plan._labeling = labeling
+        plan._highway = highway
+        plan._stamp = (
+            labeling._rev,
+            highway._rev,
+            getattr(graph, "_rev", 0),
+            n,
+        )
+        return plan
+
+    # ------------------------------------------------------------------
+    # Validity
+    # ------------------------------------------------------------------
+    def matches(self, index: "HCLIndex") -> bool:
+        """Whether this plan still reflects ``index`` exactly (O(1)).
+
+        Identity of the three source objects plus their revision
+        counters; any mutator (or transaction rollback) bumps a counter,
+        so a stale plan can never satisfy this.  Unpickled plans (pool
+        workers) carry no stamp and never match — workers serve one
+        frozen batch and are discarded.
+        """
+        labeling = index.labeling
+        return (
+            self._stamp is not None
+            and labeling is self._labeling
+            and index.highway is self._highway
+            and index.graph is self._graph
+            and self._stamp
+            == (
+                labeling._rev,
+                index.highway._rev,
+                getattr(index.graph, "_rev", 0),
+                labeling.n,
+            )
+        )
+
+    def attach_graph(self, graph) -> None:
+        """Give an unpickled plan a graph to refine exact queries on.
+
+        Pool workers receive the plan via its canonical arrays and the
+        batch's CSR snapshot separately; the compiled adjacency is then
+        derived from the snapshot on first use.
+        """
+        if self._graph is None:
+            self._graph = graph
+
+    # ------------------------------------------------------------------
+    # Pickling (canonical arrays only; views are rebuilt on arrival)
+    # ------------------------------------------------------------------
+    def __reduce__(self):
+        return (
+            QueryPlan,
+            (
+                self.n,
+                self.k,
+                self.landmark_ids,
+                self.label_offsets,
+                self.label_slots,
+                self.label_dists,
+                self.hw,
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Constrained QUERY
+    # ------------------------------------------------------------------
+    def query(self, s: int, t: int, budget: Budget | None = None) -> float:
+        """``QUERY(s, t)`` — bitwise-equal to :meth:`HCLIndex.query`."""
+        rows = self._rows
+        rs = rows[s]
+        rt = rows[t]
+        if not rs or not rt:
+            return INF
+        if budget is not None:
+            budget.charge(min(len(rs), len(rt)))
+        if len(rs) > len(rt):
+            outer_v, outer, inner = t, rt, rs
+        else:
+            outer_v, outer, inner = s, rs, rt
+        g = self._g_rows.get(outer_v)
+        if g is None:
+            freq = self._g_freq
+            count = freq.get(outer_v, 0) + 1
+            if count >= ROW_HOT_THRESHOLD:
+                g = self._build_g_row(outer_v)
+            else:
+                freq[outer_v] = count
+        if g is not None:
+            best = INF
+            for dj, sj in inner:
+                d = g[sj] + dj
+                if d < best:
+                    best = d
+            return best
+        hwrows = self._hwrows
+        best = INF
+        for di, si in outer:
+            hwrow = hwrows[si]
+            for dj, sj in inner:
+                d = di + hwrow[sj] + dj
+                if d < best:
+                    best = d
+        return best
+
+    def _build_g_row(self, v: int) -> list[float]:
+        """``g_v[slot] = min_i d_i + δ_H(r_i, slot)`` over ``L(v)``."""
+        g_rows = self._g_rows
+        if len(g_rows) >= G_ROW_CACHE_CAP:
+            g_rows.clear()
+            self._g_freq.clear()
+        k = self.k
+        g = [INF] * k
+        hwrows = self._hwrows
+        for di, si in self._rows[v]:
+            hwrow = hwrows[si]
+            for j in range(k):
+                d = di + hwrow[j]
+                if d < g[j]:
+                    g[j] = d
+        g_rows[v] = g
+        return g
+
+    def note_endpoints(self, keys) -> None:
+        """Pre-seed row-heat counts with a batch's endpoint multiplicities."""
+        freq = self._g_freq
+        if len(freq) >= 4 * G_ROW_CACHE_CAP:
+            self._g_rows.clear()
+            freq.clear()
+        for s, t in keys:
+            freq[s] = freq.get(s, 0) + 1
+            freq[t] = freq.get(t, 0) + 1
+
+    def query_from_landmark(self, r: int, u: int) -> float:
+        """Mirror of :meth:`HCLIndex.query_from_landmark` (``r ∈ R``)."""
+        hwrow = self._hwrows[self.slot_of[r]]
+        best = INF
+        for dj, sj in self._rows[u]:
+            d = hwrow[sj] + dj
+            if d < best:
+                best = d
+        return best
+
+    # ------------------------------------------------------------------
+    # Exact distance
+    # ------------------------------------------------------------------
+    def distance(
+        self,
+        s: int,
+        t: int,
+        budget: Budget | None = None,
+        strict: bool = False,
+        _what: str = "distance",
+    ) -> float:
+        """Exact ``d(s, t)`` — bitwise-equal to :meth:`HCLIndex.distance`.
+
+        Same branch structure; with a budget (or tracing enabled) the
+        refinement dispatches to the existing budgeted/observed dict
+        kernels with the plan's prebuilt mask, so degraded-answer
+        semantics and counters are exactly the dict path's.
+        """
+        if s == t:
+            return 0.0
+        mask = self.mask
+        s_is_lmk = mask[s]
+        t_is_lmk = mask[t]
+        if s_is_lmk and t_is_lmk:
+            slot_of = self.slot_of
+            return self._hwrows[slot_of[s]][slot_of[t]]
+        if s_is_lmk:
+            return self.query_from_landmark(s, t)
+        if t_is_lmk:
+            return self.query_from_landmark(t, s)
+        ub = self.query(s, t, budget)
+        if budget is None:
+            if OBS.enabled:
+                return _bounded_bidirectional_masked_obs(
+                    self._graph, s, t, ub, mask
+                )
+            return self.refine(s, t, ub)
+        if budget.check():
+            if strict:
+                raise DeadlineExceeded(
+                    f"{_what}({s}, {t}) exceeded its budget before "
+                    f"refinement ({budget.reason})"
+                )
+            return budget.degrade(ub)
+        best = _bounded_bidirectional_masked_budgeted(
+            self._graph, s, t, ub, mask, budget
+        )
+        if budget.exceeded:
+            if strict:
+                raise DeadlineExceeded(
+                    f"{_what}({s}, {t}) exceeded its budget mid-refinement "
+                    f"({budget.reason})"
+                )
+            return budget.degrade(best)
+        return best
+
+    def refine(self, s: int, t: int, upper_bound: float) -> float:
+        """Bounded bidirectional refinement on the compiled adjacency."""
+        adj = self._adj
+        if adj is None:
+            adj = self._compile_adjacency()
+        ws = self._ws
+        if ws is None:
+            ws = self._ws = SearchWorkspace(self.n)
+        return _refine_ws(adj, self.mask, ws, s, t, upper_bound)
+
+    def _compile_adjacency(self):
+        """Landmark-free ``adj[v] = ((w, u), ...)``, lazily on first use.
+
+        Only exact queries pay for this O(n + m) pass; constrained-only
+        plans never touch the graph.  Landmark rows compile to empty
+        tuples — the kernel rejects landmark endpoints before expanding.
+        """
+        graph = self._graph
+        mask = self.mask
+        neighbors = graph.neighbors
+        if OBS.enabled:
+            with OBS.span("plan.compile_adjacency"):
+                adj = [
+                    ()
+                    if mask[v]
+                    else tuple(
+                        (w, u) for u, w in neighbors(v) if not mask[u]
+                    )
+                    for v in range(self.n)
+                ]
+        else:
+            adj = [
+                ()
+                if mask[v]
+                else tuple((w, u) for u, w in neighbors(v) if not mask[u])
+                for v in range(self.n)
+            ]
+        self._adj = adj
+        return adj
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def total_entries(self) -> int:
+        """Number of flattened label entries."""
+        return len(self.label_slots)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"QueryPlan(n={self.n}, |R|={self.k}, "
+            f"entries={self.total_entries})"
+        )

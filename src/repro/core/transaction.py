@@ -77,8 +77,13 @@ class UndoJournal:
         for v, saved in self._label_saves.items():
             if v < n:
                 labels[v] = saved
+        # Restoration writes rows directly (not through the mutators), so
+        # bump the revision counters here or compiled query plans would
+        # keep serving the rolled-back state.
+        labeling._rev += 1
         if self._highway_save is not None:
             highway._dist = self._highway_save
+            highway._rev += 1
         self._label_saves = {}
         self._highway_save = None
         self._label_count = None

@@ -41,7 +41,7 @@ class Graph:
     [(0, 2.0), (2, 3.0)]
     """
 
-    __slots__ = ("_adj", "_m", "unweighted")
+    __slots__ = ("_adj", "_m", "unweighted", "_rev")
 
     def __init__(self, n: int, unweighted: bool = False):
         if n < 0:
@@ -49,6 +49,10 @@ class Graph:
         self._adj: list[list[tuple[int, float]]] = [[] for _ in range(n)]
         self._m = 0
         self.unweighted = unweighted
+        # Revision counter: bumped by every structural mutation so derived
+        # read-optimized structures (repro.core.plan.QueryPlan) can check
+        # validity with one integer compare instead of rescanning.
+        self._rev = 0
 
     # ------------------------------------------------------------------
     # Basic properties
@@ -81,6 +85,7 @@ class Graph:
     def add_vertex(self) -> int:
         """Append a fresh isolated vertex and return its id."""
         self._adj.append([])
+        self._rev += 1
         return self.n - 1
 
     def _check_vertex(self, v: int) -> None:
@@ -110,6 +115,7 @@ class Graph:
         self._adj[u].append((v, w))
         self._adj[v].append((u, w))
         self._m += 1
+        self._rev += 1
 
     def remove_edge(self, u: int, v: int) -> float:
         """Remove edge ``{u, v}`` and return its weight."""
@@ -128,6 +134,7 @@ class Graph:
                 del self._adj[v][i]
                 break
         self._m -= 1
+        self._rev += 1
         return weight
 
     def set_weight(self, u: int, v: int, w: float) -> float:
@@ -138,6 +145,7 @@ class Graph:
         self._adj[u].append((v, w))
         self._adj[v].append((u, w))
         self._m += 1
+        self._rev += 1
         return old
 
     # ------------------------------------------------------------------

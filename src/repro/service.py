@@ -756,6 +756,10 @@ class HCLService:
             "degraded_answers": self.stats.degraded,
             "landmarks": len(self._dyn.landmarks),
             "version": self._dyn.version,
+            "plan": {
+                "mode": self._dyn.index.plan_mode,
+                "compiled": self._dyn.index.plan() is not None,
+            },
         }
 
     def metrics_prometheus(self) -> str:
