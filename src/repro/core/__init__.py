@@ -14,6 +14,7 @@ from .directed import (
 )
 from .downgrade import DowngradeStats, downgrade_landmark
 from .dynhcl import DynamicHCL, LandmarkUpdate, UpdateRecord
+from .epoch import PlanEpoch, PlanRegistry
 from .highway import Highway
 from .index import HCLIndex, IndexStats
 from .invariants import (
@@ -76,6 +77,8 @@ __all__ = [
     "IndexStats",
     "QueryPlan",
     "SearchWorkspace",
+    "PlanEpoch",
+    "PlanRegistry",
     "build_hcl",
     "build_hcl_parallel",
     "query_batch",

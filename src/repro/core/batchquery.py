@@ -419,10 +419,15 @@ def query_batch(
         the index's valid :class:`~repro.core.plan.QueryPlan` when one
         exists, compiling one for batches of at least
         :data:`PLAN_MIN_BATCH` distinct pairs (``plan_mode="off"`` on the
-        index disables this); ``"off"`` forces the dict path; passing a
-        :class:`~repro.core.plan.QueryPlan` serves from exactly that plan
-        (the caller vouches it reflects ``index``).  Every mode returns
-        bitwise-identical answers.
+        index disables this); ``"off"`` forces the dict path;
+        ``"epoch"`` pins the head epoch of the index's MVCC
+        :class:`~repro.core.epoch.PlanRegistry` for the whole batch — the
+        answers form one consistent snapshot even if mutations commit
+        mid-batch, and the pin is released when the batch returns
+        (``"auto"`` routes here on its own when ``plan_mode="epoch"``);
+        passing a :class:`~repro.core.plan.QueryPlan` serves from exactly
+        that plan (the caller vouches it reflects ``index``).  Every mode
+        returns bitwise-identical answers.
 
     Returns
     -------
@@ -451,8 +456,14 @@ def query_batch(
             order[key] = len(order)
     distinct = list(order)
 
+    epoch = None
     if isinstance(plan, QueryPlan):
         plan_obj: QueryPlan | None = plan
+    elif plan == "epoch" or (plan == "auto" and index.plan_mode == "epoch"):
+        # Pin the head epoch for the whole batch; released in the finally
+        # below, at which point a superseded epoch can retire.
+        epoch = index.epoch_registry().acquire()
+        plan_obj = epoch.plan
     elif plan == "auto":
         mode = index.plan_mode
         plan_obj = index.plan() if mode != "off" else None
@@ -464,59 +475,65 @@ def query_batch(
         plan_obj = None
     else:
         raise RequestError(
-            f"plan must be 'auto', 'off' or a QueryPlan, got {plan!r}"
+            f"plan must be 'auto', 'off', 'epoch' or a QueryPlan, got {plan!r}"
         )
 
-    use_pool = (
-        budget is None
-        and workers is not None
-        and workers > 1
-        and len(distinct) >= min_parallel
-    )
-    # The CSR snapshot only backs the exact-distance refinement searches;
-    # constrained batches never touch the graph, and an in-process plan
-    # refines on its own compiled adjacency, so the O(n + m) walk (and
-    # its per-worker pickle) is skipped whenever nothing needs it.
-    need_csr = exact and (use_pool or plan_obj is None)
-    csr = CSRGraph(index.graph) if need_csr else None
-    if not use_pool:
-        if plan_obj is not None:
-            solver: _BatchSolver | _PlanBatchSolver = _PlanBatchSolver(
-                plan_obj, index.graph
-            )
+    try:
+        use_pool = (
+            budget is None
+            and workers is not None
+            and workers > 1
+            and len(distinct) >= min_parallel
+        )
+        # The CSR snapshot only backs the exact-distance refinement
+        # searches; constrained batches never touch the graph, and an
+        # in-process plan refines on its own compiled adjacency, so the
+        # O(n + m) walk (and its per-worker pickle) is skipped whenever
+        # nothing needs it.
+        need_csr = exact and (use_pool or plan_obj is None)
+        csr = CSRGraph(index.graph) if need_csr else None
+        if not use_pool:
+            if plan_obj is not None:
+                solver: _BatchSolver | _PlanBatchSolver = _PlanBatchSolver(
+                    plan_obj, index.graph
+                )
+            else:
+                solver = _BatchSolver(
+                    index.highway, index.labeling, csr, row_threshold
+                )
+            values = solver.solve(distinct, exact, budget, strict)
         else:
-            solver = _BatchSolver(
-                index.highway, index.labeling, csr, row_threshold
-            )
-        values = solver.solve(distinct, exact, budget, strict)
-    else:
-        pool_size = min(workers, len(distinct))
-        chunksize = max(1, len(distinct) // (pool_size * 4))
-        chunks = [
-            distinct[i : i + chunksize]
-            for i in range(0, len(distinct), chunksize)
-        ]
-        if plan_obj is not None:
-            # The plan replaces the dict structures wholesale: workers
-            # receive its canonical arrays plus the CSR snapshot.
-            initargs = (None, None, csr, row_threshold, exact, plan_obj)
-        else:
-            initargs = (
-                index.highway,
-                index.labeling,
-                csr,
-                row_threshold,
-                exact,
-                None,
-            )
-        ctx = _pool_context()
-        with ctx.Pool(
-            pool_size,
-            initializer=_init_query_pool,
-            initargs=initargs,
-        ) as pool:
-            values = [
-                v for chunk in pool.map(_pool_solve_chunk, chunks) for v in chunk
+            pool_size = min(workers, len(distinct))
+            chunksize = max(1, len(distinct) // (pool_size * 4))
+            chunks = [
+                distinct[i : i + chunksize]
+                for i in range(0, len(distinct), chunksize)
             ]
+            if plan_obj is not None:
+                # The plan replaces the dict structures wholesale: workers
+                # receive its canonical arrays plus the CSR snapshot.
+                initargs = (None, None, csr, row_threshold, exact, plan_obj)
+            else:
+                initargs = (
+                    index.highway,
+                    index.labeling,
+                    csr,
+                    row_threshold,
+                    exact,
+                    None,
+                )
+            ctx = _pool_context()
+            with ctx.Pool(
+                pool_size,
+                initializer=_init_query_pool,
+                initargs=initargs,
+            ) as pool:
+                values = [
+                    v for chunk in pool.map(_pool_solve_chunk, chunks)
+                    for v in chunk
+                ]
 
-    return [values[order[key]] for key in keys]
+        return [values[order[key]] for key in keys]
+    finally:
+        if epoch is not None:
+            epoch.release()

@@ -143,13 +143,18 @@ class CachedQueryEngine:
         exact: bool = False,
         budget: Budget | None = None,
         strict: bool = False,
+        plan="auto",
     ) -> list[float]:
         """Answer many pairs at once, through the cache.
 
         Cached pairs are served from the (version-checked) LRU store;
         the misses go to :func:`repro.core.batchquery.query_batch` in one
         batched call and are inserted afterwards, so a later per-pair
-        ``query``/``distance`` hits.
+        ``query``/``distance`` hits.  ``plan`` passes through to
+        ``query_batch`` — under ``"auto"`` an index in
+        ``plan_mode="epoch"`` serves misses from a pinned
+        :class:`~repro.core.epoch.PlanEpoch`, so the whole miss set is
+        answered against one consistent snapshot.
         """
         from .batchquery import query_batch  # local: avoids an import cycle
 
@@ -177,6 +182,7 @@ class CachedQueryEngine:
                 exact=exact,
                 budget=budget,
                 strict=strict,
+                plan=plan,
             )
             for i, key, value in zip(miss_at, misses, computed):
                 results[i] = value

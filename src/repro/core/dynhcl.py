@@ -158,6 +158,21 @@ class DynamicHCL:
         """Build the initial index with ``BUILDHCL`` and wrap it."""
         return cls(build_hcl(graph, landmarks))
 
+    def enable_plan_epochs(self, recompile: str = "sync"):
+        """Serve queries from MVCC plan epochs; returns the registry.
+
+        Switches the index to ``plan_mode="epoch"``: queries read the
+        head :class:`~repro.core.epoch.PlanEpoch` with no per-query
+        revalidation, and every transactional :meth:`add_landmark` /
+        :meth:`remove_landmark` commit recompiles (incrementally where
+        possible) and swaps the next epoch in.  ``recompile`` picks the
+        registry's recompilation mode (``"sync"``, ``"thread"`` or
+        ``"deferred"``); see :class:`repro.core.epoch.PlanRegistry`.
+        """
+        registry = self.index.epoch_registry(recompile=recompile)
+        self.index.plan_mode = "epoch"
+        return registry
+
     # ------------------------------------------------------------------
     # Landmark reconfiguration
     # ------------------------------------------------------------------

@@ -70,8 +70,12 @@ class HCLIndex:
         compiles lazily once the index has served
         :data:`PLAN_COMPILE_AFTER` queries without a mutation in
         between, ``"eager"`` compiles on the first query, ``"off"``
-        serves every query from the authoritative dicts.  The dicts stay
-        authoritative in every mode; the plan revalidates against the
+        serves every query from the authoritative dicts, and
+        ``"epoch"`` serves from the head epoch of the MVCC
+        :class:`~repro.core.epoch.PlanRegistry` with *no* per-query
+        revalidation (epochs are swapped by transaction commits; see
+        :meth:`epoch_registry`).  The dicts stay authoritative in every
+        mode; outside epoch mode the plan revalidates against the
         structure revision counters on each use and is dropped the
         moment anything mutated.
     """
@@ -83,6 +87,7 @@ class HCLIndex:
         "plan_mode",
         "_plan",
         "_plan_queries",
+        "_plan_registry",
         "_mask",
         "_mask_stamp",
     )
@@ -101,6 +106,7 @@ class HCLIndex:
         self.plan_mode = "auto"
         self._plan: QueryPlan | None = None
         self._plan_queries = 0
+        self._plan_registry = None
         self._mask: list[bool] | None = None
         self._mask_stamp = None
 
@@ -136,6 +142,26 @@ class HCLIndex:
         self._plan_queries = 0
         return plan
 
+    def epoch_registry(self, recompile: str = "sync"):
+        """The MVCC :class:`~repro.core.epoch.PlanRegistry` for this index.
+
+        Created on first call (``recompile`` selects the registry's
+        recompilation mode and is ignored afterwards).  Switching
+        ``plan_mode`` to ``"epoch"`` — or calling
+        :meth:`repro.core.dynhcl.DynamicHCL.enable_plan_epochs` — routes
+        queries through the registry head; transactional mutations keep
+        it current.  Non-transactional mutations require an explicit
+        ``registry.refresh()``.
+        """
+        registry = self._plan_registry
+        if registry is None:
+            from .epoch import PlanRegistry  # local: avoid import cycle
+
+            registry = self._plan_registry = PlanRegistry(
+                self, recompile=recompile
+            )
+        return registry
+
     def _serving_plan(self) -> QueryPlan | None:
         """Valid plan for the next query, compiling lazily per ``plan_mode``."""
         mode = self.plan_mode
@@ -144,6 +170,10 @@ class HCLIndex:
             # valid — it must mean *off*, or the benchmark dict twins
             # (and any operator escape hatch) silently measure the plan.
             return None
+        if mode == "epoch":
+            # Lock-free head borrow: no revalidation, no stamp compare.
+            # Long-lived readers pin via registry.acquire() instead.
+            return self.epoch_registry().head_plan()
         plan = self._plan
         if plan is not None:
             if plan.matches(self):
@@ -333,12 +363,15 @@ class HCLIndex:
     def copy(self) -> "HCLIndex":
         """Deep copy (shares the graph, copies highway and labeling).
 
-        The compiled plan and cached mask are *not* carried over — they
-        are cheap derived state tied to the copied-from structures; the
-        copy recompiles on its own schedule.  ``plan_mode`` is inherited.
+        The compiled plan, cached mask and epoch registry are *not*
+        carried over — they are derived state tied to the copied-from
+        structures; the copy recompiles (and builds its own registry) on
+        its own schedule.  ``plan_mode`` is inherited, except that
+        ``"epoch"`` falls back to ``"auto"``: the copy has no registry,
+        and a fresh one would silently start at epoch 1.
         """
         out = HCLIndex(self.graph, self.highway.copy(), self.labeling.copy())
-        out.plan_mode = self.plan_mode
+        out.plan_mode = "auto" if self.plan_mode == "epoch" else self.plan_mode
         return out
 
     def structurally_equal(

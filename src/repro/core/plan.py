@@ -270,6 +270,131 @@ class QueryPlan:
         return cls._compile(index)
 
     @classmethod
+    def compile_incremental(
+        cls, prior: "QueryPlan", index: "HCLIndex", affected
+    ) -> "QueryPlan | None":
+        """Compile the next plan by patching ``prior``, or ``None``.
+
+        ``affected`` is the set of label rows touched since ``prior`` was
+        compiled (a transaction's undo-journal keys computes it for
+        free).  Only those rows are rebuilt; every other per-vertex row
+        tuple is shared *structurally* with the prior plan, so the cost
+        is ``O(|affected| · row + k²)`` instead of ``O(n · row)``.
+
+        Slot stability makes the sharing sound: surviving landmarks keep
+        their ``prior`` slots, removed landmarks leave ``-1`` holes in
+        ``landmark_ids`` (their ``δ_H`` rows turn to ``inf``), and added
+        landmarks fill holes in sorted order before appending.  An
+        unaffected row can never reference a hole — ``DOWNGRADE-LMK``
+        rewrites every row that contained the removed landmark, so all
+        such rows are in ``affected`` by construction.  Bitwise equality
+        with a full compile holds because ``min`` over the fixed
+        candidate set is order-independent: slot numbering only permutes
+        the iteration order.
+
+        Returns ``None`` (caller falls back to :meth:`compile`) when the
+        patch would be unsound or not worth it: vertex count or graph
+        changed, ``prior`` tracks different source objects, or holes
+        would exceed a quarter of the slot space.
+        """
+        labeling = index.labeling
+        highway = index.highway
+        graph = index.graph
+        n = labeling.n
+        if (
+            prior._stamp is None
+            or n != prior.n
+            or labeling is not prior._labeling
+            or highway is not prior._highway
+            or graph is not prior._graph
+            or getattr(graph, "_rev", 0) != prior._stamp[2]
+        ):
+            return None
+        ids = list(prior.landmark_ids)
+        old_set = {r for r in ids if r >= 0}
+        new_set = highway.landmarks
+        for i, r in enumerate(ids):
+            if r >= 0 and r not in new_set:
+                ids[i] = -1
+        holes = [i for i, r in enumerate(ids) if r < 0]
+        for r in sorted(new_set - old_set):
+            if holes:
+                ids[holes.pop(0)] = r
+            else:
+                ids.append(r)
+        if ids and len(holes) * 4 > len(ids):
+            return None
+        if OBS.enabled:
+            with OBS.span("plan.compile_incremental"):
+                plan = cls._patch(prior, index, affected, ids)
+            OBS.registry.counter("plan.incremental_compiles").inc()
+            return plan
+        return cls._patch(prior, index, affected, ids)
+
+    @classmethod
+    def _patch(cls, prior, index, affected, ids) -> "QueryPlan":
+        labeling = index.labeling
+        highway = index.highway
+        graph = index.graph
+        n = labeling.n
+        k = len(ids)
+        slot_of = {r: i for i, r in enumerate(ids) if r >= 0}
+
+        rows = list(prior._rows)
+        for v in affected:
+            row = sorted(
+                (slot_of[r], d) for r, d in labeling.row_items(v)
+            )
+            rows[v] = tuple((d, s) for s, d in row)
+
+        hw = array("d", [INF]) * (k * k)
+        hwrows = []
+        for i, r in enumerate(ids):
+            base = i * k
+            if r >= 0:
+                hrow = highway.row(r)
+                for j, r2 in enumerate(ids):
+                    if r2 >= 0:
+                        hw[base + j] = hrow.get(r2, INF)
+            hwrows.append(hw[base : base + k].tolist())
+
+        mask = [False] * n
+        for r in ids:
+            if r >= 0:
+                mask[r] = True
+
+        plan = cls.__new__(cls)
+        plan.n = n
+        plan.k = k
+        plan.landmark_ids = array("q", ids)
+        # Canonical arrays are pickle-only state; derive lazily (see
+        # __reduce__) instead of paying O(n · row) on every epoch.
+        plan.label_offsets = None
+        plan.label_slots = None
+        plan.label_dists = None
+        plan.hw = hw
+        plan.slot_of = slot_of
+        plan.mask = mask
+        plan._rows = rows
+        plan._hwrows = hwrows
+        # The compiled adjacency only depends on (graph, mask); reuse the
+        # prior epoch's O(n + m) pass when the landmark set is unchanged.
+        plan._adj = prior._adj if mask == prior.mask else None
+        plan._ws = None
+        plan._g_rows = {}
+        plan._g_freq = {}
+        plan._graph = graph
+        plan._labeling = labeling
+        plan._highway = highway
+        plan._stamp = (
+            labeling._rev,
+            highway._rev,
+            getattr(graph, "_rev", 0),
+            n,
+        )
+        return plan
+
+    @classmethod
     def _compile(cls, index: "HCLIndex") -> "QueryPlan":
         labeling = index.labeling
         highway = index.highway
@@ -351,6 +476,8 @@ class QueryPlan:
     # Pickling (canonical arrays only; views are rebuilt on arrival)
     # ------------------------------------------------------------------
     def __reduce__(self):
+        if self.label_offsets is None:
+            return (QueryPlan, self._canonical_args())
         return (
             QueryPlan,
             (
@@ -363,6 +490,38 @@ class QueryPlan:
                 self.hw,
             ),
         )
+
+    def _canonical_args(self):
+        """Densify an incrementally-patched plan for pickling.
+
+        Incremental plans (see :meth:`compile_incremental`) keep ``-1``
+        holes in ``landmark_ids`` and no flat label arrays; pickling
+        compacts to the same canonical form :meth:`compile` produces —
+        sorted dense landmark ids, slot-sorted CSR arrays — so the wire
+        format is identical regardless of how the plan was built.
+        """
+        old_slot = self.slot_of
+        ids = sorted(old_slot)
+        k = len(ids)
+        remap = [-1] * self.k
+        for i, r in enumerate(ids):
+            remap[old_slot[r]] = i
+        offsets = array("l", [0])
+        slots = array("q")
+        dists = array("d")
+        for row in self._rows:
+            for s, d in sorted((remap[s], d) for d, s in row):
+                slots.append(s)
+                dists.append(d)
+            offsets.append(len(slots))
+        hw_old = self.hw
+        k_old = self.k
+        hw = array("d", [INF]) * (k * k)
+        for i, r in enumerate(ids):
+            oi = old_slot[r]
+            for j, r2 in enumerate(ids):
+                hw[i * k + j] = hw_old[oi * k_old + old_slot[r2]]
+        return (self.n, k, array("q", ids), offsets, slots, dists, hw)
 
     # ------------------------------------------------------------------
     # Constrained QUERY
@@ -545,6 +704,8 @@ class QueryPlan:
     @property
     def total_entries(self) -> int:
         """Number of flattened label entries."""
+        if self.label_slots is None:  # incremental plan: arrays are lazy
+            return sum(len(row) for row in self._rows)
         return len(self.label_slots)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

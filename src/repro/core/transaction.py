@@ -36,14 +36,21 @@ __all__ = ["IndexTransaction", "UndoJournal"]
 
 
 class UndoJournal:
-    """Copy-on-write undo state for one index's labeling + highway."""
+    """Copy-on-write undo state for one index's labeling + highway.
 
-    __slots__ = ("_label_saves", "_highway_save", "_label_count")
+    When the index serves through an epoch registry
+    (:class:`repro.core.epoch.PlanRegistry`), the journal holds a
+    reference to it so rollback can cancel any recompile that might have
+    snapshotted the now-discarded writes.
+    """
 
-    def __init__(self):
+    __slots__ = ("_label_saves", "_highway_save", "_label_count", "_registry")
+
+    def __init__(self, registry=None):
         self._label_saves: dict[int, dict[int, float]] = {}
         self._highway_save: dict[int, dict[int, float]] | None = None
         self._label_count: int | None = None
+        self._registry = registry
 
     # ------------------------------------------------------------------
     # Recording (called by the data structures' mutators)
@@ -87,6 +94,11 @@ class UndoJournal:
         self._label_saves = {}
         self._highway_save = None
         self._label_count = None
+        if self._registry is not None:
+            # A pending (or in-flight) recompile may have been scheduled
+            # by — or may observe — the writes just undone; it must never
+            # publish an epoch.  See ``PlanRegistry.invalidate_pending``.
+            self._registry.invalidate_pending()
 
     @property
     def touched_labels(self) -> int:
@@ -112,13 +124,14 @@ class IndexTransaction:
     [1, 3]
     """
 
-    __slots__ = ("_index", "_journal", "_nested", "_rolled_back")
+    __slots__ = ("_index", "_journal", "_nested", "_rolled_back", "_base_version")
 
     def __init__(self, index: HCLIndex):
         self._index = index
         self._journal: UndoJournal | None = None
         self._nested = False
         self._rolled_back = False
+        self._base_version = None
 
     @property
     def rolled_back(self) -> bool:
@@ -133,7 +146,14 @@ class IndexTransaction:
             # every write, and its rollback will cover ours.
             self._nested = True
             return self
-        self._journal = UndoJournal()
+        registry = getattr(self._index, "_plan_registry", None)
+        self._base_version = (
+            labeling._rev,
+            highway._rev,
+            getattr(self._index.graph, "_rev", 0),
+            labeling.n,
+        )
+        self._journal = UndoJournal(registry)
         labeling._journal = self._journal
         highway._journal = self._journal
         return self
@@ -146,7 +166,22 @@ class IndexTransaction:
         labeling._journal = None
         highway._journal = None
         if exc_type is None:
+            journal = self._journal
             self._journal = None
+            registry = journal._registry
+            if registry is not None and (
+                journal._label_saves
+                or journal._highway_save is not None
+                or journal._label_count is not None
+            ):
+                # Commit: tell the epoch registry what changed so it can
+                # recompile incrementally (touched rows = the journal's
+                # copy-on-write keys) and swap in the next epoch.
+                registry.on_commit(
+                    affected=set(journal._label_saves),
+                    base_version=self._base_version,
+                    grew=journal._label_count is not None,
+                )
             return False
         self._journal.rollback(labeling, highway)
         self._journal = None

@@ -302,6 +302,17 @@ class HCLService:
         """The attached write-ahead log, if any."""
         return self._wal
 
+    def enable_plan_epochs(self, recompile: str = "sync"):
+        """Serve queries from MVCC plan epochs; returns the registry.
+
+        Delegates to
+        :meth:`repro.core.dynhcl.DynamicHCL.enable_plan_epochs`; epoch
+        id, live-epoch count and recompile latency then surface in
+        :meth:`health` (``plan.epochs``) and :meth:`metrics`
+        (``plan.epoch.*``).
+        """
+        return self._dyn.enable_plan_epochs(recompile=recompile)
+
     def _validate_vertex(self, v, what: str = "vertex") -> None:
         n = self._dyn.index.graph.n
         if not isinstance(v, int) or not 0 <= v < n:
@@ -697,6 +708,17 @@ class HCLService:
         }[self.breaker.state]
         snap["gauges"]["service.inflight"] = self._inflight
         snap["gauges"]["audit.quarantined"] = len(self.auditor.quarantined)
+        registry = self._dyn.index._plan_registry
+        if registry is not None:
+            epochs = registry.summary()
+            counters["plan.epoch.publishes"] = epochs["publishes"]
+            counters["plan.epoch.incremental"] = epochs["incremental"]
+            counters["plan.epoch.cancelled"] = epochs["cancelled"]
+            snap["gauges"]["plan.epoch.id"] = epochs["epoch"]
+            snap["gauges"]["plan.epoch.live"] = epochs["live"]
+            snap["gauges"]["plan.epoch.last_recompile_seconds"] = epochs[
+                "last_recompile_seconds"
+            ]
         snap["counters"] = dict(sorted(counters.items()))
         snap["gauges"] = dict(sorted(snap["gauges"].items()))
         return snap
@@ -759,6 +781,11 @@ class HCLService:
             "plan": {
                 "mode": self._dyn.index.plan_mode,
                 "compiled": self._dyn.index.plan() is not None,
+                "epochs": (
+                    self._dyn.index._plan_registry.summary()
+                    if self._dyn.index._plan_registry is not None
+                    else None
+                ),
             },
         }
 

@@ -1,9 +1,11 @@
-"""Deterministic fault injection for crash-safety testing.
+"""Deterministic fault injection and interleaving for concurrency testing.
 
 This package is part of the *library*, not the test suite: downstream
 users embedding :mod:`repro` behind a service are expected to drive the
 same harness against their own deployment code, and every future change
 to the update algorithms is expected to keep passing under it.
+:mod:`repro.testing.faults` injects failures at exact points;
+:mod:`repro.testing.interleave` scripts exact thread interleavings.
 """
 
 from .faults import (
@@ -17,10 +19,13 @@ from .faults import (
     slow_search,
     truncate_tail,
 )
+from .interleave import InterleaveError, StepScheduler
 
 __all__ = [
     "FakeClock",
     "InjectedFault",
+    "InterleaveError",
+    "StepScheduler",
     "WorkerFault",
     "corrupt_byte",
     "fail_at_label_write",

@@ -1,0 +1,277 @@
+"""Deterministic, scriptable thread interleavings for concurrency tests.
+
+The hard bugs in a query-while-maintaining index are *interleaving* bugs:
+a reader observing half of a swap, an epoch retired while still pinned, a
+rolled-back writer publishing its snapshot anyway.  Stress tests hit such
+windows probabilistically; this module makes them *test inputs*.
+
+:class:`StepScheduler` is a step-barrier scheduler.  Test threads are
+spawned parked; only the thread whose name the script currently grants
+runs, and it runs exactly from its current position to its next
+:meth:`StepScheduler.step` call (or to completion) while every other
+thread stays parked.  Because at most one scheduled thread executes at a
+time and the hand-offs are explicit, a schedule replays the same
+interleaving on every run and every machine — the concurrency analogue of
+a seeded RNG.
+
+Typical shape::
+
+    with StepScheduler() as sched:
+        sched.spawn("reader", read_fn)
+        sched.spawn("writer", write_fn)
+        # reader runs to its first step(); writer commits fully; reader
+        # finishes on the epoch it pinned before the commit.
+        sched.run(["reader", "writer", "writer", "reader"])
+    assert sched.result("reader") == expected
+
+Inside ``read_fn``/``write_fn``, call ``sched.step("label")`` at every
+point where the interleaving may switch; the labels land in
+:attr:`StepScheduler.trace` for assertions and failure diagnostics.
+
+The scheduler is deliberately minimal: it does not preempt (a thread that
+never calls ``step`` runs to completion on its first turn), it does not
+discover interleavings (scripts are explicit), and a granted thread that
+blocks on something outside the scheduler trips the watchdog timeout
+rather than deadlocking the suite.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Sequence
+
+__all__ = ["InterleaveError", "StepScheduler"]
+
+#: Sentinel turn value: every thread may run freely (drain mode).
+_ALL = object()
+
+
+class InterleaveError(AssertionError):
+    """A schedule could not be followed (bad name, dead thread, timeout).
+
+    Subclasses :class:`AssertionError` so an impossible interleaving fails
+    the test that scripted it rather than erroring the harness.
+    """
+
+
+class _Worker:
+    __slots__ = ("name", "fn", "args", "kwargs", "thread", "state", "result", "error")
+
+    def __init__(self, name, fn, args, kwargs):
+        self.name = name
+        self.fn = fn
+        self.args = args
+        self.kwargs = kwargs
+        self.thread: threading.Thread | None = None
+        self.state = "new"  # new -> parked <-> running -> done
+        self.result: Any = None
+        self.error: BaseException | None = None
+
+
+class StepScheduler:
+    """Run named threads under an explicit, replayable interleaving script.
+
+    Parameters
+    ----------
+    timeout:
+        Watchdog for every hand-off, in seconds.  A granted thread that
+        neither parks at a ``step()`` nor finishes within this bound (it
+        deadlocked on something outside the scheduler) raises
+        :class:`InterleaveError` carrying the trace so far.
+    """
+
+    def __init__(self, timeout: float = 10.0):
+        self._timeout = timeout
+        self._cond = threading.Condition()
+        self._workers: dict[str, _Worker] = {}
+        self._turn: object = None  # name granted to run, _ALL, or None
+        self._draining = False
+        #: ``(thread_name, label)`` per executed step, in execution order.
+        self.trace: list[tuple[str, str | None]] = []
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def spawn(
+        self, name: str, fn: Callable[..., Any], *args: Any, **kwargs: Any
+    ) -> None:
+        """Start thread ``name`` parked at its entry point.
+
+        The function does not begin executing until the schedule grants
+        ``name`` its first turn.
+        """
+        if name in self._workers:
+            raise InterleaveError(f"thread name {name!r} already spawned")
+        worker = _Worker(name, fn, args, kwargs)
+        thread = threading.Thread(
+            target=self._main, args=(worker,), name=f"interleave-{name}",
+            daemon=True,
+        )
+        worker.thread = thread
+        self._workers[name] = worker
+        thread.start()
+
+    def _main(self, worker: _Worker) -> None:
+        self._park(worker, label=None, record=False)
+        try:
+            worker.result = worker.fn(*worker.args, **worker.kwargs)
+        except BaseException as exc:  # noqa: BLE001 - reported via finish()
+            worker.error = exc
+        finally:
+            with self._cond:
+                worker.state = "done"
+                if self._turn == worker.name:
+                    self._turn = None
+                self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    # Called from inside scheduled threads
+    # ------------------------------------------------------------------
+    def step(self, label: str | None = None) -> None:
+        """Yield control back to the script until this thread's next turn.
+
+        Must be called from a thread started via :meth:`spawn`; calling it
+        from an unregistered thread raises :class:`InterleaveError`.  In
+        drain mode (after :meth:`finish` released every thread) it is a
+        no-op, so cleanup code can run without a script.
+        """
+        current = threading.current_thread()
+        for worker in self._workers.values():
+            if worker.thread is current:
+                self._park(worker, label, record=True)
+                return
+        raise InterleaveError(
+            f"step({label!r}) called from unregistered thread {current.name!r}"
+        )
+
+    def _park(self, worker: _Worker, label: str | None, record: bool) -> None:
+        with self._cond:
+            if self._turn is _ALL:
+                if record:
+                    self.trace.append((worker.name, label))
+                return  # draining: run free, no hand-off
+            worker.state = "parked"
+            if self._turn == worker.name:
+                self._turn = None  # this turn is spent; wait for the next
+            if record:
+                self.trace.append((worker.name, label))
+            self._cond.notify_all()
+            ok = self._cond.wait_for(
+                lambda: self._turn is _ALL or self._turn == worker.name,
+                timeout=self._timeout,
+            )
+            if not ok:
+                raise InterleaveError(
+                    f"thread {worker.name!r} was never granted a turn "
+                    f"within {self._timeout}s; trace so far: {self.trace}"
+                )
+            worker.state = "running"
+
+    # ------------------------------------------------------------------
+    # Called from the driving (test) thread
+    # ------------------------------------------------------------------
+    def grant(self, name: str) -> None:
+        """Let ``name`` run from its current position to its next step.
+
+        Returns once the thread parked again or completed.  Granting a
+        turn to an unknown or already-finished thread is a script bug and
+        raises :class:`InterleaveError`.
+        """
+        worker = self._workers.get(name)
+        if worker is None:
+            raise InterleaveError(
+                f"unknown thread {name!r}; spawned: {sorted(self._workers)}"
+            )
+        with self._cond:
+            if worker.state == "done":
+                raise InterleaveError(
+                    f"schedule grants a turn to finished thread {name!r}; "
+                    f"trace so far: {self.trace}"
+                )
+            ok = self._cond.wait_for(
+                lambda: worker.state in ("parked", "done"),
+                timeout=self._timeout,
+            )
+            if not ok or worker.state == "done":
+                if worker.state == "done":
+                    raise InterleaveError(
+                        f"thread {name!r} finished before its turn; "
+                        f"trace so far: {self.trace}"
+                    )
+                raise InterleaveError(
+                    f"thread {name!r} never parked; trace: {self.trace}"
+                )
+            self._turn = name
+            self._cond.notify_all()
+            # The turn is over only when the *worker* clears it — at its
+            # next park (consuming the turn inside _park) or on
+            # completion.  Waiting on worker.state instead would race:
+            # "parked" is still true from before the worker even woke.
+            ok = self._cond.wait_for(
+                lambda: self._turn != name, timeout=self._timeout
+            )
+            if not ok:
+                raise InterleaveError(
+                    f"thread {name!r} neither parked nor finished within "
+                    f"{self._timeout}s of its turn; trace: {self.trace}"
+                )
+
+    def run(self, schedule: Sequence[str]) -> None:
+        """Execute the script, then drain every remaining thread.
+
+        Each schedule entry grants one turn.  After the script, all
+        threads are released to run to completion concurrently (their
+        remaining ``step`` calls become no-ops) and joined; the first
+        worker exception, if any, is re-raised.
+        """
+        for name in schedule:
+            self.grant(name)
+        self.finish()
+
+    def finish(self, raise_errors: bool = True) -> None:
+        """Release every thread, join them, optionally re-raise failures."""
+        with self._cond:
+            self._draining = True
+            self._turn = _ALL
+            self._cond.notify_all()
+        for worker in self._workers.values():
+            assert worker.thread is not None
+            worker.thread.join(timeout=self._timeout)
+            if worker.thread.is_alive():
+                raise InterleaveError(
+                    f"thread {worker.name!r} did not finish while draining; "
+                    f"trace: {self.trace}"
+                )
+        if raise_errors:
+            for worker in self._workers.values():
+                if worker.error is not None:
+                    raise worker.error
+
+    def result(self, name: str) -> Any:
+        """Return value of thread ``name`` (it must have completed)."""
+        worker = self._workers[name]
+        if worker.state != "done":
+            raise InterleaveError(f"thread {name!r} has not finished")
+        if worker.error is not None:
+            raise worker.error
+        return worker.result
+
+    def error(self, name: str) -> BaseException | None:
+        """The exception thread ``name`` died with, or ``None``."""
+        return self._workers[name].error
+
+    # ------------------------------------------------------------------
+    # Context manager: never leave parked threads behind a failed test
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "StepScheduler":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if not self._draining:
+            # Unwind on the test's own failure without masking it.
+            try:
+                self.finish(raise_errors=exc_type is None)
+            except InterleaveError:
+                if exc_type is None:
+                    raise
+        return False

@@ -1,0 +1,125 @@
+"""The step-barrier scheduler itself: determinism, failure modes, drain."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.testing import InterleaveError, StepScheduler
+
+
+def test_schedule_replays_exact_interleaving():
+    events = []
+
+    def worker(name, sched):
+        events.append(f"{name}:a")
+        sched.step("a")
+        events.append(f"{name}:b")
+        sched.step("b")
+        events.append(f"{name}:c")
+
+    for _ in range(3):  # same script, same order, every run
+        events.clear()
+        with StepScheduler() as sched:
+            sched.spawn("x", worker, "x", sched)
+            sched.spawn("y", worker, "y", sched)
+            sched.run(["x", "y", "y", "x", "x"])
+        assert events[:5] == ["x:a", "y:a", "y:b", "x:b", "x:c"]
+        # y's tail ran in the drain, after the scripted prefix.
+        assert sorted(events[5:]) == ["y:c"]
+        assert sched.trace[:4] == [("x", "a"), ("y", "a"), ("y", "b"), ("x", "b")]
+
+
+def test_spawned_thread_does_not_run_until_granted():
+    ran = []
+    with StepScheduler() as sched:
+        sched.spawn("w", ran.append, 1)
+        assert ran == []  # parked at entry
+        sched.grant("w")
+        assert ran == [1]
+
+
+def test_result_and_return_value():
+    with StepScheduler() as sched:
+        sched.spawn("w", lambda: 42)
+        sched.finish()
+    assert sched.result("w") == 42
+
+
+def test_worker_exception_reraised_by_finish():
+    def boom():
+        raise ValueError("from worker")
+
+    sched = StepScheduler()
+    sched.spawn("w", boom)
+    with pytest.raises(ValueError, match="from worker"):
+        sched.run(["w"])
+    assert isinstance(sched.error("w"), ValueError)
+
+
+def test_grant_to_unknown_thread_raises():
+    with StepScheduler() as sched:
+        with pytest.raises(InterleaveError, match="unknown thread"):
+            sched.grant("nope")
+
+
+def test_grant_to_finished_thread_raises():
+    with StepScheduler() as sched:
+        sched.spawn("w", lambda: None)
+        sched.grant("w")
+        with pytest.raises(InterleaveError, match="finished"):
+            sched.grant("w")
+        sched.finish()
+
+
+def test_duplicate_spawn_name_raises():
+    with StepScheduler() as sched:
+        sched.spawn("w", lambda: None)
+        with pytest.raises(InterleaveError, match="already spawned"):
+            sched.spawn("w", lambda: None)
+
+
+def test_step_from_unregistered_thread_raises():
+    sched = StepScheduler()
+    with pytest.raises(InterleaveError, match="unregistered"):
+        sched.step("oops")
+
+
+def test_watchdog_times_out_never_granted_thread():
+    def worker(sched):
+        sched.step("waiting")  # never granted a second turn
+
+    sched = StepScheduler(timeout=0.2)
+    sched.spawn("w", worker, sched)
+    sched.grant("w")  # runs to its step() and parks
+    time.sleep(0.4)  # the parked worker's own watchdog expires
+    with pytest.raises(InterleaveError, match="never granted"):
+        sched.finish()
+
+
+def test_steps_after_drain_are_no_ops():
+    def worker(sched):
+        sched.step("one")
+        sched.step("two")  # both reached only during the drain
+        return "done"
+
+    with StepScheduler() as sched:
+        sched.spawn("w", worker, sched)
+        sched.finish()
+    assert sched.result("w") == "done"
+    assert [label for _, label in sched.trace] == ["one", "two"]
+
+
+def test_context_exit_drains_without_masking_test_failure():
+    def worker(sched):
+        sched.step("parked")
+
+    sched = StepScheduler()
+    with pytest.raises(RuntimeError, match="the real failure"):
+        with sched:
+            sched.spawn("w", worker, sched)
+            sched.grant("w")
+            raise RuntimeError("the real failure")
+    # The worker was still drained to completion on exit.
+    assert sched._workers["w"].state == "done"

@@ -1,0 +1,522 @@
+"""Snapshot isolation of epoch-based MVCC plan serving.
+
+Three layers of evidence that the :mod:`repro.core.epoch` registry gives
+readers a consistent, bitwise-stable view while landmark mutations
+commit, roll back and recompile around them:
+
+* **Property suite** — randomized sequences of queries, landmark
+  mutations and rollbacks; every pinned epoch's answers are compared
+  bitwise against a serial dict-path oracle captured at that epoch's
+  version.
+* **Deterministic interleavings** — the hard reader/writer windows
+  scripted exactly with :class:`repro.testing.interleave.StepScheduler`:
+  a reader pinned to epoch N finishing after N+1 published, retirement
+  deferred to the last release, rollback racing an in-flight recompile.
+* **Soaks** — a 1k-query pin/release storm bounding live-epoch growth,
+  and a ``stress``-marked genuinely-threaded reader/writer soak.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import random_graph
+from repro.core import DynamicHCL, IndexTransaction, build_hcl, query_batch
+from repro.core import epoch as epoch_mod
+from repro.core.upgrade import upgrade_landmark
+from repro.errors import TransactionError
+from repro.testing import InjectedFault, StepScheduler, fail_at_label_write
+from strategies import graph_with_landmarks
+
+
+def all_pairs(n):
+    return [(s, t) for s in range(n) for t in range(n)]
+
+
+def oracle_answers(index, pairs, exact=False):
+    """Serial dict-path answers from a frozen copy of ``index``."""
+    frozen = index.copy()
+    frozen.plan_mode = "off"
+    fn = frozen.distance if exact else frozen.query
+    return [fn(s, t) for s, t in pairs]
+
+
+def epoch_answers(epoch, pairs, exact=False):
+    fn = epoch.plan.distance if exact else epoch.plan.query
+    return [fn(s, t) for s, t in pairs]
+
+
+def make_dyn(seed=3, recompile="sync"):
+    g = random_graph(seed, n_lo=8, n_hi=16)
+    lmks = sorted({1, g.n // 2, g.n - 2})
+    dyn = DynamicHCL.build(g, lmks)
+    registry = dyn.enable_plan_epochs(recompile=recompile)
+    return dyn, registry
+
+
+# ----------------------------------------------------------------------
+# Basics: pinning, serving, retirement
+# ----------------------------------------------------------------------
+def test_epoch_mode_serves_bitwise_identical_answers():
+    dyn, registry = make_dyn()
+    pairs = all_pairs(dyn.index.graph.n)
+    assert [dyn.query(s, t) for s, t in pairs] == oracle_answers(
+        dyn.index, pairs
+    )
+    assert [dyn.distance(s, t) for s, t in pairs] == oracle_answers(
+        dyn.index, pairs, exact=True
+    )
+    assert registry.epoch_id == 1
+
+
+def test_commit_publishes_next_epoch_and_retires_unpinned_head():
+    dyn, registry = make_dyn()
+    dyn.query(0, 1)  # compile epoch 1
+    head1 = registry.head
+    dyn.add_landmark(0)
+    assert registry.epoch_id == 2
+    assert head1.retired
+    assert registry.live_epochs == 1  # nobody pinned epoch 1
+    pairs = all_pairs(dyn.index.graph.n)
+    assert [dyn.query(s, t) for s, t in pairs] == oracle_answers(
+        dyn.index, pairs
+    )
+
+
+def test_pinned_epoch_survives_commit_and_retires_on_release():
+    dyn, registry = make_dyn()
+    pairs = all_pairs(dyn.index.graph.n)
+    before = oracle_answers(dyn.index, pairs)
+    epoch1 = registry.acquire()
+    dyn.add_landmark(0)
+    after = oracle_answers(dyn.index, pairs)
+    assert registry.epoch_id == 2
+    assert epoch1.retired and epoch1.readers == 1
+    assert registry.live_epochs == 2  # old epoch alive while pinned
+    # The pinned epoch still answers at its own version, bitwise.
+    assert epoch_answers(epoch1, pairs) == before
+    assert epoch_answers(registry.acquire(), pairs) == after
+    registry.head.release()
+    epoch1.release()
+    assert registry.live_epochs == 1  # drained on last release
+
+
+def test_double_release_raises():
+    dyn, registry = make_dyn()
+    epoch = registry.acquire()
+    epoch.release()
+    with pytest.raises(RuntimeError, match="released more times"):
+        epoch.release()
+
+
+def test_rollback_leaves_head_epoch_untouched():
+    dyn, registry = make_dyn()
+    pairs = all_pairs(dyn.index.graph.n)
+    before = oracle_answers(dyn.index, pairs)
+    dyn.query(0, 1)
+    head = registry.head
+    with pytest.raises(TransactionError):
+        with IndexTransaction(dyn.index):
+            upgrade_landmark(dyn.index, 0)
+            raise RuntimeError("abort")
+    assert registry.head is head  # no publish from the aborted txn
+    assert [dyn.query(s, t) for s, t in pairs] == before
+
+
+def test_plan_off_still_pins_dict_path():
+    dyn, registry = make_dyn()
+    dyn.index.plan_mode = "off"
+    assert dyn.index._serving_plan() is None
+    # and flipping back re-serves from the (still current) head epoch
+    dyn.index.plan_mode = "epoch"
+    assert dyn.index._serving_plan() is registry.head.plan
+
+
+def test_batch_epoch_plan_matches_oracle():
+    dyn, registry = make_dyn()
+    pairs = all_pairs(dyn.index.graph.n)
+    dyn.add_landmark(0)
+    assert query_batch(dyn.index, pairs, plan="epoch") == oracle_answers(
+        dyn.index, pairs
+    )
+    assert query_batch(
+        dyn.index, pairs, exact=True, plan="epoch"
+    ) == oracle_answers(dyn.index, pairs, exact=True)
+    assert registry.live_epochs == 1  # batch pins were released
+
+
+# ----------------------------------------------------------------------
+# Incremental recompilation
+# ----------------------------------------------------------------------
+def test_incremental_recompile_shares_unaffected_rows():
+    dyn, registry = make_dyn(seed=11)
+    n = dyn.index.graph.n
+    dyn.query(0, 1)
+    plan1 = registry.head.plan
+    stats = dyn.add_landmark(0)
+    assert registry.incremental_publishes == 1
+    plan2 = registry.head.plan
+    shared = sum(
+        1 for v in range(n) if plan2._rows[v] is plan1._rows[v]
+    )
+    # Every row the upgrade did not touch is the *same tuple object*.
+    assert shared >= n - stats.settled - 1
+    pairs = all_pairs(n)
+    assert [plan2.query(s, t) for s, t in pairs] == oracle_answers(
+        dyn.index, pairs
+    )
+
+
+def test_incremental_plan_pickles_to_canonical_form():
+    import pickle
+
+    dyn, registry = make_dyn(seed=12)
+    dyn.query(0, 1)
+    dyn.add_landmark(0)
+    dyn.add_landmark(2)
+    plan = registry.head.plan
+    assert plan.label_offsets is None  # arrays stayed lazy
+    clone = pickle.loads(pickle.dumps(plan))
+    assert list(clone.landmark_ids) == sorted(dyn.landmarks)
+    pairs = all_pairs(dyn.index.graph.n)
+    assert [clone.query(s, t) for s, t in pairs] == [
+        plan.query(s, t) for s, t in pairs
+    ]
+    assert clone.total_entries == plan.total_entries
+
+
+def test_removal_falls_back_to_full_compile_but_stays_exact():
+    dyn, registry = make_dyn(seed=13)
+    dyn.query(0, 1)
+    dyn.add_landmark(0)
+    dyn.remove_landmark(0)
+    pairs = all_pairs(dyn.index.graph.n)
+    assert [dyn.query(s, t) for s, t in pairs] == oracle_answers(
+        dyn.index, pairs
+    )
+    assert [dyn.distance(s, t) for s, t in pairs] == oracle_answers(
+        dyn.index, pairs, exact=True
+    )
+
+
+# ----------------------------------------------------------------------
+# Property suite: random op sequences vs serial oracle per epoch
+# ----------------------------------------------------------------------
+@settings(max_examples=20, deadline=None)
+@given(
+    gl=graph_with_landmarks(),
+    ops=st.lists(
+        st.tuples(st.sampled_from(["add", "remove", "rollback"]), st.integers(0, 10**6)),
+        min_size=1,
+        max_size=6,
+    ),
+)
+def test_snapshot_isolation_property(gl, ops):
+    """Every pinned epoch answers bitwise at its own version, forever.
+
+    After each mutation/rollback the previously pinned epochs must keep
+    returning the answers of the index state they were pinned at, and
+    the new head must match a fresh serial oracle.
+    """
+    g, landmarks = gl
+    index = build_hcl(g, landmarks)
+    dyn = DynamicHCL(index)
+    registry = dyn.enable_plan_epochs()
+    pairs = [(s, t) for s in range(g.n) for t in range(g.n)][: 12 * 12]
+    pinned = [(registry.acquire(), oracle_answers(index, pairs))]
+    for kind, raw in ops:
+        v = raw % g.n
+        try:
+            if kind == "add":
+                if v not in dyn.landmarks:
+                    dyn.add_landmark(v)
+            elif kind == "remove":
+                if v in dyn.landmarks and len(dyn.landmarks) > 1:
+                    dyn.remove_landmark(v)
+            else:
+                with pytest.raises((TransactionError, InjectedFault)):
+                    with IndexTransaction(index):
+                        target = v if v not in dyn.landmarks else (v + 1) % g.n
+                        if target not in dyn.landmarks:
+                            upgrade_landmark(index, target)
+                        raise InjectedFault("abort")
+        except TransactionError:
+            pass
+        pinned.append((registry.acquire(), oracle_answers(index, pairs)))
+    for epoch, expected in pinned:
+        assert epoch_answers(epoch, pairs) == expected
+        epoch.release()
+    assert registry.live_epochs == 1  # everything else drained
+
+
+# ----------------------------------------------------------------------
+# Deterministic interleavings
+# ----------------------------------------------------------------------
+def test_interleaved_reader_finishes_on_its_pinned_epoch():
+    """Reader pins N → writer commits N+1 → reader finishes on N."""
+    dyn, registry = make_dyn(seed=21)
+    pairs = all_pairs(dyn.index.graph.n)
+    before = oracle_answers(dyn.index, pairs)
+
+    def reader(sched):
+        with registry.acquire() as epoch:
+            epoch_id = epoch.epoch_id
+            first = epoch_answers(epoch, pairs[: len(pairs) // 2])
+            sched.step("mid-read")  # writer commits here
+            rest = epoch_answers(epoch, pairs[len(pairs) // 2 :])
+            return epoch_id, first + rest
+
+    def writer(sched):
+        sched.step("before-commit")
+        dyn.add_landmark(0)
+        return registry.epoch_id
+
+    with StepScheduler() as sched:
+        sched.spawn("reader", reader, sched)
+        sched.spawn("writer", writer, sched)
+        sched.run(["reader", "writer", "writer", "reader"])
+
+    epoch_id, answers = sched.result("reader")
+    assert epoch_id == 1
+    assert answers == before  # no torn read: all answers from epoch 1
+    assert sched.result("writer") == 2
+    after = oracle_answers(dyn.index, pairs)
+    assert [dyn.query(s, t) for s, t in pairs] == after
+    assert registry.live_epochs == 1  # epoch 1 retired once reader left
+
+
+def test_interleaved_retirement_waits_for_last_reader():
+    dyn, registry = make_dyn(seed=22)
+    pairs = all_pairs(dyn.index.graph.n)
+
+    def reader(name, sched):
+        with registry.acquire() as epoch:
+            sched.step(f"{name}-pinned")
+            return epoch.epoch_id
+
+    def writer(sched):
+        sched.step("staged")
+        dyn.add_landmark(0)
+
+    with StepScheduler() as sched:
+        sched.spawn("r1", reader, "r1", sched)
+        sched.spawn("r2", reader, "r2", sched)
+        sched.spawn("writer", writer, sched)
+        sched.grant("r1")     # r1 pins epoch 1
+        sched.grant("r2")     # r2 pins epoch 1
+        sched.grant("writer")
+        sched.grant("writer")  # commit: epoch 2 published, epoch 1 pinned twice
+        assert registry.epoch_id == 2
+        assert registry.live_epochs == 2
+        sched.grant("r1")      # first release: epoch 1 must stay live
+        assert registry.live_epochs == 2
+        sched.grant("r2")      # last release drains epoch 1
+        assert registry.live_epochs == 1
+        sched.finish()
+    assert sched.result("r1") == 1 and sched.result("r2") == 1
+
+
+def test_interleaved_rollback_mid_recompile_keeps_epoch_n():
+    """Writer commits, recompile stalls pre-publish, rollback cancels it."""
+    dyn, registry = make_dyn(seed=23, recompile="thread")
+    pairs = all_pairs(dyn.index.graph.n)
+    dyn.query(0, 1)  # epoch 1
+    before = oracle_answers(dyn.index, pairs)
+    release_publish = threading.Event()
+    entered_publish = threading.Event()
+
+    def publish_hook(reg, task):
+        entered_publish.set()
+        release_publish.wait(timeout=10.0)
+
+    epoch_mod._PUBLISH_HOOK = publish_hook
+    try:
+        dyn.add_landmark(0)  # background recompile blocks at the hook
+        assert entered_publish.wait(timeout=10.0)
+        assert registry.epoch_id == 1  # not yet published
+        # Roll the mutation back while its recompile is in flight.
+        with pytest.raises(TransactionError):
+            with IndexTransaction(dyn.index):
+                dyn.index.labeling.add_entry(1, 0, 0.5)  # touch something
+                raise RuntimeError("abort")
+        release_publish.set()
+        thread = registry._pending_thread
+        if thread is not None:
+            thread.join(timeout=10.0)
+    finally:
+        epoch_mod._PUBLISH_HOOK = None
+        release_publish.set()
+    # The cancelled recompile never published; registry stays on epoch 1.
+    assert registry.epoch_id == 1
+    assert registry.cancelled_recompiles >= 1
+    # Note: the index now *contains* landmark 0 (only the second txn was
+    # rolled back); refresh() resynchronizes the head on demand.
+    registry.refresh()
+    assert registry.epoch_id == 2
+    assert [dyn.query(s, t) for s, t in pairs] == oracle_answers(
+        dyn.index, pairs
+    )
+
+
+# ----------------------------------------------------------------------
+# Rollback cancels pending recompiles (fault injection)
+# ----------------------------------------------------------------------
+def test_rollback_cancels_deferred_recompile():
+    dyn, registry = make_dyn(seed=31, recompile="deferred")
+    pairs = all_pairs(dyn.index.graph.n)
+    dyn.query(0, 1)  # epoch 1
+    dyn.add_landmark(0)  # deferred: pending recompile, not yet published
+    assert registry.pending
+    assert registry.epoch_id == 1
+    before = oracle_answers(dyn.index, pairs)
+    with pytest.raises(TransactionError):
+        with IndexTransaction(dyn.index):
+            dyn.index.labeling.add_entry(1, 0, 0.25)
+            raise RuntimeError("abort")
+    # The rollback invalidated the pending task...
+    assert not registry.pending
+    assert registry.cancelled_recompiles == 1
+    assert registry.pump() is False  # nothing left to publish
+    assert registry.epoch_id == 1
+    # ...and refresh() recovers a head consistent with the live dicts.
+    registry.refresh()
+    assert [dyn.query(s, t) for s, t in pairs] == before
+
+
+def test_faulted_transaction_never_publishes_an_epoch():
+    dyn, registry = make_dyn(seed=32)
+    pairs = all_pairs(dyn.index.graph.n)
+    dyn.query(0, 1)
+    before = oracle_answers(dyn.index, pairs)
+    publishes = registry.publishes
+    candidates = [v for v in range(dyn.index.graph.n) if v not in dyn.landmarks]
+    faulted = succeeded = 0
+    for nth in (1, 2, 5):
+        with fail_at_label_write(nth):
+            try:
+                dyn.add_landmark(candidates[0])
+            except TransactionError:
+                faulted += 1
+            else:
+                # Fault fell past the update's writes: undo and go on.
+                succeeded += 1
+                dyn.remove_landmark(candidates[0])
+    assert faulted > 0  # UPGRADE-LMK always writes at least L(r) itself
+    # Faulted transactions published nothing; only clean commits did.
+    assert registry.publishes == publishes + 2 * succeeded
+    assert [dyn.query(s, t) for s, t in pairs] == before
+
+
+def test_threaded_recompile_publishes_after_hook_release():
+    dyn, registry = make_dyn(seed=33, recompile="thread")
+    pairs = all_pairs(dyn.index.graph.n)
+    dyn.query(0, 1)
+    gate = threading.Event()
+    epoch_mod._PUBLISH_HOOK = lambda reg, task: gate.wait(timeout=10.0)
+    try:
+        dyn.add_landmark(0)
+        assert registry.epoch_id == 1  # recompile parked at the hook
+        # Queries keep serving the pinned-able old head, never blocking.
+        assert [dyn.query(s, t) for s, t in pairs] == epoch_answers(
+            registry.head, pairs
+        )
+        gate.set()
+        registry._pending_thread.join(timeout=10.0)
+    finally:
+        epoch_mod._PUBLISH_HOOK = None
+        gate.set()
+    assert registry.epoch_id == 2
+    assert [dyn.query(s, t) for s, t in pairs] == oracle_answers(
+        dyn.index, pairs
+    )
+
+
+# ----------------------------------------------------------------------
+# Soaks
+# ----------------------------------------------------------------------
+def test_soak_1k_queries_bounded_epochs():
+    """Epochs provably retire: a pin/release storm cannot grow the chain."""
+    dyn, registry = make_dyn(seed=41)
+    n = dyn.index.graph.n
+    max_live = 0
+    for i in range(1000):
+        s, t = (i * 7) % n, (i * 13) % n
+        with registry.acquire() as epoch:
+            epoch.plan.query(s, t)
+        if i % 100 == 50:
+            v = (i // 100) % n
+            if v not in dyn.landmarks:
+                dyn.add_landmark(v)
+            elif len(dyn.landmarks) > 1:
+                dyn.remove_landmark(v)
+        max_live = max(max_live, registry.live_epochs)
+    assert max_live <= 2  # head + at most one briefly-pinned predecessor
+    assert registry.live_epochs == 1
+    pairs = all_pairs(n)
+    assert [dyn.query(s, t) for s, t in pairs] == oracle_answers(
+        dyn.index, pairs
+    )
+
+
+@pytest.mark.stress
+def test_stress_threaded_readers_vs_writer():
+    """Genuinely concurrent soak: readers never block, never tear.
+
+    Readers continuously pin the head and verify every answer against
+    the oracle snapshot recorded for that epoch id at publish time; the
+    writer churns landmarks through transactional commits.
+    """
+    dyn, registry = make_dyn(seed=42)
+    n = dyn.index.graph.n
+    pairs = all_pairs(n)[:64]
+    oracle_by_epoch = {}
+    oracle_lock = threading.Lock()
+
+    def snapshot_oracle():
+        with oracle_lock:
+            oracle_by_epoch[registry.epoch_id] = oracle_answers(
+                dyn.index, pairs
+            )
+
+    dyn.query(0, 1)  # epoch 1
+    snapshot_oracle()
+    stop = threading.Event()
+    failures = []
+
+    def reader():
+        while not stop.is_set():
+            with registry.acquire() as epoch:
+                got = epoch_answers(epoch, pairs)
+                with oracle_lock:
+                    expected = oracle_by_epoch.get(epoch.epoch_id)
+                if expected is not None and got != expected:
+                    failures.append(
+                        f"epoch {epoch.epoch_id}: torn read"
+                    )
+                    return
+
+    threads = [threading.Thread(target=reader) for _ in range(4)]
+    for t in threads:
+        t.start()
+    try:
+        for i in range(60):
+            v = i % n
+            if v in dyn.landmarks:
+                if len(dyn.landmarks) > 1:
+                    dyn.remove_landmark(v)
+            else:
+                dyn.add_landmark(v)
+            snapshot_oracle()
+    finally:
+        stop.set()
+        for t in threads:
+            t.join(timeout=30.0)
+    assert not failures, failures[:3]
+    assert registry.live_epochs <= 2
+    assert [dyn.query(s, t) for s, t in pairs] == oracle_answers(
+        dyn.index, pairs
+    )

@@ -439,6 +439,10 @@ class TestServiceAndCacheIntegration:
 
         svc = HCLService.build(grid_graph(4, 5), [0, 19])
         health = svc.health()
-        assert health["plan"] == {"mode": "auto", "compiled": False}
+        assert health["plan"] == {
+            "mode": "auto",
+            "compiled": False,
+            "epochs": None,
+        }
         svc._dyn.index.compile_plan()
         assert svc.health()["plan"]["compiled"] is True
