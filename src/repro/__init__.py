@@ -53,10 +53,13 @@ from .errors import (
     ParseError,
     RecoveryError,
     ReproError,
+    ShardUnavailable,
     TransactionError,
 )
 from .graphs import DiGraph, Graph
+from .retry import BackoffPolicy
 from .service import HCLService, RecoveryReport
+from .shard import ShardedService
 
 __version__ = "1.0.0"
 
@@ -82,8 +85,10 @@ __all__ = [
     "WriteAheadLog",
     "Budget",
     "DegradedResult",
+    "BackoffPolicy",
     "CircuitBreaker",
     "IndexAuditor",
+    "ShardedService",
     "ReproError",
     "GraphError",
     "IndexStateError",
@@ -98,5 +103,6 @@ __all__ = [
     "DeadlineExceeded",
     "Overloaded",
     "CircuitOpenError",
+    "ShardUnavailable",
     "AuditError",
 ]

@@ -20,9 +20,15 @@ implements the classic three-state machine around that write path:
   admitted.  Success closes the breaker; failure re-opens it with the
   next (longer) delay.
 
-Both the clock and the jitter RNG are injectable, so tests drive exact
-open/half-open/close schedules with :class:`repro.testing.FakeClock` and
-a seeded :class:`random.Random` — no sleeping, no flakes.
+The backoff ladder is a shared :class:`repro.retry.BackoffPolicy` (the
+same one the parallel build and the sharded serving tier retry with),
+and both the clock and the jitter RNG are injectable, so tests drive
+exact open/half-open/close schedules with
+:class:`repro.testing.FakeClock` and a seeded :class:`random.Random` —
+no sleeping, no flakes.  *Every* time read goes through the injected
+clock (:meth:`allow`, :meth:`retry_after`, the open transition), and the
+policy itself never sleeps or reads a clock, so a breaker driven by a
+``FakeClock`` can never block a test for real.
 """
 
 from __future__ import annotations
@@ -31,6 +37,7 @@ import random
 import time
 
 from .errors import CircuitOpenError, RequestError
+from .retry import BackoffPolicy
 
 __all__ = ["CircuitBreaker"]
 
@@ -86,19 +93,17 @@ class CircuitBreaker:
     ):
         if threshold < 1:
             raise RequestError(f"breaker threshold must be >= 1, got {threshold}")
-        if base_delay <= 0 or max_delay < base_delay:
-            raise RequestError(
-                f"breaker delays must satisfy 0 < base_delay <= max_delay, "
-                f"got base_delay={base_delay}, max_delay={max_delay}"
-            )
-        if not 0.0 <= jitter < 1.0:
-            raise RequestError(f"breaker jitter must be in [0, 1), got {jitter}")
         self.threshold = threshold
         self.base_delay = base_delay
         self.max_delay = max_delay
         self.jitter = jitter
+        # The shared ladder validates the delay/jitter parameters; it is
+        # consulted only through .delay(), so the breaker's single time
+        # source stays the injected clock.
+        self._backoff = BackoffPolicy(
+            base_delay=base_delay, max_delay=max_delay, jitter=jitter, rng=rng
+        )
         self._clock = clock if clock is not None else time.monotonic
-        self._rng = rng if rng is not None else random.Random()
         self._state = "closed"
         self._failures = 0  # consecutive, while closed
         self._opens = 0  # consecutive opens without an intervening close
@@ -175,9 +180,7 @@ class CircuitBreaker:
 
     def _open(self) -> None:
         self._opens += 1
-        delay = min(self.max_delay, self.base_delay * (2 ** (self._opens - 1)))
-        if self.jitter:
-            delay *= 1.0 + self.jitter * (2.0 * self._rng.random() - 1.0)
+        delay = self._backoff.delay(self._opens - 1)
         self._state = "open"
         self._failures = 0
         self._opened_at = self._clock()

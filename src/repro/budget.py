@@ -183,6 +183,16 @@ class Budget:
             return math.inf
         return max(0.0, self.deadline - self._clock())
 
+    def clamp(self, seconds: float) -> float:
+        """``seconds`` clamped to the remaining wall clock (floored at 0).
+
+        The per-step timeout helper for code that waits on external
+        resources under this budget (shard RPCs, pool futures): a blocking
+        wait of ``budget.clamp(step_timeout)`` can never overshoot the
+        request deadline.
+        """
+        return min(seconds, self.remaining_seconds())
+
     def raise_if_exceeded(self, what: str = "operation") -> None:
         """Raise :class:`~repro.errors.DeadlineExceeded` once exceeded.
 

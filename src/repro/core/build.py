@@ -39,6 +39,7 @@ from ..graphs.csr import CSRGraph
 from ..graphs.graph import Graph
 from ..graphs.traversal import flagged_single_source
 from ..obs import OBS
+from ..retry import BackoffPolicy
 from .highway import Highway
 from .index import HCLIndex
 from .labeling import Labeling
@@ -213,11 +214,20 @@ def _pool_attempt(
     return sorted(failed)
 
 
+#: Default retry pacing for :func:`build_hcl_parallel`: a short jittered
+#: ladder, so a pool retrying around a transiently sick machine (OOM
+#: killer, fork pressure) does not re-fork into the same fault
+#: back-to-back.  The shared :class:`~repro.retry.BackoffPolicy` is the
+#: same ladder the circuit breaker and the sharded serving tier use.
+_BUILD_BACKOFF = BackoffPolicy(base_delay=0.05, max_delay=1.0, jitter=0.1)
+
+
 def build_hcl_parallel(
     graph: Graph,
     landmarks: Sequence[int],
     workers: int | None = None,
     max_retries: int = 2,
+    backoff: BackoffPolicy | None = None,
 ) -> HCLIndex:
     """``BUILDHCL`` with the per-landmark passes fanned out over processes.
 
@@ -260,7 +270,11 @@ def build_hcl_parallel(
     pool_size = min(workers, len(lmk_list))
     partials: list = [None] * len(lmk_list)
     pending = list(range(len(lmk_list)))
-    for attempt in range(1 + max(0, max_retries)):
+    pacing = backoff if backoff is not None else _BUILD_BACKOFF
+    attempts = 1 + max(0, max_retries)
+    for attempt in range(attempts):
+        if attempt:
+            pacing.pause(attempt - 1)
         pending = _pool_attempt(
             csr, lmk_tuple, pending, pool_size, attempt, partials
         )

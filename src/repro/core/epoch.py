@@ -197,6 +197,37 @@ class PlanRegistry:
         self.incremental_publishes = 0
         self.cancelled_recompiles = 0
         self.last_recompile_seconds = 0.0
+        self._listeners: list = []
+
+    # ------------------------------------------------------------------
+    # Publish listeners
+    # ------------------------------------------------------------------
+    def add_publish_listener(self, listener) -> None:
+        """Register ``listener(epoch)`` to run after each head swap.
+
+        Listeners fire *outside* the registry lock, on whichever thread
+        published (the writer in ``"sync"``/``"deferred"`` modes, the
+        recompile thread in ``"thread"`` mode, or a reader for the very
+        first epoch).  The sharded serving tier uses this to learn that
+        its shard slices are stale; listeners must not call back into
+        registry methods that publish.
+        """
+        with self._lock:
+            self._listeners.append(listener)
+
+    def remove_publish_listener(self, listener) -> None:
+        """Unregister a listener registered via :meth:`add_publish_listener`."""
+        with self._lock:
+            try:
+                self._listeners.remove(listener)
+            except ValueError:
+                pass
+
+    def _notify_publish(self, epoch: "PlanEpoch") -> None:
+        with self._lock:
+            listeners = list(self._listeners)
+        for listener in listeners:
+            listener(epoch)
 
     # ------------------------------------------------------------------
     # Version stamps
@@ -270,11 +301,15 @@ class PlanRegistry:
         version = self._version()
         plan = QueryPlan.compile(self._index)
         seconds = time.perf_counter() - start
+        published = None
         with self._lock:
             if self._head is None and version == self._version():
                 self._publish_locked(plan, version, seconds, incremental=False)
+                published = self._head
             # else: lost a benign race (another reader compiled, or the
             # writer mutated mid-compile) — retry from acquire()/head_plan().
+        if published is not None:
+            self._notify_publish(published)
 
     # ------------------------------------------------------------------
     # Writer side
@@ -423,7 +458,9 @@ class PlanRegistry:
             if self._pending is task:
                 self._pending = None
             self._publish_locked(plan, expected, seconds, incremental)
-            return True
+            published = self._head
+        self._notify_publish(published)
+        return True
 
     def _publish_locked(self, plan, version, seconds, incremental) -> None:
         epoch = PlanEpoch(plan, self._next_id, version, self)

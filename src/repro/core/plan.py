@@ -476,19 +476,27 @@ class QueryPlan:
     # Pickling (canonical arrays only; views are rebuilt on arrival)
     # ------------------------------------------------------------------
     def __reduce__(self):
+        return (QueryPlan, self.canonical_arrays())
+
+    def canonical_arrays(self):
+        """The plan's canonical 7-tuple ``(n, k, ids, offsets, slots, dists, hw)``.
+
+        Dense, hole-free, slot-sorted — the exact wire form
+        :meth:`__reduce__` pickles and :class:`QueryPlan`'s constructor
+        accepts.  The sharded serving tier slices these arrays per shard
+        (:func:`repro.shard.partition.partition_plan`); incremental plans
+        are densified first via :meth:`_canonical_args`.
+        """
         if self.label_offsets is None:
-            return (QueryPlan, self._canonical_args())
+            return self._canonical_args()
         return (
-            QueryPlan,
-            (
-                self.n,
-                self.k,
-                self.landmark_ids,
-                self.label_offsets,
-                self.label_slots,
-                self.label_dists,
-                self.hw,
-            ),
+            self.n,
+            self.k,
+            self.landmark_ids,
+            self.label_offsets,
+            self.label_slots,
+            self.label_dists,
+            self.hw,
         )
 
     def _canonical_args(self):

@@ -141,6 +141,24 @@ class CircuitOpenError(ReproError):
         self.retry_after = retry_after
 
 
+class ShardUnavailable(ReproError):
+    """No replica of a shard could serve an RPC within the deadline.
+
+    Raised by the scatter-gather coordinator after retries and replica
+    failover are exhausted for one shard.  ``retriable`` is ``True``:
+    the coordinator restarts dead workers from the pinned epoch, so a
+    later attempt may find the shard healthy again.  Batch queries
+    normally absorb this into per-pair
+    :class:`~repro.budget.DegradedResult` answers instead of raising.
+    """
+
+    retriable = True
+
+    def __init__(self, message: str, shard: int | None = None):
+        super().__init__(message)
+        self.shard = shard
+
+
 class AuditError(ReproError):
     """The background auditor could not repair a corrupted label row.
 

@@ -37,6 +37,7 @@ from .registry import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    ScopedRegistry,
     Span,
     Tracer,
 )
@@ -48,6 +49,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "ScopedRegistry",
     "Span",
     "Tracer",
     "OBS",

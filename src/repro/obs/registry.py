@@ -32,6 +32,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "ScopedRegistry",
     "Span",
     "Tracer",
 ]
@@ -137,6 +138,17 @@ class MetricsRegistry:
             )
         return h
 
+    def scoped(self, prefix: str) -> "ScopedRegistry":
+        """A facade recording into this registry under ``prefix.``.
+
+        Lets per-component code (one shard replica, one worker) keep
+        metric names local (``rpc.retries``) while the fleet-level
+        registry sees them fully qualified
+        (``shard.2.replica.0.rpc.retries``) — one registry, one
+        snapshot, no merging.
+        """
+        return ScopedRegistry(self, prefix)
+
     def snapshot(self) -> dict:
         """Deterministic plain-dict view of every metric (sorted names).
 
@@ -172,6 +184,36 @@ class MetricsRegistry:
             },
             "histograms": histograms,
         }
+
+
+class ScopedRegistry:
+    """Name-prefixing facade over a :class:`MetricsRegistry`.
+
+    Quacks like the registry for the get-or-create accessors (the only
+    surface component code needs); every name is stored in the backing
+    registry as ``<prefix>.<name>``.  Scopes nest: ``scoped()`` on a
+    scoped registry stacks prefixes.
+    """
+
+    __slots__ = ("_backing", "prefix")
+
+    def __init__(self, backing: MetricsRegistry, prefix: str) -> None:
+        self._backing = backing
+        self.prefix = prefix
+
+    def counter(self, name: str) -> Counter:
+        return self._backing.counter(f"{self.prefix}.{name}")
+
+    def gauge(self, name: str) -> Gauge:
+        return self._backing.gauge(f"{self.prefix}.{name}")
+
+    def histogram(
+        self, name: str, bounds: Sequence[float] | None = None
+    ) -> Histogram:
+        return self._backing.histogram(f"{self.prefix}.{name}", bounds)
+
+    def scoped(self, prefix: str) -> "ScopedRegistry":
+        return ScopedRegistry(self._backing, f"{self.prefix}.{prefix}")
 
 
 class _NullSpan:

@@ -1,0 +1,119 @@
+"""Jittered exponential backoff, shared by every retry loop in the library.
+
+Three subsystems retry around transient infrastructure faults: the
+circuit breaker schedules its half-open probes
+(:mod:`repro.breaker`), the parallel build re-pools failed landmark
+passes (:func:`repro.core.build.build_hcl_parallel`), and the sharded
+serving tier retries and fails over shard RPCs
+(:mod:`repro.shard.coordinator`).  All three want the same delay ladder
+— exponential growth from a base, capped, multiplicatively jittered so a
+fleet of replicas does not hammer a shared faulty resource in lockstep —
+and before this module each grew its own hand-rolled copy.
+
+:class:`BackoffPolicy` is that ladder as a value object.  It owns no
+clock and never blocks on its own: :meth:`delay` is a pure function of
+the attempt number (plus the injected jitter RNG), and :meth:`pause`
+sleeps through an injectable ``sleeper`` so deterministic tests swap in
+a recording fake and never wait for real.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from .errors import RequestError
+
+__all__ = ["BackoffPolicy"]
+
+
+class BackoffPolicy:
+    """Capped exponential backoff with multiplicative jitter.
+
+    The delay before retry ``attempt`` (0-based) is::
+
+        min(max_delay, base_delay * factor ** attempt) * U
+
+    where ``U`` is drawn uniformly from ``[1 - jitter, 1 + jitter]``.
+
+    Parameters
+    ----------
+    base_delay:
+        Delay before the first retry, in seconds (must be > 0).
+    max_delay:
+        Delay ceiling in seconds (must be >= ``base_delay``).
+    factor:
+        Per-attempt growth factor (must be >= 1).
+    jitter:
+        Relative jitter amplitude in ``[0, 1)``; 0 disables jitter.
+    rng:
+        :class:`random.Random` used for jitter; seed one for determinism.
+    sleeper:
+        One-argument callable used by :meth:`pause`
+        (:func:`time.sleep` by default); inject a recording fake in
+        tests so backoff schedules are asserted, not slept.
+
+    Examples
+    --------
+    >>> p = BackoffPolicy(base_delay=1.0, max_delay=8.0, jitter=0.0)
+    >>> [p.delay(a) for a in range(5)]
+    [1.0, 2.0, 4.0, 8.0, 8.0]
+    """
+
+    __slots__ = ("base_delay", "max_delay", "factor", "jitter", "_rng", "_sleeper")
+
+    def __init__(
+        self,
+        base_delay: float = 1.0,
+        max_delay: float = 60.0,
+        factor: float = 2.0,
+        jitter: float = 0.1,
+        rng: random.Random | None = None,
+        sleeper=None,
+    ):
+        if base_delay <= 0 or max_delay < base_delay:
+            raise RequestError(
+                f"backoff delays must satisfy 0 < base_delay <= max_delay, "
+                f"got base_delay={base_delay}, max_delay={max_delay}"
+            )
+        if factor < 1.0:
+            raise RequestError(f"backoff factor must be >= 1, got {factor}")
+        if not 0.0 <= jitter < 1.0:
+            raise RequestError(f"backoff jitter must be in [0, 1), got {jitter}")
+        self.base_delay = base_delay
+        self.max_delay = max_delay
+        self.factor = factor
+        self.jitter = jitter
+        self._rng = rng if rng is not None else random.Random()
+        self._sleeper = sleeper if sleeper is not None else time.sleep
+
+    def delay(self, attempt: int) -> float:
+        """Jittered delay in seconds before retry ``attempt`` (0-based)."""
+        if attempt < 0:
+            raise RequestError(f"attempt must be >= 0, got {attempt}")
+        delay = min(self.max_delay, self.base_delay * self.factor**attempt)
+        if self.jitter:
+            delay *= 1.0 + self.jitter * (2.0 * self._rng.random() - 1.0)
+        return delay
+
+    def pause(self, attempt: int, cap: float | None = None) -> float:
+        """Sleep through :meth:`delay` (clamped to ``cap``); returns the wait.
+
+        ``cap`` bounds the sleep — pass a budget's remaining wall clock so
+        a retry loop never sleeps past its caller's deadline.  A
+        non-positive cap skips the sleep entirely and returns 0.
+        """
+        delay = self.delay(attempt)
+        if cap is not None:
+            if cap <= 0:
+                return 0.0
+            delay = min(delay, cap)
+        self._sleeper(delay)
+        return delay
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BackoffPolicy(base_delay={self.base_delay}, "
+            f"max_delay={self.max_delay}, factor={self.factor}, "
+            f"jitter={self.jitter})"
+        )

@@ -313,6 +313,28 @@ class HCLService:
         """
         return self._dyn.enable_plan_epochs(recompile=recompile)
 
+    def shard(
+        self, nshards: int = 2, replication_factor: int = 1, **kwargs
+    ):
+        """Stand up a sharded, replicated fleet serving this index.
+
+        Enables MVCC plan epochs (so committed mutations propagate to
+        the fleet via versioned snapshot broadcasts with atomic cutover)
+        and returns a :class:`repro.shard.ShardedService` attached to
+        the epoch registry.  The caller owns the fleet's lifecycle
+        (``close()``); keyword arguments pass through to
+        :class:`~repro.shard.coordinator.ShardedService`.
+        """
+        from .shard import ShardedService
+
+        registry = self.enable_plan_epochs()
+        return ShardedService.from_registry(
+            registry,
+            nshards=nshards,
+            replication_factor=replication_factor,
+            **kwargs,
+        )
+
     def _validate_vertex(self, v, what: str = "vertex") -> None:
         n = self._dyn.index.graph.n
         if not isinstance(v, int) or not 0 <= v < n:

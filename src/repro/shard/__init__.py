@@ -1,0 +1,27 @@
+"""``repro.shard`` — sharded, replicated serving of compiled query plans.
+
+One process cannot serve millions of users.  This package partitions a
+compiled :class:`~repro.core.plan.QueryPlan` by contiguous vertex range
+across worker processes — each shard holding its label-row slice plus a
+full replica of the small dense ``δ_H`` table — and fronts the fleet
+with a fault-tolerant scatter-gather coordinator:
+
+* :mod:`repro.shard.partition` — slicing the plan's canonical arrays
+  (:class:`ShardSlice`, :func:`partition_plan`);
+* :mod:`repro.shard.worker` — the worker process: a versioned-state RPC
+  loop whose ``combine`` op is bitwise-equal to the plan's ``QUERY``;
+* :mod:`repro.shard.replication` — per-replica process lifecycle,
+  pipes, and circuit breakers;
+* :mod:`repro.shard.coordinator` — :class:`ShardedService`: routing,
+  deadline-aware retry with jittered backoff, replica failover, in-call
+  restart from the pinned epoch, graceful degradation, fleet
+  ``health()``, and atomic epoch cutover.
+
+``python -m repro.shard`` runs a seeded shard-fault sweep (the CI chaos
+lane's fleet exercise) and writes the fleet-health JSON artifact.
+"""
+
+from .coordinator import ShardedService
+from .partition import Partition, ShardSlice, partition_plan
+
+__all__ = ["Partition", "ShardSlice", "ShardedService", "partition_plan"]

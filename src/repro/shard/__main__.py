@@ -1,0 +1,162 @@
+"""Seeded shard-fault sweep: the CI chaos lane's fleet exercise.
+
+Builds a pinned HCL instance, stands up a sharded fleet, and for each
+seed injects one worker fault (kill / hang / slow, random shard and
+replica) mid-``query_batch``, asserting the robustness contract:
+
+* every answer is bitwise-equal to the unsharded plan, or a
+  budget-expired :class:`~repro.budget.DegradedResult`;
+* the coordinator never hangs (each batch is wall-clock bounded);
+* shard loss and recovery show up in fleet ``health()``.
+
+Writes the final fleet-health JSON (per-seed outcomes + the last health
+snapshot + the metrics registry) to ``--out`` as the CI artifact and
+exits non-zero on any contract violation.
+
+Usage::
+
+    python -m repro.shard --shards 4 --rf 2 --seeds 5 --out fleet-health.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+
+from .coordinator import ShardedService
+from ..budget import Budget, DegradedResult
+from ..core import build_hcl, select_landmarks
+from ..graphs import barabasi_albert
+from ..testing import ShardFault, inject_shard_fault
+
+#: A hung worker must outlast the RPC timeout to count as hung.
+RPC_TIMEOUT = 0.25
+HANG_SECONDS = 1.0
+SLOW_SECONDS = 0.05
+#: Hard wall-clock ceiling per faulted batch: generous against the retry
+#: ladder (attempts × replicas × timeout + backoff), tiny against a hang.
+BATCH_DEADLINE = 30.0
+
+
+def run_sweep(args) -> dict:
+    graph = barabasi_albert(args.n, 3, seed=7)
+    landmarks = select_landmarks(graph, args.landmarks, policy="degree")
+    index = build_hcl(graph, landmarks)
+    plan = index.compile_plan()
+
+    rng = random.Random(1234)
+    pairs = [
+        (rng.randrange(args.n), rng.randrange(args.n))
+        for _ in range(args.pairs)
+    ]
+    oracle = [plan.query(s, t) for s, t in pairs]
+
+    kinds = ["kill", "hang", "slow"]
+    outcomes = []
+    failures = 0
+    health = {}
+    for seed in range(args.seeds):
+        srng = random.Random(seed)
+        # Replicas see only a handful of data RPCs per batch; firing on
+        # the victim's first one guarantees the fault lands mid-batch.
+        fault = ShardFault(
+            kind=kinds[seed % len(kinds)],
+            shard=srng.randrange(args.shards),
+            replica=srng.randrange(args.rf),
+            requests=(0,),
+            seconds=HANG_SECONDS if kinds[seed % len(kinds)] == "hang" else SLOW_SECONDS,
+        )
+        with inject_shard_fault(fault):
+            svc = ShardedService(
+                plan,
+                nshards=args.shards,
+                replication_factor=args.rf,
+                rpc_timeout=RPC_TIMEOUT,
+            )
+            try:
+                start = time.monotonic()
+                got = svc.query_batch(
+                    pairs, Budget(seconds=BATCH_DEADLINE / 2)
+                )
+                elapsed = time.monotonic() - start
+                exact = degraded = wrong = 0
+                for want, have in zip(oracle, got):
+                    if isinstance(have, DegradedResult):
+                        degraded += 1
+                    elif have == want:
+                        exact += 1
+                    else:
+                        wrong += 1
+                hung = elapsed >= BATCH_DEADLINE
+                outcome = {
+                    "seed": seed,
+                    "fault": {
+                        "kind": fault.kind,
+                        "shard": fault.shard,
+                        "replica": fault.replica,
+                        "request": fault.requests[0],
+                    },
+                    "elapsed_seconds": round(elapsed, 3),
+                    "exact": exact,
+                    "degraded": degraded,
+                    "wrong": wrong,
+                    "hung": hung,
+                    "restarts": svc.registry.counter("fleet.restarts").value,
+                }
+                if wrong or hung:
+                    failures += 1
+                    outcome["ok"] = False
+                else:
+                    outcome["ok"] = True
+                outcomes.append(outcome)
+                health = svc.health()
+            finally:
+                svc.close()
+        print(
+            f"seed {seed}: {fault.kind} shard {fault.shard} -> "
+            f"exact={outcome['exact']} degraded={outcome['degraded']} "
+            f"wrong={outcome['wrong']} in {outcome['elapsed_seconds']}s"
+        )
+    return {
+        "config": {
+            "shards": args.shards,
+            "rf": args.rf,
+            "seeds": args.seeds,
+            "n": args.n,
+            "landmarks": args.landmarks,
+            "pairs": args.pairs,
+        },
+        "outcomes": outcomes,
+        "failures": failures,
+        "final_health": health,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--shards", type=int, default=4)
+    parser.add_argument("--rf", type=int, default=2)
+    parser.add_argument("--seeds", type=int, default=5)
+    parser.add_argument("--n", type=int, default=600)
+    parser.add_argument("--landmarks", type=int, default=12)
+    parser.add_argument("--pairs", type=int, default=400)
+    parser.add_argument("--out", type=str, default=None)
+    args = parser.parse_args(argv)
+
+    report = run_sweep(args)
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+        print(f"fleet-health report written to {args.out}")
+    if report["failures"]:
+        print(f"FAIL: {report['failures']} seed(s) violated the contract")
+        return 1
+    print(f"OK: {len(report['outcomes'])} seeds, zero hangs, zero wrong answers")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,10 +11,12 @@ to the update algorithms is expected to keep passing under it.
 from .faults import (
     FakeClock,
     InjectedFault,
+    ShardFault,
     WorkerFault,
     corrupt_byte,
     fail_at_label_write,
     fail_at_phase,
+    inject_shard_fault,
     inject_worker_fault,
     slow_search,
     truncate_tail,
@@ -25,11 +27,13 @@ __all__ = [
     "FakeClock",
     "InjectedFault",
     "InterleaveError",
+    "ShardFault",
     "StepScheduler",
     "WorkerFault",
     "corrupt_byte",
     "fail_at_label_write",
     "fail_at_phase",
+    "inject_shard_fault",
     "inject_worker_fault",
     "slow_search",
     "truncate_tail",

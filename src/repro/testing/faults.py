@@ -42,10 +42,12 @@ from typing import Callable, Iterator
 __all__ = [
     "FakeClock",
     "InjectedFault",
+    "ShardFault",
     "WorkerFault",
     "corrupt_byte",
     "fail_at_label_write",
     "fail_at_phase",
+    "inject_shard_fault",
     "inject_worker_fault",
     "slow_search",
     "truncate_tail",
@@ -252,6 +254,91 @@ def inject_worker_fault(fault: WorkerFault) -> Iterator[None]:
         yield
     finally:
         build._WORKER_FAULT = old
+
+
+# ----------------------------------------------------------------------
+# Sharded-serving faults
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ShardFault:
+    """Kill, hang, slow down or fail one shard worker's serving RPCs.
+
+    Fires inside the worker's request loop, on the data RPCs
+    (``rows``/``combine``) whose per-replica 0-based ordinal is listed in
+    ``requests``.  Targeting: ``shard`` picks the shard; ``replica``
+    picks one replica of it (``None`` = every replica).
+
+    ``kind``:
+
+    ``"kill"``
+        The worker process exits hard (``os._exit``) — the coordinator
+        sees a dead pipe and must fail over / restart.
+    ``"hang"``
+        The worker sleeps ``seconds`` *before* replying — with
+        ``seconds`` above the coordinator's RPC timeout this is a hung
+        worker, exercising the deadline/stale-reply-drain machinery
+        without leaving a permanently wedged process behind.
+    ``"slow"``
+        The worker sleeps ``seconds`` (set it below the RPC timeout)
+        and then serves normally — degraded-but-alive.
+    ``"raise"``
+        The RPC fails with :class:`InjectedFault`; the worker survives
+        and the coordinator retries.
+    """
+
+    kind: str
+    shard: int
+    replica: int | None = None
+    requests: tuple[int, ...] = (0,)
+    seconds: float = 1.0
+
+    def __post_init__(self):
+        if self.kind not in ("kill", "hang", "slow", "raise"):
+            raise ValueError(f"unknown shard fault kind {self.kind!r}")
+        object.__setattr__(self, "requests", tuple(self.requests))
+
+    def fire(self, shard: int, replica: int, ordinal: int) -> None:
+        """Called by the worker per data RPC; faults if matched.
+
+        For ``"hang"``/``"slow"`` the sleep happens here (real
+        :func:`time.sleep` — the worker is a separate process, so a fake
+        clock cannot reach it; keep ``seconds`` small in tests).
+        """
+        import time
+
+        if shard != self.shard:
+            return
+        if self.replica is not None and replica != self.replica:
+            return
+        if ordinal not in self.requests:
+            return
+        if self.kind == "kill":
+            os._exit(23)
+        if self.kind == "raise":
+            raise InjectedFault(
+                f"injected shard fault: shard {shard} replica {replica}, "
+                f"request {ordinal}"
+            )
+        time.sleep(self.seconds)  # "hang" / "slow"
+
+
+@contextmanager
+def inject_shard_fault(fault: ShardFault) -> Iterator[None]:
+    """Arm ``fault`` for workers spawned by ``repro.shard`` inside the block.
+
+    The fault object is shipped to each shard worker at spawn time (as a
+    process argument), so it also arms workers the coordinator *restarts*
+    during the block — and it works under both ``fork`` and ``spawn``.
+    Workers already running before the block are unaffected.
+    """
+    from ..shard import worker as shard_worker
+
+    old = shard_worker._SHARD_FAULT
+    shard_worker._SHARD_FAULT = fault
+    try:
+        yield
+    finally:
+        shard_worker._SHARD_FAULT = old
 
 
 # ----------------------------------------------------------------------

@@ -662,12 +662,34 @@ def test_chaos_faults_never_corrupt_answers(seed):
     g = random_graph(seed, n_lo=12, n_hi=24)
     rng = random.Random(seed * 7919)
     dyn = DynamicHCL.build(g, rng.sample(range(g.n), 2))
+    # A live breaker on a FakeClock: injected write-path faults trip it
+    # for real, and an open breaker is cleared by *advancing fake time*
+    # past retry_after — the half-open probe machinery runs under chaos
+    # without this lane ever sleeping.
+    clock = FakeClock()
     svc = HCLService(
         dyn,
-        breaker=CircuitBreaker(threshold=10**9),  # keep mutations flowing
+        breaker=CircuitBreaker(
+            threshold=3, base_delay=1.0, max_delay=8.0, jitter=0.0,
+            clock=clock,
+        ),
         auditor=IndexAuditor(dyn, pairs_per_tick=500),
     )
     truth = {s: single_source_distances(g, s) for s in range(g.n)}
+
+    def submit_mutation(request):
+        """Submit, riding through an open breaker on fake time.
+
+        The retry after the advance is the single admitted half-open
+        probe; it either closes the breaker (success) or re-opens it
+        with the next backoff step (the raised failure propagates to
+        the caller's assertions, like any mutation failure).
+        """
+        try:
+            return svc.submit(request)
+        except CircuitOpenError as exc:
+            clock.advance(exc.retry_after + 1e-9)
+            return svc.submit(request)
 
     for _ in range(60):
         op = rng.random()
@@ -698,11 +720,11 @@ def test_chaos_faults_never_corrupt_answers(seed):
                 before = serialized(dyn.index)
                 try:
                     with fail_at_label_write(rng.randrange(1, 6)):
-                        svc.submit(request)
+                        submit_mutation(request)
                 except TransactionError:
                     assert serialized(dyn.index) == before
             else:
-                svc.submit(request)
+                submit_mutation(request)
         else:
             if rng.random() < 0.5:
                 corrupt_label(dyn.index)

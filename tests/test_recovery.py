@@ -48,6 +48,36 @@ class TestRecover:
         recovered = report.service._dyn.index
         assert recovered.structurally_equal(build_hcl(g, sorted(final)))
 
+    def test_empty_committed_suffix_is_clean_noop(self, tmp_path):
+        """Checkpoint current + only a torn record after it => no replay.
+
+        The WAL's committed suffix past the checkpoint is empty: the one
+        record appended after ``checkpoint()`` is torn mid-write by the
+        crash.  Recovery must come back clean — truncate the torn tail,
+        apply nothing, probe fine — and reproduce exactly the
+        checkpointed landmark set.
+        """
+        g = grid_graph(4, 5)
+        ckpt, wal = tmp_path / "index.ckpt", tmp_path / "index.wal"
+        svc = HCLService.build(g, [0, 19], wal=wal)
+        svc.submit(AddLandmarkRequest(7))
+        svc.submit(AddLandmarkRequest(12))
+        svc.checkpoint(ckpt)  # checkpoint is current: includes seq 2
+        svc.submit(AddLandmarkRequest(3))  # seq 3, about to be torn
+        svc.wal.close()  # the "crash"
+        truncate_tail(wal, 5)  # tear the only post-checkpoint record
+
+        report = HCLService.recover(g, ckpt, wal)
+        assert report.checkpoint_wal_seq == 2
+        assert report.wal_tail_truncated
+        assert report.wal_records_seen == 2  # the pre-checkpoint prefix
+        assert report.wal_records_applied == 0  # nothing to replay
+        assert report.probe_ok and report.probe_error is None
+        assert set(report.landmarks) == {0, 7, 12, 19}
+        assert report.service._dyn.index.structurally_equal(
+            build_hcl(g, [0, 7, 12, 19])
+        )
+
     def test_truncated_tail_replays_committed_prefix(self, crashed_deployment):
         g, ckpt, wal, _ = crashed_deployment
         truncate_tail(wal, 5)  # tear the last record (add 3)

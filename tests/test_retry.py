@@ -1,0 +1,118 @@
+"""Unit tests for the shared :class:`repro.retry.BackoffPolicy` ladder."""
+
+import random
+
+import pytest
+
+from conftest import grid_graph
+from repro.breaker import CircuitBreaker
+from repro.core import build_hcl
+from repro.errors import RequestError
+from repro.retry import BackoffPolicy
+from repro.testing import FakeClock
+
+
+class TestDelayLadder:
+    def test_unjittered_ladder_doubles_then_caps(self):
+        p = BackoffPolicy(base_delay=1.0, max_delay=8.0, jitter=0.0)
+        assert [p.delay(a) for a in range(6)] == [1.0, 2.0, 4.0, 8.0, 8.0, 8.0]
+
+    def test_custom_factor(self):
+        p = BackoffPolicy(base_delay=0.5, max_delay=100.0, factor=3.0, jitter=0.0)
+        assert [p.delay(a) for a in range(4)] == [0.5, 1.5, 4.5, 13.5]
+
+    def test_jitter_stays_within_relative_band(self):
+        p = BackoffPolicy(
+            base_delay=1.0, max_delay=64.0, jitter=0.25, rng=random.Random(42)
+        )
+        for attempt in range(7):
+            base = min(64.0, 2.0**attempt)
+            for _ in range(50):
+                d = p.delay(attempt)
+                assert base * 0.75 <= d <= base * 1.25
+
+    def test_jittered_delays_vary(self):
+        p = BackoffPolicy(base_delay=1.0, jitter=0.5, rng=random.Random(7))
+        assert len({p.delay(0) for _ in range(10)}) > 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"base_delay": 0.0},
+            {"base_delay": -1.0},
+            {"base_delay": 2.0, "max_delay": 1.0},
+            {"factor": 0.5},
+            {"jitter": -0.1},
+            {"jitter": 1.0},
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(RequestError):
+            BackoffPolicy(**kwargs)
+
+    def test_negative_attempt_rejected(self):
+        with pytest.raises(RequestError):
+            BackoffPolicy().delay(-1)
+
+
+class TestPause:
+    def test_pause_sleeps_the_delay_and_returns_it(self):
+        sleeps = []
+        p = BackoffPolicy(base_delay=1.0, max_delay=8.0, jitter=0.0, sleeper=sleeps.append)
+        waited = [p.pause(a) for a in range(4)]
+        assert waited == [1.0, 2.0, 4.0, 8.0]
+        assert sleeps == waited
+
+    def test_pause_clamps_to_cap(self):
+        sleeps = []
+        p = BackoffPolicy(base_delay=4.0, max_delay=8.0, jitter=0.0, sleeper=sleeps.append)
+        assert p.pause(2, cap=1.5) == 1.5
+        assert sleeps == [1.5]
+
+    def test_nonpositive_cap_skips_the_sleep(self):
+        sleeps = []
+        p = BackoffPolicy(base_delay=1.0, jitter=0.0, sleeper=sleeps.append)
+        assert p.pause(0, cap=0.0) == 0.0
+        assert p.pause(3, cap=-2.0) == 0.0
+        assert sleeps == []
+
+
+class TestSharedLadderReuse:
+    """The breaker and the parallel build retry through the same policy."""
+
+    def test_breaker_open_delays_follow_the_policy_ladder(self):
+        clock = FakeClock()
+        br = CircuitBreaker(
+            threshold=1, base_delay=1.0, max_delay=4.0, jitter=0.0, clock=clock
+        )
+        assert isinstance(br._backoff, BackoffPolicy)
+        observed = []
+        for _ in range(4):  # each consecutive re-open climbs the ladder
+            br.record_failure()
+            observed.append(br.retry_after())
+            clock.advance(br.retry_after())
+            assert br.allow()  # half-open probe
+        assert observed == [1.0, 2.0, 4.0, 4.0]
+
+    def test_build_pool_retry_paces_between_attempts(self, monkeypatch):
+        import repro.core.build as build_mod
+
+        sleeps = []
+        policy = BackoffPolicy(
+            base_delay=0.05, max_delay=1.0, jitter=0.0, sleeper=sleeps.append
+        )
+        real = build_mod._pool_attempt
+        attempts = []
+
+        def flaky(csr, lmks, pending, pool_size, attempt, partials):
+            attempts.append(attempt)
+            if attempt == 0:
+                return list(pending)  # simulated total pool failure
+            return real(csr, lmks, pending, pool_size, attempt, partials)
+
+        monkeypatch.setattr(build_mod, "_pool_attempt", flaky)
+        g = grid_graph(4, 5)
+        idx = build_mod.build_hcl_parallel(g, [0, 19], workers=2, backoff=policy)
+        assert attempts == [0, 1]
+        assert sleeps == [0.05]  # one pause, before the retry only
+        assert idx.structurally_equal(build_hcl(g, [0, 19]))

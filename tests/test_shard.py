@@ -1,0 +1,275 @@
+"""Tier-1 tests for the sharded serving tier: partitioning, the worker
+combine kernel, and :class:`~repro.shard.ShardedService` scatter-gather
+(bitwise equality, epoch cutover, admission, health, lifecycle).
+
+Fault-schedule chaos coverage (kills mid-batch, hang/slow workers) lives
+in ``test_sharded_chaos.py`` under the ``chaos`` marker.
+"""
+
+import random
+from bisect import bisect_right
+
+import pytest
+
+from conftest import grid_graph, random_graph
+from repro import DynamicHCL
+from repro.budget import Budget, DegradedResult
+from repro.core import build_hcl, select_landmarks
+from repro.errors import Overloaded, RequestError
+from repro.service import AddLandmarkRequest, HCLService
+from repro.shard import Partition, ShardedService, partition_plan
+from repro.shard.partition import _bounds, shard_of
+from repro.shard.worker import _ShardState
+
+
+def make_plan(seed=11, n_lo=30, n_hi=60, k=4):
+    g = random_graph(seed, n_lo=n_lo, n_hi=n_hi)
+    lmks = select_landmarks(g, min(k, g.n), policy="degree")
+    return g, build_hcl(g, lmks).compile_plan()
+
+
+def sample_pairs(n, count, seed=5):
+    rng = random.Random(seed)
+    return [(rng.randrange(n), rng.randrange(n)) for _ in range(count)]
+
+
+# ----------------------------------------------------------------------
+# Partitioning arithmetic
+# ----------------------------------------------------------------------
+class TestPartition:
+    def test_shard_of_closed_form_matches_bisect_exhaustively(self):
+        for n in (1, 2, 3, 7, 20, 66, 100, 200, 333):
+            for nshards in range(1, min(n, 9) + 1):
+                bounds = _bounds(n, nshards)
+                assert bounds[0] == 0 and bounds[-1] == n
+                for v in range(n):
+                    want = bisect_right(bounds, v) - 1
+                    assert shard_of(v, bounds) == want, (n, nshards, v)
+
+    def test_slices_reassemble_the_canonical_arrays(self):
+        _, plan = make_plan()
+        n, k, lmk_ids, offsets, slots, dists, hw = plan.canonical_arrays()
+        part = partition_plan(plan, 3)
+        assert isinstance(part, Partition)
+        assert part.n == n and part.k == k
+        # Ranges tile [0, n) contiguously and rebased offsets line up.
+        got_slots, got_dists = [], []
+        for sl, lo, hi in zip(part.slices, part.bounds, part.bounds[1:]):
+            assert (sl.lo, sl.hi) == (lo, hi)
+            assert sl.offsets[0] == 0
+            assert len(sl.offsets) == sl.owned + 1
+            assert sl.offsets[-1] == len(sl.slots) == len(sl.dists)
+            assert sl.hw == hw  # full dense replica
+            assert sl.landmark_ids == lmk_ids
+            assert len(sl.row_lengths) == n  # full routing replica
+            got_slots.extend(sl.slots)
+            got_dists.extend(sl.dists)
+        assert got_slots == list(slots)
+        assert got_dists == list(dists)
+        assert list(part.row_lengths) == [
+            offsets[v + 1] - offsets[v] for v in range(n)
+        ]
+
+    def test_rejects_bad_shard_counts(self):
+        _, plan = make_plan()
+        with pytest.raises(RequestError):
+            partition_plan(plan, 0)
+        with pytest.raises(RequestError):
+            partition_plan(plan, plan.n + 1)
+
+    def test_holey_incremental_plan_is_densified_before_slicing(self):
+        g = grid_graph(5, 6)
+        dyn = DynamicHCL.build(g, [0, 5, 14, 22, 29])
+        registry = dyn.enable_plan_epochs()
+        dyn.query(0, 1)  # compile epoch 1
+        dyn.remove_landmark(14)  # incremental patch: -1 hole in the ids
+        plan = registry.head_plan()
+        assert -1 in plan.landmark_ids  # precondition: actually holey
+        part = partition_plan(plan, 2)
+        assert part.k == 4  # densified: the hole is squeezed out
+        for sl in part.slices:
+            assert -1 not in sl.landmark_ids
+            assert len(sl.hw) == part.k * part.k
+            assert all(0 <= s < part.k for s in sl.slots)
+
+
+# ----------------------------------------------------------------------
+# Worker combine kernel (in-process, no fleet)
+# ----------------------------------------------------------------------
+class TestWorkerCombine:
+    def test_combine_is_bitwise_equal_to_the_plan(self):
+        _, plan = make_plan(seed=13)
+        part = partition_plan(plan, 2)
+        states = [_ShardState(sl) for sl in part.slices]
+        rl = part.row_lengths
+        for s, t in sample_pairs(part.n, 200, seed=2):
+            if rl[s] > rl[t]:
+                outer_v, inner_v = t, s
+            else:
+                outer_v, inner_v = s, t
+            home = part.shard_of(outer_v)
+            state = states[home]
+            extra = None
+            if not state.lo <= inner_v < state.hi:
+                extra = states[part.shard_of(inner_v)].row(inner_v)
+            assert state.combine(s, t, extra) == plan.query(s, t)
+
+    def test_combine_repeated_pair_goes_hot_and_stays_bitwise(self):
+        # Drive one pair past ROW_HOT_THRESHOLD so the g-row memo kicks in.
+        _, plan = make_plan(seed=17)
+        part = partition_plan(plan, 2)
+        states = [_ShardState(sl) for sl in part.slices]
+        rl = part.row_lengths
+        s, t = next(
+            (s, t)
+            for s, t in sample_pairs(part.n, 500, seed=3)
+            if rl[s] and rl[t]
+        )
+        outer_v = t if rl[s] > rl[t] else s
+        inner_v = s if outer_v == t else t
+        state = states[part.shard_of(outer_v)]
+        extra = None
+        if not state.lo <= inner_v < state.hi:
+            extra = states[part.shard_of(inner_v)].row(inner_v)
+        want = plan.query(s, t)
+        for _ in range(40):
+            assert state.combine(s, t, extra) == want
+        assert state._g_rows  # the memo actually engaged
+
+
+# ----------------------------------------------------------------------
+# ShardedService scatter-gather
+# ----------------------------------------------------------------------
+class TestShardedService:
+    @pytest.mark.parametrize("nshards,rf", [(1, 1), (2, 1), (3, 2)])
+    def test_batch_is_bitwise_equal_to_the_unsharded_plan(self, nshards, rf):
+        _, plan = make_plan(seed=19)
+        pairs = sample_pairs(plan.n, 120, seed=7)
+        oracle = [plan.query(s, t) for s, t in pairs]
+        with ShardedService(
+            plan, nshards=nshards, replication_factor=rf, rpc_timeout=5.0
+        ) as svc:
+            assert svc.query_batch(pairs) == oracle
+            s, t = pairs[0]
+            assert svc.query(s, t) == oracle[0]
+
+    def test_killed_replica_fails_over_and_heals(self):
+        _, plan = make_plan(seed=23)
+        pairs = sample_pairs(plan.n, 60, seed=9)
+        oracle = [plan.query(s, t) for s, t in pairs]
+        with ShardedService(
+            plan, nshards=2, replication_factor=2, rpc_timeout=5.0
+        ) as svc:
+            svc._sets[0].replicas[0].terminate()  # simulated worker death
+            assert svc.query_batch(pairs) == oracle  # failover, no gaps
+            health = svc.health()  # post-batch auto-restart healed it
+            assert health["replicas_alive"] == health["replicas_total"] == 4
+            assert health["fleet.restarts"] >= 1
+            assert svc.registry.counter("shard.0.restarts").value >= 1
+
+    def test_exhausted_budget_degrades_instead_of_hanging(self):
+        _, plan = make_plan(seed=29)
+        pairs = sample_pairs(plan.n, 40, seed=11)
+        with ShardedService(plan, nshards=2, rpc_timeout=5.0) as svc:
+            budget = Budget(max_settled=1)  # dries up almost immediately
+            got = svc.query_batch(pairs, budget)
+            assert len(got) == len(pairs)
+            degraded = [r for r in got if isinstance(r, DegradedResult)]
+            assert degraded  # budget ran dry mid-batch
+            for r in degraded:
+                assert r.is_upper_bound
+            assert svc.health()["fleet.degraded"] >= len(degraded)
+
+    def test_admission_sheds_with_overloaded(self):
+        _, plan = make_plan(seed=31)
+        with ShardedService(plan, nshards=1, max_inflight=1) as svc:
+            svc._admit()  # occupy the only slot
+            try:
+                with pytest.raises(Overloaded):
+                    svc.query(0, 1)
+                assert svc.health()["fleet.shed"] == 1
+            finally:
+                svc._release()
+            assert svc.query(0, 1) == plan.query(0, 1)
+
+    def test_out_of_range_pair_rejected(self):
+        _, plan = make_plan(seed=37)
+        with ShardedService(plan, nshards=2) as svc:
+            with pytest.raises(RequestError):
+                svc.query(0, plan.n)
+            with pytest.raises(RequestError):
+                svc.query(-1, 0)
+
+    def test_epoch_publish_propagates_with_atomic_cutover(self):
+        g = grid_graph(5, 6)
+        dyn = DynamicHCL.build(g, [0, 29])
+        registry = dyn.enable_plan_epochs()
+        pairs = sample_pairs(g.n, 60, seed=13)
+        with ShardedService.from_registry(registry, nshards=2) as svc:
+            assert svc.health()["version"] == 1
+            before = registry.head_plan()
+            assert svc.query_batch(pairs) == [
+                before.query(s, t) for s, t in pairs
+            ]
+            dyn.add_landmark(14)  # sync recompile publishes epoch 2
+            assert svc._stale  # the publish listener fired
+            after = registry.head_plan()
+            assert svc.query_batch(pairs) == [
+                after.query(s, t) for s, t in pairs
+            ]
+            health = svc.health()
+            assert health["version"] == 2
+            assert not health["stale"]
+            assert health["fleet.publishes"] == 2
+
+    def test_service_shard_helper_serves_the_live_index(self):
+        g = grid_graph(4, 5)
+        svc = HCLService.build(g, [0, 19])
+        fleet = svc.shard(nshards=2)
+        try:
+            pairs = sample_pairs(g.n, 40, seed=17)
+            assert fleet.query_batch(pairs) == [
+                svc._dyn.query(s, t) for s, t in pairs
+            ]
+            svc.submit(AddLandmarkRequest(7))
+            assert fleet.query_batch(pairs) == [
+                svc._dyn.query(s, t) for s, t in pairs
+            ]
+            assert fleet.health()["version"] == 2
+        finally:
+            fleet.close()
+
+    def test_health_shape(self):
+        _, plan = make_plan(seed=41)
+        with ShardedService(plan, nshards=2, replication_factor=2) as svc:
+            svc.query_batch(sample_pairs(plan.n, 10, seed=19))
+            health = svc.health()
+            assert health["status"] == "ok"
+            assert health["replicas_total"] == 4
+            assert health["inflight"] == 0
+            assert set(health["shards"]) == {"0", "1"}
+            for snap in health["shards"].values():
+                assert snap["alive"] == 2
+                assert snap["breaker_open"] is False
+                assert len(snap["replicas"]) == 2
+                for rsnap in snap["replicas"]:
+                    assert rsnap["alive"] and rsnap["pid"]
+            assert health["fleet.batches"] == 1
+            assert health["fleet.queries"] == 10
+
+    def test_close_is_idempotent_and_queries_after_close_are_rejected(self):
+        _, plan = make_plan(seed=43)
+        svc = ShardedService(plan, nshards=2)
+        svc.close()
+        svc.close()
+        with pytest.raises(RequestError):
+            svc.query(0, 1)
+
+    def test_constructor_validation(self):
+        _, plan = make_plan(seed=47)
+        with pytest.raises(RequestError):
+            ShardedService(plan, nshards=2, replication_factor=0)
+        with pytest.raises(RequestError):
+            ShardedService(plan, nshards=2, rpc_timeout=0.0)
+        with pytest.raises(RequestError):
+            ShardedService(plan, nshards=2, max_inflight=0)
