@@ -39,6 +39,8 @@ from .metrics import (
 )
 from .multicategory import MultiCategoryHCL
 from .plan import QueryPlan, SearchWorkspace
+from .planvec import VectorBackend, default_backend, numpy_available
+from .shm import SharedPlanBuffers, SharedPlanRef, shm_available
 from .paths import (
     highway_path,
     label_path,
@@ -77,6 +79,12 @@ __all__ = [
     "IndexStats",
     "QueryPlan",
     "SearchWorkspace",
+    "VectorBackend",
+    "default_backend",
+    "numpy_available",
+    "SharedPlanBuffers",
+    "SharedPlanRef",
+    "shm_available",
     "PlanEpoch",
     "PlanRegistry",
     "build_hcl",

@@ -43,6 +43,7 @@ from ..graphs.csr import CSRGraph
 from ..graphs.traversal import bounded_bidirectional_distance_masked
 from .index import HCLIndex
 from .plan import QueryPlan
+from .planvec import default_backend
 
 INF = math.inf
 
@@ -262,12 +263,20 @@ class _PlanBatchSolver:
     Budget semantics mirror :class:`_BatchSolver` exactly: exact pairs
     charge refinement steps only (not label work), constrained batches
     charge the outer-loop label scan per pair.
+
+    ``backend="vector"`` routes the constrained bounds through the
+    plan's :class:`~repro.core.planvec.VectorBackend` — one min-plus
+    reduction over the whole batch instead of a per-pair double loop.
+    The bounds are bitwise-equal to the flat kernel's, so the answers
+    (and, for budgeted batches, the charge sequence) are unchanged; when
+    numpy is absent the solver silently serves the flat path.
     """
 
-    def __init__(self, plan: QueryPlan, graph=None):
+    def __init__(self, plan: QueryPlan, graph=None, backend: str = "flat"):
         self._plan = plan
         if graph is not None:
             plan.attach_graph(graph)
+        self._vec = plan.vector_backend() if backend == "vector" else None
 
     def constrained(self, s: int, t: int) -> float:
         return self._plan.query(s, t)
@@ -278,10 +287,11 @@ class _PlanBatchSolver:
         t: int,
         budget: Budget | None = None,
         strict: bool = False,
+        ub: float | None = None,
     ) -> float:
         plan = self._plan
         if budget is None:
-            return plan.distance(s, t)
+            return plan.distance(s, t, ub=ub)
         if s == t:
             return 0.0
         mask = plan.mask
@@ -296,7 +306,8 @@ class _PlanBatchSolver:
             return plan.query_from_landmark(t, s)
         # Like _BatchSolver.exact, the batch twin does not charge label
         # work against the budget — only refinement steps.
-        ub = plan.query(s, t)
+        if ub is None:
+            ub = plan.query(s, t)
         if budget.check():
             if strict:
                 raise DeadlineExceeded(
@@ -325,6 +336,9 @@ class _PlanBatchSolver:
     ) -> list[float]:
         """Answer the given distinct pairs in order."""
         plan = self._plan
+        vec = self._vec
+        if vec is not None:
+            return self._solve_vectorized(keys, exact, budget, strict)
         plan.note_endpoints(keys)
         if budget is None:
             evaluate = self.exact if exact else self.constrained
@@ -341,6 +355,44 @@ class _PlanBatchSolver:
             out.append(plan.query(s, t))
         return out
 
+    def _solve_vectorized(
+        self,
+        keys: Sequence[tuple[int, int]],
+        exact: bool,
+        budget: Budget | None,
+        strict: bool,
+    ) -> list[float]:
+        """The vectorized twin of :meth:`solve` (bitwise-equal answers).
+
+        Constrained bounds come from one batched min-plus reduction; the
+        budget charge sequence replays the flat loop's exactly (same
+        pairs, same order, same amounts), and exact pairs hand their
+        precomputed bound to :meth:`exact` so refinement control flow —
+        including ``DegradedResult`` semantics — is untouched.
+        """
+        plan = self._plan
+        vec = self._vec
+        bounds = vec.query_many(list(keys))
+        if exact:
+            if budget is None:
+                return [
+                    self.exact(s, t, ub=ub)
+                    for (s, t), ub in zip(keys, bounds)
+                ]
+            return [
+                self.exact(s, t, budget, strict, ub=ub)
+                for (s, t), ub in zip(keys, bounds)
+            ]
+        if budget is None:
+            return bounds
+        rows = plan._rows
+        for s, t in keys:
+            rs = rows[s]
+            rt = rows[t]
+            if rs and rt:
+                budget.charge(min(len(rs), len(rt)))
+        return bounds
+
 
 # ----------------------------------------------------------------------
 # Pool plumbing
@@ -348,15 +400,64 @@ class _PlanBatchSolver:
 _POOL_SOLVER: _BatchSolver | _PlanBatchSolver | None = None
 _POOL_EXACT = False
 
+#: Parent-side transport tally: how many pool dispatches shipped the plan
+#: as a shared-memory ref versus pickled canonical arrays.  Tests assert
+#: ``pickle == 0`` for plan-backed fan-out when shared memory works.
+TRANSPORT_COUNTS = {"shm": 0, "pickle": 0}
+
+#: Worker-side attachment memo keyed by ``(segment name, plan version)``.
+#: Without it every pool dispatch re-attached and re-boxed the canonical
+#: arrays even when the plan had not changed; with it a worker resolves a
+#: repeat ref to the already-built plan in O(1).  Capacity one: a worker
+#: serves one plan at a time, and dropping the old entry detaches its
+#: mapping.  The parent pre-seeds its own copy before forking, so
+#: fork-started children inherit the built plan and perform zero attach
+#: work at all.
+_ATTACH_CACHE: dict[tuple[str, int], tuple] = {}
+
+
+def _seed_attach_cache(ref, plan: QueryPlan) -> None:
+    """Parent-side: pre-populate the memo fork children will inherit."""
+    _ATTACH_CACHE.clear()
+    _ATTACH_CACHE[(ref.name, ref.plan_version)] = (None, plan)
+
+
+def _attached_plan_solver(ref, csr, backend: str) -> "_PlanBatchSolver":
+    """Resolve a :class:`~repro.core.shm.SharedPlanRef` to a solver.
+
+    Memoized per worker process: a cache hit (same segment, same plan
+    version) reuses the plan built on first attach; a miss attaches the
+    segment and rebuilds, evicting the previous plan's entry.
+    """
+    key = (ref.name, ref.plan_version)
+    entry = _ATTACH_CACHE.get(key)
+    if entry is None:
+        attachment = ref.attach()
+        plan = QueryPlan(*attachment.arrays())
+        _ATTACH_CACHE.clear()
+        entry = _ATTACH_CACHE[key] = (attachment, plan)
+    return _PlanBatchSolver(entry[1], csr, backend)
+
 
 def _init_query_pool(
-    highway, labeling, csr, row_threshold, exact, plan=None
+    highway,
+    labeling,
+    csr,
+    row_threshold,
+    exact,
+    plan=None,
+    plan_ref=None,
+    backend="flat",
 ) -> None:
     global _POOL_SOLVER, _POOL_EXACT
-    if plan is not None:
+    if plan_ref is not None:
+        # Zero-copy transport: the plan's canonical arrays live in a
+        # named shared-memory segment; only the tiny ref was pickled.
+        _POOL_SOLVER = _attached_plan_solver(plan_ref, csr, backend)
+    elif plan is not None:
         # The plan arrives rebuilt from its canonical arrays; the CSR
         # snapshot (when present) backs its refinement adjacency.
-        _POOL_SOLVER = _PlanBatchSolver(plan, csr)
+        _POOL_SOLVER = _PlanBatchSolver(plan, csr, backend)
     else:
         _POOL_SOLVER = _BatchSolver(highway, labeling, csr, row_threshold)
     _POOL_EXACT = exact
@@ -382,6 +483,7 @@ def query_batch(
     budget: Budget | None = None,
     strict: bool = False,
     plan: QueryPlan | str = "auto",
+    backend: str = "auto",
 ) -> list[float]:
     """Answer many ``(s, t)`` queries against a frozen index at once.
 
@@ -428,6 +530,14 @@ def query_batch(
         passing a :class:`~repro.core.plan.QueryPlan` serves from exactly
         that plan (the caller vouches it reflects ``index``).  Every mode
         returns bitwise-identical answers.
+    backend:
+        Constrained-kernel implementation for plan-backed batches.
+        ``"auto"`` (default) picks ``"vector"`` — the numpy min-plus
+        backend of :mod:`repro.core.planvec` — whenever numpy is
+        importable and ``"flat"`` (the interpreted kernel) otherwise;
+        either may be forced by name, and ``REPRO_PLAN_BACKEND``
+        overrides ``"auto"`` process-wide.  The choice never changes an
+        answer (bitwise-equal kernels); dict-path batches ignore it.
 
     Returns
     -------
@@ -436,6 +546,12 @@ def query_batch(
         ``index.query`` / ``index.distance`` per pair.  Unreachable pairs
         yield ``inf`` exactly as in the serial routines.
     """
+    if backend == "auto":
+        backend = default_backend()
+    elif backend not in ("vector", "flat"):
+        raise RequestError(
+            f"backend must be 'auto', 'vector' or 'flat', got {backend!r}"
+        )
     pair_list = list(pairs)
     if not pair_list:
         return []
@@ -495,7 +611,7 @@ def query_batch(
         if not use_pool:
             if plan_obj is not None:
                 solver: _BatchSolver | _PlanBatchSolver = _PlanBatchSolver(
-                    plan_obj, index.graph
+                    plan_obj, index.graph, backend
                 )
             else:
                 solver = _BatchSolver(
@@ -510,9 +626,26 @@ def query_batch(
                 for i in range(0, len(distinct), chunksize)
             ]
             if plan_obj is not None:
-                # The plan replaces the dict structures wholesale: workers
-                # receive its canonical arrays plus the CSR snapshot.
-                initargs = (None, None, csr, row_threshold, exact, plan_obj)
+                # The plan replaces the dict structures wholesale.
+                # Preferred transport: its canonical arrays in a named
+                # shared-memory segment, with only the tiny ref pickled
+                # (fork children skip even the attach — the parent seeds
+                # the memo they inherit).  Pickling the arrays remains
+                # the fallback when shared memory is unavailable.
+                shared = plan_obj.shared_buffers()
+                if shared is not None:
+                    TRANSPORT_COUNTS["shm"] += 1
+                    _seed_attach_cache(shared.ref, plan_obj)
+                    initargs = (
+                        None, None, csr, row_threshold, exact,
+                        None, shared.ref, backend,
+                    )
+                else:
+                    TRANSPORT_COUNTS["pickle"] += 1
+                    initargs = (
+                        None, None, csr, row_threshold, exact,
+                        plan_obj, None, backend,
+                    )
             else:
                 initargs = (
                     index.highway,
@@ -521,6 +654,8 @@ def query_batch(
                     row_threshold,
                     exact,
                     None,
+                    None,
+                    backend,
                 )
             ctx = _pool_context()
             with ctx.Pool(

@@ -144,6 +144,7 @@ class CachedQueryEngine:
         budget: Budget | None = None,
         strict: bool = False,
         plan="auto",
+        backend: str = "auto",
     ) -> list[float]:
         """Answer many pairs at once, through the cache.
 
@@ -183,6 +184,7 @@ class CachedQueryEngine:
                 budget=budget,
                 strict=strict,
                 plan=plan,
+                backend=backend,
             )
             for i, key, value in zip(miss_at, misses, computed):
                 results[i] = value

@@ -13,7 +13,7 @@ batch-dynamic labelings), and :class:`QueryPlan` is that second
 representation here:
 
 * per-vertex label rows flattened into CSR-style parallel arrays
-  (``array('l')`` offsets + ``array('q')`` landmark slots +
+  (``array('q')`` offsets + ``array('q')`` landmark slots +
   ``array('d')`` distances, slot-sorted within each row);
 * landmark ids interned into dense slots ``0..k-1`` (sorted id order);
 * ``δ_H`` materialized as a dense ``k × k`` ``array('d')`` row-major
@@ -61,6 +61,7 @@ recompiles lazily — the authoritative dicts never wait on the plan.
 
 from __future__ import annotations
 
+import itertools
 import math
 from array import array
 from heapq import heappop, heappush
@@ -91,6 +92,13 @@ ROW_HOT_THRESHOLD = 4
 #: counts are dropped, so a long-lived plan serving an adversarially wide
 #: endpoint distribution stays O(cap · k) instead of O(n · k).
 G_ROW_CACHE_CAP = 8192
+
+#: Process-wide monotone plan ids.  A version never repeats within a
+#: process, so ``(segment name, plan_version)`` is a sound memoization
+#: key for per-worker shared-memory attachments: a recompiled plan gets
+#: a fresh version (and a fresh segment) and can never be served from a
+#: stale cached attachment.
+_PLAN_VERSIONS = itertools.count(1)
 
 
 class SearchWorkspace:
@@ -203,6 +211,10 @@ class QueryPlan:
         "_ws",
         "_g_rows",
         "_g_freq",
+        # optional accelerated backends (lazy, never pickled)
+        "plan_version",
+        "_vec",
+        "_shm",
         # validity stamp (source objects + their revisions)
         "_graph",
         "_labeling",
@@ -225,6 +237,9 @@ class QueryPlan:
         self._labeling = None
         self._highway = None
         self._stamp = None
+        self.plan_version = next(_PLAN_VERSIONS)
+        self._vec = None
+        self._shm = None
         self._build_views()
 
     def _build_views(self) -> None:
@@ -383,6 +398,9 @@ class QueryPlan:
         plan._ws = None
         plan._g_rows = {}
         plan._g_freq = {}
+        plan.plan_version = next(_PLAN_VERSIONS)
+        plan._vec = None
+        plan._shm = None
         plan._graph = graph
         plan._labeling = labeling
         plan._highway = highway
@@ -404,7 +422,10 @@ class QueryPlan:
         k = len(landmark_ids)
         slot_of = {r: i for i, r in enumerate(landmark_ids)}
 
-        offsets = array("l", [0])
+        # "q", not "l": C long is 4 bytes on LLP64 (64-bit Windows),
+        # where cumulative label offsets would wrap past 2^31 entries —
+        # and the shared-memory layout assumes uniform 8-byte cells.
+        offsets = array("q", [0])
         slots = array("q")
         dists = array("d")
         for v in range(n):
@@ -473,6 +494,61 @@ class QueryPlan:
             self._graph = graph
 
     # ------------------------------------------------------------------
+    # Accelerated backends (vectorized kernel, shared-memory transport)
+    # ------------------------------------------------------------------
+    def vector_backend(self):
+        """The plan's numpy min-plus backend, or ``None`` without numpy.
+
+        Built lazily from :meth:`canonical_arrays` (zero-copy views over
+        the same buffers) and cached; answers are bitwise-identical to
+        :meth:`query` — see :mod:`repro.core.planvec` for the argument.
+        """
+        vec = self._vec
+        if vec is None:
+            from .planvec import VectorBackend, numpy_available
+
+            if not numpy_available():
+                return None
+            vec = self._vec = VectorBackend(self.canonical_arrays())
+        return vec
+
+    def shared_buffers(self):
+        """This plan's owned shared-memory segment, or ``None``.
+
+        Created on first use (one copy of the canonical arrays into a
+        named segment), cached thereafter; returns ``None`` when shared
+        memory is unavailable or the segment has already been unlinked —
+        callers fall back to pickling the canonical arrays.
+        """
+        shm = self._shm
+        if shm is None:
+            from .shm import SharedPlanBuffers
+
+            shm = SharedPlanBuffers.create(
+                self.canonical_arrays(), self.plan_version
+            )
+            if shm is None:
+                return None
+            self._shm = shm
+        elif shm.unlinked:
+            return None
+        return shm
+
+    def release_shared(self) -> None:
+        """Unlink the owned segment, if any (idempotent, never raises).
+
+        Called by :meth:`repro.core.epoch.PlanRegistry._drop_locked` when
+        the owning epoch retires and drains; attached workers keep their
+        existing mappings until they detach.
+        """
+        shm = self._shm
+        if shm is not None:
+            try:
+                shm.unlink()
+            except Exception:  # pragma: no cover - teardown races
+                pass
+
+    # ------------------------------------------------------------------
     # Pickling (canonical arrays only; views are rebuilt on arrival)
     # ------------------------------------------------------------------
     def __reduce__(self):
@@ -514,7 +590,7 @@ class QueryPlan:
         remap = [-1] * self.k
         for i, r in enumerate(ids):
             remap[old_slot[r]] = i
-        offsets = array("l", [0])
+        offsets = array("q", [0])  # int64 everywhere; see _compile
         slots = array("q")
         dists = array("d")
         for row in self._rows:
@@ -620,6 +696,8 @@ class QueryPlan:
         budget: Budget | None = None,
         strict: bool = False,
         _what: str = "distance",
+        ub: float | None = None,
+        backend: str = "flat",
     ) -> float:
         """Exact ``d(s, t)`` — bitwise-equal to :meth:`HCLIndex.distance`.
 
@@ -627,6 +705,13 @@ class QueryPlan:
         refinement dispatches to the existing budgeted/observed dict
         kernels with the plan's prebuilt mask, so degraded-answer
         semantics and counters are exactly the dict path's.
+
+        ``ub`` short-circuits the constrained upper bound with a value
+        the caller already computed (the vectorized batch solver bounds
+        whole batches in one reduction); ``backend="vector"`` computes
+        it through :meth:`vector_backend` instead of the interpreted
+        loop.  Either way the bound is bitwise-equal to :meth:`query`,
+        so the refinement — and therefore the answer — is unchanged.
         """
         if s == t:
             return 0.0
@@ -640,7 +725,19 @@ class QueryPlan:
             return self.query_from_landmark(s, t)
         if t_is_lmk:
             return self.query_from_landmark(t, s)
-        ub = self.query(s, t, budget)
+        if ub is None:
+            vec = self.vector_backend() if backend == "vector" else None
+            if vec is not None:
+                if budget is not None:
+                    # Mirror query()'s label-scan charge exactly: the
+                    # budget trace must not depend on the backend.
+                    rows = self._rows
+                    ls, lt = len(rows[s]), len(rows[t])
+                    if ls and lt:
+                        budget.charge(min(ls, lt))
+                ub = vec.query(s, t)
+            else:
+                ub = self.query(s, t, budget)
         if budget is None:
             if OBS.enabled:
                 return _bounded_bidirectional_masked_obs(

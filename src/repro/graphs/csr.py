@@ -3,7 +3,7 @@
 Adjacency-list graphs are ideal for the mutation-heavy dynamic algorithms,
 but large *static* workloads (BUILDHCL over a frozen graph, bulk query
 serving) benefit from a compact immutable layout: one offsets array plus
-flat neighbor/weight arrays (``array('l')`` / ``array('d')``) — roughly
+flat neighbor/weight arrays (``array('q')`` / ``array('d')``) — roughly
 3-4x less memory than tuple lists.  In pure CPython the flat layout does
 *not* beat tuple lists on speed (boxing on every indexed read); the win is
 memory and the snapshot/immutability semantics, and the layout is the one
@@ -44,8 +44,12 @@ class CSRGraph:
         # Every snapshot — the empty graph included — carries the leading
         # sentinel offset, so the slice arithmetic in ``neighbors`` stays
         # total: ``offsets`` always has exactly ``n + 1`` cells.
-        offsets = array("l", [0])
-        targets = array("l")
+        # "q" (int64), not "l": the C long is 4 bytes on LLP64 platforms
+        # (64-bit Windows), where cumulative offsets would silently wrap
+        # past 2^31 label/edge entries.  Every flat int array in the
+        # serving stack uses the fixed-width typecode for this reason.
+        offsets = array("q", [0])
+        targets = array("q")
         weights = array("d")
         if graph.n == 0:
             self._offsets = offsets

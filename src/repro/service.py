@@ -42,6 +42,8 @@ from .core.auditor import IndexAuditor
 from .core.cache import CachedQueryEngine
 from .core.dynhcl import DynamicHCL
 from .core.invariants import find_cover_violations, sample_vertex_pairs
+from .core.planvec import default_backend
+from .core.shm import shm_available
 from .core.serialization import (
     load_checkpoint,
     load_index_binary,
@@ -108,11 +110,16 @@ class BatchQueryRequest:
     process pool used for large batches; it is clamped to the machine's
     core count so an over-asked deployment never oversubscribes, and
     rejected with :class:`~repro.errors.RequestError` when non-positive.
+    ``backend`` selects the plan's constrained kernel (``"auto"`` /
+    ``"vector"`` / ``"flat"`` — see
+    :func:`repro.core.batchquery.query_batch`); every choice returns
+    bitwise-identical answers.
     """
 
     pairs: tuple[tuple[int, int], ...]
     exact: bool = False
     workers: int | None = None
+    backend: str = "auto"
 
 
 @dataclass(frozen=True)
@@ -397,7 +404,10 @@ class HCLService:
                     )
             if unbudgeted:
                 result = self._engine.batch(
-                    request.pairs, workers=workers, exact=request.exact
+                    request.pairs,
+                    workers=workers,
+                    exact=request.exact,
+                    backend=request.backend,
                 )
             else:
                 result = self._engine.batch(
@@ -406,6 +416,7 @@ class HCLService:
                     exact=request.exact,
                     budget=budget,
                     strict=strict,
+                    backend=request.backend,
                 )
             self.stats.queries += len(request.pairs)
         elif isinstance(request, AddLandmarkRequest):
@@ -651,6 +662,7 @@ class HCLService:
         exact: bool = False,
         budget: Budget | None = None,
         strict: bool = False,
+        backend: str = "auto",
     ) -> list[float]:
         """Serve many queries as one audited batch.
 
@@ -671,7 +683,9 @@ class HCLService:
         :class:`~repro.errors.DeadlineExceeded`.
         """
         return self.submit(
-            BatchQueryRequest(tuple(pairs), exact=exact, workers=workers),
+            BatchQueryRequest(
+                tuple(pairs), exact=exact, workers=workers, backend=backend
+            ),
             budget=budget,
             strict=strict,
         )
@@ -803,6 +817,8 @@ class HCLService:
             "plan": {
                 "mode": self._dyn.index.plan_mode,
                 "compiled": self._dyn.index.plan() is not None,
+                "backend": default_backend(),
+                "shm": shm_available(),
                 "epochs": (
                     self._dyn.index._plan_registry.summary()
                     if self._dyn.index._plan_registry is not None

@@ -215,6 +215,10 @@ class ShardedService:
         raised, leaving the old version serving untouched.
         """
         part = partition_plan(plan, self.nshards)
+        # Transport tally: "shm" broadcasts ship only ShardSliceRefs
+        # (the workers attach the plan's segment by name), "pickle"
+        # broadcasts ship the label arrays over every worker pipe.
+        self.registry.counter(f"fleet.transport.{part.transport}").inc()
         with self._lock:
             version = self._version + 1
         load_timeout = self.rpc_timeout * _LOAD_TIMEOUT_FACTOR
@@ -351,8 +355,13 @@ class ShardedService:
         try:
             replica.spawn(fault=worker_mod._SHARD_FAULT)
             for version, part in parts.items():
+                # Always a concrete slice: a ref would race epoch
+                # retirement — the plan may have unlinked its segment
+                # since this version was published.
                 replica.call(
-                    "load", (version, part.slices[rset.shard_id]), load_timeout
+                    "load",
+                    (version, part.restart_slice(rset.shard_id)),
+                    load_timeout,
                 )
         except (ReplicaDown, ReplicaTimeout, ReplicaCallError):
             replica.mark_dead()

@@ -17,6 +17,25 @@ per-row ``(distance, slot)`` order is preserved, a worker evaluating the
 landmark-constrained minimum over slice rows is bitwise-identical to the
 unsharded plan evaluating the same rows.
 
+Two transports move a slice to a worker:
+
+* **shared memory** (preferred): when the plan owns a
+  :class:`~repro.core.shm.SharedPlanBuffers` segment, ``partition_plan``
+  emits :class:`ShardSliceRef`\\ s — a few integers plus the segment
+  name.  The worker attaches by name and materializes its subrange
+  locally, so the epoch broadcast pickles no label arrays at all
+  (``nshards × replication_factor`` workers would otherwise each
+  deserialize their slice from the pipe);
+* **pickle** (fallback): concrete :class:`ShardSlice` objects travel
+  over the pipe, exactly as before, whenever shared memory is
+  unavailable.
+
+Either way the coordinator's :class:`Partition` keeps a reference to the
+canonical arrays and can materialize any shard's concrete slice on
+demand (:meth:`Partition.restart_slice`) — restarts must not depend on
+the segment still being linked, since the owning epoch may retire (and
+unlink) while the fleet keeps serving.
+
 :class:`Partition` additionally keeps what the *coordinator* needs to
 route without consulting any worker: the range boundaries and the full
 ``row_lengths`` array (one small int per vertex) that replicates the
@@ -31,9 +50,16 @@ from __future__ import annotations
 from array import array
 from dataclasses import dataclass
 
+from ..core.shm import SharedPlanRef
 from ..errors import RequestError
 
-__all__ = ["Partition", "ShardSlice", "partition_plan", "shard_of"]
+__all__ = [
+    "Partition",
+    "ShardSlice",
+    "ShardSliceRef",
+    "partition_plan",
+    "shard_of",
+]
 
 
 @dataclass(frozen=True)
@@ -74,6 +100,64 @@ class ShardSlice:
         )
 
 
+def _typed_copy(code: str, view) -> array:
+    """Materialize a buffer view (or array) into a fresh stdlib array."""
+    out = array(code)
+    out.frombytes(bytes(view))
+    return out
+
+
+@dataclass(frozen=True)
+class ShardSliceRef:
+    """The shared-memory transport form of one shard's slice.
+
+    A few dozen bytes on the pipe instead of the label arrays: the
+    worker resolves it by attaching the plan's segment
+    (:meth:`~repro.core.shm.SharedPlanRef.attach`) and cutting its
+    subrange out locally.  Raises ``FileNotFoundError`` if the owning
+    plan already unlinked the segment — the coordinator's restart path
+    avoids that window by shipping a concrete slice instead
+    (:meth:`Partition.restart_slice`).
+    """
+
+    plan: SharedPlanRef
+    shard_id: int
+    nshards: int
+    lo: int
+    hi: int
+
+    def materialize(self) -> ShardSlice:
+        """Attach, copy this shard's subrange out, detach."""
+        attachment = self.plan.attach()
+        try:
+            n, k, ids, offsets, slots, dists, hw = attachment.arrays()
+            lo, hi = self.lo, self.hi
+            base = offsets[lo]
+            end = offsets[hi]
+            local_offsets = array(
+                "q", (offsets[v] - base for v in range(lo, hi + 1))
+            )
+            row_lengths = array(
+                "q", (offsets[v + 1] - offsets[v] for v in range(n))
+            )
+            return ShardSlice(
+                shard_id=self.shard_id,
+                nshards=self.nshards,
+                lo=lo,
+                hi=hi,
+                n=n,
+                k=k,
+                landmark_ids=_typed_copy("q", ids),
+                offsets=local_offsets,
+                slots=_typed_copy("q", slots[base:end]),
+                dists=_typed_copy("d", dists[base:end]),
+                hw=_typed_copy("d", hw),
+                row_lengths=row_lengths,
+            )
+        finally:
+            attachment.close()
+
+
 def _bounds(n: int, nshards: int) -> list[int]:
     """Balanced contiguous range boundaries: ``nshards + 1`` fenceposts."""
     return [i * n // nshards for i in range(nshards + 1)]
@@ -93,31 +177,102 @@ def shard_of(v: int, bounds: list[int]) -> int:
 
 
 class Partition:
-    """A plan split into :class:`ShardSlice`\\ s plus the routing replica.
+    """A plan split into shippable slices plus the routing replica.
 
     ``bounds`` has ``nshards + 1`` fenceposts; ``row_lengths[v]`` is
     ``|L(v)|`` for every vertex — the coordinator's copy of the
-    outer/inner selection key.
+    outer/inner selection key.  ``slices`` holds what the epoch
+    broadcast ships: :class:`ShardSliceRef`\\ s under the shared-memory
+    transport (``transport == "shm"``), concrete :class:`ShardSlice`\\ s
+    under pickle.  :meth:`restart_slice` always yields a concrete slice,
+    built lazily from the retained canonical arrays.
     """
 
-    __slots__ = ("nshards", "n", "k", "bounds", "row_lengths", "slices")
+    __slots__ = (
+        "nshards",
+        "n",
+        "k",
+        "bounds",
+        "row_lengths",
+        "slices",
+        "transport",
+        "_canonical",
+        "_concrete",
+    )
 
-    def __init__(self, nshards, n, k, bounds, row_lengths, slices):
+    def __init__(
+        self,
+        nshards,
+        n,
+        k,
+        bounds,
+        row_lengths,
+        slices,
+        transport="pickle",
+        canonical=None,
+    ):
         self.nshards = nshards
         self.n = n
         self.k = k
         self.bounds = bounds
         self.row_lengths = row_lengths
         self.slices = slices
+        self.transport = transport
+        self._canonical = canonical
+        self._concrete: dict[int, ShardSlice] = {}
 
     def shard_of(self, v: int) -> int:
         return ((v + 1) * self.nshards + self.n - 1) // self.n - 1
 
+    def restart_slice(self, shard_id: int) -> ShardSlice:
+        """A concrete (pickle-transport) slice for worker restarts.
+
+        Built from the partition's retained canonical arrays — never
+        from the shared segment, which the owning epoch may already
+        have unlinked by the time a replica needs restarting.
+        """
+        sl = self.slices[shard_id]
+        if isinstance(sl, ShardSlice):
+            return sl
+        cached = self._concrete.get(shard_id)
+        if cached is None:
+            cached = self._concrete[shard_id] = _build_slice(
+                shard_id, self.nshards, self.bounds,
+                self._canonical, self.row_lengths,
+            )
+        return cached
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"Partition(nshards={self.nshards}, n={self.n}, k={self.k})"
+        return (
+            f"Partition(nshards={self.nshards}, n={self.n}, k={self.k}, "
+            f"transport={self.transport})"
+        )
 
 
-def partition_plan(plan, nshards: int) -> Partition:
+def _build_slice(i, nshards, bounds, canonical, row_lengths) -> ShardSlice:
+    n, k, landmark_ids, offsets, slots, dists, hw = canonical
+    lo, hi = bounds[i], bounds[i + 1]
+    base = offsets[lo]
+    # "q" (int64) everywhere — the C long would be 4 bytes on LLP64
+    # platforms (64-bit Windows) and silently wrap past 2^31 entries.
+    local_offsets = array("q", (offsets[v] - base for v in range(lo, hi + 1)))
+    return ShardSlice(
+        shard_id=i,
+        nshards=nshards,
+        lo=lo,
+        hi=hi,
+        n=n,
+        k=k,
+        landmark_ids=landmark_ids,
+        offsets=local_offsets,
+        slots=slots[base : offsets[hi]],
+        dists=dists[base : offsets[hi]],
+        hw=hw,
+        row_lengths=row_lengths,
+    )
+
+
+def partition_plan(plan, nshards: int, transport: str = "auto") -> Partition:
     """Split ``plan`` into ``nshards`` contiguous-range slices.
 
     Accepts any :class:`~repro.core.plan.QueryPlan` (incremental plans
@@ -125,37 +280,44 @@ def partition_plan(plan, nshards: int) -> Partition:
     first, so the slices always carry the canonical hole-free slot
     numbering — every shard of one partition agrees on slots and on the
     ``δ_H`` replica layout).
+
+    ``transport="auto"`` emits :class:`ShardSliceRef`\\ s whenever the
+    plan can own a shared-memory segment and concrete slices otherwise;
+    ``"pickle"`` forces concrete slices (tests and platforms without
+    shared memory).
     """
     if nshards < 1:
         raise RequestError(f"nshards must be >= 1, got {nshards}")
-    n, k, landmark_ids, offsets, slots, dists, hw = plan.canonical_arrays()
+    if transport not in ("auto", "pickle"):
+        raise RequestError(
+            f"transport must be 'auto' or 'pickle', got {transport!r}"
+        )
+    canonical = plan.canonical_arrays()
+    n, k, landmark_ids, offsets, slots, dists, hw = canonical
     if nshards > max(1, n):
         raise RequestError(
             f"cannot split {n} vertices across {nshards} shards"
         )
     bounds = _bounds(n, nshards)
     row_lengths = array(
-        "l", (offsets[v + 1] - offsets[v] for v in range(n))
+        "q", (offsets[v + 1] - offsets[v] for v in range(n))
     )
-    slices = []
-    for i in range(nshards):
-        lo, hi = bounds[i], bounds[i + 1]
-        base = offsets[lo]
-        local_offsets = array("l", (offsets[v] - base for v in range(lo, hi + 1)))
-        slices.append(
-            ShardSlice(
-                shard_id=i,
-                nshards=nshards,
-                lo=lo,
-                hi=hi,
-                n=n,
-                k=k,
-                landmark_ids=landmark_ids,
-                offsets=local_offsets,
-                slots=slots[base : offsets[hi]],
-                dists=dists[base : offsets[hi]],
-                hw=hw,
-                row_lengths=row_lengths,
-            )
-        )
-    return Partition(nshards, n, k, bounds, row_lengths, slices)
+    shared = None
+    if transport == "auto":
+        shared = plan.shared_buffers()
+    if shared is not None:
+        slices: list = [
+            ShardSliceRef(shared.ref, i, nshards, bounds[i], bounds[i + 1])
+            for i in range(nshards)
+        ]
+        mode = "shm"
+    else:
+        slices = [
+            _build_slice(i, nshards, bounds, canonical, row_lengths)
+            for i in range(nshards)
+        ]
+        mode = "pickle"
+    return Partition(
+        nshards, n, k, bounds, row_lengths, slices,
+        transport=mode, canonical=canonical,
+    )

@@ -44,7 +44,7 @@ from __future__ import annotations
 import math
 
 from ..core.plan import G_ROW_CACHE_CAP, ROW_HOT_THRESHOLD
-from .partition import ShardSlice
+from .partition import ShardSlice, ShardSliceRef
 
 INF = math.inf
 
@@ -193,6 +193,11 @@ def shard_worker_main(conn, shard_id: int, replica_id: int, fault=None) -> None:
                 }
             elif op == "load":
                 version, sl = payload
+                if isinstance(sl, ShardSliceRef):
+                    # Shared-memory transport: only the ref crossed the
+                    # pipe; attach the plan's segment by name and cut
+                    # this shard's subrange out locally.
+                    sl = sl.materialize()
                 states[version] = _ShardState(sl)
                 result = version
             elif op == "drop":

@@ -437,12 +437,17 @@ class TestServiceAndCacheIntegration:
     def test_health_reports_plan_state(self):
         from repro.service import HCLService
 
+        from repro.core.planvec import default_backend
+        from repro.core.shm import shm_available
+
         svc = HCLService.build(grid_graph(4, 5), [0, 19])
         health = svc.health()
         assert health["plan"] == {
             "mode": "auto",
             "compiled": False,
             "epochs": None,
+            "backend": default_backend(),
+            "shm": shm_available(),
         }
         svc._dyn.index.compile_plan()
         assert svc.health()["plan"]["compiled"] is True

@@ -49,7 +49,7 @@ class TestPartition:
     def test_slices_reassemble_the_canonical_arrays(self):
         _, plan = make_plan()
         n, k, lmk_ids, offsets, slots, dists, hw = plan.canonical_arrays()
-        part = partition_plan(plan, 3)
+        part = partition_plan(plan, 3, transport="pickle")
         assert isinstance(part, Partition)
         assert part.n == n and part.k == k
         # Ranges tile [0, n) contiguously and rebased offsets line up.
@@ -85,7 +85,7 @@ class TestPartition:
         dyn.remove_landmark(14)  # incremental patch: -1 hole in the ids
         plan = registry.head_plan()
         assert -1 in plan.landmark_ids  # precondition: actually holey
-        part = partition_plan(plan, 2)
+        part = partition_plan(plan, 2, transport="pickle")
         assert part.k == 4  # densified: the hole is squeezed out
         for sl in part.slices:
             assert -1 not in sl.landmark_ids
@@ -99,7 +99,7 @@ class TestPartition:
 class TestWorkerCombine:
     def test_combine_is_bitwise_equal_to_the_plan(self):
         _, plan = make_plan(seed=13)
-        part = partition_plan(plan, 2)
+        part = partition_plan(plan, 2, transport="pickle")
         states = [_ShardState(sl) for sl in part.slices]
         rl = part.row_lengths
         for s, t in sample_pairs(part.n, 200, seed=2):
@@ -117,7 +117,7 @@ class TestWorkerCombine:
     def test_combine_repeated_pair_goes_hot_and_stays_bitwise(self):
         # Drive one pair past ROW_HOT_THRESHOLD so the g-row memo kicks in.
         _, plan = make_plan(seed=17)
-        part = partition_plan(plan, 2)
+        part = partition_plan(plan, 2, transport="pickle")
         states = [_ShardState(sl) for sl in part.slices]
         rl = part.row_lengths
         s, t = next(
