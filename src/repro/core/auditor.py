@@ -32,6 +32,19 @@ from a background loop:
 The auditor never raises from :meth:`~IndexAuditor.tick` — it is designed
 to run unattended; outcomes land in :class:`AuditFinding` records, the
 metrics registry, and the :meth:`~IndexAuditor.summary` health report.
+
+:class:`PlanAuditor` is the same quarantine-and-repair shape one layer
+up: where :class:`IndexAuditor` grades the *dict labeling* against the
+graph, :class:`PlanAuditor` grades the **compiled plan** (and its
+shared-memory segment) against the dict labeling — the authoritative
+store the plan was compiled from.  Each tick decodes a sample of plan
+rows back to ``{landmark: distance}`` and compares them bitwise with
+``labeling.label(v)``, spot-checks ``δ_H`` cells, and re-verifies the
+owner's segment checksums; any mismatch quarantines the bad artifact and
+*republishes* — a fresh epoch via
+:meth:`~repro.core.epoch.PlanRegistry.republish` in epoch mode, a
+dropped cached plan plus a version bump otherwise — because the plan is
+derived state: the repair is recompilation, never patching.
 """
 
 from __future__ import annotations
@@ -49,7 +62,13 @@ from .invariants import (
 )
 from .transaction import IndexTransaction
 
-__all__ = ["IndexAuditor", "AuditFinding", "AuditTickReport"]
+__all__ = [
+    "AuditFinding",
+    "AuditTickReport",
+    "IndexAuditor",
+    "PlanAuditReport",
+    "PlanAuditor",
+]
 
 
 @dataclass(frozen=True)
@@ -323,4 +342,183 @@ class IndexAuditor:
         return (
             f"IndexAuditor(ticks={self.ticks}, repairs={self.repairs}, "
             f"quarantined={sorted(self.quarantined)})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Plan-vs-labeling cross-check
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PlanAuditReport:
+    """Outcome of one :meth:`PlanAuditor.tick`."""
+
+    tick: int
+    rows_checked: int
+    hw_cells_checked: int
+    mismatches: int
+    segment_ok: bool | None  # None = no owned segment to verify
+    republished: bool
+
+    @property
+    def clean(self) -> bool:
+        return self.mismatches == 0 and self.segment_ok is not False
+
+
+class PlanAuditor:
+    """Cross-checks the compiled plan against the authoritative labeling.
+
+    The compiled :class:`~repro.core.plan.QueryPlan` (and the
+    shared-memory segment the fleet serves it from) is *derived* state:
+    every cell has a ground truth in the dict labeling / highway it was
+    compiled from.  Each :meth:`tick` therefore
+
+    * decodes ``rows_per_tick`` sampled vertices' plan rows back to
+      ``{landmark: distance}`` and compares **bitwise** with
+      ``labeling.label(v)`` — a flipped bit in ``dists``/``slots``/
+      ``offsets`` cannot hide behind a tolerance;
+    * spot-checks ``hw_cells_per_tick`` dense ``δ_H`` cells against
+      ``highway.distance``;
+    * re-verifies the plan's owned shared segment checksums
+      (:meth:`~repro.core.shm.SharedPlanBuffers.verify`), quarantining
+      the segment on mismatch (the next ``shared_buffers()`` call
+      republishes a fresh one from the canonical arrays);
+    * on any row/cell mismatch, **republishes**: a forced fresh epoch
+      (:meth:`~repro.core.epoch.PlanRegistry.republish`) in epoch mode,
+      or dropping the cached plan + a version bump otherwise — repair by
+      recompilation, mirroring :class:`IndexAuditor`'s
+      quarantine-and-repair shape one layer down.
+
+    A plan that is merely *stale* (a mutation already invalidated it) is
+    skipped, not flagged: staleness is the recompile machinery's job;
+    the auditor hunts silent corruption in plans still being served.
+    ``tick()`` never raises.
+    """
+
+    def __init__(
+        self,
+        dyn: DynamicHCL,
+        rows_per_tick: int = 8,
+        hw_cells_per_tick: int = 8,
+        seed: int = 0,
+        registry=None,
+    ):
+        self._dyn = dyn
+        self.rows_per_tick = rows_per_tick
+        self.hw_cells_per_tick = hw_cells_per_tick
+        self._rng = random.Random(seed)
+        self._registry = registry
+        self.ticks = 0
+        self.rows_checked = 0
+        self.mismatches_found = 0
+        self.segment_failures = 0
+        self.republishes = 0
+
+    def _current_plan(self):
+        """The plan now being served, or ``None`` (nothing to audit).
+
+        Never compiles: an index that has not paid for a plan yet has no
+        derived state to corrupt.
+        """
+        index = self._dyn.index
+        if index.plan_mode == "epoch" and index._plan_registry is not None:
+            plan = index._plan_registry.head_plan()
+        else:
+            plan = index.plan()
+        if plan is None or not plan.matches(index):
+            return None
+        return plan
+
+    def tick(self) -> PlanAuditReport:
+        """One audit increment over the served plan; never raises."""
+        self.ticks += 1
+        if self._registry is not None:
+            self._registry.counter("plan_audit.ticks").inc()
+        index = self._dyn.index
+        plan = self._current_plan()
+        if plan is None:
+            return PlanAuditReport(self.ticks, 0, 0, 0, None, False)
+
+        n, k, ids, offsets, slots, dists, hw = plan.canonical_arrays()
+        label = index.labeling.label
+        rng = self._rng
+        mismatches = 0
+
+        rows = min(self.rows_per_tick, n)
+        for _ in range(rows):
+            v = rng.randrange(n)
+            decoded = {
+                ids[slots[i]]: dists[i]
+                for i in range(offsets[v], offsets[v + 1])
+            }
+            if decoded != dict(label(v)):
+                mismatches += 1
+        self.rows_checked += rows
+
+        cells = min(self.hw_cells_per_tick, k * k)
+        distance = index.highway.distance
+        for _ in range(cells):
+            i = rng.randrange(k)
+            j = rng.randrange(k)
+            if hw[i * k + j] != distance(ids[i], ids[j]):
+                mismatches += 1
+
+        segment_ok = None
+        shm = plan._shm
+        if shm is not None and not shm.unlinked:
+            segment_ok = shm.verify()
+            if not segment_ok:
+                self.segment_failures += 1
+                if self._registry is not None:
+                    self._registry.counter(
+                        "plan_audit.segment_failures"
+                    ).inc()
+
+        republished = False
+        if mismatches:
+            self.mismatches_found += mismatches
+            if self._registry is not None:
+                self._registry.counter("plan_audit.mismatches").inc(
+                    mismatches
+                )
+            republished = self._republish(index)
+            if republished:
+                self.republishes += 1
+                if self._registry is not None:
+                    self._registry.counter("plan_audit.republishes").inc()
+        if self._registry is not None:
+            self._registry.counter("plan_audit.rows_checked").inc(rows)
+        return PlanAuditReport(
+            self.ticks, rows, cells, mismatches, segment_ok, republished
+        )
+
+    def _republish(self, index) -> bool:
+        """Recompile-and-replace the corrupt plan; never raises."""
+        try:
+            if index.plan_mode == "epoch" and index._plan_registry is not None:
+                index._plan_registry.republish()
+            else:
+                # Drop the cached plan and bump the revision stamp: the
+                # next query recompiles from the authoritative dicts,
+                # and every pinned consumer revalidates.
+                index._plan = None
+                self._dyn.bump_version()
+            return True
+        except ReproError:
+            return False
+
+    def summary(self) -> dict:
+        """Aggregate state for ``HCLService.health()``."""
+        return {
+            "ticks": self.ticks,
+            "rows_checked": self.rows_checked,
+            "mismatches_found": self.mismatches_found,
+            "segment_failures": self.segment_failures,
+            "republishes": self.republishes,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PlanAuditor(ticks={self.ticks}, "
+            f"mismatches={self.mismatches_found}, "
+            f"republishes={self.republishes})"
         )

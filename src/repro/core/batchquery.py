@@ -38,7 +38,12 @@ import multiprocessing
 from typing import Iterable, Sequence
 
 from ..budget import Budget
-from ..errors import DeadlineExceeded, RequestError, VertexError
+from ..errors import (
+    DeadlineExceeded,
+    PlanIntegrityError,
+    RequestError,
+    VertexError,
+)
 from ..graphs.csr import CSRGraph
 from ..graphs.traversal import bounded_bidirectional_distance_masked
 from .index import HCLIndex
@@ -439,6 +444,15 @@ def _attached_plan_solver(ref, csr, backend: str) -> "_PlanBatchSolver":
     return _PlanBatchSolver(entry[1], csr, backend)
 
 
+#: Worker-side: the exception the pool initializer swallowed, if any.  A
+#: ``multiprocessing.Pool`` initializer that *raises* kills the worker,
+#: which the pool silently respawns — and the respawn raises again,
+#: looping forever without ever failing the batch.  The initializer
+#: therefore stores attach failures here and the first chunk call raises
+#: them, which propagates cleanly through ``pool.map`` to the parent.
+_POOL_INIT_ERROR: Exception | None = None
+
+
 def _init_query_pool(
     highway,
     labeling,
@@ -449,11 +463,19 @@ def _init_query_pool(
     plan_ref=None,
     backend="flat",
 ) -> None:
-    global _POOL_SOLVER, _POOL_EXACT
+    global _POOL_SOLVER, _POOL_EXACT, _POOL_INIT_ERROR
+    _POOL_INIT_ERROR = None
+    _POOL_SOLVER = None
     if plan_ref is not None:
         # Zero-copy transport: the plan's canonical arrays live in a
         # named shared-memory segment; only the tiny ref was pickled.
-        _POOL_SOLVER = _attached_plan_solver(plan_ref, csr, backend)
+        # Attach-time CRC verification happens inside ``ref.attach()``;
+        # a corrupt or vanished segment must not raise *here* (see
+        # ``_POOL_INIT_ERROR``).
+        try:
+            _POOL_SOLVER = _attached_plan_solver(plan_ref, csr, backend)
+        except (PlanIntegrityError, FileNotFoundError, OSError) as exc:
+            _POOL_INIT_ERROR = exc
     elif plan is not None:
         # The plan arrives rebuilt from its canonical arrays; the CSR
         # snapshot (when present) backs its refinement adjacency.
@@ -464,6 +486,8 @@ def _init_query_pool(
 
 
 def _pool_solve_chunk(keys: list[tuple[int, int]]) -> list[float]:
+    if _POOL_SOLVER is None:
+        raise _POOL_INIT_ERROR or RuntimeError("pool initializer did not run")
     return _POOL_SOLVER.solve(keys, _POOL_EXACT)
 
 
@@ -658,15 +682,42 @@ def query_batch(
                     backend,
                 )
             ctx = _pool_context()
-            with ctx.Pool(
-                pool_size,
-                initializer=_init_query_pool,
-                initargs=initargs,
-            ) as pool:
-                values = [
-                    v for chunk in pool.map(_pool_solve_chunk, chunks)
-                    for v in chunk
-                ]
+            try:
+                with ctx.Pool(
+                    pool_size,
+                    initializer=_init_query_pool,
+                    initargs=initargs,
+                ) as pool:
+                    values = [
+                        v for chunk in pool.map(_pool_solve_chunk, chunks)
+                        for v in chunk
+                    ]
+            except PlanIntegrityError as exc:
+                # A worker's attach-time CRC check caught segment
+                # corruption.  Quarantine the name parent-side (the
+                # owner republishes on its next shared_buffers call)
+                # and complete the batch over the pickle transport —
+                # the canonical arrays live in heap memory, unaffected.
+                if plan_obj is None:
+                    raise
+                from .shm import quarantine as _quarantine_segment
+
+                if exc.segment:
+                    _quarantine_segment(exc.segment)
+                TRANSPORT_COUNTS["pickle"] += 1
+                initargs = (
+                    None, None, csr, row_threshold, exact,
+                    plan_obj, None, backend,
+                )
+                with ctx.Pool(
+                    pool_size,
+                    initializer=_init_query_pool,
+                    initargs=initargs,
+                ) as pool:
+                    values = [
+                        v for chunk in pool.map(_pool_solve_chunk, chunks)
+                        for v in chunk
+                    ]
 
         return [values[order[key]] for key in keys]
     finally:

@@ -386,6 +386,30 @@ class PlanRegistry:
         self._run_recompile(task)
         return self._head
 
+    def republish(self) -> PlanEpoch | None:
+        """Force a full recompile and publish a fresh epoch, stale or not.
+
+        The integrity remedy (:class:`~repro.core.auditor.PlanAuditor`,
+        :mod:`repro.core.shm` quarantine): when a plan row or its shared
+        segment is found corrupt, the fix is a brand-new epoch compiled
+        from the authoritative dict labeling — new plan version, new
+        segment name — even though the index version never moved, so the
+        staleness check in :meth:`refresh` would wave it through.
+        Returns the new head (``None`` before the first epoch exists:
+        the next reader compiles fresh anyway).
+        """
+        with self._lock:
+            if self._head is None:
+                return None
+            if self._pending is not None and not self._pending.started:
+                self._pending.cancelled = True
+                self._pending = None
+                self.cancelled_recompiles += 1
+            task = _RecompileTask(None, None, False)
+            self._pending = task
+        self._run_recompile(task)
+        return self._head
+
     def invalidate_pending(self) -> None:
         """Cancel any recompile that has not yet published.
 

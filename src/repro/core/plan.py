@@ -519,8 +519,22 @@ class QueryPlan:
         named segment), cached thereafter; returns ``None`` when shared
         memory is unavailable or the segment has already been unlinked —
         callers fall back to pickling the canonical arrays.
+
+        A cached segment that was **quarantined** (failed a CRC check,
+        :mod:`repro.core.shm`) is unlinked and replaced with a fresh
+        segment republished from the canonical arrays — those live in
+        ordinary heap memory and are unaffected by segment corruption.
         """
         shm = self._shm
+        if shm is not None and not shm.unlinked and shm.quarantined:
+            from .shm import COUNTS
+
+            try:
+                shm.unlink()
+            except Exception:  # pragma: no cover - teardown races
+                pass
+            self._shm = shm = None
+            COUNTS["republished"] += 1
         if shm is None:
             from .shm import SharedPlanBuffers
 

@@ -38,12 +38,13 @@ from typing import BinaryIO, Union
 
 from .breaker import CircuitBreaker
 from .budget import Budget, DegradedResult
-from .core.auditor import IndexAuditor
+from .core.auditor import IndexAuditor, PlanAuditor
 from .core.cache import CachedQueryEngine
 from .core.dynhcl import DynamicHCL
 from .core.invariants import find_cover_violations, sample_vertex_pairs
 from .core.planvec import default_backend
-from .core.shm import shm_available
+from .core.shm import COUNTS as SHM_COUNTS
+from .core.shm import quarantined_segments, shm_available
 from .core.serialization import (
     load_checkpoint,
     load_index_binary,
@@ -267,6 +268,9 @@ class HCLService:
             if auditor._registry is None:
                 auditor._registry = self._registry
         self.auditor = auditor
+        # Lazily-built plan/shm cross-checker (see plan_audit_tick):
+        # only deployments that tick it pay for it.
+        self._plan_auditor = None
 
     @classmethod
     def build(
@@ -774,6 +778,34 @@ class HCLService:
         """
         return self.auditor.tick()
 
+    @property
+    def plan_auditor(self) -> PlanAuditor:
+        """The plan/shm cross-checker (built on first use)."""
+        if self._plan_auditor is None:
+            self._plan_auditor = PlanAuditor(
+                self._dyn, registry=self._registry
+            )
+        return self._plan_auditor
+
+    def plan_audit_tick(self):
+        """Run one increment of the plan-integrity auditor.
+
+        The derived-state counterpart of :meth:`audit_tick`: samples
+        compiled-plan rows (and ``δ_H`` cells) and compares them bitwise
+        against the authoritative dict labeling, re-verifies the plan's
+        shared-memory segment checksums, and republishes a fresh plan on
+        any mismatch.  Returns the
+        :class:`~repro.core.auditor.PlanAuditReport`; cumulative state
+        surfaces in :meth:`health` under ``plan.integrity``.  Also the
+        natural ``integrity_check`` callable for a
+        :class:`~repro.shard.supervisor.FleetSupervisor`::
+
+            sup = FleetSupervisor(
+                fleet, integrity_check=lambda: svc.plan_audit_tick().clean
+            )
+        """
+        return self.plan_auditor.tick()
+
     def health(self) -> dict:
         """One structured verdict on whether this service is fit to serve.
 
@@ -824,6 +856,17 @@ class HCLService:
                     if self._dyn.index._plan_registry is not None
                     else None
                 ),
+                "integrity": {
+                    "quarantined_segments": quarantined_segments(),
+                    "verified": SHM_COUNTS["verified"],
+                    "failures": SHM_COUNTS["integrity_failures"],
+                    "republished": SHM_COUNTS["republished"],
+                    "auditor": (
+                        self._plan_auditor.summary()
+                        if self._plan_auditor is not None
+                        else None
+                    ),
+                },
             },
         }
 

@@ -15,13 +15,25 @@ with a fault-tolerant scatter-gather coordinator:
 * :mod:`repro.shard.coordinator` — :class:`ShardedService`: routing,
   deadline-aware retry with jittered backoff, replica failover, in-call
   restart from the pinned epoch, graceful degradation, fleet
-  ``health()``, and atomic epoch cutover.
+  ``health()``, and atomic epoch cutover;
+* :mod:`repro.shard.supervisor` — :class:`FleetSupervisor`: out-of-band
+  heartbeats that catch dead *and hung* workers between queries,
+  backoff-damped proactive restarts with epoch re-broadcast, and a
+  hysteresis-filtered verdict rolled into fleet ``health()``.
 
 ``python -m repro.shard`` runs a seeded shard-fault sweep (the CI chaos
-lane's fleet exercise) and writes the fleet-health JSON artifact.
+lane's fleet exercise, including supervisor convergence and segment
+corruption) and writes the fleet-health JSON artifact.
 """
 
 from .coordinator import ShardedService
 from .partition import Partition, ShardSlice, partition_plan
+from .supervisor import FleetSupervisor
 
-__all__ = ["Partition", "ShardSlice", "ShardedService", "partition_plan"]
+__all__ = [
+    "FleetSupervisor",
+    "Partition",
+    "ShardSlice",
+    "ShardedService",
+    "partition_plan",
+]

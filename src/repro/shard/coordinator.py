@@ -157,6 +157,7 @@ class ShardedService:
         self._plan_registry = None
         self._listener = None
         self._closed = False
+        self._supervisor = None  # attached FleetSupervisor, if any
 
         def _breaker():
             return CircuitBreaker(
@@ -169,6 +170,12 @@ class ShardedService:
             ReplicaSet(i, replication_factor, _breaker)
             for i in range(nshards)
         ]
+        for rset in self._sets:
+            stale_counter = self.registry.counter(
+                f"shard.{rset.shard_id}.stale_replies"
+            )
+            for replica in rset.replicas:
+                replica.on_stale = stale_counter.inc
         self._executor = ThreadPoolExecutor(
             max_workers=max(2, nshards), thread_name_prefix="shard-rpc"
         )
@@ -228,9 +235,33 @@ class ShardedService:
             for replica in self._sets[shard_id].replicas:
                 if not replica.alive:
                     continue
+                payload = part.slices[shard_id]
+                try:
+                    replica.call("load", (version, payload), load_timeout)
+                    ok = True
+                    continue
+                except ReplicaCallError as exc:
+                    if not str(exc).startswith("PlanIntegrityError"):
+                        replica.mark_dead()
+                        self._scount(shard_id, "stage_failures")
+                        continue
+                    # The worker's attach-time CRC check caught segment
+                    # corruption.  The worker is *healthy* — do not kill
+                    # it; quarantine the segment coordinator-side (so
+                    # the owner republishes) and re-stage this shard
+                    # over the pickle transport from the canonical
+                    # arrays, which corruption cannot touch.
+                    self._quarantine_from_error(str(exc))
+                    self.registry.counter("fleet.integrity_fallbacks").inc()
+                except (ReplicaDown, ReplicaTimeout):
+                    replica.mark_dead()
+                    self._scount(shard_id, "stage_failures")
+                    continue
                 try:
                     replica.call(
-                        "load", (version, part.slices[shard_id]), load_timeout
+                        "load",
+                        (version, part.restart_slice(shard_id)),
+                        load_timeout,
                     )
                     ok = True
                 except (ReplicaDown, ReplicaTimeout, ReplicaCallError):
@@ -343,12 +374,35 @@ class ShardedService:
             shard=shard_id,
         )
 
-    def _restart_one(self, rset: ReplicaSet):
-        """Respawn one dead replica from the pinned slices; None on failure."""
-        dead = rset.dead()
-        if not dead:
+    @staticmethod
+    def _quarantine_from_error(message: str) -> None:
+        """Quarantine the segment a worker's integrity error names.
+
+        Worker error replies are strings (``"PlanIntegrityError: segment
+        'psm_...' ..."``); the quoted name is all the coordinator needs
+        to bar its own side from the segment and trigger republish.
+        """
+        import re
+
+        from ..core.shm import quarantine
+
+        match = re.search(r"segment '([^']+)'", message)
+        if match:
+            quarantine(match.group(1))
+
+    def _restart_one(self, rset: ReplicaSet, replica=None):
+        """Respawn one dead replica from the pinned slices; None on failure.
+
+        ``replica`` picks a specific dead member (the supervisor's
+        targeted repair); by default the first dead one is revived.
+        """
+        if replica is None:
+            dead = rset.dead()
+            if not dead:
+                return None
+            replica = dead[0]
+        elif replica.alive:
             return None
-        replica = dead[0]
         with self._lock:
             parts = dict(self._parts)
         load_timeout = self.rpc_timeout * _LOAD_TIMEOUT_FACTOR
@@ -382,6 +436,30 @@ class ShardedService:
                     break
                 revived += 1
         return revived
+
+    # ------------------------------------------------------------------
+    # Supervisor surface
+    # ------------------------------------------------------------------
+    @property
+    def replica_sets(self) -> tuple:
+        """The per-shard :class:`ReplicaSet`\\ s (read-only view) — the
+        surface the :class:`~repro.shard.supervisor.FleetSupervisor`
+        heartbeats and repairs through."""
+        return tuple(self._sets)
+
+    def restart_replica(self, rset: ReplicaSet, replica=None) -> bool:
+        """Restart one dead replica of ``rset`` from the pinned slices.
+
+        Replays **every** pinned version into the fresh process (the
+        epoch re-broadcast) and closes its breaker.  Returns ``True`` on
+        success; ``False`` when nothing was dead or the restart failed
+        (the supervisor's backoff ladder decides when to try again).
+        """
+        return self._restart_one(rset, replica) is not None
+
+    def attach_supervisor(self, supervisor) -> None:
+        """Roll ``supervisor``'s verdict into :meth:`health` from now on."""
+        self._supervisor = supervisor
 
     # ------------------------------------------------------------------
     # Serving
@@ -531,7 +609,17 @@ class ShardedService:
     # Health + lifecycle
     # ------------------------------------------------------------------
     def health(self) -> dict:
-        """Fleet-level roll-up: per-shard replica/breaker state + totals."""
+        """Fleet-level roll-up: per-shard replica/breaker state + totals.
+
+        Per-replica snapshots carry breaker ``state`` and
+        ``breaker_retry_after`` (seconds until a tripped breaker next
+        admits a probe) plus ``stale_replies``.  With a
+        :class:`~repro.shard.supervisor.FleetSupervisor` attached the
+        top-level ``status`` is the *supervised* verdict — hysteresis
+        included, so a fleet that just finished a restart storm reports
+        ``"recovering"`` until it has stayed clean long enough — and the
+        raw instantaneous verdict moves to ``"raw_status"``.
+        """
         shards = {}
         alive = 0
         for rset in self._sets:
@@ -550,18 +638,20 @@ class ShardedService:
                 "fleet.shed",
                 "fleet.restarts",
                 "fleet.publishes",
+                "fleet.integrity_fallbacks",
             )
         }
         with self._lock:
             version = self._version
             inflight = self._inflight
         total = self.nshards * self.replication_factor
-        return {
-            "status": "ok" if alive == total else (
-                "degraded" if all(
-                    rset.alive_count() for rset in self._sets
-                ) else "unavailable"
-            ),
+        raw_status = "ok" if alive == total else (
+            "degraded" if all(
+                rset.alive_count() for rset in self._sets
+            ) else "unavailable"
+        )
+        report = {
+            "status": raw_status,
             "version": version,
             "stale": self._stale,
             "inflight": inflight,
@@ -570,6 +660,20 @@ class ShardedService:
             "shards": shards,
             **counters,
         }
+        supervisor = self._supervisor
+        if supervisor is not None:
+            report["raw_status"] = raw_status
+            report["supervisor"] = supervisor.state()
+            # Hysteresis: only the supervisor may call the fleet "ok",
+            # and only after enough consecutive clean sweeps; a raw
+            # outage (worse than the supervisor's last verdict) still
+            # shows immediately.
+            sup_status = supervisor.status
+            rank = {"ok": 0, "recovering": 1, "degraded": 2, "unavailable": 3}
+            report["status"] = max(
+                raw_status, sup_status, key=lambda s: rank.get(s, 3)
+            )
+        return report
 
     def metrics(self) -> dict:
         """Snapshot of the always-on fleet registry."""
@@ -582,6 +686,11 @@ class ShardedService:
             if self._closed:
                 return
             self._closed = True
+        if self._supervisor is not None:
+            try:
+                self._supervisor.stop()
+            except Exception:  # pragma: no cover - teardown best-effort
+                pass
         if self._plan_registry is not None and self._listener is not None:
             self._plan_registry.remove_publish_listener(self._listener)
         for rset in self._sets:

@@ -12,7 +12,11 @@ The RPC discipline lives in :meth:`Replica.call`:
 * every request carries a fresh ``req_id``; replies are matched on it,
   so a *stale* reply (a slow worker answering after we timed out and
   moved on) is drained and discarded instead of being mistaken for the
-  answer to the current request;
+  answer to the current request — the drain is **bounded**
+  (``_MAX_STALE_REPLIES`` per call, tallied in ``stale_replies`` and the
+  fleet's ``shard.<i>.stale_replies`` counter), so a babbling or
+  fault-injected worker feeding garbage replies cannot spin the loop
+  forever;
 * a timeout raises :class:`ReplicaTimeout` and leaves the process alive
   (hung-or-slow is not proof of death — the next call may drain its
   late reply and succeed);
@@ -62,6 +66,13 @@ def _mp_context():
     return multiprocessing.get_context()
 
 
+#: Stale replies drained per call before declaring the worker babbling.
+#: A healthy worker leaves at most a handful of late replies in the pipe
+#: (one per timed-out request); dozens in a single call means the
+#: process is flooding the pipe and is treated as a timeout.
+_MAX_STALE_REPLIES = 64
+
+
 class Replica:
     """One worker process of one shard, with its breaker and pipe."""
 
@@ -71,6 +82,8 @@ class Replica:
         "breaker",
         "alive",
         "restarts",
+        "stale_replies",
+        "on_stale",
         "_proc",
         "_conn",
         "_req_seq",
@@ -85,6 +98,11 @@ class Replica:
         self.breaker = breaker
         self.alive = False
         self.restarts = 0
+        #: Lifetime count of stale (mismatched req_id) replies drained.
+        self.stale_replies = 0
+        #: Optional ``callable(n)`` the coordinator wires to its
+        #: ``shard.<i>.stale_replies`` counter.
+        self.on_stale = None
         self._proc = None
         self._conn = None
         self._req_seq = 0
@@ -131,6 +149,7 @@ class Replica:
             self.mark_dead()
             raise ReplicaDown(f"{self!r}: send failed: {exc}") from exc
         deadline = self._clock() + timeout
+        drained = 0
         while True:
             remaining = deadline - self._clock()
             if remaining <= 0:
@@ -147,7 +166,19 @@ class Replica:
                 self.mark_dead()
                 raise ReplicaDown(f"{self!r}: pipe broke: {exc}") from exc
             if rid != req_id:
-                continue  # stale reply from an earlier timed-out call
+                # Stale reply from an earlier timed-out call.  Bounded:
+                # a babbling worker could otherwise feed this loop
+                # replies faster than the deadline drains.
+                drained += 1
+                self.stale_replies += 1
+                if self.on_stale is not None:
+                    self.on_stale(1)
+                if drained >= _MAX_STALE_REPLIES:
+                    raise ReplicaTimeout(
+                        f"{self!r}: drained {drained} stale replies to "
+                        f"{op!r} without a matching one (babbling worker)"
+                    )
+                continue
             if not ok:
                 raise ReplicaCallError(result)
             return result
@@ -171,12 +202,20 @@ class Replica:
             proc.join(timeout=2.0)
 
     def snapshot(self) -> dict:
-        """Flat health view for the fleet roll-up."""
+        """Flat health view for the fleet roll-up.
+
+        ``breaker_retry_after`` is the seconds until a non-closed breaker
+        next admits a half-open probe (0.0 when closed) — operators can
+        see *when* a tripped replica will be retried, not just that it
+        tripped.
+        """
         return {
             "alive": self.alive,
             "pid": self.pid,
             "restarts": self.restarts,
+            "stale_replies": self.stale_replies,
             "breaker": self.breaker.state,
+            "breaker_retry_after": self.breaker.retry_after(),
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -36,7 +36,9 @@ bitwise-equal to the unsharded plan.
 Fault injection: :data:`_SHARD_FAULT` is the seam
 :func:`repro.testing.faults.inject_shard_fault` arms; the coordinator
 ships it to each worker at spawn, and the worker consults it once per
-data RPC (kill / hang / slow / raise).  Always ``None`` in production.
+RPC named in the fault's ``ops`` (the data RPCs by default; add
+``"ping"`` to fault heartbeat probes) — kill / hang / slow / raise.
+Always ``None`` in production.
 """
 
 from __future__ import annotations
@@ -164,11 +166,13 @@ def shard_worker_main(conn, shard_id: int, replica_id: int, fault=None) -> None:
         except (EOFError, OSError):
             return  # coordinator went away: nothing left to serve
         try:
+            if fault is not None and op in getattr(
+                fault, "ops", ("rows", "combine")
+            ):
+                ordinal = data_ordinal
+                data_ordinal += 1
+                fault.fire(shard_id, replica_id, ordinal)
             if op in ("rows", "combine"):
-                if fault is not None:
-                    ordinal = data_ordinal
-                    data_ordinal += 1
-                    fault.fire(shard_id, replica_id, ordinal)
                 version = payload[0]
                 state = states.get(version)
                 if state is None:

@@ -10,10 +10,13 @@ to the update algorithms is expected to keep passing under it.
 
 from .faults import (
     FakeClock,
+    HeartbeatFault,
     InjectedFault,
     ShardFault,
     WorkerFault,
     corrupt_byte,
+    corrupt_segment,
+    drop_heartbeats,
     fail_at_label_write,
     fail_at_phase,
     inject_shard_fault,
@@ -25,12 +28,15 @@ from .interleave import InterleaveError, StepScheduler
 
 __all__ = [
     "FakeClock",
+    "HeartbeatFault",
     "InjectedFault",
     "InterleaveError",
     "ShardFault",
     "StepScheduler",
     "WorkerFault",
     "corrupt_byte",
+    "corrupt_segment",
+    "drop_heartbeats",
     "fail_at_label_write",
     "fail_at_phase",
     "inject_shard_fault",

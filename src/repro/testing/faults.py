@@ -41,10 +41,13 @@ from typing import Callable, Iterator
 
 __all__ = [
     "FakeClock",
+    "HeartbeatFault",
     "InjectedFault",
     "ShardFault",
     "WorkerFault",
     "corrupt_byte",
+    "corrupt_segment",
+    "drop_heartbeats",
     "fail_at_label_write",
     "fail_at_phase",
     "inject_shard_fault",
@@ -284,6 +287,10 @@ class ShardFault:
     ``"raise"``
         The RPC fails with :class:`InjectedFault`; the worker survives
         and the coordinator retries.
+
+    ``ops`` selects which worker ops count toward the ordinal and can
+    fault — the default keeps the historical behavior (data RPCs only);
+    add ``"ping"`` to fault the supervisor's heartbeat probes too.
     """
 
     kind: str
@@ -291,11 +298,13 @@ class ShardFault:
     replica: int | None = None
     requests: tuple[int, ...] = (0,)
     seconds: float = 1.0
+    ops: tuple[str, ...] = ("rows", "combine")
 
     def __post_init__(self):
         if self.kind not in ("kill", "hang", "slow", "raise"):
             raise ValueError(f"unknown shard fault kind {self.kind!r}")
         object.__setattr__(self, "requests", tuple(self.requests))
+        object.__setattr__(self, "ops", tuple(self.ops))
 
     def fire(self, shard: int, replica: int, ordinal: int) -> None:
         """Called by the worker per data RPC; faults if matched.
@@ -342,6 +351,54 @@ def inject_shard_fault(fault: ShardFault) -> Iterator[None]:
 
 
 # ----------------------------------------------------------------------
+# Supervisor heartbeat faults
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class HeartbeatFault:
+    """Drop the fleet supervisor's heartbeat probes to chosen replicas.
+
+    Arms the :data:`repro.shard.supervisor._PING_HOOK` seam (via
+    :func:`drop_heartbeats`): when the supervisor is about to ping a
+    matching replica on a matching tick, the probe is *dropped* — the
+    supervisor observes exactly what a hung worker looks like (a
+    deadline-bounded ping that never answers) without wedging a real
+    process.  ``ticks`` are the supervisor's 0-based tick ordinals on
+    which the drop fires; an unhealthy-looking worker whose fault window
+    ends *recovers*, which is how tests prove a worker that answers
+    again before the hang deadline is **not** restarted.
+    """
+
+    shard: int
+    replica: int | None = None
+    ticks: tuple[int, ...] = (0,)
+
+    def __post_init__(self):
+        object.__setattr__(self, "ticks", tuple(self.ticks))
+
+    def matches(self, shard: int, replica: int, tick: int) -> bool:
+        """Whether the probe to (shard, replica) on ``tick`` is dropped."""
+        if shard != self.shard:
+            return False
+        if self.replica is not None and replica != self.replica:
+            return False
+        return tick in self.ticks
+
+
+@contextmanager
+def drop_heartbeats(fault: HeartbeatFault) -> Iterator[None]:
+    """Arm ``fault`` for :class:`repro.shard.supervisor.FleetSupervisor`
+    ticks inside the block (coordinator-side seam; no worker involved)."""
+    from ..shard import supervisor as supervisor_mod
+
+    old = supervisor_mod._PING_HOOK
+    supervisor_mod._PING_HOOK = fault.matches
+    try:
+        yield
+    finally:
+        supervisor_mod._PING_HOOK = old
+
+
+# ----------------------------------------------------------------------
 # On-disk corruption
 # ----------------------------------------------------------------------
 def corrupt_byte(path: str | Path, offset: int, xor: int = 0xFF) -> None:
@@ -360,6 +417,46 @@ def corrupt_byte(path: str | Path, offset: int, xor: int = 0xFF) -> None:
         byte = fh.read(1)[0]
         fh.seek(offset)
         fh.write(bytes([byte ^ xor]))
+
+
+def corrupt_segment(ref, offset: int = 0, xor: int = 0xFF) -> None:
+    """Flip bits of one byte inside a live shared-memory plan segment.
+
+    ``ref`` is a :class:`~repro.core.shm.SharedPlanRef`; ``offset`` is
+    relative to the segment's *data block* (the five canonical arrays —
+    negative offsets count from its end), so the flip lands in label
+    data, the place where silent corruption would otherwise become a
+    bitwise-wrong distance.  The next verifying attach (or on-demand
+    ``verify()``) must detect it and raise
+    :class:`~repro.errors.PlanIntegrityError`.
+    """
+    from ..core import shm as shm_mod
+
+    if not 1 <= xor <= 0xFF:
+        raise ValueError(f"xor mask must be in [1, 255], got {xor}")
+    shared_memory = shm_mod._load_shared_memory()
+    if shared_memory is None:  # pragma: no cover - platform guard
+        raise RuntimeError("shared memory unsupported on platform")
+    try:
+        seg = shared_memory.SharedMemory(name=ref.name, track=False)
+    except TypeError:  # Python < 3.13: no track parameter
+        seg = shm_mod._attach_untracked(shared_memory, ref.name)
+    try:
+        layout = shm_mod._Layout(ref.n, ref.k, ref.entries)
+        data_bytes = layout.data_cells * shm_mod._ITEMSIZE
+        if offset < 0:
+            offset += data_bytes
+        if not 0 <= offset < data_bytes:
+            raise ValueError(
+                f"offset {offset} outside data block of {data_bytes} bytes"
+            )
+        pos = shm_mod._HEADER_CELLS * shm_mod._ITEMSIZE + offset
+        seg.buf[pos] = seg.buf[pos] ^ xor
+    finally:
+        try:
+            seg.close()
+        except BufferError:  # pragma: no cover - lingering view
+            pass
 
 
 def truncate_tail(path: str | Path, nbytes: int) -> None:

@@ -254,6 +254,9 @@ class TestShardedService:
                 assert len(snap["replicas"]) == 2
                 for rsnap in snap["replicas"]:
                     assert rsnap["alive"] and rsnap["pid"]
+                    assert rsnap["stale_replies"] == 0
+                    assert rsnap["breaker"] == "closed"
+                    assert rsnap["breaker_retry_after"] == 0.0
             assert health["fleet.batches"] == 1
             assert health["fleet.queries"] == 10
 
@@ -273,3 +276,67 @@ class TestShardedService:
             ShardedService(plan, nshards=2, rpc_timeout=0.0)
         with pytest.raises(RequestError):
             ShardedService(plan, nshards=2, max_inflight=0)
+
+
+# ----------------------------------------------------------------------
+# Stale-reply drain bound (stubbed pipe, no processes)
+# ----------------------------------------------------------------------
+class _BabblingConn:
+    """A pipe stand-in that answers with whatever req_ids it was fed."""
+
+    def __init__(self, replies):
+        self.replies = list(replies)
+        self.sent = []
+
+    def send(self, msg):
+        self.sent.append(msg)
+
+    def poll(self, timeout):
+        return bool(self.replies)
+
+    def recv(self):
+        return self.replies.pop(0)
+
+
+def _stub_replica(replies):
+    from repro.breaker import CircuitBreaker
+    from repro.shard.replication import Replica
+
+    replica = Replica(0, 0, CircuitBreaker())
+    replica.alive = True
+    replica._conn = _BabblingConn(replies)
+    return replica
+
+
+class TestStaleReplyDrain:
+    def test_stale_replies_are_drained_counted_and_skipped(self):
+        from repro.shard.replication import Replica  # noqa: F401
+
+        # req_id will be 1; two stale replies precede the real one.
+        replica = _stub_replica(
+            [(-7, True, "old"), (0, True, "older"), (1, True, "fresh")]
+        )
+        seen = []
+        replica.on_stale = lambda n: seen.append(n)
+        assert replica.call("rows", None, 1.0) == "fresh"
+        assert replica.stale_replies == 2
+        assert seen == [1, 1]
+
+    def test_babbling_worker_cannot_pin_the_drain_loop(self):
+        """A worker feeding stale replies faster than the deadline
+        drains must hit the drain bound, not spin until the timeout."""
+        from repro.shard.replication import _MAX_STALE_REPLIES, ReplicaTimeout
+
+        # Infinite babble: every reply has a wrong req_id.
+        class _Endless(_BabblingConn):
+            def poll(self, timeout):
+                return True
+
+            def recv(self):
+                return (999, True, "stale")
+
+        replica = _stub_replica([])
+        replica._conn = _Endless([])
+        with pytest.raises(ReplicaTimeout, match="babbling"):
+            replica.call("rows", None, 60.0)  # deadline alone won't save us
+        assert replica.stale_replies == _MAX_STALE_REPLIES

@@ -1,0 +1,387 @@
+"""FleetSupervisor: heartbeats, hang detection, backoff-damped repair.
+
+Everything in this file is FakeClock-driven — no real sleeps, no real
+background thread (the thread path gets one smoke test).  The stub fleet
+scripts replica behavior per tick; the real-fleet tests at the bottom
+prove the same arcs against live worker processes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import random_graph
+from repro.core import build_hcl, select_landmarks
+from repro.obs import MetricsRegistry
+from repro.retry import BackoffPolicy
+from repro.shard import FleetSupervisor, ShardedService
+from repro.shard.replication import (
+    ReplicaCallError,
+    ReplicaDown,
+    ReplicaTimeout,
+)
+from repro.testing import FakeClock, HeartbeatFault, drop_heartbeats
+
+
+# ----------------------------------------------------------------------
+# Scriptable stand-ins for the fleet surface the supervisor consumes
+# ----------------------------------------------------------------------
+class StubReplica:
+    """Heartbeat behavior scripted per tick: "ok" | "timeout" | "error"."""
+
+    def __init__(self, shard_id, replica_id):
+        self.shard_id = shard_id
+        self.replica_id = replica_id
+        self.alive = True
+        self.behavior = "ok"
+        self.pings = 0
+
+    def call(self, op, payload, timeout):
+        assert op == "ping"
+        self.pings += 1
+        if not self.alive:
+            raise ReplicaDown(f"stub {self.shard_id}.{self.replica_id} down")
+        if self.behavior == "timeout":
+            raise ReplicaTimeout("stub heartbeat timeout")
+        if self.behavior == "error":
+            raise ReplicaCallError("stub error reply")
+        return "pong"
+
+    def mark_dead(self):
+        self.alive = False
+
+
+class StubSet:
+    def __init__(self, shard_id, nreplicas):
+        self.shard_id = shard_id
+        self.replicas = [StubReplica(shard_id, r) for r in range(nreplicas)]
+
+    def alive_count(self):
+        return sum(1 for r in self.replicas if r.alive)
+
+
+class StubFleet:
+    """Minimal ShardedService facade: replica_sets + restart_replica."""
+
+    def __init__(self, nshards=2, rf=2, restart_ok=True):
+        self.rpc_timeout = 0.25
+        self.registry = MetricsRegistry()
+        self.replica_sets = tuple(StubSet(s, rf) for s in range(nshards))
+        self.restart_ok = restart_ok
+        self.restarted = []  # (shard, replica) in restart order
+        self.supervisor = None
+
+    def attach_supervisor(self, supervisor):
+        self.supervisor = supervisor
+
+    def restart_replica(self, rset, replica=None):
+        target = replica
+        if target is None:
+            target = next(
+                (r for r in rset.replicas if not r.alive), None
+            )
+        if target is None or self.restart_ok is False:
+            return False
+        self.restarted.append((rset.shard_id, target.replica_id))
+        target.alive = True
+        target.behavior = "ok"
+        return True
+
+
+def supervised(fleet, clock=None, **kwargs):
+    kwargs.setdefault("period", 1.0)
+    kwargs.setdefault("hang_ticks", 3)
+    kwargs.setdefault("hysteresis_ticks", 2)
+    kwargs.setdefault(
+        "restart_backoff",
+        BackoffPolicy(base_delay=4.0, max_delay=32.0, jitter=0.0),
+    )
+    return FleetSupervisor(
+        fleet, clock=clock if clock is not None else FakeClock(), **kwargs
+    )
+
+
+def count(sup, name):
+    return sup.registry.counter(f"supervisor.{name}").value
+
+
+# ----------------------------------------------------------------------
+# Heartbeats and hang detection (stub fleet, zero real time)
+# ----------------------------------------------------------------------
+class TestHeartbeats:
+    def test_healthy_fleet_converges_after_hysteresis(self):
+        fleet = StubFleet()
+        sup = supervised(fleet)
+        assert sup.status == "recovering"  # no verdict before any tick
+        sup.run(1)
+        assert sup.status == "recovering"  # 1 clean tick < hysteresis 2
+        sup.run(1)
+        assert sup.status == "ok" and sup.converged
+        assert count(sup, "pings") == 8  # 4 replicas x 2 ticks
+        assert count(sup, "ping_timeouts") == 0
+        assert fleet.restarted == []
+
+    def test_hung_worker_declared_after_hang_ticks_then_restarted(self):
+        fleet = StubFleet()
+        victim = fleet.replica_sets[0].replicas[1]
+        victim.behavior = "timeout"
+        sup = supervised(fleet)
+        sup.run(2)
+        # Two misses: still just slow, not hung — no restart yet.
+        assert victim.alive and fleet.restarted == []
+        assert count(sup, "ping_timeouts") == 2
+        state = sup.run(1)  # third consecutive miss: hung
+        assert count(sup, "hangs_detected") == 1
+        # Same tick's repair pass restarted it (epoch re-broadcast in
+        # the real fleet) and the stub heals the behavior.
+        assert fleet.restarted == [(0, 1)]
+        assert count(sup, "restarts") == 1
+        assert victim.alive
+        assert state["status"] == "recovering"  # hysteresis holds it
+        sup.run(2)
+        assert sup.status == "ok"
+
+    def test_recovery_before_deadline_is_not_restarted(self):
+        """A worker that answers again before ``hang_ticks`` consecutive
+        misses keeps its process — the hang deadline forgives blips."""
+        fleet = StubFleet()
+        fault = HeartbeatFault(shard=0, replica=0, ticks=(0, 1))
+        sup = supervised(fleet)  # hang_ticks=3 > the 2-tick drop window
+        with drop_heartbeats(fault):
+            sup.run(4)
+        assert count(sup, "ping_timeouts") == 2
+        assert count(sup, "hangs_detected") == 0
+        assert count(sup, "restarts") == 0
+        assert fleet.restarted == []
+        assert fleet.replica_sets[0].replicas[0].alive
+        assert sup.status == "ok"
+
+    def test_miss_counter_resets_on_success(self):
+        """Misses must be *consecutive*: ok-pings between timeouts reset
+        the hang countdown, so intermittent slowness never kills."""
+        fleet = StubFleet(nshards=1, rf=1)
+        fault = HeartbeatFault(shard=0, ticks=(0, 2, 4, 6, 8))  # every other
+        sup = supervised(fleet)
+        with drop_heartbeats(fault):
+            sup.run(10)
+        assert count(sup, "ping_timeouts") == 5
+        assert count(sup, "hangs_detected") == 0
+        assert fleet.restarted == []
+
+    def test_error_reply_counts_as_responsive(self):
+        fleet = StubFleet(nshards=1, rf=1)
+        fleet.replica_sets[0].replicas[0].behavior = "error"
+        sup = supervised(fleet)
+        sup.run(3)
+        assert count(sup, "ping_errors") == 3
+        assert count(sup, "ping_timeouts") == 0
+        assert count(sup, "hangs_detected") == 0
+        assert sup.status == "ok"
+
+    def test_dead_replica_detected_out_of_band_and_repaired(self):
+        """A replica that dies *between queries* is found by the
+        watchdog, not by the next unlucky request."""
+        fleet = StubFleet()
+        fleet.replica_sets[1].replicas[0].alive = False
+        sup = supervised(fleet)
+        sup.run(1)
+        assert fleet.restarted == [(1, 0)]
+        assert count(sup, "restarts") == 1
+        assert fleet.replica_sets[1].alive_count() == 2
+
+
+# ----------------------------------------------------------------------
+# Restart damping, forgiveness, hysteresis
+# ----------------------------------------------------------------------
+class TestRepairDamping:
+    def test_backoff_defers_restart_storms(self):
+        """A replica whose restarts keep failing is retried on the
+        backoff ladder, not hammered every tick."""
+        fleet = StubFleet(nshards=1, rf=2, restart_ok=False)
+        fleet.replica_sets[0].replicas[0].alive = False
+        clock = FakeClock()
+        sup = supervised(fleet, clock=clock)  # backoff 4, 8, 16, 32
+        sup.run(1)  # t=1: attempt 0 fails; next allowed at t=5
+        assert count(sup, "restart_failures") == 1
+        sup.run(3)  # t=2..4: inside the backoff window
+        assert count(sup, "restart_failures") == 1
+        assert count(sup, "restarts_deferred") == 3
+        sup.run(1)  # t=5: attempt 1 fires (and fails; next at t=13)
+        assert count(sup, "restart_failures") == 2
+        # Now let restarts succeed: the next ladder slot heals it.
+        fleet.restart_ok = True
+        sup.run(7)  # t=6..12: still deferred
+        assert count(sup, "restart_failures") == 2
+        assert fleet.replica_sets[0].replicas[0].alive is False
+        sup.run(1)  # t=13: attempt 2
+        assert count(sup, "restarts") == 1
+        assert fleet.replica_sets[0].replicas[0].alive
+        assert sup.status == "recovering"
+
+    def test_stable_ticks_forgive_backoff_debt(self):
+        fleet = StubFleet(nshards=1, rf=1)
+        replica = fleet.replica_sets[0].replicas[0]
+        replica.alive = False
+        sup = supervised(fleet, stable_ticks=3)
+        sup.run(1)  # restart succeeds: attempts=1
+        assert sup.state()["watches"]["0.0"]["restart_attempts"] == 1
+        sup.run(2)  # healthy streak 2 (the restart tick pinged a corpse)
+        sup.run(1)  # streak 3 == stable_ticks: debt forgiven
+        watch = sup.state()["watches"]["0.0"]
+        assert watch["restart_attempts"] == 0
+        assert watch["healthy_streak"] >= 3
+
+    def test_status_ranks_whole_shard_outage_unavailable(self):
+        fleet = StubFleet(nshards=2, rf=2, restart_ok=False)
+        for r in fleet.replica_sets[0].replicas:
+            r.alive = False
+        sup = supervised(fleet)
+        sup.run(1)
+        assert sup.status == "unavailable"
+        fleet.replica_sets[0].replicas[0].alive = True
+        sup.run(1)
+        assert sup.status == "degraded"  # below RF but serving
+
+    def test_state_snapshot_shape(self):
+        fleet = StubFleet()
+        sup = supervised(fleet)
+        sup.run(2)
+        state = sup.state()
+        assert state["status"] == "ok"
+        assert state["ticks"] == 2
+        assert state["ok_streak"] == 2
+        assert state["running"] is False
+        assert set(state["watches"]) == {"0.0", "0.1", "1.0", "1.1"}
+        for watch in state["watches"].values():
+            assert watch["misses"] == 0
+            assert watch["healthy_streak"] == 2
+
+    def test_integrity_check_cadence_and_failure_counter(self):
+        calls = []
+
+        def check():
+            calls.append(len(calls))
+            return len(calls) != 2  # second check reports corruption
+
+        fleet = StubFleet(nshards=1, rf=1)
+        sup = supervised(fleet, integrity_check=check, integrity_every=3)
+        sup.run(7)  # ticks 0..6: checks on 0, 3, 6
+        assert calls == [0, 1, 2]
+        assert count(sup, "integrity_checks") == 3
+        assert count(sup, "integrity_failures") == 1
+
+    def test_constructor_validation(self):
+        fleet = StubFleet()
+        with pytest.raises(ValueError):
+            FleetSupervisor(fleet, period=0.0)
+        with pytest.raises(ValueError):
+            FleetSupervisor(fleet, hang_ticks=0)
+        with pytest.raises(ValueError):
+            FleetSupervisor(fleet, hysteresis_ticks=0)
+        with pytest.raises(ValueError):
+            FleetSupervisor(fleet, integrity_every=0)
+
+    def test_run_until_ok_bounds_convergence(self):
+        fleet = StubFleet()
+        fleet.replica_sets[0].replicas[0].alive = False
+        sup = supervised(fleet)
+        spent = sup.run_until_ok(max_ticks=10)
+        assert 0 < spent <= 10
+        assert sup.converged
+        # And the bound is a real bound: an unrepairable fleet raises.
+        broken = StubFleet(nshards=1, rf=1, restart_ok=False)
+        broken.replica_sets[0].replicas[0].alive = False
+        sup2 = supervised(broken)
+        with pytest.raises(RuntimeError, match="did not converge"):
+            sup2.run_until_ok(max_ticks=3)
+
+
+# ----------------------------------------------------------------------
+# Against a real fleet: live workers, real restarts, health roll-in
+# ----------------------------------------------------------------------
+def make_plan(seed=11, n_lo=30, n_hi=60, k=4):
+    g = random_graph(seed, n_lo=n_lo, n_hi=n_hi)
+    lmks = select_landmarks(g, min(k, g.n), policy="degree")
+    return g, build_hcl(g, lmks).compile_plan()
+
+
+def sample_pairs(n, count, seed=5):
+    import random as _random
+
+    rng = _random.Random(seed)
+    return [(rng.randrange(n), rng.randrange(n)) for _ in range(count)]
+
+
+class TestRealFleet:
+    def test_timeout_restart_rebroadcast_healthy_arc(self):
+        """The full arc against live processes: terminate a worker, let
+        the watchdog (not a query) find and heal it, then prove the
+        revived worker serves the re-broadcast epoch bitwise."""
+        _, plan = make_plan(seed=61)
+        pairs = sample_pairs(plan.n, 40, seed=13)
+        oracle = [plan.query(s, t) for s, t in pairs]
+        with ShardedService(
+            plan, nshards=2, replication_factor=2, rpc_timeout=5.0
+        ) as svc:
+            with FleetSupervisor(svc, ping_timeout=5.0) as sup:
+                svc._sets[0].replicas[0].terminate()
+                assert svc.health()["status"] in ("recovering", "degraded")
+                spent = sup.run_until_ok(max_ticks=8)
+                assert spent <= 8
+                health = svc.health()
+                assert health["status"] == "ok"
+                assert health["raw_status"] == "ok"
+                assert health["supervisor"]["status"] == "ok"
+                assert health["replicas_alive"] == 4
+                assert sup.registry.counter("supervisor.restarts").value >= 1
+                # The revived worker answers bitwise from the
+                # re-broadcast plan version.
+                assert svc.query_batch(pairs) == oracle
+
+    def test_health_rollup_is_pessimistic_max(self):
+        """After repair the raw verdict flips to ok instantly, but the
+        rolled-up status stays at the supervisor's hysteresis-filtered
+        verdict until the streak clears."""
+        _, plan = make_plan(seed=67)
+        with ShardedService(
+            plan, nshards=2, replication_factor=2, rpc_timeout=5.0
+        ) as svc:
+            with FleetSupervisor(
+                svc, ping_timeout=5.0, hysteresis_ticks=3
+            ) as sup:
+                svc._sets[1].replicas[1].terminate()
+                sup.run(1)  # repair tick: replica restarted
+                health = svc.health()
+                assert health["raw_status"] == "ok"  # all alive again
+                assert health["status"] == "recovering"  # hysteresis
+                sup.run(3)
+                assert svc.health()["status"] == "ok"
+
+    def test_background_thread_smoke(self):
+        """start()/stop() lifecycle — the one test allowed real time."""
+        _, plan = make_plan(seed=71)
+        with ShardedService(plan, nshards=1, rpc_timeout=5.0) as svc:
+            sup = FleetSupervisor(svc, period=0.05, ping_timeout=5.0)
+            sup.start()
+            sup.start()  # idempotent
+            try:
+                deadline = 200
+                while sup.ticks == 0 and deadline:
+                    import time
+
+                    time.sleep(0.01)
+                    deadline -= 1
+                assert sup.ticks > 0
+                assert sup.state()["running"] is True
+            finally:
+                sup.stop()
+                sup.stop()  # idempotent
+            assert sup.state()["running"] is False
+
+    def test_close_stops_attached_supervisor(self):
+        _, plan = make_plan(seed=73)
+        svc = ShardedService(plan, nshards=1, rpc_timeout=5.0)
+        sup = FleetSupervisor(svc, period=0.05, ping_timeout=5.0)
+        sup.start()
+        svc.close()
+        assert sup._thread is None  # close() stopped the watchdog
