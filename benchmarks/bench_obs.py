@@ -50,6 +50,19 @@ refinement-dominated, so ``distance_vec`` gates at parity-within-noise.
 Both segments (and their gates) are skipped with a notice when numpy is
 unavailable — the flat kernel is the portable serving path.
 
+``batch_reconfigure`` applies one merged σ=8 landmark batch (4
+promotions + 4 demotions) through :meth:`DynamicHCL.apply_batch` —
+one transaction, one union repair sweep, one epoch publish — and
+``batch_sequential`` replays the same swap one single-update at a time
+(σ transactions, σ publishes) on an identical index copy.
+``batch_edge_update`` does the same for 8 edge reweights on a weighted
+copy of the instance versus per-edge transactional
+``set_edge_weight`` replay.  Both batch segments carry the issue's
+acceptance gate (``BATCH_SPEEDUP_MIN``): merging must beat replay
+>= 1.5x in-run, on top of bitwise-identical final indexes, exactly one
+epoch publish per batch, and exactly one WAL ``BATCH`` record
+(asserted untimed against a throwaway service).
+
 Wall-clock numbers are not portable between machines, so every timing is
 normalized by an in-run *calibration* score (a fixed arithmetic loop) the
 baseline also stores; the gates compare normalized values.  Fsync-bound
@@ -89,7 +102,13 @@ from repro.core import (  # noqa: E402
     upgrade_landmark,
 )
 from repro.core.batchquery import query_batch  # noqa: E402
-from repro.graphs import barabasi_albert  # noqa: E402
+from repro.core.index import HCLIndex  # noqa: E402
+from repro.core.topology import FullyDynamicHCL  # noqa: E402
+from repro.core.transaction import IndexTransaction  # noqa: E402
+from repro.graphs import (  # noqa: E402
+    assign_uniform_integer_weights,
+    barabasi_albert,
+)
 from repro.service import (  # noqa: E402
     AddLandmarkRequest,
     BatchQueryRequest,
@@ -117,6 +136,8 @@ GATED_SEGMENTS = (
     "query_mvcc",
     "query_batch_vec",
     "distance_vec",
+    "batch_reconfigure",
+    "batch_edge_update",
 )
 
 # Relative gate: the compiled-plan serving path must actually beat its
@@ -156,6 +177,19 @@ VEC_TWINS = {"query_batch_vec": "query_batch_plan"}
 VEC_SPEEDUP_MIN = 1.5
 DIST_VEC_TWINS = {"distance_vec": "distance_plan"}
 DIST_VEC_SPEEDUP_MIN = 0.85
+
+# One merged batch vs its sequential single-update replay, both through
+# the transactional, epoch-serving path on identical index copies.
+# Merging pays once for the transaction snapshot, the repair sweep over
+# the *union* affected set and the epoch recompile where the replay pays
+# σ times over; the gate is the issue's acceptance floor.
+BATCH_TWINS = {
+    "batch_reconfigure": "batch_sequential",
+    "batch_edge_update": "edge_sequential",
+}
+BATCH_SPEEDUP_MIN = 1.5
+BATCH_SWAPS = 4  # σ = 8: 4 promotions + 4 demotions
+BATCH_EDGES = 8
 
 # Attach-time CRC verification (``shm_attach_verify`` vs the unchecked
 # ``shm_attach``).  Attaching happens once per worker per publish — never
@@ -269,6 +303,92 @@ def run_workload() -> dict[str, float]:
         for request in requests:
             svc.submit(request)
         record("service", time.perf_counter() - start)
+
+    # Batch-dynamic maintenance: one merged apply_batch versus the
+    # sequential single-update replay of the same σ=8 mixed swap, each
+    # through the full transactional, epoch-serving path on identical
+    # index copies.  The epoch-publish counters assert the contract the
+    # speedup comes from: the batch pays one publish, the replay pays σ.
+    swap_adds = ups[:BATCH_SWAPS]
+    swap_rng = random.Random(7)
+    swap_removes = sorted(swap_rng.sample(sorted(landmarks), BATCH_SWAPS))
+    for _ in range(REPS):
+        batched = DynamicHCL(index.copy())
+        registry = batched.enable_plan_epochs()
+        batched.query(0, 1)  # materialize the first epoch, untimed
+        pubs = registry.summary()["publishes"]
+        start = time.perf_counter()
+        batched.apply_batch(adds=swap_adds, removes=swap_removes)
+        record("batch_reconfigure", time.perf_counter() - start)
+        assert registry.summary()["publishes"] == pubs + 1
+
+        seq = DynamicHCL(index.copy())
+        registry = seq.enable_plan_epochs()
+        seq.query(0, 1)
+        pubs = registry.summary()["publishes"]
+        start = time.perf_counter()
+        for v in swap_adds:
+            seq.add_landmark(v)
+        for v in swap_removes:
+            seq.remove_landmark(v)
+        record("batch_sequential", time.perf_counter() - start)
+        assert registry.summary()["publishes"] == pubs + 2 * BATCH_SWAPS
+        assert batched.index.structurally_equal(seq.index)
+
+    # Edge-weight batches need a weighted instance (the pinned BA graph
+    # is unweighted).  Highway and labeling are shared via copies of one
+    # base build; each twin reweights its *own* graph copy so the
+    # updates cannot leak between measurements.
+    wgraph = assign_uniform_integer_weights(graph, 1, 7, seed=5)
+    base_widx = build_hcl(wgraph, landmarks)
+    edge_rng = random.Random(13)
+    edge_pool = [e for _, e in zip(range(4000), wgraph.edges())]
+    edge_ups = [
+        (u, v, w + 1.0)
+        for u, v, w in edge_rng.sample(edge_pool, BATCH_EDGES)
+    ]
+    for _ in range(REPS):
+        batched = DynamicHCL(
+            HCLIndex(
+                wgraph.copy(),
+                base_widx.highway.copy(),
+                base_widx.labeling.copy(),
+            )
+        )
+        registry = batched.enable_plan_epochs()
+        batched.query(0, 1)
+        pubs = registry.summary()["publishes"]
+        start = time.perf_counter()
+        batched.apply_batch(edge_updates=edge_ups)
+        record("batch_edge_update", time.perf_counter() - start)
+        assert registry.summary()["publishes"] == pubs + 1
+
+        seq = FullyDynamicHCL(
+            HCLIndex(
+                wgraph.copy(),
+                base_widx.highway.copy(),
+                base_widx.labeling.copy(),
+            )
+        )
+        registry = seq.enable_plan_epochs()
+        seq.query(0, 1)
+        start = time.perf_counter()
+        for u, v, w in edge_ups:
+            with IndexTransaction(seq.index):
+                seq.set_edge_weight(u, v, w)
+        record("edge_sequential", time.perf_counter() - start)
+        assert batched.index.structurally_equal(seq.index)
+
+    # Durability contract, untimed (fsync-bound): the whole batch lands
+    # as exactly one WAL BATCH record.
+    with tempfile.TemporaryDirectory() as tmp:
+        svcb = HCLService(
+            DynamicHCL(index.copy()), wal=Path(tmp) / "batch.wal"
+        )
+        svcb.submit_batch_reconfigure(
+            adds=swap_adds, removes=swap_removes
+        )
+        assert svcb.wal.last_seq == 1
 
     # Compiled-plan serving path, on the same index and pairs as the
     # dict twins above so the PLAN_TWINS gate is apples-to-apples.
@@ -459,6 +579,7 @@ def check(baseline: dict, current: dict, tol_reg: float, tol_over: float) -> int
         (SHARD_TWINS, SHARD_SPEEDUP_MIN),
         (VEC_TWINS, VEC_SPEEDUP_MIN),
         (DIST_VEC_TWINS, DIST_VEC_SPEEDUP_MIN),
+        (BATCH_TWINS, BATCH_SPEEDUP_MIN),
     )
     for twins, minimum in relative_gates:
         for name, speedup in plan_speedups(current["segments"], twins).items():
@@ -516,6 +637,7 @@ def main(argv=None) -> int:
         SHARD_TWINS,
         VEC_TWINS,
         DIST_VEC_TWINS,
+        BATCH_TWINS,
     ):
         for name, speedup in plan_speedups(segments, twins).items():
             print(

@@ -1,11 +1,14 @@
 #!/usr/bin/env python3
-"""Batch landmark reconfiguration and the rebuild cutoff.
+"""Batch-dynamic maintenance: merged landmark swaps + edge reweights.
 
-Demonstrates the paper's future-work item (ii): applying many landmark
-changes at once.  The batch processor cancels opposing updates, orders
-insertions before deletions, and switches to one full ``BUILDHCL`` when the
-batch approaches the landmark-set size — whichever way it goes, the result
-is the same canonical index.
+Demonstrates the paper's future-work items (ii) and (iii) together:
+``apply_batch`` applies many landmark changes — and edge-weight updates —
+as ONE merged batch: opposing updates cancel, demotions share a single
+union repair sweep, edge repairs run one pass per affected landmark row,
+and the whole batch commits under one transaction.  When the batch
+approaches the landmark-set size it switches to one full ``BUILDHCL``
+instead — whichever way it goes, the result is the same canonical index
+the sequential replay produces.
 
 Run:  python examples/batch_reconfiguration.py
 """
@@ -13,9 +16,9 @@ Run:  python examples/batch_reconfiguration.py
 import random
 import time
 
-from repro.core import DynamicHCL, build_hcl, select_landmarks
-from repro.core.batch import batch_reconfigure
-from repro.graphs import barabasi_albert
+from repro.core import DynamicHCL, apply_batch, build_hcl, select_landmarks
+from repro.core.topology import FullyDynamicHCL
+from repro.graphs import assign_uniform_integer_weights, barabasi_albert
 
 
 def main() -> None:
@@ -39,10 +42,10 @@ def main() -> None:
             dyn.add_landmark(v)
         t_seq = time.perf_counter() - start
 
-        # batched: cancellation + ordering + rebuild cutoff
+        # batched: cancellation + merged sweep + rebuild cutoff
         index = build_hcl(graph, initial)
         start = time.perf_counter()
-        result = batch_reconfigure(index, add=adds, remove=removes)
+        result = apply_batch(index, adds=adds, removes=removes)
         t_batch = time.perf_counter() - start
 
         assert index.structurally_equal(dyn.index)
@@ -51,10 +54,34 @@ def main() -> None:
             f"batch {t_batch:6.2f}s ({result.strategy:8s}) | outputs identical ✓"
         )
 
+    # Edge-weight updates ride the same batch (and the same transaction).
+    wgraph = assign_uniform_integer_weights(graph, 1, 7, seed=2)
+    edge_ups = [
+        (u, v, w + 1.0)
+        for u, v, w in rng.sample(
+            [e for _, e in zip(range(2000), wgraph.edges())], 8
+        )
+    ]
+    seq = FullyDynamicHCL.build(wgraph.copy(), initial)
+    start = time.perf_counter()
+    for u, v, w in edge_ups:
+        seq.set_edge_weight(u, v, w)
+    t_seq = time.perf_counter() - start
+
+    index = build_hcl(wgraph.copy(), initial)
+    start = time.perf_counter()
+    result = apply_batch(index, edge_updates=edge_ups)
+    t_batch = time.perf_counter() - start
+    assert index.structurally_equal(seq.index)
+    print(
+        f"8 edge reweights: sequential {t_seq:6.2f}s | batch {t_batch:6.2f}s "
+        f"({result.edge_affected} affected rows) | outputs identical ✓"
+    )
+
     # Opposing updates cancel for free.
     index = build_hcl(graph, initial)
     flip = initial[0]
-    result = batch_reconfigure(index, add=[flip], remove=[flip])
+    result = apply_batch(index, adds=[flip], removes=[flip])
     print(
         f"\nadd+remove of landmark {flip} in one batch: "
         f"{result.cancelled} operation pair cancelled, zero work done"

@@ -1,7 +1,7 @@
 """HCL core: the paper's contribution plus the static HCL substrate."""
 
 from .auditor import AuditFinding, AuditTickReport, IndexAuditor
-from .batch import BatchResult, batch_reconfigure
+from .batch import BatchResult, EdgeUpdate, apply_batch, batch_reconfigure
 from .batchquery import query_batch
 from .cache import CachedQueryEngine, CacheStats
 from .build import build_hcl, build_hcl_parallel
@@ -114,8 +114,10 @@ __all__ = [
     "IndexAuditor",
     "AuditFinding",
     "AuditTickReport",
+    "apply_batch",
     "batch_reconfigure",
     "BatchResult",
+    "EdgeUpdate",
     "CachedQueryEngine",
     "CacheStats",
     "save_index_json",

@@ -1,47 +1,134 @@
-"""Batch landmark reconfiguration (paper future-work item ii).
+"""Batch-dynamic maintenance (paper future-work items ii and iii).
 
-Processes a set of landmark insertions and deletions together instead of
-one at a time.  Three batch-level optimizations over naive sequential
-replay, in the spirit of the batch-dynamic indexing work the paper cites
-(BatchHL+, D'Andrea et al.):
+Processes a set of landmark insertions, landmark deletions *and*
+edge-weight updates together instead of one at a time.  Beyond the
+batch-level optimizations of the original processor — cancellation,
+insertions-first ordering, and the rebuild cutoff — :func:`apply_batch`
+is built in the spirit of the batch-dynamic indexing work the paper cites
+(BatchHL+, D'Andrea et al.): one *merged* repair pass over the union of
+the per-operation affected sets, instead of σ independent repairs.
 
 1. **Cancellation.**  A vertex both inserted and deleted within the batch
-   nets out to a no-op (or to a single operation when it flips the current
-   state); cancelled pairs cost nothing.
+   nets out to a no-op; repeated weight updates of one edge keep only the
+   last; a weight update writing the current weight is dropped.
 2. **Ordering.**  Insertions run before deletions: every landmark added
    first strengthens the ``QUERY``-based pruning of the subsequent
-   ``DOWNGRADE-LMK`` re-cover sweeps, shrinking their search spaces.
-3. **Rebuild cutoff.**  When the surviving batch is large relative to the
-   final landmark-set size, a single ``BUILDHCL`` (``|R|`` sweeps) beats
-   ``σ`` dynamic updates (≈1 + |REACHED| sweeps each); the batch processor
-   switches strategy under a simple cost model.
+   erasure/re-cover sweeps, shrinking their search spaces.
+3. **Merged downgrade.**  All deletions share one repair: the per-landmark
+   erasure sweeps prune at the *final* landmark set (never re-covering a
+   landmark that a later operation would erase again), accumulate one
+   union ``hole[]`` of vertices that lost coverage, and then each
+   still-covering landmark runs a *single multi-seed* re-cover sweep over
+   that union — the per-vertex union of reached sets — rather than one
+   sweep per ``(landmark, deletion)`` pair.
+4. **Edge-weight repair.**  After the landmark operations the affected
+   landmarks of all weight changes are detected with exact index queries
+   (no graph search; see :mod:`repro.core.topology`), the weights are
+   applied under the transaction's undo journal, and each affected
+   landmark re-runs its labelling pass exactly once — however many batch
+   edges touched it.
+5. **Rebuild cutoff.**  When the surviving landmark batch is large
+   relative to the final landmark-set size, a single ``BUILDHCL``
+   (``|R|`` sweeps) beats ``σ`` dynamic updates; the processor switches
+   strategy under the same cost model as before
+   (``σ > rebuild_factor · |R_final|``), now adopting the rebuilt index
+   *through the journaled mutators* so rollback, plans and epochs keep
+   working.
 
-Because every path produces the canonical index (order-invariance), all
-strategies are interchangeable in output — the tests assert exactly that.
+The whole batch executes inside one
+:class:`~repro.core.transaction.IndexTransaction` — an exception (or an
+expired :class:`~repro.budget.Budget`) anywhere rolls back every label,
+highway *and edge-weight* write of the batch.  Because every path
+produces the canonical index (order-invariance), batched, sequential and
+rebuilt application are interchangeable in output — the differential
+tests assert exactly that.
 """
 
 from __future__ import annotations
 
+import heapq
+import math
+import warnings
+from collections import deque
 from dataclasses import dataclass
 from typing import Iterable
 
-from ..errors import LandmarkError
+from ..errors import EdgeError, LandmarkError, VertexError, WeightError
+from ..graphs.traversal import flagged_single_source
+from ..obs import OBS, SIZE_BOUNDS
+from ..tolerance import PRUNE_SCALE
 from .build import build_hcl
-from .downgrade import downgrade_landmark
 from .index import HCLIndex
+from .transaction import IndexTransaction
 from .upgrade import upgrade_landmark
 
-__all__ = ["batch_reconfigure", "BatchResult"]
+INF = math.inf
+
+__all__ = ["apply_batch", "batch_reconfigure", "BatchResult", "EdgeUpdate"]
+
+# Fault-injection seam (see repro.testing.faults.fail_at_phase): called with
+# the name of each completed batch phase ("upgrades", "sweep", "recover",
+# "edges", "adopt") so crash-safety tests can abort the batch at its
+# internal consistency boundaries.  Always None in production.
+_PHASE_HOOK = None
+
+
+def _phase(name: str) -> None:
+    if _PHASE_HOOK is not None:
+        _PHASE_HOOK(name)
+
+
+@dataclass(frozen=True)
+class EdgeUpdate:
+    """One edge-weight change: set ``{u, v}`` to absolute weight ``weight``."""
+
+    u: int
+    v: int
+    weight: float
 
 
 @dataclass(frozen=True)
 class BatchResult:
-    """Outcome of one batch application."""
+    """Outcome of one batch application, with the paper's work counters.
+
+    ``settled``/``swept``/``pruned`` follow the per-update statistics of
+    ``UPGRADE-LMK``/``DOWNGRADE-LMK`` (vertices processed by the merged
+    sweeps; for edge repairs, vertices settled by the re-run labelling
+    passes land in ``swept``), so an :class:`~repro.core.dynhcl.UpdateLog`
+    aggregates a batch record exactly like a sequence of single updates
+    and Table-2-style experiments can compare the two cost models.
+    """
 
     strategy: str  # "dynamic" or "rebuild"
     applied_adds: int
     applied_removes: int
     cancelled: int
+    applied_edges: int = 0
+    settled: int = 0
+    swept: int = 0
+    pruned: int = 0
+    entries_added: int = 0
+    entries_removed: int = 0
+    recover_searches: int = 0
+    edge_affected: int = 0
+    # The netted operations actually applied — what a WAL ``BATCH`` record
+    # persists, and what sequential replay must apply to reach this state.
+    adds: tuple[int, ...] = ()
+    removes: tuple[int, ...] = ()
+    edge_updates: tuple[tuple[int, int, float], ...] = ()
+
+    @property
+    def ops(self) -> int:
+        """Number of netted operations the batch applied."""
+        return self.applied_adds + self.applied_removes + self.applied_edges
+
+    @property
+    def mean_work(self) -> float:
+        """Mean vertices processed per applied operation."""
+        ops = self.ops
+        if not ops:
+            return 0.0
+        return (self.settled + self.swept + self.pruned) / ops
 
 
 def _net_batch(
@@ -76,6 +163,508 @@ def _net_batch(
     return adds, removes, cancelled
 
 
+def _net_edges(
+    index: HCLIndex, edge_updates: Iterable
+) -> tuple[list[tuple[int, int, float]], int]:
+    """Validate and net edge-weight updates (last write per edge wins).
+
+    Returns the surviving ``(u, v, new_weight)`` triples in sorted edge
+    order plus the number of updates that netted out (superseded by a
+    later update of the same edge, or writing the current weight).
+    """
+    graph = index.graph
+    n = graph.n
+    seen: dict[tuple[int, int], float] = {}
+    total = 0
+    for upd in edge_updates:
+        if isinstance(upd, EdgeUpdate):
+            u, v, w = upd.u, upd.v, upd.weight
+        else:
+            u, v, w = upd
+        total += 1
+        if not (0 <= u < n and 0 <= v < n):
+            raise VertexError(f"edge update ({u}, {v}) out of range [0, {n})")
+        if u == v:
+            raise EdgeError(f"edge update on self-loop ({u}, {u})")
+        if not (
+            isinstance(w, (int, float)) and math.isfinite(w) and w > 0
+        ):
+            raise WeightError(
+                f"edge weight must be a positive finite number, got {w!r}"
+            )
+        if graph.unweighted and w != 1:
+            raise WeightError(
+                "unweighted graphs only accept unit edge weights"
+            )
+        if not graph.has_edge(u, v):
+            raise EdgeError(f"edge ({u}, {v}) not present")
+        seen[(u, v) if u < v else (v, u)] = float(w)
+    edges = [
+        (u, v, w)
+        for (u, v), w in sorted(seen.items())
+        if graph.edge_weight(u, v) != w
+    ]
+    return edges, total - len(edges)
+
+
+def apply_batch(
+    index: HCLIndex,
+    adds: Iterable[int] = (),
+    removes: Iterable[int] = (),
+    edge_updates: Iterable = (),
+    rebuild_factor: float = 0.75,
+    budget=None,
+    transactional: bool = True,
+) -> BatchResult:
+    """Apply landmark and edge-weight changes to ``index`` as one batch.
+
+    Parameters
+    ----------
+    index:
+        Canonical HCL index; updated in place.  Its ``highway`` /
+        ``labeling`` objects are always mutated (never replaced), so
+        compiled plans, epochs and open transactions stay attached.
+    adds / removes:
+        Vertices to promote / demote.  A vertex in both nets to a no-op.
+    edge_updates:
+        :class:`EdgeUpdate` instances or ``(u, v, new_weight)`` triples
+        setting absolute weights of *existing* edges.  Repeated updates of
+        one edge keep the last; updates writing the current weight are
+        dropped.
+    rebuild_factor:
+        Switch to a full rebuild when ``σ > rebuild_factor · |R_final|``
+        (``σ`` counts surviving landmark operations); tune 0 to force
+        rebuilds, ``inf`` to force dynamic processing.
+    budget:
+        Optional :class:`~repro.budget.Budget`.  The merged sweeps charge
+        one step per processed vertex and check the budget at every settle
+        and phase boundary; expiry raises
+        :class:`~repro.errors.DeadlineExceeded` and (under the default
+        transaction) rolls the *whole batch* back — labels, highway and
+        edge weights — leaving the index exactly as before the call.
+    transactional:
+        Run inside one :class:`~repro.core.transaction.IndexTransaction`
+        (the default).  The batch then commits atomically: one undo scope,
+        one epoch-registry notification carrying the merged affected set.
+
+    Returns
+    -------
+    BatchResult
+        Strategy, netted operation counts and merged work counters.
+    """
+    add_list, remove_list, cancelled = _net_batch(index, adds, removes)
+    edge_list, cancelled_edges = _net_edges(index, edge_updates)
+    cancelled += cancelled_edges
+    sigma = len(add_list) + len(remove_list)
+    if not sigma and not edge_list:
+        return BatchResult("dynamic", 0, 0, cancelled)
+    final_size = len(index.landmarks) + len(add_list) - len(remove_list)
+    rebuild = bool(sigma) and sigma > rebuild_factor * max(final_size, 1)
+
+    if transactional:
+        with IndexTransaction(index):
+            result = _apply(
+                index, add_list, remove_list, edge_list, cancelled, rebuild,
+                budget,
+            )
+    else:
+        result = _apply(
+            index, add_list, remove_list, edge_list, cancelled, rebuild,
+            budget,
+        )
+    if OBS.enabled:
+        reg = OBS.registry
+        reg.counter("batch.applies").inc()
+        if rebuild:
+            reg.counter("batch.rebuilds").inc()
+        reg.counter("batch.ops").inc(result.ops)
+        reg.histogram("batch.sigma", SIZE_BOUNDS).observe(sigma)
+        reg.histogram("batch.work", SIZE_BOUNDS).observe(
+            result.settled + result.swept + result.pruned
+        )
+    return result
+
+
+def _apply(
+    index, add_list, remove_list, edge_list, cancelled, rebuild, budget
+) -> BatchResult:
+    if budget is not None:
+        budget.raise_if_exceeded("APPLY-BATCH")
+    if rebuild:
+        return _apply_rebuild(
+            index, add_list, remove_list, edge_list, cancelled, budget
+        )
+
+    settled = pruned = entries_added = entries_removed = 0
+    # Insertions first: each new landmark sharpens the pruning available to
+    # the merged deletion sweeps and the edge repairs.
+    for v in add_list:
+        st = upgrade_landmark(index, v, budget=budget)
+        settled += st.settled
+        pruned += st.pruned
+        entries_added += st.entries_added
+        entries_removed += st.entries_removed
+    _phase("upgrades")
+
+    swept, recover_searches, d_pruned, d_added, d_removed = _merged_downgrade(
+        index, remove_list, budget
+    )
+    pruned += d_pruned
+    entries_added += d_added
+    entries_removed += d_removed
+
+    applied_edges, edge_affected, e_swept, e_added, e_removed = _apply_edges(
+        index, edge_list, budget
+    )
+    swept += e_swept
+    entries_added += e_added
+    entries_removed += e_removed
+
+    return BatchResult(
+        "dynamic",
+        len(add_list),
+        len(remove_list),
+        cancelled,
+        applied_edges=applied_edges,
+        settled=settled,
+        swept=swept,
+        pruned=pruned,
+        entries_added=entries_added,
+        entries_removed=entries_removed,
+        recover_searches=recover_searches,
+        edge_affected=edge_affected,
+        adds=tuple(add_list),
+        removes=tuple(remove_list),
+        edge_updates=tuple(edge_list),
+    )
+
+
+# ----------------------------------------------------------------------
+# Rebuild strategy: BUILDHCL + journaled adoption
+# ----------------------------------------------------------------------
+def _apply_rebuild(
+    index, add_list, remove_list, edge_list, cancelled, budget
+) -> BatchResult:
+    """Full rebuild over the final state, adopted through the mutators.
+
+    The original processor replaced ``index.highway`` / ``index.labeling``
+    wholesale, which silently detached undo journals, compiled plans and
+    epoch registries from the live objects.  Adoption writes the rebuilt
+    rows *into* the existing objects through their journaled mutators, so
+    the batch stays roll-back-able and the commit carries an exact
+    affected set.
+    """
+    graph = index.graph
+    applied_edges = _set_edge_weights(index, edge_list)
+    final = (index.landmarks | set(add_list)) - set(remove_list)
+    fresh = build_hcl(graph, sorted(final))
+    if budget is not None:
+        budget.raise_if_exceeded("APPLY-BATCH (rebuild)")
+
+    labeling = index.labeling
+    highway = index.highway
+    charge = budget.charge if budget is not None else None
+    rows_changed = 0
+    fresh_labels = fresh.labeling._labels
+    for v in range(labeling.n):
+        if labeling._labels[v] != fresh_labels[v]:
+            labeling.clear_vertex(v)
+            if fresh_labels[v]:
+                labeling.merge_entries_for_vertex(v, fresh_labels[v])
+            rows_changed += 1
+            if charge is not None and charge():
+                budget.raise_if_exceeded("APPLY-BATCH (adopt)")
+    current = highway.landmarks
+    for r in sorted(current - final):
+        highway.remove_landmark(r)
+    for r in sorted(final - current):
+        highway.add_landmark(r)
+    for r in sorted(final):
+        row = fresh.highway.row(r)
+        for r2, d in row.items():
+            if r2 >= r:
+                highway.set_distance(r, r2, d)
+    _phase("adopt")
+    return BatchResult(
+        "rebuild",
+        len(add_list),
+        len(remove_list),
+        cancelled,
+        applied_edges=applied_edges,
+        swept=rows_changed,
+        adds=tuple(add_list),
+        removes=tuple(remove_list),
+        edge_updates=tuple(edge_list),
+    )
+
+
+# ----------------------------------------------------------------------
+# Merged DOWNGRADE-LMK over all deletions
+# ----------------------------------------------------------------------
+def _merged_downgrade(index, remove_list, budget):
+    """All deletions as one repair: shared hole, multi-seed re-covers.
+
+    Phase A runs one erasure sweep per demoted landmark (exactly
+    Algorithm 2 lines 1–22), but pruning at the *final* landmark set —
+    another landmark demoted in the same batch is treated as the plain
+    vertex it is about to become, so no coverage is ever granted to it
+    just to be erased again.  The sweeps share one ``hole[]`` (the union
+    of the per-deletion holes — the merged affected set).
+
+    Phase B then runs **one** re-cover sweep per still-covering landmark
+    ``l``, seeded simultaneously at every demoted landmark ``r_i`` that
+    ``l`` covers with priority ``ρ_i = d(l, r_i)`` — a multi-source
+    Dijkstra confined to the union hole.  This is the per-vertex union of
+    reached sets: a vertex reachable through several holes is processed
+    once at its best distance instead of once per deletion.  Soundness of
+    the confinement follows from the single-deletion argument applied to
+    the *last* demoted landmark on a new shortest path: its suffix is a
+    landmark-free shortest path in the pre-batch index, so every vertex on
+    it lost coverage and lies in the union hole.
+    """
+    if not remove_list:
+        return 0, 0, 0, 0, 0
+    graph = index.graph
+    highway = index.highway
+    labeling = index.labeling
+    charge = budget.charge if budget is not None else None
+
+    remaining = highway.landmarks
+    for r in remove_list:
+        remaining.discard(r)  # R' = R \ removes: the final landmark set
+
+    label_of = labeling.label
+    add_entry = labeling.add_entry
+    remove_entry = labeling.remove_entry
+    neighbors = graph.neighbors
+
+    hole = [False] * graph.n
+    # l -> [(r, rho)] seeds of l's single multi-source re-cover sweep.
+    seeds: dict[int, list[tuple[int, float]]] = {}
+    swept = 0
+    entries_removed = 0
+    entries_added = 0
+
+    for r in remove_list:
+        labeling.clear_vertex(r)
+        hole[r] = True
+        row_r = highway.row(r)
+        dist = [INF] * graph.n
+        dist[r] = 0.0
+        if graph.unweighted:
+            queue: deque[int] = deque([r])
+            while queue:
+                u = queue.popleft()
+                delta = dist[u]
+                if u in remaining:
+                    # Tolerant optimality test: an ulp-level undercut of
+                    # delta is a float-summation artifact, not a shorter
+                    # path, so u still covers r (repro.tolerance).
+                    if row_r.get(u, INF) < delta * PRUNE_SCALE:
+                        continue
+                    seeds.setdefault(u, []).append((r, delta))
+                    add_entry(r, u, delta)
+                    entries_added += 1
+                    continue
+                swept += 1
+                if charge is not None and charge():
+                    budget.raise_if_exceeded("APPLY-BATCH (sweep)")
+                if remove_entry(u, r):
+                    entries_removed += 1
+                    hole[u] = True
+                nd = delta + 1.0
+                for v, _ in neighbors(u):
+                    if nd < dist[v]:
+                        dist[v] = nd
+                        queue.append(v)
+        else:
+            heap: list[tuple[float, int]] = [(0.0, r)]
+            while heap:
+                delta, u = heapq.heappop(heap)
+                if delta > dist[u]:
+                    continue
+                if u in remaining:
+                    if row_r.get(u, INF) < delta * PRUNE_SCALE:
+                        continue
+                    seeds.setdefault(u, []).append((r, delta))
+                    add_entry(r, u, delta)
+                    entries_added += 1
+                    continue
+                swept += 1
+                if charge is not None and charge():
+                    budget.raise_if_exceeded("APPLY-BATCH (sweep)")
+                if remove_entry(u, r):
+                    entries_removed += 1
+                    hole[u] = True
+                for v, w in neighbors(u):
+                    nd = delta + w
+                    if nd < dist[v]:
+                        dist[v] = nd
+                        heapq.heappush(heap, (nd, v))
+        highway.remove_landmark(r)
+    _phase("sweep")
+    if budget is not None:
+        budget.raise_if_exceeded("APPLY-BATCH (sweep phase)")
+
+    # All re-covers as ONE multi-landmark, multi-seed sweep in globally
+    # ascending distance order.  The order is correctness-critical, not a
+    # tie-break: ``query_below`` can only prune a non-canonical candidate
+    # ``(l, u, δ)`` once the witnessing entry ``(x, u, d(x, u))`` of an
+    # intermediate landmark ``x`` is back in the index — and that witness,
+    # being a strict sub-path, always sits at ``d(x, u) < δ``.  Popping
+    # one global heap by distance therefore restores every witness before
+    # any event that needs it (the single-deletion algorithm gets the
+    # same guarantee implicitly, by running re-covers in the erasure
+    # sweep's ascending ``ρ`` discovery order).  Canonical entries are
+    # never wrongly pruned in any order (nothing in the index undercuts a
+    # true distance), so ascending order makes the outcome exactly the
+    # canonical final index.  A heap serves the unweighted variant too:
+    # seeds start at differing priorities, so the plain-FIFO BFS of the
+    # single-deletion sweep would not dequeue in nondecreasing order.
+    query_below = index.query_below
+    pruned = 0
+    recover_searches = 0
+    unit = graph.unweighted
+    heap: list[tuple[float, int, int]] = []
+    sweep_dist: dict[int, dict[int, float]] = {}
+    seed_sets: dict[int, set[int]] = {}
+    for l, pairs in seeds.items():
+        recover_searches += len(pairs)
+        dist_l: dict[int, float] = {l: 0.0}
+        for r, rho in pairs:
+            if rho < dist_l.get(r, INF):
+                dist_l[r] = rho
+            heap.append((rho, l, r))
+        sweep_dist[l] = dist_l
+        seed_sets[l] = {r for r, _ in pairs}
+    heapq.heapify(heap)
+    while heap:
+        delta, l, u = heapq.heappop(heap)
+        dist_l = sweep_dist[l]
+        if delta > dist_l.get(u, INF):
+            continue
+        if u not in seed_sets[l]:
+            if not hole[u]:
+                continue
+            # Cheap pre-test: an existing closer l-entry already proves
+            # QUERY(l, u) < delta (tolerance-aware, matching query_below).
+            dl = label_of(u).get(l)
+            if dl is not None and dl < delta * PRUNE_SCALE:
+                pruned += 1
+                continue
+            if query_below(l, u, delta):
+                pruned += 1
+                continue
+        if charge is not None and charge():
+            budget.raise_if_exceeded("APPLY-BATCH (re-cover)")
+        add_entry(u, l, delta)
+        entries_added += 1
+        for v, w in neighbors(u):
+            nd = delta + 1.0 if unit else delta + w
+            if hole[v] and nd < dist_l.get(v, INF):
+                dist_l[v] = nd
+                heapq.heappush(heap, (nd, l, v))
+    _phase("recover")
+    return swept, recover_searches, pruned, entries_added, entries_removed
+
+
+# ----------------------------------------------------------------------
+# Edge-weight updates: merged affected set, one re-pass per landmark
+# ----------------------------------------------------------------------
+def _set_edge_weights(index, edge_list) -> int:
+    """Apply the netted weights, journaling each overwritten value."""
+    graph = index.graph
+    journal = index.labeling._journal
+    for u, v, w in edge_list:
+        old = graph.set_weight(u, v, w)
+        if journal is not None:
+            journal.record_edge_weight(graph, u, v, old)
+    return len(edge_list)
+
+
+def _apply_edges(index, edge_list, budget):
+    """Detect, apply and repair all edge-weight changes in one pass.
+
+    Detection runs on the *pre-update* index, whose landmark queries are
+    exact: landmark ``r`` is affected by a change of edge ``{u, v}`` iff
+    the edge lies on some shortest path from ``r`` at the old weight
+    (delete test) or creates a path no longer than an existing shortest
+    one at the new weight (insert test) — the
+    :mod:`repro.core.topology` tests, unioned over the batch.  A decrease
+    that only manifests through several batch edges is still caught: the
+    first updated edge on any new shortest path satisfies the insert test
+    against old distances.  Each affected landmark then re-runs its
+    labelling pass exactly once on the final graph.
+    """
+    if not edge_list:
+        return 0, 0, 0, 0, 0
+    graph = index.graph
+    highway = index.highway
+    labeling = index.labeling
+    landmarks = highway.landmarks
+    qfl = index.query_from_landmark
+
+    affected: set[int] = set()
+    for u, v, w_new in edge_list:
+        w_old = graph.edge_weight(u, v)
+        for r in landmarks:
+            if r in affected:
+                continue
+            du = qfl(r, u) if r != u else 0.0
+            dv = qfl(r, v) if r != v else 0.0
+            a_old, b_old = du + w_old, dv + w_old
+            a_new, b_new = du + w_new, dv + w_new
+            # Guard against inf <= inf: an edge between vertices
+            # unreachable from r cannot change r's shortest paths.
+            if (
+                (a_old == dv and a_old < INF)
+                or (b_old == du and b_old < INF)
+                or (a_new <= dv and a_new < INF)
+                or (b_new <= du and b_new < INF)
+            ):
+                affected.add(r)
+
+    applied = _set_edge_weights(index, edge_list)
+
+    lmk_list = sorted(landmarks)
+    other = set(lmk_list)
+    covers = labeling.covers
+    entry = labeling.entry
+    add_entry = labeling.add_entry
+    remove_entry = labeling.remove_entry
+    charge = budget.charge if budget is not None else None
+    swept = 0
+    entries_added = 0
+    entries_removed = 0
+    for r in sorted(affected):
+        if budget is not None:
+            budget.raise_if_exceeded("APPLY-BATCH (edge re-pass)")
+        dist, clear = flagged_single_source(graph, r, other - {r})
+        row_r = highway.row(r)
+        for r2 in lmk_list:
+            if row_r.get(r2) != dist[r2]:
+                highway.set_distance(r, r2, dist[r2])
+        for v in range(graph.n):
+            if dist[v] < INF:
+                swept += 1
+                if charge is not None and charge():
+                    budget.raise_if_exceeded("APPLY-BATCH (edge re-pass)")
+            if v in other:
+                continue
+            if clear[v]:
+                if entry(v, r) != dist[v]:
+                    add_entry(v, r, dist[v])
+                    entries_added += 1
+            elif covers(r, v):
+                remove_entry(v, r)
+                entries_removed += 1
+    _phase("edges")
+    return applied, len(affected), swept, entries_added, entries_removed
+
+
+# ----------------------------------------------------------------------
+# Deprecated entry point
+# ----------------------------------------------------------------------
 def batch_reconfigure(
     index: HCLIndex,
     add: Iterable[int] = (),
@@ -84,38 +673,23 @@ def batch_reconfigure(
 ) -> BatchResult:
     """Apply a batch of landmark changes to ``index`` in place.
 
-    Parameters
-    ----------
-    index:
-        Canonical HCL index; updated in place (its ``highway``/``labeling``
-        objects are mutated or replaced, the graph is shared).
-    add / remove:
-        Vertices to promote / demote.  A vertex in both nets to a no-op.
-    rebuild_factor:
-        Switch to a full rebuild when
-        ``σ > rebuild_factor * |R_final|``; tune 0 to force rebuilds,
-        ``inf`` to force dynamic processing.
-
-    Returns
-    -------
-    BatchResult
-        Which strategy ran and how many operations it performed.
+    .. deprecated::
+        Use :func:`apply_batch` (or
+        :meth:`repro.core.dynhcl.DynamicHCL.apply_batch` /
+        :meth:`repro.service.HCLService.submit_batch_reconfigure` for
+        logged, durable batches).  This wrapper delegates to
+        :func:`apply_batch`, so — unlike the original raw entry point —
+        the batch now runs inside one
+        :class:`~repro.core.transaction.IndexTransaction`: an exception
+        mid-batch rolls every change back instead of leaving a
+        half-applied index.
     """
-    adds, removes, cancelled = _net_batch(index, add, remove)
-    sigma = len(adds) + len(removes)
-    final_size = len(index.landmarks) + len(adds) - len(removes)
-
-    if sigma and sigma > rebuild_factor * max(final_size, 1):
-        final = (index.landmarks | set(adds)) - set(removes)
-        fresh = build_hcl(index.graph, sorted(final))
-        index.highway = fresh.highway
-        index.labeling = fresh.labeling
-        return BatchResult("rebuild", len(adds), len(removes), cancelled)
-
-    # Insertions first: each new landmark sharpens the pruning available to
-    # the deletions' re-cover sweeps.
-    for v in adds:
-        upgrade_landmark(index, v)
-    for v in removes:
-        downgrade_landmark(index, v)
-    return BatchResult("dynamic", len(adds), len(removes), cancelled)
+    warnings.warn(
+        "batch_reconfigure is deprecated; use apply_batch (transactional, "
+        "edge-aware, one WAL record / epoch swap per batch)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return apply_batch(
+        index, adds=add, removes=remove, rebuild_factor=rebuild_factor
+    )

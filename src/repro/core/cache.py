@@ -210,5 +210,22 @@ class CachedQueryEngine:
         """Demote ``v``; cached answers are invalidated lazily."""
         return self.dyn.remove_landmark(v, budget=budget)
 
+    def apply_batch(
+        self,
+        adds=(),
+        removes=(),
+        edge_updates=(),
+        rebuild_factor: float = 0.75,
+        budget: Budget | None = None,
+    ):
+        """Apply one merged batch; cached answers are invalidated lazily."""
+        return self.dyn.apply_batch(
+            adds=adds,
+            removes=removes,
+            edge_updates=edge_updates,
+            rebuild_factor=rebuild_factor,
+            budget=budget,
+        )
+
     def __len__(self) -> int:
         return len(self._query_cache) + len(self._distance_cache)

@@ -16,6 +16,8 @@ from typing import Iterable, Sequence
 
 from ..errors import LandmarkError, TransactionError
 from ..graphs.graph import Graph
+from .batch import BatchResult
+from .batch import apply_batch as _apply_batch
 from .build import build_hcl
 from .downgrade import DowngradeStats, downgrade_landmark
 from .index import HCLIndex
@@ -27,13 +29,19 @@ __all__ = ["DynamicHCL", "LandmarkUpdate", "UpdateRecord"]
 
 @dataclass(frozen=True)
 class LandmarkUpdate:
-    """One landmark reconfiguration: ``kind`` is ``"add"`` or ``"remove"``."""
+    """One reconfiguration step.
+
+    ``kind`` is ``"add"``, ``"remove"`` or ``"batch"``; for single
+    operations ``vertex`` is the landmark, for a batch it is the netted
+    operation count (the batch's own lists live in its
+    :class:`~repro.core.batch.BatchResult` record).
+    """
 
     kind: str
     vertex: int
 
     def __post_init__(self):
-        if self.kind not in ("add", "remove"):
+        if self.kind not in ("add", "remove", "batch"):
             raise LandmarkError(f"unknown update kind {self.kind!r}")
 
 
@@ -43,7 +51,7 @@ class UpdateRecord:
 
     update: LandmarkUpdate
     seconds: float
-    stats: UpgradeStats | DowngradeStats
+    stats: UpgradeStats | DowngradeStats | BatchResult
 
 
 @dataclass
@@ -82,8 +90,8 @@ class UpdateLog:
     # Aggregate work counters: the paper's cost model measures updates by
     # affected-set size and pruning-test count, which are machine
     # independent where the ``seconds`` fields are not.  ``settled`` only
-    # exists on UpgradeStats and ``swept`` only on DowngradeStats, hence
-    # the getattr defaults.
+    # exists on UpgradeStats and ``swept`` only on DowngradeStats (a
+    # BatchResult carries both), hence the getattr defaults.
 
     @property
     def settled(self) -> int:
@@ -227,6 +235,45 @@ class DynamicHCL:
         )
         self._version += 1
         return stats
+
+    def apply_batch(
+        self,
+        adds: Iterable[int] = (),
+        removes: Iterable[int] = (),
+        edge_updates: Iterable = (),
+        rebuild_factor: float = 0.75,
+        budget=None,
+        transactional: bool = True,
+    ) -> BatchResult:
+        """Apply landmark and edge-weight changes as one merged batch.
+
+        Delegates to :func:`repro.core.batch.apply_batch`: one merged
+        repair sweep over the union of the per-operation affected sets,
+        one :class:`~repro.core.transaction.IndexTransaction` (whole-batch
+        rollback), one epoch-registry commit.  The batch lands in the
+        update log as a single ``"batch"`` record whose
+        :class:`~repro.core.batch.BatchResult` carries the merged
+        ``settled``/``swept``/``pruned`` counters, so
+        :class:`UpdateLog` aggregation compares batched and sequential
+        cost models directly.  Transactional and ``budget`` semantics as
+        in :meth:`add_landmark`, now covering edge weights too.
+        """
+        start = time.perf_counter()
+        result = _apply_batch(
+            self.index,
+            adds=adds,
+            removes=removes,
+            edge_updates=edge_updates,
+            rebuild_factor=rebuild_factor,
+            budget=budget,
+            transactional=transactional,
+        )
+        elapsed = time.perf_counter() - start
+        self.log.records.append(
+            UpdateRecord(LandmarkUpdate("batch", result.ops), elapsed, result)
+        )
+        self._version += 1
+        return result
 
     def truncate_log(self, count: int) -> None:
         """Drop update records past ``count`` (after a batch rollback).

@@ -308,9 +308,13 @@ class QueryPlan:
         the iteration order.
 
         Returns ``None`` (caller falls back to :meth:`compile`) when the
-        patch would be unsound or not worth it: vertex count or graph
-        changed, ``prior`` tracks different source objects, or holes
-        would exceed a quarter of the slot space.
+        patch would be unsound or not worth it: vertex count changed,
+        ``prior`` tracks different source objects, or holes would exceed
+        a quarter of the slot space.  Edge-weight revisions of the graph
+        do *not* force a full compile — the batch-dynamic repair rewrites
+        every label/highway row a weight change invalidates, so those
+        rows arrive via ``affected``; only the cached adjacency is
+        graph-derived, and :meth:`_patch` drops it when the graph moved.
         """
         labeling = index.labeling
         highway = index.highway
@@ -322,7 +326,6 @@ class QueryPlan:
             or labeling is not prior._labeling
             or highway is not prior._highway
             or graph is not prior._graph
-            or getattr(graph, "_rev", 0) != prior._stamp[2]
         ):
             return None
         ids = list(prior.landmark_ids)
@@ -392,9 +395,15 @@ class QueryPlan:
         plan.mask = mask
         plan._rows = rows
         plan._hwrows = hwrows
-        # The compiled adjacency only depends on (graph, mask); reuse the
-        # prior epoch's O(n + m) pass when the landmark set is unchanged.
-        plan._adj = prior._adj if mask == prior.mask else None
+        # The compiled adjacency depends on (graph, mask); reuse the prior
+        # epoch's O(n + m) pass only when the landmark set *and* the
+        # graph's edge weights are both unchanged.
+        plan._adj = (
+            prior._adj
+            if mask == prior.mask
+            and getattr(graph, "_rev", 0) == prior._stamp[2]
+            else None
+        )
         plan._ws = None
         plan._g_rows = {}
         plan._g_freq = {}

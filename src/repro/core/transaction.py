@@ -44,12 +44,24 @@ class UndoJournal:
     snapshotted the now-discarded writes.
     """
 
-    __slots__ = ("_label_saves", "_highway_save", "_label_count", "_registry")
+    __slots__ = (
+        "_label_saves",
+        "_highway_save",
+        "_label_count",
+        "_edge_saves",
+        "_registry",
+    )
 
     def __init__(self, registry=None):
         self._label_saves: dict[int, dict[int, float]] = {}
         self._highway_save: dict[int, dict[int, float]] | None = None
         self._label_count: int | None = None
+        # Edge-weight undo entries for batch-dynamic updates: the graph is
+        # not journaled by its own mutators (it has none that know about
+        # transactions), so apply_batch records each weight it overwrites
+        # here — first write per edge only, in write order — and rollback
+        # replays them in reverse.
+        self._edge_saves: list[tuple[object, int, int, float]] = []
         self._registry = registry
 
     # ------------------------------------------------------------------
@@ -72,11 +84,27 @@ class UndoJournal:
                 r: dict(row) for r, row in highway._dist.items()
             }
 
+    def record_edge_weight(self, graph, u: int, v: int, old: float) -> None:
+        """Save an edge's pre-update weight before ``set_weight``.
+
+        Called once per edge by the batch engine *before* it overwrites the
+        weight; duplicate updates to the same edge inside one batch are
+        netted by the caller, so no first-touch dedup is needed here.
+        """
+        self._edge_saves.append((graph, u, v, old))
+
     # ------------------------------------------------------------------
     # Rollback
     # ------------------------------------------------------------------
     def rollback(self, labeling, highway) -> None:
         """Restore every recorded row; leaves the journal empty."""
+        # Edge weights first, newest save last-undone: set_weight is its
+        # own inverse given the saved old weight, and reverse order makes
+        # repeated writes to one edge (impossible after netting, but cheap
+        # to be safe against) land on the original value.
+        for graph, u, v, old in reversed(self._edge_saves):
+            graph.set_weight(u, v, old)
+        self._edge_saves = []
         if self._label_count is not None:
             del labeling._labels[self._label_count :]
         labels = labeling._labels
@@ -173,6 +201,7 @@ class IndexTransaction:
                 journal._label_saves
                 or journal._highway_save is not None
                 or journal._label_count is not None
+                or journal._edge_saves
             ):
                 # Commit: tell the epoch registry what changed so it can
                 # recompile incrementally (touched rows = the journal's

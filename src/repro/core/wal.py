@@ -7,15 +7,29 @@ committed *since*, so a crashed service can be reconstructed as
 
 Format
 ------
-The file starts with the 5-byte magic ``DWAL\\x01``.  Each record is 17
-bytes::
+The file starts with the 5-byte magic ``DWAL\\x01``.  Each record begins
+with a 17-byte frame::
 
-    <Q seq> <B op> <I vertex> <I crc32>
+    <Q seq> <B op> <I arg> <I crc32>
 
 ``seq`` is a strictly increasing sequence number (the first record of a
-file may start anywhere; later records must each be exactly one higher),
-``op`` is 1 for ``add`` / 2 for ``remove``, and ``crc32`` covers the
-preceding 13 bytes.  Appends are flushed and ``fsync``'d by default, so a
+file may start anywhere; later records must each be exactly one higher)
+and ``op`` is 1 for ``add`` / 2 for ``remove`` — for those, ``arg`` is
+the vertex and ``crc32`` covers the preceding 13 bytes.
+
+``op`` 3 is a ``BATCH`` record: one committed
+:meth:`~repro.core.dynhcl.DynamicHCL.apply_batch` call, persisted as a
+single atomic unit however many operations it carried.  ``arg`` is the
+byte length of a payload that directly follows the frame::
+
+    <I n_add> <I n_rm> <I n_edge>
+    n_add  × <I vertex>
+    n_rm   × <I vertex>
+    n_edge × <I u> <I v> <d new_weight>
+
+and ``crc32`` covers the 13-byte frame body *plus* the payload, so a torn
+payload invalidates the whole record — recovery replays the entire batch
+or none of it.  Appends are flushed and ``fsync``'d by default, so a
 record that :meth:`WriteAheadLog.append` returned for is on disk.
 
 Crash tolerance is asymmetric by design: *writing* is strict (any OS error
@@ -45,9 +59,11 @@ __all__ = [
     "WriteAheadLog",
     "WalRecord",
     "WalScan",
+    "BatchPayload",
     "scan_wal",
     "OP_ADD",
     "OP_REMOVE",
+    "OP_BATCH",
 ]
 
 _WAL_MAGIC = b"DWAL\x01"
@@ -57,17 +73,82 @@ _RECORD_SIZE = _RECORD.size + _CRC.size
 
 OP_ADD = 1
 OP_REMOVE = 2
+OP_BATCH = 3
+# Only the fixed-size single-mutation ops; BATCH has its own append/scan
+# paths (variable-length payload, different crc coverage).
 _OP_NAMES = {OP_ADD: "add", OP_REMOVE: "remove"}
 _OP_CODES = {name: code for code, name in _OP_NAMES.items()}
+
+_BATCH_HEADER = struct.Struct("<III")
+_VERTEX = struct.Struct("<I")
+_EDGE = struct.Struct("<IId")
+# Sanity cap on the payload-length field before trusting it for a read:
+# a corrupt frame must not make the scanner allocate gigabytes.
+_MAX_BATCH_PAYLOAD = 1 << 28
+
+
+@dataclass(frozen=True)
+class BatchPayload:
+    """Decoded body of one ``BATCH`` record: the netted operations."""
+
+    adds: tuple[int, ...] = ()
+    removes: tuple[int, ...] = ()
+    edge_updates: tuple[tuple[int, int, float], ...] = ()
+
+    @property
+    def ops(self) -> int:
+        return len(self.adds) + len(self.removes) + len(self.edge_updates)
+
+
+def _encode_batch(payload: BatchPayload) -> bytes:
+    parts = [
+        _BATCH_HEADER.pack(
+            len(payload.adds), len(payload.removes), len(payload.edge_updates)
+        )
+    ]
+    parts.extend(_VERTEX.pack(v) for v in payload.adds)
+    parts.extend(_VERTEX.pack(v) for v in payload.removes)
+    parts.extend(_EDGE.pack(u, v, w) for u, v, w in payload.edge_updates)
+    return b"".join(parts)
+
+
+def _decode_batch(blob: bytes) -> BatchPayload:
+    n_add, n_rm, n_edge = _BATCH_HEADER.unpack_from(blob, 0)
+    off = _BATCH_HEADER.size
+    need = off + (n_add + n_rm) * _VERTEX.size + n_edge * _EDGE.size
+    if len(blob) != need:
+        raise WALError(
+            f"batch payload length {len(blob)} != {need} implied by header"
+        )
+    adds = tuple(
+        _VERTEX.unpack_from(blob, off + i * _VERTEX.size)[0]
+        for i in range(n_add)
+    )
+    off += n_add * _VERTEX.size
+    removes = tuple(
+        _VERTEX.unpack_from(blob, off + i * _VERTEX.size)[0]
+        for i in range(n_rm)
+    )
+    off += n_rm * _VERTEX.size
+    edges = tuple(
+        _EDGE.unpack_from(blob, off + i * _EDGE.size) for i in range(n_edge)
+    )
+    return BatchPayload(adds, removes, edges)
 
 
 @dataclass(frozen=True)
 class WalRecord:
-    """One committed mutation: ``kind`` is ``"add"`` or ``"remove"``."""
+    """One committed mutation.
+
+    ``kind`` is ``"add"``, ``"remove"`` or ``"batch"``.  For single
+    mutations ``vertex`` is the landmark; for a batch it is the netted
+    operation count and ``batch`` holds the decoded payload.
+    """
 
     seq: int
     kind: str
     vertex: int
+    batch: BatchPayload | None = None
 
 
 @dataclass(frozen=True)
@@ -102,14 +183,36 @@ def _scan_stream(fh: BinaryIO) -> WalScan:
             return WalScan(tuple(records), truncated=bool(blob), good_bytes=good)
         body, crc_bytes = blob[: _RECORD.size], blob[_RECORD.size :]
         (crc,) = _CRC.unpack(crc_bytes)
-        if crc != zlib.crc32(body):
+        seq, op, arg = _RECORD.unpack(body)
+        if op in _OP_NAMES:
+            if crc != zlib.crc32(body) or (
+                expected is not None and seq != expected
+            ):
+                return WalScan(tuple(records), truncated=True, good_bytes=good)
+            records.append(WalRecord(seq, _OP_NAMES[op], arg))
+            good += _RECORD_SIZE
+        elif op == OP_BATCH:
+            # ``arg`` is the payload length, but the frame's integrity is
+            # only proven by a crc that *includes* the payload — so cap the
+            # read before trusting the still-unverified length field.
+            if arg > _MAX_BATCH_PAYLOAD:
+                return WalScan(tuple(records), truncated=True, good_bytes=good)
+            payload = fh.read(arg)
+            if (
+                len(payload) < arg
+                or crc != zlib.crc32(body + payload)
+                or (expected is not None and seq != expected)
+            ):
+                return WalScan(tuple(records), truncated=True, good_bytes=good)
+            try:
+                batch = _decode_batch(payload)
+            except (WALError, struct.error):
+                return WalScan(tuple(records), truncated=True, good_bytes=good)
+            records.append(WalRecord(seq, "batch", batch.ops, batch))
+            good += _RECORD_SIZE + arg
+        else:
             return WalScan(tuple(records), truncated=True, good_bytes=good)
-        seq, op, vertex = _RECORD.unpack(body)
-        if op not in _OP_NAMES or (expected is not None and seq != expected):
-            return WalScan(tuple(records), truncated=True, good_bytes=good)
-        records.append(WalRecord(seq, _OP_NAMES[op], vertex))
         expected = seq + 1
-        good += _RECORD_SIZE
 
 
 def scan_wal(source: Union[str, Path, BinaryIO]) -> WalScan:
@@ -194,6 +297,54 @@ class WriteAheadLog:
         if OBS.enabled:
             reg = OBS.registry
             reg.counter("wal.appends").inc()
+            reg.histogram("wal.append.seconds").observe(
+                time.perf_counter() - start
+            )
+        self._seq = seq
+        return seq
+
+    def append_batch(
+        self,
+        adds: Iterable[int] = (),
+        removes: Iterable[int] = (),
+        edge_updates: Iterable[tuple[int, int, float]] = (),
+    ) -> int:
+        """Durably append one ``BATCH`` record; returns its sequence number.
+
+        The whole batch occupies a single sequence number and a single
+        crc-covered record: recovery either replays every operation in it
+        or (torn tail) none — there is no partially-durable batch.
+        """
+        if self._closed:
+            raise WALError(f"WAL at {self.path} is closed")
+        payload = _encode_batch(
+            BatchPayload(
+                tuple(int(v) for v in adds),
+                tuple(int(v) for v in removes),
+                tuple(
+                    (int(u), int(v), float(w)) for u, v, w in edge_updates
+                ),
+            )
+        )
+        if len(payload) > _MAX_BATCH_PAYLOAD:
+            raise WALError(
+                f"batch payload of {len(payload)} bytes exceeds the "
+                f"{_MAX_BATCH_PAYLOAD}-byte record cap"
+            )
+        seq = self._seq + 1
+        body = _RECORD.pack(seq, OP_BATCH, len(payload))
+        start = time.perf_counter() if OBS.enabled else 0.0
+        try:
+            self._fh.write(
+                body + _CRC.pack(zlib.crc32(body + payload)) + payload
+            )
+            self._flush()
+        except OSError as exc:
+            raise WALError(f"cannot append to WAL at {self.path}: {exc}") from exc
+        if OBS.enabled:
+            reg = OBS.registry
+            reg.counter("wal.appends").inc()
+            reg.counter("wal.batch_appends").inc()
             reg.histogram("wal.append.seconds").observe(
                 time.perf_counter() - start
             )

@@ -6,7 +6,11 @@ from .ablations import (
     run_ablation_incdec,
     run_ablation_selection,
 )
-from .extensions import run_extension_directed, run_extension_fullydynamic
+from .extensions import (
+    run_extension_batch,
+    run_extension_directed,
+    run_extension_fullydynamic,
+)
 from .export import g1_rows, g2_rows, write_csv, write_json
 from .figure1 import run_figure1
 from .figure2 import run_figure2
@@ -38,6 +42,7 @@ __all__ = [
     "run_ablation_cleanup",
     "run_ablation_batch",
     "run_ablation_incdec",
+    "run_extension_batch",
     "run_extension_directed",
     "run_extension_fullydynamic",
     "run_ablation_selection",

@@ -26,7 +26,11 @@ from .ablations import (
     run_ablation_incdec,
     run_ablation_selection,
 )
-from .extensions import run_extension_directed, run_extension_fullydynamic
+from .extensions import (
+    run_extension_batch,
+    run_extension_directed,
+    run_extension_fullydynamic,
+)
 from .figure1 import run_figure1
 from .figure2 import run_figure2
 from .table1 import run_table1
@@ -53,6 +57,7 @@ def _build_parser() -> argparse.ArgumentParser:
             "ablation-batch",
             "ablation-selection",
             "ablation-incdec",
+            "extension-batch",
             "extension-directed",
             "extension-fullydynamic",
             "all",
@@ -132,6 +137,8 @@ def main(argv: list[str] | None = None) -> int:
         emit(run_ablation_selection(scale=args.scale, seed=args.seed))
     if args.target in ("ablation-incdec", "all"):
         emit(run_ablation_incdec(scale=args.scale, seed=args.seed))
+    if args.target in ("extension-batch", "all"):
+        emit(run_extension_batch(scale=args.scale, seed=args.seed))
     if args.target in ("extension-directed", "all"):
         emit(run_extension_directed(scale=args.scale, seed=args.seed))
     if args.target in ("extension-fullydynamic", "all"):

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import time
 
-from ..core.batch import batch_reconfigure
+from ..core.batch import apply_batch
 from ..core.build import build_hcl
 from ..core.dynhcl import DynamicHCL
 from ..core.selection import select_landmarks
@@ -98,7 +98,7 @@ def run_ablation_batch(
 
             index = build_hcl(graph, initial)
             start = time.perf_counter()
-            result = batch_reconfigure(index, add=adds, remove=removes)
+            result = apply_batch(index, adds=adds, removes=removes)
             t_batch = time.perf_counter() - start
             rows.append(
                 [

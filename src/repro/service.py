@@ -79,6 +79,7 @@ __all__ = [
     "BatchQueryRequest",
     "AddLandmarkRequest",
     "RemoveLandmarkRequest",
+    "BatchReconfigureRequest",
     "AuditRecord",
     "RecoveryReport",
 ]
@@ -137,12 +138,30 @@ class RemoveLandmarkRequest:
     vertex: int
 
 
+@dataclass(frozen=True)
+class BatchReconfigureRequest:
+    """Apply landmark swaps and edge-weight updates as one merged batch.
+
+    Executed by :meth:`repro.core.dynhcl.DynamicHCL.apply_batch`: one
+    repair sweep over the merged affected set, one index transaction
+    (whole-batch rollback), one WAL ``BATCH`` record, one epoch publish.
+    ``edge_updates`` holds ``(u, v, new_weight)`` triples for existing
+    edges; ``rebuild_factor`` is the rebuild-cutoff cost model knob.
+    """
+
+    adds: tuple[int, ...] = ()
+    removes: tuple[int, ...] = ()
+    edge_updates: tuple[tuple[int, int, float], ...] = ()
+    rebuild_factor: float = 0.75
+
+
 Request = Union[
     DistanceRequest,
     ConstrainedDistanceRequest,
     BatchQueryRequest,
     AddLandmarkRequest,
     RemoveLandmarkRequest,
+    BatchReconfigureRequest,
 ]
 
 
@@ -163,6 +182,9 @@ class ServiceStats:
 
     queries: int = 0
     mutations: int = 0
+    # Committed batch reconfigurations (each also adds its netted
+    # operation count to ``mutations``).
+    batches: int = 0
     failures: int = 0
     # Requests refused at admission time (in-flight budget full).
     shed: int = 0
@@ -237,7 +259,7 @@ class HCLService:
         if isinstance(wal, (str, Path)):
             wal = WriteAheadLog(wal)
         self._wal = wal
-        self._wal_buffer: list[tuple[str, int]] | None = None
+        self._wal_buffer: list[tuple[str, object]] | None = None
         self.audit: list[AuditRecord] = []
         self.stats = ServiceStats()
         # Always-on service metrics (request latencies, batch sizes,
@@ -351,12 +373,20 @@ class HCLService:
         if not isinstance(v, int) or not 0 <= v < n:
             raise VertexError(f"{what} {v!r} out of range [0, {n})")
 
-    def _record_mutation(self, kind: str, vertex: int) -> None:
-        """Log one committed mutation (buffered inside rollback batches)."""
+    def _record_mutation(self, kind: str, arg) -> None:
+        """Log one committed mutation (buffered inside rollback batches).
+
+        ``arg`` is the vertex for ``"add"``/``"remove"``, or the netted
+        ``(adds, removes, edge_updates)`` triple for ``"batch"`` — which
+        lands in the WAL as a single atomic ``BATCH`` record.
+        """
         if self._wal_buffer is not None:
-            self._wal_buffer.append((kind, vertex))
+            self._wal_buffer.append((kind, arg))
         elif self._wal is not None:
-            self._wal.append(kind, vertex)
+            if kind == "batch":
+                self._wal.append_batch(*arg)
+            else:
+                self._wal.append(kind, arg)
 
     def _execute(
         self,
@@ -443,6 +473,35 @@ class HCLService:
                 )
             self.stats.mutations += 1
             self._record_mutation("remove", request.vertex)
+        elif isinstance(request, BatchReconfigureRequest):
+            for v in request.adds:
+                self._validate_vertex(v, "batch add")
+            for v in request.removes:
+                self._validate_vertex(v, "batch remove")
+            if budget is None:
+                result = self._engine.apply_batch(
+                    request.adds,
+                    request.removes,
+                    request.edge_updates,
+                    rebuild_factor=request.rebuild_factor,
+                )
+            else:
+                result = self._engine.apply_batch(
+                    request.adds,
+                    request.removes,
+                    request.edge_updates,
+                    rebuild_factor=request.rebuild_factor,
+                    budget=budget,
+                )
+            self.stats.batches += 1
+            self.stats.mutations += result.ops
+            if result.ops:
+                # One WAL record for the whole batch, carrying the netted
+                # operations (replay re-nets to the same lists).
+                self._record_mutation(
+                    "batch",
+                    (result.adds, result.removes, result.edge_updates),
+                )
         else:
             raise RequestError(f"unknown request type {type(request).__name__}")
         return result
@@ -511,7 +570,8 @@ class HCLService:
         ):
             self._shed(request)
         is_mutation = isinstance(
-            request, (AddLandmarkRequest, RemoveLandmarkRequest)
+            request,
+            (AddLandmarkRequest, RemoveLandmarkRequest, BatchReconfigureRequest),
         )
         if is_mutation and not self.breaker.allow():
             self._registry.counter("service.breaker_rejections").inc()
@@ -580,6 +640,17 @@ class HCLService:
         if isinstance(request, BatchQueryRequest):
             reg.histogram("service.batch_size", SIZE_BOUNDS).observe(
                 len(request.pairs)
+            )
+        elif ok and isinstance(request, BatchReconfigureRequest):
+            # The merged affected set spans upgrades, the shared downgrade
+            # sweep and the edge re-passes.
+            reg.histogram(
+                "service.mutation.affected_set_size", SIZE_BOUNDS
+            ).observe(
+                getattr(result, "settled", 0) + getattr(result, "swept", 0)
+            )
+            reg.histogram("service.batch_ops", SIZE_BOUNDS).observe(
+                getattr(result, "ops", 0)
             )
         elif ok and isinstance(
             request, (AddLandmarkRequest, RemoveLandmarkRequest)
@@ -655,9 +726,43 @@ class HCLService:
                 raise
             buffered = self._wal_buffer
             self._wal_buffer = outer_buffer
-            for kind, vertex in buffered:
-                self._record_mutation(kind, vertex)
+            for kind, arg in buffered:
+                self._record_mutation(kind, arg)
         return self.audit[before:]
+
+    def submit_batch_reconfigure(
+        self,
+        adds=(),
+        removes=(),
+        edge_updates=(),
+        rebuild_factor: float = 0.75,
+        budget: Budget | None = None,
+    ):
+        """Apply one merged reconfiguration batch through the service.
+
+        Equivalent to submitting a :class:`BatchReconfigureRequest`: the
+        batch passes admission control and the circuit breaker like any
+        mutation, runs as **one** repair sweep inside **one** index
+        transaction, and commits **one** WAL ``BATCH`` record and **one**
+        epoch publish — failure anywhere (including ``budget`` expiry)
+        rolls the whole batch back before the exception reaches the
+        caller.  Returns the :class:`~repro.core.batch.BatchResult` with
+        the merged work counters.
+        """
+        return self.submit(
+            BatchReconfigureRequest(
+                adds=tuple(adds),
+                removes=tuple(removes),
+                edge_updates=tuple(
+                    (e.u, e.v, e.weight)
+                    if hasattr(e, "weight")
+                    else (e[0], e[1], e[2])
+                    for e in edge_updates
+                ),
+                rebuild_factor=rebuild_factor,
+            ),
+            budget=budget,
+        )
 
     def query_batch(
         self,
@@ -844,6 +949,7 @@ class HCLService:
             "max_inflight": self._max_inflight,
             "shed": self.stats.shed,
             "degraded_answers": self.stats.degraded,
+            "batches": self.stats.batches,
             "landmarks": len(self._dyn.landmarks),
             "version": self._dyn.version,
             "plan": {
@@ -964,8 +1070,14 @@ class HCLService:
             try:
                 if record.kind == "add":
                     dyn.add_landmark(record.vertex)
-                else:
+                elif record.kind == "remove":
                     dyn.remove_landmark(record.vertex)
+                else:  # "batch": replayed atomically, one merged repair
+                    dyn.apply_batch(
+                        adds=record.batch.adds,
+                        removes=record.batch.removes,
+                        edge_updates=record.batch.edge_updates,
+                    )
             except Exception as exc:
                 raise RecoveryError(
                     f"WAL record seq={record.seq} "

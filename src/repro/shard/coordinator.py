@@ -196,7 +196,14 @@ class ShardedService:
         """Build a fleet serving ``plan_registry``'s head epoch and keep
         it current: every epoch publish marks the fleet stale, and the
         next request (or an explicit :meth:`refresh`) broadcasts the new
-        snapshot with atomic cutover."""
+        snapshot with atomic cutover.
+
+        Because :func:`repro.core.batch.apply_batch` commits a whole
+        batch of landmark swaps and edge-weight changes under a *single*
+        epoch publish, a batch of σ operations costs the fleet exactly
+        one broadcast and one cutover — not σ of them.  The
+        ``fleet.publishes`` counter makes this observable (and is
+        asserted by the batch differential tests)."""
         svc = cls(plan_registry.head_plan(), **kwargs)
         svc._plan_registry = plan_registry
 

@@ -1,0 +1,344 @@
+"""Differential tests for batch-dynamic maintenance (``apply_batch``).
+
+The batch engine must be *merge-invariant*: whatever mix of landmark swaps
+and edge-weight updates one batch carries, the committed index must equal —
+bitwise, on integer-weighted graphs — both the sequential replay through
+the seed single-update algorithms (``UPGRADE-LMK`` / ``DOWNGRADE-LMK`` /
+``topology.set_edge_weight``) and a from-scratch rebuild over the final
+``(G, R)``.  The service-level tests pin the PR's durability contract:
+exactly one WAL ``BATCH`` record and exactly one epoch publish per batch,
+whole-batch rollback (including edge weights) on any mid-batch failure,
+and epoch-pinned readers that keep their snapshot across the commit.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import grid_graph, path_graph, random_graph
+from repro import obs
+from repro.budget import Budget
+from repro.core import DynamicHCL, build_hcl
+from repro.core import batch as batch_mod
+from repro.core.batch import EdgeUpdate, apply_batch, batch_reconfigure
+from repro.core.topology import FullyDynamicHCL
+from repro.errors import DeadlineExceeded, TransactionError
+from repro.service import HCLService
+from repro.shard import ShardedService
+from strategies import graph_with_landmarks
+
+
+def _plan_batch(g, landmarks, seed, with_edges=True):
+    """A reproducible mixed batch against ``(g, landmarks)``.
+
+    Picks adds from the non-landmarks, removes from the landmarks (always
+    leaving at least one), and — on weighted graphs — integer reweights of
+    existing edges, so dynamic-vs-rebuild comparisons stay bitwise.
+    """
+    rng = random.Random(seed)
+    pool = sorted(set(range(g.n)) - set(landmarks))
+    adds = rng.sample(pool, min(len(pool), rng.randint(0, 3)))
+    removable = sorted(landmarks)
+    n_rm = rng.randint(0, min(len(removable) - 1, 3))
+    removes = rng.sample(removable, n_rm)
+    edges = []
+    if with_edges and not g.unweighted:
+        seen = set()
+        for u, v, w in g.edges():
+            if rng.random() < 0.25 and (u, v) not in seen:
+                seen.add((u, v))
+                new = float(rng.randint(1, 9))
+                if new != w:
+                    edges.append((u, v, new))
+            if len(edges) == 3:
+                break
+    return adds, removes, edges
+
+
+def _sequential_replay(g, landmarks, adds, removes, edges):
+    """The seed path: one single-operation update per batch element."""
+    dyn = FullyDynamicHCL(build_hcl(g.copy(), sorted(landmarks)))
+    for v in adds:
+        dyn.add_landmark(v)
+    for v in removes:
+        dyn.remove_landmark(v)
+    for u, v, w in edges:
+        dyn.set_edge_weight(u, v, w)
+    return dyn.index
+
+
+class TestDifferential:
+    """apply_batch == sequential replay == full rebuild, bitwise."""
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_mixed_batch_matches_sequential_and_rebuild(self, seed):
+        g = random_graph(seed * 101 + 7, n_lo=12, n_hi=34)
+        rng = random.Random(seed)
+        landmarks = sorted(rng.sample(range(g.n), max(2, g.n // 5)))
+        adds, removes, edges = _plan_batch(g, landmarks, seed=seed + 1)
+        sequential = _sequential_replay(g, landmarks, adds, removes, edges)
+
+        index = build_hcl(g, landmarks)
+        result = apply_batch(
+            index, adds=adds, removes=removes, edge_updates=edges
+        )
+        assert result.applied_adds == len(adds)
+        assert result.applied_removes == len(removes)
+        assert result.applied_edges == len(edges)
+        assert index.structurally_equal(sequential, rel_tol=0.0)
+        rebuilt = build_hcl(g, sorted(index.landmarks))
+        assert index.structurally_equal(rebuilt, rel_tol=0.0)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_edge_only_batch(self, seed):
+        g = random_graph(seed * 13 + 5, n_lo=10, n_hi=28, weighted=True)
+        rng = random.Random(seed)
+        landmarks = sorted(rng.sample(range(g.n), 3))
+        _, _, edges = _plan_batch(g, landmarks, seed=seed + 2)
+        if not edges:
+            edges = [next(iter(g.edges()))[:2] + (9.0,)]
+        sequential = _sequential_replay(g, landmarks, [], [], edges)
+        index = build_hcl(g, landmarks)
+        apply_batch(index, edge_updates=edges)
+        assert index.structurally_equal(sequential, rel_tol=0.0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(gl=graph_with_landmarks(), seed=st.integers(0, 2**20))
+    def test_hypothesis_mixes_are_order_invariant(self, gl, seed):
+        g, landmarks = gl
+        adds, removes, edges = _plan_batch(g, landmarks, seed=seed)
+        sequential = _sequential_replay(g, landmarks, adds, removes, edges)
+        index = build_hcl(g, landmarks)
+        apply_batch(index, adds=adds, removes=removes, edge_updates=edges)
+        assert index.structurally_equal(sequential, rel_tol=0.0)
+        assert index.structurally_equal(
+            build_hcl(g, sorted(index.landmarks)), rel_tol=0.0
+        )
+
+    def test_rebuild_strategy_adopts_in_place(self):
+        g = random_graph(91, n_lo=14, n_hi=24)
+        index = build_hcl(g, [0, 1])
+        highway, labeling = index.highway, index.labeling
+        adds = [v for v in range(2, g.n) if v % 3 == 0][:5]
+        result = apply_batch(
+            index, adds=adds, removes=[0], rebuild_factor=0.0
+        )
+        assert result.strategy == "rebuild"
+        assert index.highway is highway and index.labeling is labeling
+        assert index.structurally_equal(
+            build_hcl(g, sorted(index.landmarks)), rel_tol=0.0
+        )
+
+
+class TestRollback:
+    """One transaction: any mid-batch failure restores everything."""
+
+    @staticmethod
+    def _weights(g):
+        return {(u, v): w for u, v, w in g.edges()}
+
+    def test_phase_hook_failure_rolls_back_whole_batch(self):
+        g = random_graph(17, n_lo=12, n_hi=20, weighted=True)
+        index = build_hcl(g, [0, 1, 2])
+        pristine = build_hcl(g.copy(), [0, 1, 2])
+        before = self._weights(g)
+        u, v, w = next(iter(g.edges()))
+
+        def boom(phase):
+            if phase == "edges":
+                raise RuntimeError("mid-batch crash")
+
+        batch_mod._PHASE_HOOK = boom
+        try:
+            with pytest.raises(TransactionError):
+                apply_batch(
+                    index,
+                    adds=[g.n - 1],
+                    removes=[0],
+                    edge_updates=[(u, v, w + 3.0)],
+                )
+        finally:
+            batch_mod._PHASE_HOOK = None
+        assert index.landmarks == {0, 1, 2}
+        assert index.structurally_equal(pristine, rel_tol=0.0)
+        assert self._weights(g) == before
+
+    def test_budget_expiry_cancels_and_restores_edge_weights(self):
+        g = random_graph(23, n_lo=14, n_hi=22, weighted=True)
+        index = build_hcl(g, [0, 1])
+        pristine = build_hcl(g.copy(), [0, 1])
+        before = self._weights(g)
+        u, v, w = next(iter(g.edges()))
+        with pytest.raises(DeadlineExceeded):
+            apply_batch(
+                index,
+                adds=[g.n - 1, g.n - 2],
+                removes=[0],
+                edge_updates=[(u, v, w + 2.0)],
+                budget=Budget(max_settled=1),
+            )
+        assert index.structurally_equal(pristine, rel_tol=0.0)
+        assert self._weights(g) == before
+
+    def test_budget_expiry_appends_no_wal_record(self, tmp_path):
+        g = grid_graph(4, 5)
+        svc = HCLService.build(g, [0, 19], wal=tmp_path / "b.wal")
+        with pytest.raises(DeadlineExceeded):
+            svc.submit_batch_reconfigure(
+                adds=[7, 12], removes=[0], budget=Budget(max_settled=1)
+            )
+        assert len(svc.wal.scan().records) == 0
+        assert svc.landmarks == {0, 19}
+
+
+class TestServiceDurability:
+    """One WAL record, one epoch publish, full recovery — per batch."""
+
+    def test_exactly_one_wal_record_and_one_publish(self, tmp_path):
+        g = random_graph(31, n_lo=16, n_hi=26, weighted=True)
+        svc = HCLService.build(g, [0, 1, 2], wal=tmp_path / "one.wal")
+        registry = svc.enable_plan_epochs()
+        svc.query_batch([(0, g.n - 1)])  # materialize the first epoch
+        publishes = registry.summary()["publishes"]
+        u, v, w = next(iter(g.edges()))
+        result = svc.submit_batch_reconfigure(
+            adds=[g.n - 1], removes=[0], edge_updates=[(u, v, w + 1.0)]
+        )
+        assert result.ops == 3
+        records = svc.wal.scan().records
+        assert len(records) == 1
+        assert records[0].kind == "batch"
+        assert records[0].batch.adds == (g.n - 1,)
+        assert records[0].batch.removes == (0,)
+        assert records[0].batch.edge_updates == ((u, v, w + 1.0),)
+        assert registry.summary()["publishes"] == publishes + 1
+        assert svc.health()["batches"] == 1
+
+    def test_batch_recovery_replays_atomically(self, tmp_path):
+        g = random_graph(37, n_lo=16, n_hi=26, weighted=True)
+        ckpt, wal = tmp_path / "c.ckpt", tmp_path / "c.wal"
+        svc = HCLService.build(g, [0, 1, 2], wal=wal)
+        svc.checkpoint(ckpt)
+        g_ckpt = g.copy()  # recover() needs the checkpoint-time graph
+        u, v, w = next(iter(g.edges()))
+        svc.submit_batch_reconfigure(
+            adds=[g.n - 1], removes=[1], edge_updates=[(u, v, w + 2.0)]
+        )
+        report = HCLService.recover(g_ckpt, ckpt, wal)
+        recovered = report.service._dyn.index
+        assert recovered.landmarks == svc.landmarks
+        assert recovered.structurally_equal(
+            build_hcl(g_ckpt, sorted(svc.landmarks)), rel_tol=0.0
+        )
+
+    def test_fleet_gets_single_broadcast_per_batch(self):
+        g = grid_graph(5, 6)
+        dyn = DynamicHCL.build(g, [0, 29])
+        registry = dyn.enable_plan_epochs()
+        with ShardedService.from_registry(registry, nshards=2) as fleet:
+            assert fleet.health()["fleet.publishes"] == 1
+            dyn.apply_batch(adds=[7, 14], removes=[0])  # σ=3, one publish
+            assert fleet._stale
+            assert fleet.refresh()
+            health = fleet.health()
+            assert health["fleet.publishes"] == 2
+            assert health["version"] == 2
+            s, t = 3, 27
+            assert fleet.query(s, t) == dyn.query(s, t)
+
+
+class TestEpochPinnedReaders:
+    def test_pinned_reader_survives_batch_commit(self):
+        g = random_graph(43, n_lo=16, n_hi=26, weighted=True)
+        dyn = DynamicHCL.build(g, [0, 1])
+        registry = dyn.enable_plan_epochs()
+        dyn.query(0, g.n - 1)  # materialize the first epoch
+        pairs = [(0, g.n - 1), (1, g.n - 2), (2, 5)]
+        epoch = registry.acquire()
+        try:
+            pinned_before = [epoch.plan.query(s, t) for s, t in pairs]
+            u, v, w = next(iter(g.edges()))
+            dyn.apply_batch(
+                adds=[g.n - 1], removes=[0], edge_updates=[(u, v, w + 4.0)]
+            )
+            assert epoch.retired
+            assert registry.live_epochs == 2
+            pinned_after = [epoch.plan.query(s, t) for s, t in pairs]
+            assert pinned_after == pinned_before  # bitwise-stable snapshot
+            head = registry.head_plan()
+            assert [head.query(s, t) for s, t in pairs] == [
+                dyn.query(s, t) for s, t in pairs
+            ]
+        finally:
+            epoch.release()
+        assert registry.live_epochs == 1  # drained once the pin dropped
+
+
+class TestCountersAndDeprecation:
+    def test_batch_work_counters_aggregate_in_update_log(self):
+        g = random_graph(53, n_lo=14, n_hi=24)
+        dyn = DynamicHCL.build(g, [0, 1, 2])
+        result = dyn.apply_batch(adds=[g.n - 1], removes=[0])
+        assert result.settled > 0 and result.swept > 0
+        assert result.mean_work > 0.0
+        log = dyn.log
+        assert log.count == 1
+        assert log.settled == result.settled
+        assert log.swept == result.swept
+        assert log.pruned == result.pruned
+
+    def test_obs_counts_one_batch(self):
+        g = path_graph(10)
+        index = build_hcl(g, [0, 9])
+        with obs.observed() as reg:
+            apply_batch(index, adds=[4], removes=[9])
+        counters = reg.snapshot()["counters"]
+        assert counters["batch.applies"] == 1
+        assert counters["batch.ops"] == 2
+
+    def test_batch_reconfigure_is_deprecated_but_delegates(self):
+        index = build_hcl(path_graph(8), [0, 7])
+        with pytest.warns(DeprecationWarning, match="apply_batch"):
+            result = batch_reconfigure(index, add=[3], remove=[7])
+        assert result.applied_adds == 1 and result.applied_removes == 1
+        assert index.landmarks == {0, 3}
+        assert index.structurally_equal(
+            build_hcl(index.graph, [0, 3]), rel_tol=0.0
+        )
+
+
+@pytest.mark.chaos
+class TestTornWalChaos:
+    """Nightly lane: torn BATCH tails must never partially replay."""
+
+    @pytest.mark.parametrize("cut", [1, 5, 9, 13, 16, 20, -1])
+    def test_torn_batch_tail_replays_committed_prefix_only(
+        self, tmp_path, cut
+    ):
+        g = random_graph(61, n_lo=16, n_hi=26, weighted=True)
+        ckpt, wal = tmp_path / "t.ckpt", tmp_path / "t.wal"
+        svc = HCLService.build(g, [0, 1, 2], wal=wal)
+        svc.checkpoint(ckpt)
+        g_ckpt = g.copy()
+        u, v, w = next(iter(g.edges()))
+        svc.submit_batch_reconfigure(adds=[g.n - 1], removes=[2])
+        after_first = sorted(svc.landmarks)
+        size_one = wal.stat().st_size
+        svc.submit_batch_reconfigure(
+            adds=[g.n - 2], edge_updates=[(u, v, w + 3.0)]
+        )
+
+        # Tear the second BATCH record: `cut` bytes into it (header,
+        # crc or payload), or one byte short of complete (-1).
+        blob = wal.read_bytes()
+        keep = size_one + cut if cut >= 0 else len(blob) - 1
+        wal.write_bytes(blob[:keep])
+
+        report = HCLService.recover(g_ckpt, ckpt, wal)
+        recovered = report.service._dyn.index
+        assert sorted(recovered.landmarks) == after_first
+        assert recovered.structurally_equal(
+            build_hcl(g_ckpt, after_first), rel_tol=0.0
+        )

@@ -8,7 +8,7 @@ from repro.beer import BeerDistanceIndex, BeerGraph, beer_distance_baseline
 from repro.core import (
     DynamicHCL,
     assert_canonical,
-    batch_reconfigure,
+    apply_batch,
     build_hcl,
     load_index_binary,
     save_index_binary,
@@ -62,7 +62,7 @@ class TestAdvisorDrivenReconfiguration:
         ]
         removes = removes[: max(0, len(landmarks) - 1)]
         before = [index.query(s, t) for s, t in queries]
-        batch_reconfigure(index, add=adds, remove=removes)
+        apply_batch(index, adds=adds, removes=removes)
         assert_canonical(index)
         if adds and not removes:
             after = [index.query(s, t) for s, t in queries]
